@@ -1,0 +1,423 @@
+// Benchmarks for the Zmail reproduction. Each benchmark backs one
+// performance claim or comparison from EXPERIMENTS.md:
+//
+//   - ledger-path costs (submit/receive) — what a compliant ISP pays
+//     per message beyond plain SMTP relaying;
+//   - sealed-box NCR/DCR costs versus the Null sealer — the crypto
+//     share of the bank control plane;
+//   - bank control-plane costs and the snapshot/audit sweep versus
+//     federation size — §2.3's "payments are handled in a bulk
+//     fashion; therefore, the cost of handling payments is small";
+//   - the per-message cost of the §2 baselines (Bayes classification,
+//     hashcash minting/verification, SHRED per-payment settlement) on
+//     the same hardware;
+//   - end-to-end SMTP round-trips and simulator throughput.
+package zmail_test
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"zmail"
+)
+
+// ---- shared fixtures ------------------------------------------------
+
+var (
+	benchBoxOnce sync.Once
+	benchBox     *zmail.SealedBox
+)
+
+func rsaBox(b *testing.B) *zmail.SealedBox {
+	b.Helper()
+	benchBoxOnce.Do(func() {
+		var err error
+		benchBox, err = zmail.GenerateSealedBox(1024, nil)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return benchBox
+}
+
+// benchWorld builds a quiet two-ISP world for ledger benchmarks.
+func benchWorld(b *testing.B, users int) *zmail.World {
+	b.Helper()
+	w, err := zmail.NewWorld(zmail.WorldConfig{
+		NumISPs:        2,
+		UsersPerISP:    users,
+		InitialBalance: 1 << 30, // effectively unlimited for the loop
+		DefaultLimit:   1 << 40,
+		MinAvail:       1,
+		MaxAvail:       1 << 40,
+		InitialAvail:   1 << 40,
+		Seed:           1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// ---- ISP ledger path (the Zmail "tax" per message) ------------------
+
+func BenchmarkISPSubmitLocal(b *testing.B) {
+	w := benchWorld(b, 2)
+	from := zmail.MustParseAddress("u0@isp0.example")
+	to := zmail.MustParseAddress("u1@isp0.example")
+	eng := w.Engine(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msg := zmail.NewMessage(from, to, "bench", "body")
+		if _, err := eng.Submit(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkISPSubmitPaidRemote(b *testing.B) {
+	w := benchWorld(b, 2)
+	from := zmail.MustParseAddress("u0@isp0.example")
+	to := zmail.MustParseAddress("u0@isp1.example")
+	eng := w.Engine(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msg := zmail.NewMessage(from, to, "bench", "body")
+		if _, err := eng.Submit(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkISPReceiveRemote(b *testing.B) {
+	w := benchWorld(b, 2)
+	from := zmail.MustParseAddress("u0@isp0.example")
+	to := zmail.MustParseAddress("u0@isp1.example")
+	eng := w.Engine(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msg := zmail.NewMessage(from, to, "bench", "body")
+		if err := eng.ReceiveRemote("isp0.example", msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- crypto: the paper's NCR/DCR ------------------------------------
+
+func BenchmarkSealRSA(b *testing.B) {
+	box := rsaBox(b)
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := box.Seal(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOpenRSA(b *testing.B) {
+	box := rsaBox(b)
+	sealed, err := box.Seal(make([]byte, 64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := box.Open(sealed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSealNull(b *testing.B) {
+	var s zmail.NullSealer
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Seal(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNonceNext(b *testing.B) {
+	src := zmail.NewNonceSource(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := src.Next(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- bank control plane and the audit sweep --------------------------
+
+// BenchmarkSnapshotRound measures one full §4.4 audit (request → freeze
+// → report → pairwise verification) against federation size. This is
+// the entire periodic cost of Zmail's bulk settlement.
+func BenchmarkSnapshotRound(b *testing.B) {
+	for _, n := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("isps=%d", n), func(b *testing.B) {
+			w, err := zmail.NewWorld(zmail.WorldConfig{
+				NumISPs:        n,
+				UsersPerISP:    1,
+				FreezeDuration: time.Millisecond,
+				Seed:           1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.SnapshotRound(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotRoundSealed is the crypto ablation: the same audit
+// as BenchmarkSnapshotRound/isps=2 but with real RSA sealed boxes on
+// the control plane. The delta is the entire crypto cost of one
+// billing period — paid once per period, never per email.
+func BenchmarkSnapshotRoundSealed(b *testing.B) {
+	w, err := zmail.NewWorld(zmail.WorldConfig{
+		NumISPs:        2,
+		UsersPerISP:    1,
+		FreezeDuration: time.Millisecond,
+		RealCrypto:     true,
+		Seed:           1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.SnapshotRound(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBulkVsPerMessage contrasts the settlement work for 1000
+// emails: Zmail settles them with ONE audit round regardless of volume;
+// SHRED settles each triggered payment individually (experiment E5).
+func BenchmarkBulkVsPerMessage(b *testing.B) {
+	b.Run("zmail/1000-emails-one-audit", func(b *testing.B) {
+		w, err := zmail.NewWorld(zmail.WorldConfig{
+			NumISPs: 2, UsersPerISP: 1,
+			InitialBalance: 1 << 30, DefaultLimit: 1 << 40,
+			MinAvail: 1, MaxAvail: 1 << 40, InitialAvail: 1 << 40,
+			FreezeDuration: time.Millisecond, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		from := zmail.MustParseAddress("u0@isp0.example")
+		to := zmail.MustParseAddress("u0@isp1.example")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < 1000; k++ {
+				msg := zmail.NewMessage(from, to, "m", "b")
+				if _, err := w.Engine(0).Submit(msg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			w.Run()
+			if err := w.SnapshotRound(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("shred/1000-emails-per-msg-settle", func(b *testing.B) {
+		s := zmail.NewShred()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < 1000; k++ {
+				s.Deliver("spammer.example", k%3 == 0)
+			}
+		}
+	})
+}
+
+// ---- §2 baselines on the same hardware --------------------------------
+
+func BenchmarkBayesClassify(b *testing.B) {
+	bayes := zmail.NewBayes()
+	gen := zmail.NewCorpusGenerator(1)
+	for _, m := range gen.Batch(zmail.CorpusSpam, 200) {
+		bayes.TrainSpam(m)
+	}
+	for _, m := range gen.Batch(zmail.CorpusHam, 200) {
+		bayes.TrainHam(m)
+	}
+	test := gen.Batch(zmail.CorpusNewsletter, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bayes.Classify("x.example", test[i%len(test)])
+	}
+}
+
+func BenchmarkBayesTrain(b *testing.B) {
+	gen := zmail.NewCorpusGenerator(2)
+	msgs := gen.Batch(zmail.CorpusSpam, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bayes := zmail.NewBayes()
+		for _, m := range msgs {
+			bayes.TrainSpam(m)
+		}
+	}
+}
+
+// BenchmarkHashcashMint quantifies the computational-postage baseline's
+// per-message sender cost (at a reduced difficulty; scale by 2^(20-14)
+// for the classic 20-bit stamp).
+func BenchmarkHashcashMint(b *testing.B) {
+	h := zmail.Hashcash{Bits: 14}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.MintStamp(fmt.Sprintf("user%d@x.example", i), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashcashVerify(b *testing.B) {
+	h := zmail.Hashcash{Bits: 14}
+	stamp, err := h.MintStamp("user@x.example", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.VerifyStamp(stamp, "user@x.example"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- wire, mail, SMTP, simulator, spec --------------------------------
+
+func BenchmarkWireEnvelopeRoundTrip(b *testing.B) {
+	env := &zmail.WireEnvelope{Kind: 1, From: 3, Payload: make([]byte, 128)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw := env.MarshalBinary()
+		var out zmail.WireEnvelope
+		if err := out.UnmarshalBinary(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMailEncodeDecode(b *testing.B) {
+	from := zmail.MustParseAddress("a@x.example")
+	to := zmail.MustParseAddress("b@y.example")
+	msg := zmail.NewMessage(from, to, "subject", "a modest body\nwith two lines")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := zmail.DecodeMessage(msg.Encode()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSMTPRoundTrip measures one full submission transaction
+// (dial, HELO, MAIL, RCPT, DATA, QUIT) against a live server on
+// loopback TCP — Zmail's unmodified transport.
+func BenchmarkSMTPRoundTrip(b *testing.B) {
+	backend := &sinkBackend{}
+	srv := &zmail.SMTPServer{Domain: "bench.example", Backend: backend}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() { _ = srv.Serve(l) }()
+	defer srv.Close()
+	from := zmail.MustParseAddress("a@client.example")
+	to := zmail.MustParseAddress("b@bench.example")
+	msg := zmail.NewMessage(from, to, "bench", "body")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := zmail.SendMail(l.Addr().String(), "client.example", from,
+			[]zmail.Address{to}, msg, 5*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type sinkBackend struct{}
+
+func (sinkBackend) NewSession(string, net.Addr) (zmail.SMTPSession, error) {
+	return sinkSession{}, nil
+}
+
+type sinkSession struct{}
+
+func (sinkSession) Mail(zmail.Address) error                 { return nil }
+func (sinkSession) Rcpt(zmail.Address) error                 { return nil }
+func (sinkSession) Data(zmail.Address, *zmail.Message) error { return nil }
+func (sinkSession) Reset()                                   {}
+
+// BenchmarkWorldThroughput measures simulator capacity: messages pushed
+// through the full engine+network+delivery pipeline per second.
+func BenchmarkWorldThroughput(b *testing.B) {
+	w := benchWorld(b, 4)
+	rng := w.Rand()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := w.UserAddr(rng.Intn(2), rng.Intn(4))
+		to := w.UserAddr(rng.Intn(2), rng.Intn(4))
+		if _, err := w.Send(from, to, "m", "b"); err != nil {
+			b.Fatal(err)
+		}
+		if i%1024 == 1023 {
+			w.Run()
+		}
+	}
+	w.Run()
+}
+
+// BenchmarkSpecStep measures the AP model checker's action rate with
+// all invariants enabled.
+func BenchmarkSpecStep(b *testing.B) {
+	s := zmail.NewSpec(zmail.SpecConfig{NumISPs: 3, UsersPerISP: 3, Seed: 1})
+	b.ResetTimer()
+	steps := 0
+	for steps < b.N {
+		n, err := s.Run(4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n == 0 {
+			b.Fatal("spec quiesced unexpectedly")
+		}
+		steps += n
+	}
+}
+
+// BenchmarkMarketSupply measures the E10 sweep (200 spammers × 7
+// prices).
+func BenchmarkMarketSupply(b *testing.B) {
+	m := zmail.MarketModel{Seed: 1}
+	prices := []float64{0, 0.0001, 0.001, 0.005, 0.01, 0.05, 0.10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Supply(prices)
+	}
+}
+
+// BenchmarkAdoptionRun measures the E8 trajectory computation.
+func BenchmarkAdoptionRun(b *testing.B) {
+	m := zmail.AdoptionModel{Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Run(30)
+	}
+}

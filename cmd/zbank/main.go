@@ -1,0 +1,203 @@
+// Command zbank runs the Zmail central bank: it keeps real-money
+// accounts for compliant ISPs, sells and redeems e-penny pool
+// inventory, and periodically audits the federation's credit arrays
+// (§4.3–§4.4 of the paper).
+//
+// Example (two-ISP federation with real keys):
+//
+//	zkeygen -out bank
+//	zbank -listen :7999 -isps 2 -key bank.key \
+//	      -enroll 0=isp0.pub -enroll 1=isp1.pub \
+//	      -funds 1000000 -audit-every 1h
+//
+// For local experiments, -insecure replaces all sealed boxes with
+// plaintext (the protocol logic, nonces and audits still run).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"zmail/internal/bank"
+	"zmail/internal/core"
+	"zmail/internal/crypto"
+	"zmail/internal/money"
+	"zmail/internal/persist"
+)
+
+// enrollFlag collects repeated -enroll index=pubkeyfile flags.
+type enrollFlag map[int]string
+
+func (e enrollFlag) String() string { return fmt.Sprint(map[int]string(e)) }
+
+func (e enrollFlag) Set(v string) error {
+	idx, file, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want index=pubkeyfile, got %q", v)
+	}
+	i, err := strconv.Atoi(idx)
+	if err != nil {
+		return fmt.Errorf("bad index %q", idx)
+	}
+	e[i] = file
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "zbank:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("zbank", flag.ContinueOnError)
+	enrollments := enrollFlag{}
+	var (
+		listen     = fs.String("listen", ":7999", "TCP listen address")
+		isps       = fs.Int("isps", 0, "federation size (required)")
+		keyFile    = fs.String("key", "", "bank private key file (from zkeygen)")
+		funds      = fs.Int64("funds", 1_000_000, "initial real-penny account per compliant ISP")
+		auditEvery = fs.Duration("audit-every", 0, "run credit audits on this interval (0 = manual only)")
+		insecure   = fs.Bool("insecure", false, "use plaintext sealers (local experiments only)")
+		stateFile  = fs.String("state", "", "durable ledger file; loaded at start, saved after audits and on shutdown")
+	)
+	fs.Var(enrollments, "enroll", "index=pubkeyfile; repeatable, one per compliant ISP")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *isps <= 0 {
+		return fmt.Errorf("-isps is required")
+	}
+
+	var ownSealer crypto.Sealer
+	switch {
+	case *insecure:
+		ownSealer = crypto.Null{}
+	case *keyFile != "":
+		data, err := os.ReadFile(*keyFile)
+		if err != nil {
+			return err
+		}
+		box, err := crypto.LoadPrivatePEM(data)
+		if err != nil {
+			return err
+		}
+		ownSealer = box
+	default:
+		return fmt.Errorf("provide -key or -insecure")
+	}
+
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, "zbank: "+format+"\n", a...)
+	}
+	bk, srv, err := core.StartBank(bank.Config{
+		NumISPs:        *isps,
+		InitialAccount: money.Penny(*funds),
+		OwnSealer:      ownSealer,
+	}, *listen, logf)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	for idx, file := range enrollments {
+		var sealer crypto.Sealer
+		if *insecure {
+			sealer = crypto.Null{}
+		} else {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				return fmt.Errorf("enroll isp[%d]: %w", idx, err)
+			}
+			box, err := crypto.LoadPublicPEM(data)
+			if err != nil {
+				return fmt.Errorf("enroll isp[%d]: %w", idx, err)
+			}
+			sealer = box
+		}
+		if err := bk.Enroll(idx, sealer); err != nil {
+			return err
+		}
+		logf("enrolled isp[%d]", idx)
+	}
+	if *insecure {
+		// Without key files, enroll everyone with plaintext sealers.
+		for i := 0; i < *isps; i++ {
+			if err := bk.Enroll(i, crypto.Null{}); err != nil {
+				return err
+			}
+		}
+	}
+	if *stateFile != "" {
+		var st bank.BankState
+		switch err := persist.LoadJSON(*stateFile, &st); {
+		case err == nil:
+			if err := bk.RestoreState(&st); err != nil {
+				return fmt.Errorf("restore %s: %w", *stateFile, err)
+			}
+			logf("restored ledger from %s", *stateFile)
+		case errors.Is(err, persist.ErrNotExist):
+			logf("no prior state at %s; starting fresh", *stateFile)
+		default:
+			return err
+		}
+	}
+	saveState := func() {
+		if *stateFile == "" {
+			return
+		}
+		if err := persist.SaveJSON(*stateFile, bk.ExportState()); err != nil {
+			logf("save state: %v", err)
+		}
+	}
+	defer saveState()
+
+	logf("listening on %s for %d ISPs (funds %v each)", srv.Addr(), *isps, money.Penny(*funds))
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if *auditEvery > 0 {
+		ticker = time.NewTicker(*auditEvery)
+		defer ticker.Stop()
+		tick = ticker.C
+		logf("auditing every %v", *auditEvery)
+	}
+
+	known := 0
+	for {
+		select {
+		case <-tick:
+			if err := bk.StartSnapshot(); err != nil {
+				logf("audit: %v", err)
+				continue
+			}
+			// Poll briefly for completion, then report.
+			deadline := time.Now().Add(time.Minute)
+			for !bk.RoundComplete() && time.Now().Before(deadline) {
+				time.Sleep(100 * time.Millisecond)
+			}
+			st := bk.Stats()
+			logf("audit round %d complete; %d total violations; %d e-pennies outstanding",
+				st.Rounds, st.ViolationsAll, bk.Outstanding())
+			for _, v := range bk.Violations()[known:] {
+				logf("VIOLATION: %v", v)
+			}
+			known = len(bk.Violations())
+			saveState()
+		case <-stop:
+			logf("shutting down")
+			return nil
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestZbankFlagValidation(t *testing.T) {
+	if err := run([]string{"-insecure"}); err == nil {
+		t.Error("missing -isps accepted")
+	}
+	if err := run([]string{"-isps", "2"}); err == nil {
+		t.Error("missing key material accepted (neither -key nor -insecure)")
+	}
+	if err := run([]string{"-isps", "2", "-key", "/nonexistent/bank.key"}); err == nil {
+		t.Error("unreadable key file accepted")
+	}
+	if err := run([]string{"-isps", "2", "-insecure", "-enroll", "garbage"}); err == nil {
+		t.Error("malformed -enroll accepted")
+	}
+	if err := run([]string{"-isps", "2", "-insecure", "-enroll", "x=file.pub"}); err == nil {
+		t.Error("non-numeric -enroll index accepted")
+	}
+}
+
+func TestEnrollFlagParsing(t *testing.T) {
+	e := enrollFlag{}
+	if err := e.Set("0=isp0.pub"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Set("3=isp3.pub"); err != nil {
+		t.Fatal(err)
+	}
+	if e[0] != "isp0.pub" || e[3] != "isp3.pub" {
+		t.Fatalf("enrollments = %v", e)
+	}
+	if err := e.Set("noequals"); err == nil {
+		t.Error("missing '=' accepted")
+	}
+	if e.String() == "" {
+		t.Error("String() empty")
+	}
+}

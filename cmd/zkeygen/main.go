@@ -1,0 +1,58 @@
+// Command zkeygen generates a Zmail keypair: a private key file for the
+// owning party (bank or ISP) and a public key file to distribute to
+// peers.
+//
+// Usage:
+//
+//	zkeygen -out bank          # writes bank.key and bank.pub
+//	zkeygen -out isp0 -bits 2048
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"zmail/internal/crypto"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "zkeygen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("zkeygen", flag.ContinueOnError)
+	var (
+		out  = fs.String("out", "", "basename for <out>.key and <out>.pub (required)")
+		bits = fs.Int("bits", 2048, "RSA modulus size in bits")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	box, err := crypto.GenerateBox(*bits, nil)
+	if err != nil {
+		return err
+	}
+	priv, err := box.MarshalPrivatePEM()
+	if err != nil {
+		return err
+	}
+	pub, err := box.MarshalPublicPEM()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out+".key", priv, 0o600); err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out+".pub", pub, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s.key (keep secret) and %s.pub (distribute)\n", *out, *out)
+	return nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"zmail/internal/crypto"
+)
+
+func TestKeygenWritesLoadablePair(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "bank")
+	if err := run([]string{"-out", base, "-bits", "1024"}); err != nil {
+		t.Fatal(err)
+	}
+	privPEM, err := os.ReadFile(base + ".key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubPEM, err := os.ReadFile(base + ".pub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	priv, err := crypto.LoadPrivatePEM(privPEM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := crypto.LoadPublicPEM(pubPEM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := pub.Seal([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := priv.Open(sealed); err != nil || string(got) != "x" {
+		t.Fatalf("generated pair does not round-trip: %q %v", got, err)
+	}
+	// Private key must not be world-readable.
+	info, err := os.Stat(base + ".key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o600 {
+		t.Fatalf("key file mode = %v, want 0600", info.Mode().Perm())
+	}
+}
+
+func TestKeygenRequiresOut(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing -out accepted")
+	}
+}

@@ -1,0 +1,281 @@
+// Command zmaild runs one compliant Zmail ISP: an SMTP server for user
+// submissions and peer relay, the per-user e-penny ledger, and a
+// persistent link to the bank for pool inventory and credit audits.
+//
+// Example (ISP 0 of a two-ISP federation):
+//
+//	zkeygen -out isp0
+//	zmaild -index 0 -domains alpha.example,beta.example \
+//	       -listen :2525 -bank bankhost:7999 \
+//	       -peer 1=betahost:2525 \
+//	       -key isp0.key -bankpub bank.pub \
+//	       -user alice:1000:50:200 -user bob:1000:50:200
+//
+// Users are local:accountPennies:balanceEPennies:dailyLimit. Delivered
+// mail is printed to stdout; pass -maildir to store messages as files
+// instead.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"zmail/internal/core"
+	"zmail/internal/crypto"
+	"zmail/internal/isp"
+	"zmail/internal/mail"
+	"zmail/internal/money"
+	"zmail/internal/persist"
+)
+
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "zmaild:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("zmaild", flag.ContinueOnError)
+	var users, peers stringList
+	var (
+		index     = fs.Int("index", -1, "this ISP's federation index (required)")
+		domainCSV = fs.String("domains", "", "comma-separated federation domains, in index order (required)")
+		compliant = fs.String("compliant", "", "comma-separated 0/1 per ISP (default: all compliant)")
+		listen    = fs.String("listen", ":2525", "SMTP listen address")
+		bankAddr  = fs.String("bank", "", "bank TCP address")
+		keyFile   = fs.String("key", "", "this ISP's private key file")
+		bankPub   = fs.String("bankpub", "", "bank public key file")
+		insecure  = fs.Bool("insecure", false, "plaintext sealers (local experiments only)")
+		minAvail  = fs.Int64("minavail", 1000, "pool low-water mark")
+		maxAvail  = fs.Int64("maxavail", 100000, "pool high-water mark")
+		initAvail = fs.Int64("initavail", 10000, "initial pool")
+		limit     = fs.Int64("limit", 500, "default per-user daily send limit")
+		freeze    = fs.Duration("freeze", 10*time.Minute, "snapshot quiet period (paper: 10m)")
+		policy    = fs.String("policy", "accept", "unpaid-mail policy: accept|tag|reject")
+		maildir   = fs.String("maildir", "", "store delivered mail under this directory instead of stdout")
+		admin     = fs.String("admin", "", "operator console listen address (loopback only!), e.g. 127.0.0.1:7025")
+		stateFile = fs.String("state", "", "durable ledger file; loaded at start, saved on shutdown and every 5m")
+	)
+	fs.Var(&users, "user", "local:accountPennies:balanceEPennies:dailyLimit; repeatable")
+	fs.Var(&peers, "peer", "index=host:port of a peer ISP; repeatable")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *index < 0 || *domainCSV == "" {
+		return fmt.Errorf("-index and -domains are required")
+	}
+	domains := strings.Split(*domainCSV, ",")
+	if *index >= len(domains) {
+		return fmt.Errorf("index %d outside %d domains", *index, len(domains))
+	}
+
+	var compliantArr []bool
+	if *compliant != "" {
+		for _, tok := range strings.Split(*compliant, ",") {
+			compliantArr = append(compliantArr, strings.TrimSpace(tok) == "1")
+		}
+		if len(compliantArr) != len(domains) {
+			return fmt.Errorf("-compliant has %d entries for %d domains", len(compliantArr), len(domains))
+		}
+	}
+
+	var ownSealer, bankSealer crypto.Sealer
+	switch {
+	case *insecure:
+		ownSealer, bankSealer = crypto.Null{}, crypto.Null{}
+	case *keyFile != "" && *bankPub != "":
+		keyData, err := os.ReadFile(*keyFile)
+		if err != nil {
+			return err
+		}
+		box, err := crypto.LoadPrivatePEM(keyData)
+		if err != nil {
+			return err
+		}
+		ownSealer = box
+		pubData, err := os.ReadFile(*bankPub)
+		if err != nil {
+			return err
+		}
+		bankBox, err := crypto.LoadPublicPEM(pubData)
+		if err != nil {
+			return err
+		}
+		bankSealer = bankBox
+	default:
+		return fmt.Errorf("provide -key and -bankpub, or -insecure")
+	}
+
+	var pol isp.NonCompliantPolicy
+	switch *policy {
+	case "accept":
+		pol = isp.AcceptUnpaid
+	case "tag":
+		pol = isp.TagUnpaid
+	case "reject":
+		pol = isp.RejectUnpaid
+	default:
+		return fmt.Errorf("unknown -policy %q", *policy)
+	}
+
+	peerMap := make(map[int]string)
+	for _, p := range peers {
+		idx, addr, ok := strings.Cut(p, "=")
+		if !ok {
+			return fmt.Errorf("bad -peer %q", p)
+		}
+		i, err := strconv.Atoi(idx)
+		if err != nil {
+			return fmt.Errorf("bad -peer index %q", idx)
+		}
+		peerMap[i] = addr
+	}
+
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, "zmaild[%s]: "+format+"\n",
+			append([]any{domains[*index]}, a...)...)
+	}
+
+	var delivered atomic.Int64
+	mailbox := func(user string, msg *mail.Message) {
+		n := delivered.Add(1)
+		if *maildir != "" {
+			dir := filepath.Join(*maildir, user)
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				logf("maildir: %v", err)
+				return
+			}
+			name := filepath.Join(dir, fmt.Sprintf("%d.eml", n))
+			if err := os.WriteFile(name, []byte(msg.Encode()), 0o644); err != nil {
+				logf("maildir: %v", err)
+			}
+			return
+		}
+		fmt.Printf("DELIVER %s@%s  from=%v subject=%q\n", user, domains[*index], msg.From, msg.Subject())
+	}
+
+	node, err := core.NewNode(core.NodeConfig{
+		Engine: isp.Config{
+			Index:          *index,
+			Domain:         domains[*index],
+			Directory:      isp.NewDirectory(domains, compliantArr),
+			MinAvail:       money.EPenny(*minAvail),
+			MaxAvail:       money.EPenny(*maxAvail),
+			InitialAvail:   money.EPenny(*initAvail),
+			DefaultLimit:   *limit,
+			FreezeDuration: *freeze,
+			Policy:         pol,
+			BankSealer:     bankSealer,
+			OwnSealer:      ownSealer,
+		},
+		ListenAddr: *listen,
+		BankAddr:   *bankAddr,
+		Peers:      peerMap,
+		AdminAddr:  *admin,
+		Mailbox:    mailbox,
+		Logf:       logf,
+	})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	if *stateFile != "" {
+		var st isp.EngineState
+		switch err := persist.LoadJSON(*stateFile, &st); {
+		case err == nil:
+			if err := node.Engine().RestoreState(&st); err != nil {
+				return fmt.Errorf("restore %s: %w", *stateFile, err)
+			}
+			logf("restored ledger from %s (%d users)", *stateFile, len(st.Users))
+		case errors.Is(err, persist.ErrNotExist):
+			logf("no prior state at %s; starting fresh", *stateFile)
+		default:
+			return err
+		}
+	}
+	saveState := func() {
+		if *stateFile == "" {
+			return
+		}
+		if err := persist.SaveJSON(*stateFile, node.Engine().ExportState()); err != nil {
+			logf("save state: %v", err)
+		}
+	}
+	defer saveState()
+
+	for _, u := range users {
+		parts := strings.Split(u, ":")
+		if len(parts) != 4 {
+			return fmt.Errorf("bad -user %q (want local:account:balance:limit)", u)
+		}
+		account, err1 := strconv.ParseInt(parts[1], 10, 64)
+		balance, err2 := strconv.ParseInt(parts[2], 10, 64)
+		lim, err3 := strconv.ParseInt(parts[3], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return fmt.Errorf("bad -user %q", u)
+		}
+		err := node.Engine().RegisterUser(parts[0], money.Penny(account), money.EPenny(balance), lim)
+		switch {
+		case errors.Is(err, isp.ErrDuplicateUser):
+			// Already present in the restored ledger; the ledger wins.
+			continue
+		case err != nil:
+			return err
+		}
+		logf("registered user %s (account %v, balance %v, limit %d)",
+			parts[0], money.Penny(account), money.EPenny(balance), lim)
+	}
+
+	logf("SMTP on %s; federation %v; bank %s", node.Addr(), domains, *bankAddr)
+	if a := node.AdminAddr(); a != nil {
+		logf("admin console on %s", a)
+	}
+
+	// Daily reset of sent counters at local midnight.
+	midnight := make(chan struct{}, 1)
+	go func() {
+		for {
+			now := time.Now()
+			next := time.Date(now.Year(), now.Month(), now.Day(), 0, 0, 0, 0, now.Location()).AddDate(0, 0, 1)
+			time.Sleep(time.Until(next))
+			midnight <- struct{}{}
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	checkpoint := time.NewTicker(5 * time.Minute)
+	defer checkpoint.Stop()
+	for {
+		select {
+		case <-midnight:
+			node.Engine().EndOfDay()
+			logf("daily send counters reset")
+		case <-checkpoint.C:
+			saveState()
+		case <-stop:
+			logf("shutting down (%d messages delivered)", delivered.Load())
+			return nil
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import "testing"
+
+func TestZmaildFlagValidation(t *testing.T) {
+	if err := run([]string{"-insecure"}); err == nil {
+		t.Error("missing -index/-domains accepted")
+	}
+	if err := run([]string{"-index", "0", "-insecure"}); err == nil {
+		t.Error("missing -domains accepted")
+	}
+	if err := run([]string{"-index", "5", "-domains", "a.example,b.example", "-insecure"}); err == nil {
+		t.Error("index beyond domains accepted")
+	}
+	if err := run([]string{"-index", "0", "-domains", "a.example,b.example"}); err == nil {
+		t.Error("missing key material accepted")
+	}
+	if err := run([]string{
+		"-index", "0", "-domains", "a.example,b.example", "-insecure",
+		"-compliant", "1",
+	}); err == nil {
+		t.Error("short -compliant accepted")
+	}
+	if err := run([]string{
+		"-index", "0", "-domains", "a.example,b.example", "-insecure",
+		"-policy", "shred",
+	}); err == nil {
+		t.Error("unknown -policy accepted")
+	}
+	if err := run([]string{
+		"-index", "0", "-domains", "a.example,b.example", "-insecure",
+		"-peer", "garbage",
+	}); err == nil {
+		t.Error("malformed -peer accepted")
+	}
+	if err := run([]string{
+		"-index", "0", "-domains", "a.example,b.example", "-insecure",
+		"-listen", "127.0.0.1:0",
+		"-user", "alice:10", // wrong arity
+	}); err == nil {
+		t.Error("malformed -user accepted")
+	}
+}
+
+func TestStringListFlag(t *testing.T) {
+	var s stringList
+	_ = s.Set("a")
+	_ = s.Set("b")
+	if len(s) != 2 || s.String() != "a,b" {
+		t.Fatalf("stringList = %v / %q", s, s.String())
+	}
+}

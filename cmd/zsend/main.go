@@ -1,0 +1,81 @@
+// Command zsend submits a message to a Zmail ISP with plain SMTP —
+// demonstrating that Zmail requires no changes to mail clients (§1.3 of
+// the paper). The body is read from stdin unless -body is given.
+//
+// Example:
+//
+//	echo "see you at noon" | zsend -server localhost:2525 \
+//	     -from alice@alpha.example -to bob@beta.example -subject lunch
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"zmail/internal/mail"
+	"zmail/internal/smtp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "zsend:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("zsend", flag.ContinueOnError)
+	var (
+		server  = fs.String("server", "localhost:2525", "submission server address")
+		from    = fs.String("from", "", "envelope sender (required)")
+		to      = fs.String("to", "", "comma-separated recipients (required)")
+		subject = fs.String("subject", "", "message subject")
+		body    = fs.String("body", "", "message body (default: read stdin)")
+		helo    = fs.String("helo", "", "HELO identity (default: sender's domain)")
+		class   = fs.String("class", "", "zmail message class: normal|list|ack")
+		timeout = fs.Duration("timeout", 30*time.Second, "network timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *from == "" || *to == "" {
+		return fmt.Errorf("-from and -to are required")
+	}
+	sender, err := mail.ParseAddress(*from)
+	if err != nil {
+		return err
+	}
+	var rcpts []mail.Address
+	for _, r := range strings.Split(*to, ",") {
+		addr, err := mail.ParseAddress(r)
+		if err != nil {
+			return err
+		}
+		rcpts = append(rcpts, addr)
+	}
+	text := *body
+	if text == "" {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return fmt.Errorf("read stdin: %w", err)
+		}
+		text = strings.TrimRight(string(data), "\n")
+	}
+	msg := mail.NewMessage(sender, rcpts[0], *subject, text)
+	if *class != "" {
+		msg.SetClass(mail.ParseClass(*class))
+	}
+	identity := *helo
+	if identity == "" {
+		identity = sender.Domain
+	}
+	if err := smtp.SendMail(*server, identity, sender, rcpts, msg, *timeout); err != nil {
+		return err
+	}
+	fmt.Printf("accepted: %d recipient(s) via %s\n", len(rcpts), *server)
+	return nil
+}

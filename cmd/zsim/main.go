@@ -1,0 +1,74 @@
+// Command zsim regenerates the Zmail reproduction's experiment suite
+// (EXPERIMENTS.md). Each experiment operationalizes one falsifiable
+// claim from the paper; zsim prints the report table and a PASS/FAIL
+// verdict per claim.
+//
+// Usage:
+//
+//	zsim                 # run every experiment
+//	zsim -experiment E4  # run one
+//	zsim -seed 7         # change the deterministic seed
+//	zsim -list           # list experiment IDs and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"zmail/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "zsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("zsim", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "", "run a single experiment by ID (e.g. E4)")
+		seed       = fs.Int64("seed", 1, "deterministic seed for all experiments")
+		list       = fs.Bool("list", false, "list experiment IDs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-4s %s\n", id, experiments.Title(id))
+		}
+		return nil
+	}
+
+	var results []*experiments.Result
+	if *experiment != "" {
+		res, err := experiments.Run(*experiment, *seed)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+	} else {
+		var err error
+		results, err = experiments.RunAll(*seed)
+		if err != nil {
+			return err
+		}
+	}
+
+	failed := 0
+	for _, r := range results {
+		fmt.Println(r)
+		if !r.Pass {
+			failed++
+		}
+	}
+	fmt.Printf("%d/%d experiments pass\n", len(results)-failed, len(results))
+	if failed > 0 {
+		return fmt.Errorf("%d experiment(s) failed", failed)
+	}
+	return nil
+}

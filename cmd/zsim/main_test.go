@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestZsimList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZsimSingleExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "E2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZsimUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "E99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestZsimSeedFlag(t *testing.T) {
+	if err := run([]string{"-experiment", "E3", "-seed", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}

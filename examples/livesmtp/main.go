@@ -1,0 +1,144 @@
+// Live SMTP: Zmail over real TCP sockets in one process.
+//
+// Starts a bank server and two compliant-ISP daemons on loopback TCP
+// with real RSA sealed boxes, registers users, submits a message with a
+// stock SMTP client (Zmail needs no SMTP changes — §1.3 of the paper),
+// watches the e-penny settle, and runs a bank audit over the wire.
+//
+// This is the same topology as running `zbank` and two `zmaild`
+// processes; see cmd/ for the standalone binaries.
+//
+// Run with: go run ./examples/livesmtp
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"zmail"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	domains := []string{"alpha.example", "beta.example"}
+	dir := zmail.NewDirectory(domains, nil)
+	quiet := func(string, ...any) {}
+
+	// Keys: one box per party; the bank learns each ISP's public key at
+	// enrollment, each ISP gets the bank's public key.
+	bankBox, err := zmail.GenerateSealedBox(1024, nil)
+	if err != nil {
+		return err
+	}
+	ispBoxes := make([]*zmail.SealedBox, 2)
+	for i := range ispBoxes {
+		if ispBoxes[i], err = zmail.GenerateSealedBox(1024, nil); err != nil {
+			return err
+		}
+	}
+
+	// The central bank behind a TCP listener.
+	bk, bankSrv, err := zmail.StartBank(zmail.BankConfig{
+		NumISPs:        2,
+		InitialAccount: 1_000_000,
+		OwnSealer:      bankBox,
+	}, "127.0.0.1:0", quiet)
+	if err != nil {
+		return err
+	}
+	defer bankSrv.Close()
+	for i := range ispBoxes {
+		if err := bk.Enroll(i, ispBoxes[i]); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("bank listening on %s\n", bankSrv.Addr())
+
+	// Two compliant-ISP daemons.
+	nodes := make([]*zmail.Node, 2)
+	for i := range nodes {
+		nodes[i], err = zmail.NewNode(zmail.NodeConfig{
+			Engine: zmail.ISPConfig{
+				Index:          i,
+				Domain:         domains[i],
+				Directory:      dir,
+				MinAvail:       100,
+				MaxAvail:       100_000,
+				InitialAvail:   10_000,
+				FreezeDuration: 200 * time.Millisecond,
+				BankSealer:     bankBox.PublicOnly(),
+				OwnSealer:      ispBoxes[i],
+			},
+			ListenAddr:   "127.0.0.1:0",
+			BankAddr:     bankSrv.Addr().String(),
+			TickInterval: 50 * time.Millisecond,
+			Logf:         quiet,
+		})
+		if err != nil {
+			return err
+		}
+		defer nodes[i].Close()
+		fmt.Printf("zmaild %-14s listening on %s\n", domains[i], nodes[i].Addr())
+	}
+	for i := range nodes {
+		for j := range nodes {
+			if i != j {
+				nodes[i].AddPeer(j, nodes[j].Addr().String())
+			}
+		}
+	}
+
+	if err := nodes[0].Engine().RegisterUser("alice", 1000, 50, 100); err != nil {
+		return err
+	}
+	if err := nodes[1].Engine().RegisterUser("bob", 1000, 50, 100); err != nil {
+		return err
+	}
+
+	// Alice submits with a plain SMTP client.
+	alice := zmail.MustParseAddress("alice@alpha.example")
+	bob := zmail.MustParseAddress("bob@beta.example")
+	msg := zmail.NewMessage(alice, bob, "dinner?", "paid with one e-penny, carried by RFC-821 SMTP")
+	if err := zmail.SendMail(nodes[0].Addr().String(), "alpha.example", alice,
+		[]zmail.Address{bob}, msg, 5*time.Second); err != nil {
+		return err
+	}
+	fmt.Println("\nalice@alpha submitted via stock SMTP client...")
+
+	deadline := time.Now().Add(5 * time.Second)
+	for len(nodes[1].Inbox("bob")) == 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("delivery timed out")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	got := nodes[1].Inbox("bob")[0]
+	fmt.Printf("bob@beta received: %q / %q\n", got.Subject(), got.Body)
+
+	a, _ := nodes[0].Engine().User("alice")
+	b, _ := nodes[1].Engine().User("bob")
+	fmt.Printf("\nledgers: alice %v (paid 1), bob %v (earned 1)\n", a.Balance, b.Balance)
+	fmt.Printf("credit arrays: alpha %v, beta %v (antisymmetric claims)\n",
+		nodes[0].Engine().Credit(), nodes[1].Engine().Credit())
+
+	// Audit over TCP: the bank freezes both ISPs, gathers credit
+	// arrays, and verifies pairwise consistency.
+	if err := bk.StartSnapshot(); err != nil {
+		return err
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for !bk.RoundComplete() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("audit timed out")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("\nbank audit over TCP: round complete, %d violation(s)\n", len(bk.Violations()))
+	return nil
+}

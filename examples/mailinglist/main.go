@@ -1,0 +1,89 @@
+// Mailing lists under Zmail: the §5 acknowledgment economy.
+//
+// A distributor on isp0 fans each posting out to subscribers across the
+// federation, paying one e-penny per copy. Subscribers' ISPs
+// automatically acknowledge each delivered list message, refunding the
+// e-penny — so a live list costs the distributor nothing — and
+// addresses that stop acknowledging are pruned from the roster.
+//
+// Run with: go run ./examples/mailinglist
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zmail"
+)
+
+func main() {
+	w, err := zmail.NewWorld(zmail.WorldConfig{
+		NumISPs:        3,
+		UsersPerISP:    4,
+		InitialBalance: 50,
+		DefaultLimit:   10_000,
+		Seed:           1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The distributor is a dedicated mailbox with a generous limit.
+	listAddr := zmail.MustParseAddress("announce@isp0.example")
+	if err := w.Engine(0).RegisterUser("announce", 1000, 100, 100_000); err != nil {
+		log.Fatal(err)
+	}
+	dist, err := zmail.NewDistributor(zmail.DistributorConfig{
+		Address: listAddr,
+		Submit: func(msg *zmail.Message) error {
+			_, err := w.Engine(0).Submit(msg)
+			return err
+		},
+		PruneAfter: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Acknowledgments addressed to the distributor are machine mail;
+	// route them to the distributor instead of a human inbox.
+	w.SetAckSink(listAddr.String(), dist.HandleAck)
+
+	// Subscribers across all three ISPs, plus two dead foreign
+	// addresses that will never acknowledge.
+	for i := 0; i < 3; i++ {
+		for u := 0; u < 4; u++ {
+			if err := dist.Subscribe(zmail.MustParseAddress(w.UserAddr(i, u))); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	for _, ghost := range []string{"ghost1@defunct.example", "ghost2@defunct.example"} {
+		if err := dist.Subscribe(zmail.MustParseAddress(ghost)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("== mailing list: 12 live + 2 dead subscribers, PruneAfter=2 ==")
+	fmt.Printf("%-9s %-12s %-12s %-10s %-14s %-8s\n",
+		"posting", "subscribers", "copies sent", "acks", "net e-pennies", "pruned")
+	poster := zmail.MustParseAddress(w.UserAddr(0, 0))
+	for p := 1; p <= 5; p++ {
+		post := zmail.NewMessage(poster, listAddr, fmt.Sprintf("issue %d", p), "newsletter content")
+		if err := dist.Submit(post); err != nil {
+			log.Fatal(err)
+		}
+		w.Run() // fan-out, deliveries, automatic acks
+		st := dist.Stats()
+		fmt.Printf("%-9d %-12d %-12d %-10d %-14d %-8d\n",
+			p, len(dist.Subscribers()), st.Distributed, st.AcksReceived, dist.NetEPennies(), st.Pruned)
+	}
+
+	st := dist.Stats()
+	fmt.Printf("\nfinal: %d copies sent, %d e-pennies recovered, net cost %d e-pennies\n",
+		st.Distributed, st.EPenniesBack, st.EPenniesSpent-st.EPenniesBack)
+	fmt.Printf("dead addresses pruned: %d (roster is now self-cleaning, per §5 of the paper)\n", st.Pruned)
+
+	// Every subscriber broke even too: +1 on delivery, -1 on the ack.
+	u, _ := w.Engine(1).User("u0")
+	fmt.Printf("subscriber u0@isp1.example balance: %v (started 50 — list membership is free)\n", u.Balance)
+}

@@ -1,0 +1,83 @@
+// Quickstart: a two-ISP Zmail federation in one process.
+//
+// Builds a deterministic in-process world (two compliant ISPs, a
+// central bank), sends paid mail both ways, injects spam from a
+// non-compliant outsider, and prints the resulting ledgers — showing
+// the paper's core mechanic: senders pay one e-penny, receivers earn
+// it, and spam becomes income.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zmail"
+)
+
+func main() {
+	w, err := zmail.NewWorld(zmail.WorldConfig{
+		NumISPs:        2,
+		UsersPerISP:    2,
+		InitialBalance: 20,
+		Seed:           1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== Zmail quickstart: 2 compliant ISPs + central bank ==")
+	fmt.Println()
+
+	// Alice (u0@isp0) writes to Bob (u0@isp1); Bob replies.
+	send := func(from, to, subject string) {
+		outcome, err := w.Send(from, to, subject, "hello from "+from)
+		if err != nil {
+			log.Fatalf("send %s -> %s: %v", from, to, err)
+		}
+		fmt.Printf("  %-18s -> %-18s  [%s]\n", from, to, outcome)
+	}
+	send("u0@isp0.example", "u0@isp1.example", "hi bob")
+	send("u0@isp1.example", "u0@isp0.example", "re: hi bob")
+	send("u0@isp0.example", "u1@isp0.example", "local note")
+
+	// A spammer outside the federation blasts everyone, unpaid.
+	for _, victim := range []string{"u0@isp0.example", "u1@isp0.example", "u0@isp1.example"} {
+		if err := w.InjectUnpaid("bulk-offers.example", victim, "MEGA OFFER", "buy now"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("  bulk-offers.example sprayed 3 unpaid messages into the federation")
+
+	// Drain the simulated network to quiescence.
+	w.Run()
+
+	fmt.Println("\n== ledgers after delivery ==")
+	for i := 0; i < 2; i++ {
+		eng := w.Engine(i)
+		fmt.Printf("\n%s (pool %v):\n", eng.Domain(), eng.Avail())
+		for _, u := range eng.Users() {
+			fmt.Printf("  %-4s balance=%-5v sent-today=%d inbox=%d\n",
+				u.Name, u.Balance, u.Sent,
+				w.InboxCount(u.Name+"@"+eng.Domain()))
+		}
+		fmt.Printf("  credit array vs peers: %v\n", eng.Credit())
+	}
+
+	// The zero-sum property, checked end to end.
+	fmt.Printf("\nzero-sum check: total e-pennies %d (initial %d + bank net mint %d) — conserved: %v\n",
+		w.TotalEPennies(), w.InitialEPennies(), w.Bank.Outstanding(), w.ConservationHolds())
+
+	// Run a bank audit round over the (simulated) wire.
+	if err := w.SnapshotRound(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bank audit: %d round(s) completed, %d violation(s) — every ISP honest\n",
+		w.Bank.Stats().Rounds, len(w.Bank.Violations()))
+
+	// The paper's "transparent economics": every user can pull a
+	// statement of the payments made on their behalf.
+	fmt.Println()
+	fmt.Print(w.Engine(0).FormatStatement("u0"))
+}

@@ -1,0 +1,70 @@
+// Zombie outbreak: the §5 daily-limit containment mechanism.
+//
+// Simulates a 200-machine botnet sending at machine speed for a day,
+// with and without Zmail's per-user daily limit, then demonstrates the
+// same mechanism inside a live protocol engine: an infected account
+// hits its limit, further mail is blocked, and the ISP knows exactly
+// which account to warn.
+//
+// Run with: go run ./examples/zombie
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"zmail"
+)
+
+func main() {
+	fmt.Println("== 200-machine outbreak, 600 msgs/hour each, one day ==")
+	fmt.Printf("%-18s %-12s %-12s %-12s %-10s %-14s\n",
+		"daily limit", "attempted", "delivered", "blocked", "detected", "owner cost")
+	for _, limit := range []int64{0, 100, 500, 2000} {
+		z := zmail.ZombieModel{Machines: 200, SendRatePerHour: 600, DailyLimit: limit, Seed: 7}
+		out := z.RunDay()
+		name := "off (plain SMTP)"
+		if limit > 0 {
+			name = fmt.Sprint(limit)
+		}
+		fmt.Printf("%-18s %-12d %-12d %-12d %-10d %-14s\n",
+			name, out.Attempted, out.Delivered, out.Blocked,
+			out.DetectedMachines, fmt.Sprintf("%d e-pennies", out.OwnerCostEPennies))
+	}
+	fmt.Println("\nwith no limit the botnet delivers everything, silently and for free.")
+	fmt.Println("with a limit the damage is capped, the owner's liability is bounded,")
+	fmt.Println("and every infected machine is detected within about an hour.")
+
+	// Now the same mechanism in a real protocol engine.
+	fmt.Println("\n== live engine: infected account hits its limit ==")
+	w, err := zmail.NewWorld(zmail.WorldConfig{
+		NumISPs:        2,
+		UsersPerISP:    2,
+		InitialBalance: 1000,
+		DefaultLimit:   25, // the user's declared daily spend ceiling
+		Seed:           3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	blocked := 0
+	sentOK := 0
+	for i := 0; i < 60; i++ { // virus tries 60 sends
+		_, err := w.Send("u0@isp0.example", "u0@isp1.example", "worm payload", "malware")
+		switch {
+		case err == nil:
+			sentOK++
+		case errors.Is(err, zmail.ErrLimitExceeded):
+			blocked++
+		default:
+			log.Fatal(err)
+		}
+	}
+	w.Run()
+	u, _ := w.Engine(0).User("u0")
+	fmt.Printf("virus attempted 60 sends: %d delivered, %d blocked by the limit\n", sentOK, blocked)
+	fmt.Printf("owner's liability: %d e-pennies (balance %v of 1000 remains)\n", u.Sent, u.Balance)
+	fmt.Printf("the ISP's limit-reject counter (%d) is the §5 zombie-detection signal\n",
+		w.Engine(0).Stats().LimitRejects)
+}

@@ -1,0 +1,3 @@
+module zmail
+
+go 1.24

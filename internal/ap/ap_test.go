@@ -1,0 +1,241 @@
+package ap
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestLocalGuardOnlyRunsWhenTrue(t *testing.T) {
+	s := NewSystem(1)
+	p := s.NewProcess("p")
+	enabled := false
+	runs := 0
+	p.AddAction("a", func() bool { return enabled }, func() { runs++; enabled = false })
+	progressed, err := s.Step()
+	if err != nil || progressed {
+		t.Fatalf("disabled system stepped: %v %v", progressed, err)
+	}
+	enabled = true
+	progressed, err = s.Step()
+	if err != nil || !progressed || runs != 1 {
+		t.Fatalf("enabled action did not run exactly once: %v %v runs=%d", progressed, err, runs)
+	}
+}
+
+func TestReceiveSemantics(t *testing.T) {
+	s := NewSystem(1)
+	p := s.NewProcess("p")
+	q := s.NewProcess("q")
+	_ = p
+	var got []int
+	q.AddReceive("rcv", "p", "msg", func(from string, data any) {
+		if from != "p" {
+			t.Errorf("from = %q", from)
+		}
+		got = append(got, data.(int))
+	})
+	s.Send("p", "q", "msg", 1)
+	s.Send("p", "q", "msg", 2)
+	if n, err := s.Run(10); err != nil || n != 2 {
+		t.Fatalf("Run = %d, %v", n, err)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("receive order = %v (channels are FIFO)", got)
+	}
+	if !s.ChannelsEmpty() {
+		t.Fatal("messages left in channel")
+	}
+}
+
+func TestReceiveKindFiltering(t *testing.T) {
+	s := NewSystem(1)
+	s.NewProcess("p")
+	q := s.NewProcess("q")
+	received := false
+	q.AddReceive("rcv", "p", "wanted", func(string, any) { received = true })
+	s.Send("p", "q", "unwanted", nil)
+	// The head of the channel is "unwanted" and no action matches it:
+	// FIFO order blocks the channel, so nothing is enabled.
+	progressed, err := s.Step()
+	if err != nil || progressed {
+		t.Fatalf("mismatched head should disable receive: %v %v", progressed, err)
+	}
+	if received {
+		t.Fatal("wrong-kind message received")
+	}
+	if s.ChannelLen("p", "q") != 1 {
+		t.Fatal("unmatched message should remain queued")
+	}
+}
+
+func TestReceiveAnySender(t *testing.T) {
+	s := NewSystem(1)
+	s.NewProcess("a")
+	s.NewProcess("b")
+	c := s.NewProcess("c")
+	var froms []string
+	c.AddReceive("rcv", "", "m", func(from string, _ any) { froms = append(froms, from) })
+	s.Send("a", "c", "m", nil)
+	s.Send("b", "c", "m", nil)
+	if _, err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(froms) != 2 {
+		t.Fatalf("received %v", froms)
+	}
+}
+
+func TestTimeoutGuardSeesGlobalState(t *testing.T) {
+	s := NewSystem(1)
+	p := s.NewProcess("p")
+	q := s.NewProcess("q")
+	q.AddReceive("rcv", "p", "m", func(string, any) {})
+	fired := false
+	p.AddTimeout("quiesce", func() bool { return s.ChannelsEmpty() }, func() { fired = true })
+	s.Send("p", "q", "m", nil)
+	// Channel non-empty: both the receive and... only receive enabled.
+	if _, err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("timeout fired while channel non-empty")
+	}
+	if _, err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("timeout did not fire at quiescence")
+	}
+}
+
+// TestWeakFairness: an always-enabled action is eventually executed
+// even when other actions are also always enabled.
+func TestWeakFairness(t *testing.T) {
+	s := NewSystem(42)
+	p := s.NewProcess("p")
+	counts := [3]int{}
+	for i := 0; i < 3; i++ {
+		i := i
+		p.AddAction("a", func() bool { return true }, func() { counts[i]++ })
+	}
+	if _, err := s.Run(3000); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("action %d starved (counts %v)", i, counts)
+		}
+	}
+}
+
+func TestInvariantViolationReported(t *testing.T) {
+	s := NewSystem(1)
+	p := s.NewProcess("p")
+	x := 0
+	p.AddAction("inc", func() bool { return x < 5 }, func() { x++ })
+	s.AddInvariant("x<3", func() bool { return x < 3 })
+	_, err := s.Run(100)
+	var ie *InvariantError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v, want InvariantError", err)
+	}
+	if ie.Invariant != "x<3" || ie.Proc != "p" || ie.Action != "inc" {
+		t.Fatalf("violation detail = %+v", ie)
+	}
+	if x != 3 {
+		t.Fatalf("x = %d at violation, want 3 (checked after every step)", x)
+	}
+}
+
+func TestRunStopsAtQuiescence(t *testing.T) {
+	s := NewSystem(1)
+	p := s.NewProcess("p")
+	x := 0
+	p.AddAction("inc", func() bool { return x < 4 }, func() { x++ })
+	n, err := s.Run(1000)
+	if err != nil || n != 4 {
+		t.Fatalf("Run = %d, %v; want 4 steps then quiescence", n, err)
+	}
+	if s.Steps() != 4 {
+		t.Fatalf("Steps = %d", s.Steps())
+	}
+}
+
+func TestDuplicateProcessPanics(t *testing.T) {
+	s := NewSystem(1)
+	s.NewProcess("p")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate process name should panic")
+		}
+	}()
+	s.NewProcess("p")
+}
+
+func TestChannelHelpers(t *testing.T) {
+	s := NewSystem(1)
+	s.NewProcess("a")
+	s.NewProcess("b")
+	s.Send("a", "b", "x", 1)
+	s.Send("a", "b", "y", 2)
+	s.Send("b", "a", "x", 3)
+	if got := s.ChannelLen("a", "b"); got != 2 {
+		t.Fatalf("ChannelLen = %d", got)
+	}
+	if got := s.ChannelKindLen("a", "b", "x"); got != 1 {
+		t.Fatalf("ChannelKindLen = %d", got)
+	}
+	if got := s.ChannelsInto("b"); got != 2 {
+		t.Fatalf("ChannelsInto = %d", got)
+	}
+	if got := s.ChannelScan("a", "b", func(m Message) bool { return m.Data.(int) > 1 }); got != 1 {
+		t.Fatalf("ChannelScan = %d", got)
+	}
+	if s.ChannelsEmpty() {
+		t.Fatal("channels reported empty")
+	}
+}
+
+func TestTrace(t *testing.T) {
+	s := NewSystem(1)
+	p := s.NewProcess("p")
+	q := s.NewProcess("q")
+	p.AddAction("go", func() bool { return s.Steps() == 0 }, func() { s.Send("p", "q", "m", 7) })
+	q.AddReceive("rcv", "p", "m", func(string, any) {})
+	var trace []string
+	s.SetTrace(func(proc, action string, m *Message) {
+		entry := proc + "." + action
+		if m != nil {
+			entry += "(" + m.Kind + ")"
+		}
+		trace = append(trace, entry)
+	})
+	if _, err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 2 || trace[0] != "p.go" || trace[1] != "q.rcv(m)" {
+		t.Fatalf("trace = %v", trace)
+	}
+}
+
+// TestSchedulerDeterminism: same seed, same trajectory.
+func TestSchedulerDeterminism(t *testing.T) {
+	run := func() []string {
+		s := NewSystem(123)
+		p := s.NewProcess("p")
+		var log []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			n := 0
+			p.AddAction(name, func() bool { return n < 20 }, func() { n++; log = append(log, name) })
+		}
+		_, _ = s.Run(60)
+		return log
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at step %d", i)
+		}
+	}
+}

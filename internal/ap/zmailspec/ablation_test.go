@@ -1,0 +1,90 @@
+package zmailspec
+
+import (
+	"errors"
+	"testing"
+
+	"zmail/internal/ap"
+)
+
+// TestPaperSellAtReplyOverdraws reproduces the published-spec bug at
+// unit level: with the literal §4.3 handler, some schedule drives the
+// pool negative and the solvency invariant fires.
+func TestPaperSellAtReplyOverdraws(t *testing.T) {
+	failed := false
+	for seed := int64(1); seed <= 8 && !failed; seed++ {
+		s := New(Config{NumISPs: 3, UsersPerISP: 3, Seed: seed, PaperSellAtReply: true})
+		if _, err := s.Run(40_000); err != nil {
+			var ie *ap.InvariantError
+			if !errors.As(err, &ie) {
+				t.Fatalf("seed %d: unexpected error %v", seed, err)
+			}
+			if ie.Invariant != "solvency" {
+				t.Fatalf("seed %d: wrong invariant %q", seed, ie.Invariant)
+			}
+			failed = true
+		}
+	}
+	if !failed {
+		t.Fatal("sell-at-reply never overdrew the pool in 8 seeds — ablation inert")
+	}
+}
+
+// TestEscrowNeverOverdraws is the control: the fixed handler survives
+// the same seeds.
+func TestEscrowNeverOverdraws(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		s := New(Config{NumISPs: 3, UsersPerISP: 3, Seed: seed})
+		if _, err := s.Run(40_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestUnsafeResumeFalsePositives reproduces the billing-boundary race:
+// with the literal §4.4 resume, the bank flags honest ISPs.
+func TestUnsafeResumeFalsePositives(t *testing.T) {
+	sawFalsePositive := false
+	for seed := int64(1); seed <= 6 && !sawFalsePositive; seed++ {
+		s := New(Config{
+			NumISPs: 4, UsersPerISP: 3, Seed: seed,
+			Limit:        1 << 30,
+			UnsafeResume: true,
+		})
+		for round := 0; round < 6; round++ {
+			if _, err := s.Run(2000); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			s.TriggerSnapshot()
+			if _, err := s.Run(8000); err != nil {
+				t.Fatalf("seed %d snapshot: %v", seed, err)
+			}
+		}
+		if len(s.Violations) > 0 {
+			sawFalsePositive = true
+		}
+	}
+	if !sawFalsePositive {
+		t.Fatal("unsafe resume never produced a false positive in 6 seeds — ablation inert")
+	}
+}
+
+// TestResumeBarrierNoFalsePositives is the control for the same
+// workload shape.
+func TestResumeBarrierNoFalsePositives(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		s := New(Config{NumISPs: 4, UsersPerISP: 3, Seed: seed, Limit: 1 << 30})
+		for round := 0; round < 6; round++ {
+			if _, err := s.Run(2000); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			s.TriggerSnapshot()
+			if _, err := s.Run(8000); err != nil {
+				t.Fatalf("seed %d snapshot: %v", seed, err)
+			}
+		}
+		if len(s.Violations) != 0 {
+			t.Fatalf("seed %d: barrier variant flagged honest ISPs: %v", seed, s.Violations)
+		}
+	}
+}

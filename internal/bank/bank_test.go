@@ -1,0 +1,370 @@
+package bank
+
+import (
+	"errors"
+	"testing"
+
+	"zmail/internal/crypto"
+	"zmail/internal/money"
+	"zmail/internal/wire"
+)
+
+// fakeTransport records envelopes per destination ISP.
+type fakeTransport struct {
+	out map[int][]*wire.Envelope
+}
+
+func newFake() *fakeTransport { return &fakeTransport{out: make(map[int][]*wire.Envelope)} }
+
+func (f *fakeTransport) SendISP(index int, env *wire.Envelope) {
+	f.out[index] = append(f.out[index], env)
+}
+
+func newBank(t *testing.T, n int, compliant []bool) (*Bank, *fakeTransport) {
+	t.Helper()
+	ft := newFake()
+	b, err := New(Config{
+		NumISPs:        n,
+		Compliant:      compliant,
+		InitialAccount: 1000,
+		Transport:      ft,
+		OwnSealer:      crypto.Null{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if compliant == nil || compliant[i] {
+			if err := b.Enroll(i, crypto.Null{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return b, ft
+}
+
+func buyEnv(from int32, value int64, nonce uint64) *wire.Envelope {
+	return &wire.Envelope{Kind: wire.KindBuy, From: from,
+		Payload: (&wire.Buy{Value: value, Nonce: nonce}).MarshalBinary()}
+}
+
+func sellEnv(from int32, value int64, nonce uint64) *wire.Envelope {
+	return &wire.Envelope{Kind: wire.KindSell, From: from,
+		Payload: (&wire.Sell{Value: value, Nonce: nonce}).MarshalBinary()}
+}
+
+func reportEnv(from int32, seq uint64, credits []int64) *wire.Envelope {
+	return &wire.Envelope{Kind: wire.KindReply, From: from,
+		Payload: (&wire.CreditReport{Seq: seq, Credits: credits}).MarshalBinary()}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := New(Config{NumISPs: 2, OwnSealer: crypto.Null{}}); err == nil {
+		t.Error("nil transport accepted")
+	}
+	if _, err := New(Config{NumISPs: 2, Transport: newFake()}); err == nil {
+		t.Error("nil sealer accepted")
+	}
+	if _, err := New(Config{NumISPs: 2, Transport: newFake(), OwnSealer: crypto.Null{}, Compliant: []bool{true}}); err == nil {
+		t.Error("mismatched compliant length accepted")
+	}
+}
+
+func TestBuyAcceptedAndDebited(t *testing.T) {
+	b, ft := newBank(t, 2, nil)
+	if err := b.Handle(buyEnv(0, 300, 1)); err != nil {
+		t.Fatal(err)
+	}
+	acct, _ := b.Account(0)
+	if acct != 700 {
+		t.Fatalf("account = %v, want 700", acct)
+	}
+	if b.Outstanding() != 300 {
+		t.Fatalf("outstanding = %d", b.Outstanding())
+	}
+	replies := ft.out[0]
+	if len(replies) != 1 || replies[0].Kind != wire.KindBuyReply {
+		t.Fatalf("replies = %+v", replies)
+	}
+	var br wire.BuyReply
+	if err := br.UnmarshalBinary(replies[0].Payload); err != nil {
+		t.Fatal(err)
+	}
+	if !br.Accepted || br.Nonce != 1 {
+		t.Fatalf("reply = %+v", br)
+	}
+}
+
+func TestBuyDeniedWhenBroke(t *testing.T) {
+	b, ft := newBank(t, 1, nil)
+	if err := b.Handle(buyEnv(0, 5000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	acct, _ := b.Account(0)
+	if acct != 1000 {
+		t.Fatal("denied buy changed the account")
+	}
+	var br wire.BuyReply
+	_ = br.UnmarshalBinary(ft.out[0][0].Payload)
+	if br.Accepted {
+		t.Fatal("overdraw accepted")
+	}
+	st := b.Stats()
+	if st.BuysDenied != 1 || st.Minted != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBuyZeroOrNegativeDenied(t *testing.T) {
+	b, _ := newBank(t, 1, nil)
+	if err := b.Handle(buyEnv(0, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Handle(buyEnv(0, -50, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if b.Stats().BuysAccepted != 0 {
+		t.Fatal("non-positive buy accepted")
+	}
+	acct, _ := b.Account(0)
+	if acct != 1000 {
+		t.Fatal("account changed")
+	}
+}
+
+func TestSellCredited(t *testing.T) {
+	b, ft := newBank(t, 1, nil)
+	if err := b.Handle(sellEnv(0, 200, 7)); err != nil {
+		t.Fatal(err)
+	}
+	acct, _ := b.Account(0)
+	if acct != 1200 {
+		t.Fatalf("account = %v", acct)
+	}
+	if b.Outstanding() != -200 {
+		t.Fatalf("outstanding = %d", b.Outstanding())
+	}
+	var sr wire.SellReply
+	_ = sr.UnmarshalBinary(ft.out[0][0].Payload)
+	if sr.Nonce != 7 {
+		t.Fatalf("reply nonce = %d", sr.Nonce)
+	}
+}
+
+func TestReplayRejected(t *testing.T) {
+	b, ft := newBank(t, 1, nil)
+	env := buyEnv(0, 100, 42)
+	if err := b.Handle(env); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Handle(env); !errors.Is(err, ErrReplay) {
+		t.Fatalf("replayed buy: %v", err)
+	}
+	acct, _ := b.Account(0)
+	if acct != 900 {
+		t.Fatal("replay debited twice")
+	}
+	if len(ft.out[0]) != 1 {
+		t.Fatal("replay generated a reply")
+	}
+	// Nonces are global across message types: a sell reusing a buy
+	// nonce is also a replay.
+	if err := b.Handle(sellEnv(0, 10, 42)); !errors.Is(err, ErrReplay) {
+		t.Fatalf("cross-type nonce reuse: %v", err)
+	}
+}
+
+func TestUnknownOrNonCompliantISP(t *testing.T) {
+	b, _ := newBank(t, 3, []bool{true, false, true})
+	if err := b.Handle(buyEnv(1, 10, 1)); !errors.Is(err, ErrUnknownISP) {
+		t.Fatalf("non-compliant: %v", err)
+	}
+	if err := b.Handle(buyEnv(9, 10, 2)); !errors.Is(err, ErrUnknownISP) {
+		t.Fatalf("out of range: %v", err)
+	}
+	if err := b.Handle(buyEnv(-1, 10, 3)); !errors.Is(err, ErrUnknownISP) {
+		t.Fatalf("negative: %v", err)
+	}
+}
+
+func TestEnrollRequired(t *testing.T) {
+	ft := newFake()
+	b, err := New(Config{NumISPs: 1, InitialAccount: 100, Transport: ft, OwnSealer: crypto.Null{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Handle(buyEnv(0, 10, 1)); !errors.Is(err, ErrNotEnrolled) {
+		t.Fatalf("unenrolled reply: %v", err)
+	}
+	if err := b.StartSnapshot(); !errors.Is(err, ErrNotEnrolled) {
+		t.Fatalf("unenrolled snapshot: %v", err)
+	}
+}
+
+func TestDeposit(t *testing.T) {
+	b, _ := newBank(t, 2, []bool{true, false})
+	if err := b.Deposit(0, 500); err != nil {
+		t.Fatal(err)
+	}
+	acct, _ := b.Account(0)
+	if acct != 1500 {
+		t.Fatalf("account = %v", acct)
+	}
+	if err := b.Deposit(0, 0); err == nil {
+		t.Error("zero deposit accepted")
+	}
+	if err := b.Deposit(1, 10); !errors.Is(err, ErrUnknownISP) {
+		t.Errorf("deposit to non-compliant: %v", err)
+	}
+}
+
+func TestSnapshotRoundHonest(t *testing.T) {
+	b, ft := newBank(t, 3, nil)
+	if err := b.StartSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if b.RoundComplete() {
+		t.Fatal("round complete before replies")
+	}
+	if err := b.StartSnapshot(); !errors.Is(err, ErrRoundActive) {
+		t.Fatalf("double start: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if len(ft.out[i]) != 1 || ft.out[i][0].Kind != wire.KindRequest {
+			t.Fatalf("isp[%d] requests = %+v", i, ft.out[i])
+		}
+	}
+	// Antisymmetric honest reports: credit[i][j] = -credit[j][i].
+	_ = b.Handle(reportEnv(0, 0, []int64{0, 5, -2}))
+	_ = b.Handle(reportEnv(1, 0, []int64{-5, 0, 7}))
+	_ = b.Handle(reportEnv(2, 0, []int64{2, -7, 0}))
+	if !b.RoundComplete() {
+		t.Fatal("round not complete after all replies")
+	}
+	if got := b.Violations(); len(got) != 0 {
+		t.Fatalf("honest round flagged %v", got)
+	}
+	if b.Stats().Rounds != 1 {
+		t.Fatalf("rounds = %d", b.Stats().Rounds)
+	}
+}
+
+func TestSnapshotRoundFlagsCheater(t *testing.T) {
+	b, _ := newBank(t, 3, nil)
+	if err := b.StartSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// isp1 misreports both of its rows: credit[0] should be -5 (isp0
+	// claims +5 against it) and isp2's -4 contradicts isp1's +7.
+	_ = b.Handle(reportEnv(0, 0, []int64{0, 5, -2}))
+	_ = b.Handle(reportEnv(1, 0, []int64{-3, 0, 7}))
+	_ = b.Handle(reportEnv(2, 0, []int64{2, -4, 0}))
+	got := b.Violations()
+	want := map[[2]int]bool{{0, 1}: true, {1, 2}: true}
+	if len(got) != 2 {
+		t.Fatalf("violations = %v, want pairs (0,1) and (1,2)", got)
+	}
+	for _, v := range got {
+		if !want[[2]int{v.I, v.J}] {
+			t.Fatalf("unexpected pair flagged: %v", v)
+		}
+	}
+}
+
+func TestSnapshotReplyReplay(t *testing.T) {
+	b, _ := newBank(t, 2, nil)
+	if err := b.StartSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Handle(reportEnv(0, 0, []int64{0, 1})); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate reply from the same ISP.
+	if err := b.Handle(reportEnv(0, 0, []int64{0, 99})); !errors.Is(err, ErrReplay) {
+		t.Fatalf("duplicate reply: %v", err)
+	}
+	// Wrong-seq reply.
+	if err := b.Handle(reportEnv(1, 5, []int64{-1, 0})); !errors.Is(err, ErrReplay) {
+		t.Fatalf("wrong-seq reply: %v", err)
+	}
+	// Reply outside any round.
+	if err := b.Handle(reportEnv(1, 0, []int64{-1, 0})); err != nil {
+		t.Fatal(err)
+	}
+	if !b.RoundComplete() {
+		t.Fatal("round incomplete")
+	}
+	if err := b.Handle(reportEnv(1, 0, []int64{-1, 0})); !errors.Is(err, ErrReplay) {
+		t.Fatalf("reply outside round: %v", err)
+	}
+}
+
+func TestSnapshotSkipsNonCompliant(t *testing.T) {
+	b, ft := newBank(t, 3, []bool{true, false, true})
+	if err := b.StartSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ft.out[1]) != 0 {
+		t.Fatal("request sent to non-compliant ISP")
+	}
+	_ = b.Handle(reportEnv(0, 0, []int64{0, 0, 4}))
+	_ = b.Handle(reportEnv(2, 0, []int64{-4, 0, 0}))
+	if !b.RoundComplete() {
+		t.Fatal("round should complete with only compliant replies")
+	}
+	if len(b.Violations()) != 0 {
+		t.Fatalf("flagged %v", b.Violations())
+	}
+}
+
+func TestSecondRoundSeqAdvances(t *testing.T) {
+	b, ft := newBank(t, 1, nil)
+	_ = b.StartSnapshot()
+	_ = b.Handle(reportEnv(0, 0, []int64{0}))
+	_ = b.StartSnapshot()
+	var rq wire.Request
+	_ = rq.UnmarshalBinary(ft.out[0][1].Payload)
+	if rq.Seq != 1 {
+		t.Fatalf("second round seq = %d, want 1", rq.Seq)
+	}
+	// A stale round-0 report cannot satisfy round 1.
+	if err := b.Handle(reportEnv(0, 0, []int64{0})); !errors.Is(err, ErrReplay) {
+		t.Fatalf("stale report: %v", err)
+	}
+}
+
+func TestControlMsgCounting(t *testing.T) {
+	b, _ := newBank(t, 2, nil)
+	_ = b.Handle(buyEnv(0, 10, 1))
+	_ = b.Handle(sellEnv(1, 10, 2))
+	_ = b.StartSnapshot()
+	_ = b.Handle(reportEnv(0, 0, []int64{0, 0}))
+	_ = b.Handle(reportEnv(1, 0, []int64{0, 0}))
+	if got := b.Stats().ControlMsgs; got != 4 {
+		t.Fatalf("ControlMsgs = %d, want 4", got)
+	}
+}
+
+func TestMoneyConservationAcrossTrades(t *testing.T) {
+	b, _ := newBank(t, 2, nil)
+	initial := money.Penny(2 * 1000)
+	nonce := uint64(0)
+	next := func() uint64 { nonce++; return nonce }
+	for i := 0; i < 50; i++ {
+		_ = b.Handle(buyEnv(int32(i%2), int64(10+i), next()))
+		_ = b.Handle(sellEnv(int32((i+1)%2), int64(5+i), next()))
+	}
+	var accounts money.Penny
+	for i := 0; i < 2; i++ {
+		a, _ := b.Account(i)
+		accounts += a
+	}
+	// Real money + outstanding scrip value is constant.
+	if accounts+money.Penny(b.Outstanding()) != initial {
+		t.Fatalf("conservation: accounts %v + outstanding %d != %v",
+			accounts, b.Outstanding(), initial)
+	}
+}

@@ -1,0 +1,445 @@
+package bank
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"zmail/internal/crypto"
+	"zmail/internal/money"
+	"zmail/internal/wire"
+)
+
+// Hierarchy implements the paper's §5 "Bank Setup" extension: "the role
+// of the bank in the Zmail protocol can be implemented as a set of
+// distributed banks or a hierarchy of banks."
+//
+// The design is a two-level hierarchy. Each ISP is assigned to one
+// regional bank, which owns that ISP's real-money account, serves its
+// buy/sell traffic, and gathers its credit report during an audit
+// round. Verification is split:
+//
+//   - intra-region pairs are verified entirely inside the region;
+//   - for cross-region pairs, each region forwards to the root only
+//     the slice of its reports that concerns other regions; the root
+//     matches the two sides.
+//
+// The scalability win over the central bank is concentrated at the
+// root: it never sees buy/sell traffic at all, and per audit round it
+// processes R region summaries instead of N ISP reports. The detection
+// guarantee is unchanged — experiment E17 shows the hierarchy flags
+// exactly the same pairs as the central bank on identical traffic.
+//
+// Hierarchy is a drop-in replacement for Bank at the protocol surface:
+// it implements Handle, StartSnapshot, RoundComplete, Violations and
+// Enroll with the same semantics, so the same ISP engines (which have
+// no idea how many banks exist) run against either.
+type Hierarchy struct {
+	cfg HierarchyConfig
+
+	mu        sync.Mutex
+	assign    []int // isp index → region index
+	regions   []*region
+	compliant []bool
+
+	ispSealers  []crypto.Sealer
+	seq         uint64
+	gathering   bool
+	regionsLeft int
+
+	violations []Violation
+	stats      HierarchyStats
+
+	emitq []func()
+}
+
+// region is one regional bank's private state.
+type region struct {
+	isps       []int
+	account    map[int]money.Penny
+	seenNonces map[uint64]bool
+	minted     int64
+	burned     int64
+
+	// Per-round gathering state.
+	reports map[int][]int64
+	pending int
+}
+
+// HierarchyConfig configures a Hierarchy.
+type HierarchyConfig struct {
+	// NumISPs is the federation size.
+	NumISPs int
+	// Regions is the number of regional banks; ISPs are assigned
+	// round-robin unless Assign overrides.
+	Regions int
+	// Assign optionally maps each ISP index to a region.
+	Assign []int
+	// Compliant marks participating ISPs; nil means all.
+	Compliant []bool
+	// InitialAccount seeds each compliant ISP's regional account.
+	InitialAccount money.Penny
+	// Transport carries outbound control traffic (required).
+	Transport Transport
+	// OwnSealer opens inbound envelopes; in this two-level model the
+	// regions share the hierarchy's key material (each region being an
+	// internal organ of one distributed bank), which matches the
+	// paper's single-sentence sketch.
+	OwnSealer crypto.Sealer
+}
+
+// HierarchyStats counts work done at each level — the scalability
+// numbers E17 reports.
+type HierarchyStats struct {
+	RegionalMsgs  int64 // buy/sell/reports handled by regions
+	RootSummaries int64 // cross-region summaries the root processed
+	Rounds        int64
+	ViolationsAll int64
+	BuysAccepted  int64
+	Sells         int64
+	Replays       int64
+}
+
+// NewHierarchy validates the config and builds the bank tree.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	if cfg.NumISPs <= 0 {
+		return nil, errors.New("bank: NumISPs must be positive")
+	}
+	if cfg.Regions <= 0 {
+		return nil, errors.New("bank: Regions must be positive")
+	}
+	if cfg.Transport == nil {
+		return nil, errors.New("bank: Config.Transport is required")
+	}
+	if cfg.OwnSealer == nil {
+		return nil, errors.New("bank: Config.OwnSealer is required")
+	}
+	compliant := cfg.Compliant
+	if compliant == nil {
+		compliant = make([]bool, cfg.NumISPs)
+		for i := range compliant {
+			compliant[i] = true
+		}
+	}
+	if len(compliant) != cfg.NumISPs {
+		return nil, fmt.Errorf("bank: Compliant has %d entries for %d ISPs", len(compliant), cfg.NumISPs)
+	}
+	assign := cfg.Assign
+	if assign == nil {
+		assign = make([]int, cfg.NumISPs)
+		for i := range assign {
+			assign[i] = i % cfg.Regions
+		}
+	}
+	if len(assign) != cfg.NumISPs {
+		return nil, fmt.Errorf("bank: Assign has %d entries for %d ISPs", len(assign), cfg.NumISPs)
+	}
+	h := &Hierarchy{
+		cfg:        cfg,
+		assign:     append([]int(nil), assign...),
+		compliant:  append([]bool(nil), compliant...),
+		ispSealers: make([]crypto.Sealer, cfg.NumISPs),
+	}
+	for r := 0; r < cfg.Regions; r++ {
+		h.regions = append(h.regions, &region{
+			account:    make(map[int]money.Penny),
+			seenNonces: make(map[uint64]bool),
+			reports:    make(map[int][]int64),
+		})
+	}
+	for i := 0; i < cfg.NumISPs; i++ {
+		r := assign[i]
+		if r < 0 || r >= cfg.Regions {
+			return nil, fmt.Errorf("bank: isp[%d] assigned to region %d of %d", i, r, cfg.Regions)
+		}
+		h.regions[r].isps = append(h.regions[r].isps, i)
+		if compliant[i] {
+			h.regions[r].account[i] = cfg.InitialAccount
+		}
+	}
+	return h, nil
+}
+
+// Enroll registers an ISP's reply sealer, as Bank.Enroll.
+func (h *Hierarchy) Enroll(index int, sealer crypto.Sealer) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if index < 0 || index >= h.cfg.NumISPs || !h.compliant[index] {
+		return fmt.Errorf("%w: %d", ErrUnknownISP, index)
+	}
+	h.ispSealers[index] = sealer.PublicOnly()
+	return nil
+}
+
+// Account returns the ISP's balance at its regional bank.
+func (h *Hierarchy) Account(index int) (money.Penny, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if index < 0 || index >= h.cfg.NumISPs {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownISP, index)
+	}
+	return h.regions[h.assign[index]].account[index], nil
+}
+
+// Region reports which regional bank serves an ISP.
+func (h *Hierarchy) Region(index int) int { return h.assign[index] }
+
+// Stats returns the per-level work counters.
+func (h *Hierarchy) Stats() HierarchyStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
+
+// Outstanding reports net minted e-pennies across all regions.
+func (h *Hierarchy) Outstanding() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var total int64
+	for _, r := range h.regions {
+		total += r.minted - r.burned
+	}
+	return total
+}
+
+// Violations returns all flagged pairs (intra- and cross-region).
+func (h *Hierarchy) Violations() []Violation {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]Violation(nil), h.violations...)
+}
+
+// RoundComplete reports whether the last audit round has verified.
+func (h *Hierarchy) RoundComplete() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return !h.gathering
+}
+
+func (h *Hierarchy) flush() {
+	for {
+		h.mu.Lock()
+		if len(h.emitq) == 0 {
+			h.mu.Unlock()
+			return
+		}
+		q := h.emitq
+		h.emitq = nil
+		h.mu.Unlock()
+		for _, fn := range q {
+			fn()
+		}
+	}
+}
+
+func (h *Hierarchy) sealTo(index int, kind wire.Kind, body []byte) (*wire.Envelope, error) {
+	s := h.ispSealers[index]
+	if s == nil {
+		return nil, fmt.Errorf("%w: %d", ErrNotEnrolled, index)
+	}
+	sealed, err := s.Seal(body)
+	if err != nil {
+		return nil, fmt.Errorf("bank: seal to isp[%d]: %w", index, err)
+	}
+	return &wire.Envelope{Kind: kind, From: -1, Payload: sealed}, nil
+}
+
+// Handle routes one inbound envelope to the sender's regional bank.
+func (h *Hierarchy) Handle(env *wire.Envelope) error {
+	err := h.handleLocked(env)
+	h.flush()
+	return err
+}
+
+func (h *Hierarchy) handleLocked(env *wire.Envelope) error {
+	plain, err := h.cfg.OwnSealer.Open(env.Payload)
+	if err != nil {
+		return fmt.Errorf("bank: open envelope: %w", err)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	g := int(env.From)
+	if g < 0 || g >= h.cfg.NumISPs || !h.compliant[g] {
+		return fmt.Errorf("%w: %d", ErrUnknownISP, g)
+	}
+	reg := h.regions[h.assign[g]]
+	h.stats.RegionalMsgs++
+
+	switch env.Kind {
+	case wire.KindBuy:
+		var m wire.Buy
+		if err := m.UnmarshalBinary(plain); err != nil {
+			return err
+		}
+		if reg.seenNonces[m.Nonce] {
+			h.stats.Replays++
+			return ErrReplay
+		}
+		reg.seenNonces[m.Nonce] = true
+		accepted := m.Value > 0 && reg.account[g] >= money.Penny(m.Value)
+		if accepted {
+			reg.account[g] -= money.Penny(m.Value)
+			reg.minted += m.Value
+			h.stats.BuysAccepted++
+		}
+		reply, err := h.sealTo(g, wire.KindBuyReply,
+			(&wire.BuyReply{Nonce: m.Nonce, Accepted: accepted}).MarshalBinary())
+		if err != nil {
+			return err
+		}
+		h.emitq = append(h.emitq, func() { h.cfg.Transport.SendISP(g, reply) })
+		return nil
+
+	case wire.KindSell:
+		var m wire.Sell
+		if err := m.UnmarshalBinary(plain); err != nil {
+			return err
+		}
+		if reg.seenNonces[m.Nonce] {
+			h.stats.Replays++
+			return ErrReplay
+		}
+		reg.seenNonces[m.Nonce] = true
+		if m.Value <= 0 {
+			return errors.New("bank: sell of non-positive value")
+		}
+		reg.account[g] += money.Penny(m.Value)
+		reg.burned += m.Value
+		h.stats.Sells++
+		reply, err := h.sealTo(g, wire.KindSellReply,
+			(&wire.SellReply{Nonce: m.Nonce}).MarshalBinary())
+		if err != nil {
+			return err
+		}
+		h.emitq = append(h.emitq, func() { h.cfg.Transport.SendISP(g, reply) })
+		return nil
+
+	case wire.KindReply:
+		var m wire.CreditReport
+		if err := m.UnmarshalBinary(plain); err != nil {
+			return err
+		}
+		if !h.gathering || m.Seq != h.seq {
+			return ErrReplay
+		}
+		if _, dup := reg.reports[g]; dup {
+			return ErrReplay
+		}
+		reg.reports[g] = append([]int64(nil), m.Credits...)
+		reg.pending--
+		if reg.pending == 0 {
+			h.regionComplete(reg)
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("bank: unexpected message kind %v", env.Kind)
+	}
+}
+
+// StartSnapshot begins one federation-wide audit round: every region
+// requests reports from its compliant ISPs.
+func (h *Hierarchy) StartSnapshot() error {
+	err := h.startSnapshotLocked()
+	h.flush()
+	return err
+}
+
+func (h *Hierarchy) startSnapshotLocked() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.gathering {
+		return ErrRoundActive
+	}
+	body := (&wire.Request{Seq: h.seq}).MarshalBinary()
+	total := 0
+	for _, reg := range h.regions {
+		reg.pending = 0
+		reg.reports = make(map[int][]int64)
+		for _, i := range reg.isps {
+			if !h.compliant[i] {
+				continue
+			}
+			env, err := h.sealTo(i, wire.KindRequest, body)
+			if err != nil {
+				return err
+			}
+			reg.pending++
+			total++
+			idx := i
+			h.emitq = append(h.emitq, func() { h.cfg.Transport.SendISP(idx, env) })
+		}
+	}
+	if total == 0 {
+		return errors.New("bank: no compliant ISPs to snapshot")
+	}
+	h.gathering = true
+	h.regionsLeft = 0
+	for _, reg := range h.regions {
+		if reg.pending > 0 {
+			h.regionsLeft++
+		}
+	}
+	return nil
+}
+
+// regionComplete runs when one region has every report: verify
+// intra-region pairs locally, then count one root summary. When the
+// last region completes, the root matches cross-region pairs. Call
+// with h.mu held.
+func (h *Hierarchy) regionComplete(reg *region) {
+	// Intra-region verification, entirely local.
+	for a := 0; a < len(reg.isps); a++ {
+		for b := a + 1; b < len(reg.isps); b++ {
+			i, j := reg.isps[a], reg.isps[b]
+			h.checkPair(i, j, reg.reports[i], reg.reports[j])
+		}
+	}
+	// The cross-region slice travels to the root as one summary.
+	h.stats.RootSummaries++
+	h.regionsLeft--
+	if h.regionsLeft == 0 {
+		h.rootVerify()
+	}
+}
+
+// rootVerify matches cross-region pairs from the region summaries.
+// Call with h.mu held.
+func (h *Hierarchy) rootVerify() {
+	n := h.cfg.NumISPs
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if h.assign[i] == h.assign[j] {
+				continue // verified inside the region
+			}
+			if !h.compliant[i] || !h.compliant[j] {
+				continue
+			}
+			ri, rj := h.regions[h.assign[i]], h.regions[h.assign[j]]
+			h.checkPair(i, j, ri.reports[i], rj.reports[j])
+		}
+	}
+	h.seq++
+	h.gathering = false
+	h.stats.Rounds++
+}
+
+// checkPair applies the §4.4 test to one pair given both reports; call
+// with h.mu held.
+func (h *Hierarchy) checkPair(i, j int, reportI, reportJ []int64) {
+	if !h.compliant[i] || !h.compliant[j] || reportI == nil || reportJ == nil {
+		return
+	}
+	var cij, cji int64
+	if j < len(reportI) {
+		cij = reportI[j]
+	}
+	if i < len(reportJ) {
+		cji = reportJ[i]
+	}
+	if cij+cji != 0 {
+		h.violations = append(h.violations, Violation{I: i, J: j, CreditIJ: cij, CreditJI: cji})
+		h.stats.ViolationsAll++
+	}
+}

@@ -1,0 +1,104 @@
+package bank
+
+import (
+	"fmt"
+
+	"zmail/internal/money"
+)
+
+// Durable state for the bank hierarchy: per-region accounts, mint
+// counters and nonce memories, plus the shared sequence number and
+// violation log. As with Bank, a round in progress is abandoned on
+// restart.
+
+// HierarchyStateVersion identifies the state schema.
+const HierarchyStateVersion = 1
+
+// RegionState is one regional bank's durable snapshot.
+type RegionState struct {
+	Accounts map[int]int64 `json:"accounts"`
+	Minted   int64         `json:"minted"`
+	Burned   int64         `json:"burned"`
+	Nonces   []uint64      `json:"nonces"`
+}
+
+// HierarchyState is the whole tree's durable snapshot.
+type HierarchyState struct {
+	Version    int           `json:"version"`
+	NumISPs    int           `json:"numISPs"`
+	Regions    []RegionState `json:"regions"`
+	Seq        uint64        `json:"seq"`
+	Violations []Violation   `json:"violations,omitempty"`
+}
+
+// ExportState captures the durable ledger under the hierarchy lock.
+func (h *Hierarchy) ExportState() *HierarchyState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := &HierarchyState{
+		Version: HierarchyStateVersion,
+		NumISPs: h.cfg.NumISPs,
+		Seq:     h.seq,
+	}
+	for _, reg := range h.regions {
+		rs := RegionState{
+			Accounts: make(map[int]int64, len(reg.account)),
+			Minted:   reg.minted,
+			Burned:   reg.burned,
+		}
+		for i, a := range reg.account {
+			rs.Accounts[i] = int64(a)
+		}
+		for n := range reg.seenNonces {
+			rs.Nonces = append(rs.Nonces, n)
+		}
+		st.Regions = append(st.Regions, rs)
+	}
+	st.Violations = append(st.Violations, h.violations...)
+	return st
+}
+
+// RestoreState loads a snapshot into a freshly-constructed hierarchy
+// with the same shape.
+func (h *Hierarchy) RestoreState(st *HierarchyState) error {
+	if st == nil {
+		return fmt.Errorf("bank: nil state")
+	}
+	if st.Version != HierarchyStateVersion {
+		return fmt.Errorf("bank: state version %d, want %d", st.Version, HierarchyStateVersion)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if st.NumISPs != h.cfg.NumISPs || len(st.Regions) != len(h.regions) {
+		return fmt.Errorf("bank: state shape %d ISPs/%d regions, hierarchy has %d/%d",
+			st.NumISPs, len(st.Regions), h.cfg.NumISPs, len(h.regions))
+	}
+	if h.gathering {
+		return fmt.Errorf("bank: cannot restore during an audit round")
+	}
+	for r, rs := range st.Regions {
+		reg := h.regions[r]
+		for i, a := range rs.Accounts {
+			if a < 0 {
+				return fmt.Errorf("bank: state account[%d] is negative", i)
+			}
+			if i < 0 || i >= h.cfg.NumISPs || h.assign[i] != r {
+				return fmt.Errorf("bank: state puts isp[%d] in region %d, assignment says %d",
+					i, r, h.assign[i])
+			}
+		}
+		reg.account = make(map[int]money.Penny, len(rs.Accounts))
+		for i, a := range rs.Accounts {
+			reg.account[i] = money.Penny(a)
+		}
+		reg.minted, reg.burned = rs.Minted, rs.Burned
+		reg.seenNonces = make(map[uint64]bool, len(rs.Nonces))
+		for _, n := range rs.Nonces {
+			reg.seenNonces[n] = true
+		}
+	}
+	h.seq = st.Seq
+	h.violations = append([]Violation(nil), st.Violations...)
+	h.stats.ViolationsAll = int64(len(h.violations))
+	return nil
+}

@@ -1,0 +1,317 @@
+package bank
+
+import (
+	"errors"
+	"testing"
+
+	"zmail/internal/crypto"
+	"zmail/internal/wire"
+)
+
+func newHierarchy(t *testing.T, n, regions int, compliant []bool) (*Hierarchy, *fakeTransport) {
+	t.Helper()
+	ft := newFake()
+	h, err := NewHierarchy(HierarchyConfig{
+		NumISPs:        n,
+		Regions:        regions,
+		Compliant:      compliant,
+		InitialAccount: 1000,
+		Transport:      ft,
+		OwnSealer:      crypto.Null{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if compliant == nil || compliant[i] {
+			if err := h.Enroll(i, crypto.Null{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return h, ft
+}
+
+func TestHierarchyConfigValidation(t *testing.T) {
+	base := HierarchyConfig{NumISPs: 4, Regions: 2, Transport: newFake(), OwnSealer: crypto.Null{}}
+	if _, err := NewHierarchy(base); err != nil {
+		t.Fatalf("minimal config: %v", err)
+	}
+	bad := base
+	bad.Regions = 0
+	if _, err := NewHierarchy(bad); err == nil {
+		t.Error("zero regions accepted")
+	}
+	bad = base
+	bad.Assign = []int{0, 1}
+	if _, err := NewHierarchy(bad); err == nil {
+		t.Error("short assignment accepted")
+	}
+	bad = base
+	bad.Assign = []int{0, 1, 2, 5}
+	if _, err := NewHierarchy(bad); err == nil {
+		t.Error("out-of-range region accepted")
+	}
+}
+
+func TestHierarchyRoundRobinAssignment(t *testing.T) {
+	h, _ := newHierarchy(t, 5, 2, nil)
+	want := []int{0, 1, 0, 1, 0}
+	for i, r := range want {
+		if h.Region(i) != r {
+			t.Fatalf("Region(%d) = %d, want %d", i, h.Region(i), r)
+		}
+	}
+}
+
+func TestHierarchyBuySellRegional(t *testing.T) {
+	h, ft := newHierarchy(t, 4, 2, nil)
+	// isp2 (region 0) buys; isp3 (region 1) sells.
+	if err := h.Handle(buyEnv(2, 300, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Handle(sellEnv(3, 100, 2)); err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := h.Account(2)
+	a3, _ := h.Account(3)
+	if a2 != 700 || a3 != 1100 {
+		t.Fatalf("accounts = %v/%v", a2, a3)
+	}
+	if h.Outstanding() != 200 {
+		t.Fatalf("outstanding = %d", h.Outstanding())
+	}
+	if len(ft.out[2]) != 1 || ft.out[2][0].Kind != wire.KindBuyReply {
+		t.Fatalf("buy reply = %+v", ft.out[2])
+	}
+	// Replay at the same region rejected.
+	if err := h.Handle(buyEnv(2, 300, 1)); !errors.Is(err, ErrReplay) {
+		t.Fatalf("replay: %v", err)
+	}
+}
+
+// honest reports for 4 ISPs in 2 regions with known cross flows.
+func hierarchyHonestReports() map[int][]int64 {
+	// Flows (net): 0→1: 5 (cross), 0→2: 3 (intra region 0),
+	// 1→3: 2 (intra region 1), 2→3: 7 (cross).
+	return map[int][]int64{
+		0: {0, 5, 3, 0},
+		1: {-5, 0, 0, 2},
+		2: {-3, 0, 0, 7},
+		3: {0, -2, -7, 0},
+	}
+}
+
+func TestHierarchyHonestRound(t *testing.T) {
+	h, ft := newHierarchy(t, 4, 2, nil)
+	if err := h.StartSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if h.RoundComplete() {
+		t.Fatal("complete before replies")
+	}
+	if err := h.StartSnapshot(); !errors.Is(err, ErrRoundActive) {
+		t.Fatalf("double start: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if len(ft.out[i]) != 1 || ft.out[i][0].Kind != wire.KindRequest {
+			t.Fatalf("isp[%d] requests = %+v", i, ft.out[i])
+		}
+	}
+	for i, credits := range hierarchyHonestReports() {
+		if err := h.Handle(reportEnv(int32(i), 0, credits)); err != nil {
+			t.Fatalf("report %d: %v", i, err)
+		}
+	}
+	if !h.RoundComplete() {
+		t.Fatal("round incomplete")
+	}
+	if got := h.Violations(); len(got) != 0 {
+		t.Fatalf("honest round flagged %v", got)
+	}
+	st := h.Stats()
+	if st.Rounds != 1 || st.RootSummaries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestHierarchyFlagsCrossRegionCheater(t *testing.T) {
+	h, _ := newHierarchy(t, 4, 2, nil)
+	if err := h.StartSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	reports := hierarchyHonestReports()
+	// isp1 (region 1) understates what it owes isp0 (region 0) — a
+	// cross-region cheat — and also cheats isp3 (intra-region).
+	reports[1] = []int64{-2, 0, 0, 0}
+	for i, credits := range reports {
+		_ = h.Handle(reportEnv(int32(i), 0, credits))
+	}
+	flagged := map[[2]int]bool{}
+	for _, v := range h.Violations() {
+		flagged[[2]int{v.I, v.J}] = true
+	}
+	if !flagged[[2]int{0, 1}] {
+		t.Fatal("cross-region cheat not flagged by root")
+	}
+	if !flagged[[2]int{1, 3}] {
+		t.Fatal("intra-region cheat not flagged by regional bank")
+	}
+	if flagged[[2]int{0, 2}] || flagged[[2]int{2, 3}] {
+		t.Fatalf("honest pairs flagged: %v", h.Violations())
+	}
+}
+
+// TestHierarchyMatchesCentralBank: on identical reports, the hierarchy
+// and the central bank flag exactly the same pairs.
+func TestHierarchyMatchesCentralBank(t *testing.T) {
+	reports := hierarchyHonestReports()
+	reports[2] = []int64{-3, 0, 0, 4} // isp2 understates its 2→3 flow
+
+	central, _ := newBank(t, 4, nil)
+	_ = central.StartSnapshot()
+	for i, credits := range reports {
+		_ = central.Handle(reportEnv(int32(i), 0, credits))
+	}
+
+	hier, _ := newHierarchy(t, 4, 2, nil)
+	_ = hier.StartSnapshot()
+	for i, credits := range reports {
+		_ = hier.Handle(reportEnv(int32(i), 0, credits))
+	}
+
+	pairSet := func(vs []Violation) map[[2]int]bool {
+		out := map[[2]int]bool{}
+		for _, v := range vs {
+			out[[2]int{v.I, v.J}] = true
+		}
+		return out
+	}
+	cp, hp := pairSet(central.Violations()), pairSet(hier.Violations())
+	if len(cp) != len(hp) {
+		t.Fatalf("central flagged %v, hierarchy flagged %v", central.Violations(), hier.Violations())
+	}
+	for p := range cp {
+		if !hp[p] {
+			t.Fatalf("hierarchy missed pair %v", p)
+		}
+	}
+}
+
+func TestHierarchyStaleAndDuplicateReports(t *testing.T) {
+	h, _ := newHierarchy(t, 2, 2, nil)
+	_ = h.StartSnapshot()
+	if err := h.Handle(reportEnv(0, 5, []int64{0, 0})); !errors.Is(err, ErrReplay) {
+		t.Fatalf("wrong seq: %v", err)
+	}
+	if err := h.Handle(reportEnv(0, 0, []int64{0, 1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Handle(reportEnv(0, 0, []int64{0, 9})); !errors.Is(err, ErrReplay) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if err := h.Handle(reportEnv(1, 0, []int64{-1, 0})); err != nil {
+		t.Fatal(err)
+	}
+	if !h.RoundComplete() || len(h.Violations()) != 0 {
+		t.Fatalf("round state: complete=%v violations=%v", h.RoundComplete(), h.Violations())
+	}
+}
+
+func TestHierarchyNonCompliantSkipped(t *testing.T) {
+	h, ft := newHierarchy(t, 4, 2, []bool{true, false, true, true})
+	if err := h.Handle(buyEnv(1, 10, 1)); !errors.Is(err, ErrUnknownISP) {
+		t.Fatalf("non-compliant buy: %v", err)
+	}
+	_ = h.StartSnapshot()
+	if len(ft.out[1]) != 0 {
+		t.Fatal("request sent to non-compliant ISP")
+	}
+	_ = h.Handle(reportEnv(0, 0, []int64{0, 0, 0, 0}))
+	_ = h.Handle(reportEnv(2, 0, []int64{0, 0, 0, 0}))
+	_ = h.Handle(reportEnv(3, 0, []int64{0, 0, 0, 0}))
+	if !h.RoundComplete() {
+		t.Fatal("round incomplete without non-compliant reply")
+	}
+}
+
+func TestHierarchySingleRegionDegeneratesToCentral(t *testing.T) {
+	h, _ := newHierarchy(t, 3, 1, nil)
+	_ = h.StartSnapshot()
+	_ = h.Handle(reportEnv(0, 0, []int64{0, 5, 0}))
+	_ = h.Handle(reportEnv(1, 0, []int64{-4, 0, 0})) // mismatch
+	_ = h.Handle(reportEnv(2, 0, []int64{0, 0, 0}))
+	if len(h.Violations()) != 1 {
+		t.Fatalf("violations = %v", h.Violations())
+	}
+	if h.Stats().RootSummaries != 1 {
+		t.Fatalf("summaries = %d", h.Stats().RootSummaries)
+	}
+}
+
+func TestHierarchyStateRoundTrip(t *testing.T) {
+	h1, _ := newHierarchy(t, 4, 2, nil)
+	_ = h1.Handle(buyEnv(0, 300, 1))
+	_ = h1.Handle(sellEnv(3, 100, 2))
+	_ = h1.StartSnapshot()
+	reports := hierarchyHonestReports()
+	reports[1] = []int64{-2, 0, 0, 0} // flag one pair
+	for i, credits := range reports {
+		_ = h1.Handle(reportEnv(int32(i), 0, credits))
+	}
+
+	st := h1.ExportState()
+	h2, _ := newHierarchy(t, 4, 2, nil)
+	if err := h2.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		a1, _ := h1.Account(i)
+		a2, _ := h2.Account(i)
+		if a1 != a2 {
+			t.Fatalf("account[%d]: %v vs %v", i, a2, a1)
+		}
+	}
+	if h2.Outstanding() != h1.Outstanding() {
+		t.Fatal("outstanding drifted")
+	}
+	if len(h2.Violations()) != len(h1.Violations()) {
+		t.Fatal("violations lost")
+	}
+	// Nonce memory survives per region.
+	if err := h2.Handle(buyEnv(0, 300, 1)); !errors.Is(err, ErrReplay) {
+		t.Fatalf("nonce forgotten: %v", err)
+	}
+	// Seq continuity: fresh round runs at the next seq.
+	if err := h2.StartSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.Handle(reportEnv(0, 0, []int64{0, 0, 0, 0})); !errors.Is(err, ErrReplay) {
+		t.Fatalf("old-seq report accepted: %v", err)
+	}
+}
+
+func TestHierarchyRestoreValidation(t *testing.T) {
+	h, _ := newHierarchy(t, 4, 2, nil)
+	if err := h.RestoreState(nil); err == nil {
+		t.Error("nil state accepted")
+	}
+	good := h.ExportState()
+	bad := *good
+	bad.Version = 9
+	if err := h.RestoreState(&bad); err == nil {
+		t.Error("wrong version accepted")
+	}
+	bad = *good
+	bad.NumISPs = 5
+	if err := h.RestoreState(&bad); err == nil {
+		t.Error("wrong size accepted")
+	}
+	// Misassigned ISP refused.
+	bad = *good
+	bad.Regions = append([]RegionState(nil), good.Regions...)
+	bad.Regions[0] = RegionState{Accounts: map[int]int64{1: 10}} // isp1 belongs to region 1
+	if err := h.RestoreState(&bad); err == nil {
+		t.Error("misassigned account accepted")
+	}
+}

@@ -1,0 +1,97 @@
+package bank
+
+import (
+	"zmail/internal/money"
+)
+
+// Settlement is the real-money counterpart of the credit audit. The
+// paper defines Zmail as "an accounting relationship among compliant
+// ISPs, which reconcile payments to and from their users" (§1.3): when
+// a user of isp[i] pays an e-penny to a user of isp[j], isp[i]'s till
+// keeps the sender's money while isp[j] now owes its own user a
+// redeemable e-penny. Over a billing period those obligations
+// accumulate in the credit arrays, and at audit time the bank moves
+// real pennies between the ISPs' accounts to back them:
+//
+//	credit_i[j] = +k  ⇒  isp[i] sent k more paid messages to isp[j]
+//	                     than it received  ⇒  isp[i] pays k pennies
+//	                     (at the e-penny rate) to isp[j].
+//
+// Settlement only runs for pairs whose reports verified (a flagged
+// pair is frozen for investigation instead — paying out on a cheater's
+// numbers would let understatement steal money, not just e-pennies).
+//
+// Enable it with Config.SettleOnVerify or call SettleLastRound.
+
+// Transfer records one inter-ISP settlement payment.
+type Transfer struct {
+	From, To int
+	Amount   money.Penny
+}
+
+// settleLocked moves real money for every verified pair using the
+// verify matrix as it stood at verification; call with b.mu held, after
+// verifyLocked has recorded violations but before the matrix is
+// cleared.
+//
+// The net for pair (i, j) is taken from isp[i]'s own report
+// (verify[j][i] = credit_i[j]); the pair is skipped when flagged.
+func (b *Bank) settleLocked(flagged map[[2]int]bool) []Transfer {
+	n := b.cfg.NumISPs
+	var transfers []Transfer
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !b.compliant[i] || !b.compliant[j] || flagged[[2]int{i, j}] {
+				continue
+			}
+			net := b.verify[j][i] // credit_i[j] as reported by isp[i]
+			if net == 0 {
+				continue
+			}
+			payer, payee := i, j
+			amount := net
+			if amount < 0 {
+				payer, payee = j, i
+				amount = -amount
+			}
+			pennies := money.EPenny(amount).ToPennies(b.cfg.SettleRate)
+			// A payer whose account cannot cover the settlement goes
+			// into arrears: pay what is there and record the shortfall
+			// as a violation-grade event for the operator.
+			if b.account[payer] < pennies {
+				pennies = b.account[payer]
+				b.stats.SettlementShortfalls++
+			}
+			if pennies == 0 {
+				continue
+			}
+			b.account[payer] -= pennies
+			b.account[payee] += pennies
+			b.stats.SettledPennies += int64(pennies)
+			b.stats.SettlementTransfers++
+			transfers = append(transfers, Transfer{From: payer, To: payee, Amount: pennies})
+		}
+	}
+	b.lastTransfers = transfers
+	return transfers
+}
+
+// LastTransfers returns the settlement payments of the most recent
+// verified round (empty when settlement is disabled or nothing
+// netted).
+func (b *Bank) LastTransfers() []Transfer {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Transfer(nil), b.lastTransfers...)
+}
+
+// TotalAccounts sums all ISP accounts; settlement must conserve it.
+func (b *Bank) TotalAccounts() money.Penny {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var total money.Penny
+	for _, a := range b.account {
+		total += a
+	}
+	return total
+}

@@ -1,0 +1,168 @@
+package bank
+
+import (
+	"testing"
+	"testing/quick"
+
+	"zmail/internal/crypto"
+	"zmail/internal/money"
+)
+
+func newSettlingBank(t *testing.T, n int, funds money.Penny) (*Bank, *fakeTransport) {
+	t.Helper()
+	ft := newFake()
+	b, err := New(Config{
+		NumISPs:        n,
+		InitialAccount: funds,
+		Transport:      ft,
+		OwnSealer:      crypto.Null{},
+		SettleOnVerify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := b.Enroll(i, crypto.Null{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b, ft
+}
+
+func TestSettlementMovesMoneyToNetReceivers(t *testing.T) {
+	b, _ := newSettlingBank(t, 3, 1000)
+	if err := b.StartSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// isp0 sent 5 net to isp1, isp1 sent 7 net to isp2, isp0 received
+	// 2 net from isp2 (so isp2 pays isp0... no: credit_2[0] = +2 means
+	// isp2 net-sent 2 to isp0, so isp2 pays isp0 2).
+	_ = b.Handle(reportEnv(0, 0, []int64{0, 5, -2}))
+	_ = b.Handle(reportEnv(1, 0, []int64{-5, 0, 7}))
+	_ = b.Handle(reportEnv(2, 0, []int64{2, -7, 0}))
+	if !b.RoundComplete() {
+		t.Fatal("round incomplete")
+	}
+	// Settlements: pair (0,1): credit_0[1]=+5 → isp0 pays isp1 5.
+	// Pair (0,2): credit_0[2]=-2 → isp2 pays isp0 2.
+	// Pair (1,2): credit_1[2]=+7 → isp1 pays isp2 7.
+	wantAccounts := []money.Penny{1000 - 5 + 2, 1000 + 5 - 7, 1000 + 7 - 2}
+	for i, want := range wantAccounts {
+		got, _ := b.Account(i)
+		if got != want {
+			t.Errorf("account[%d] = %v, want %v", i, got, want)
+		}
+	}
+	transfers := b.LastTransfers()
+	if len(transfers) != 3 {
+		t.Fatalf("transfers = %v", transfers)
+	}
+	st := b.Stats()
+	if st.SettledPennies != 14 || st.SettlementTransfers != 3 || st.SettlementShortfalls != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSettlementConservesTotalMoney(t *testing.T) {
+	f := func(a, bb, c int16) bool {
+		bk, _ := newSettlingBank(t, 3, 100_000)
+		before := bk.TotalAccounts()
+		if err := bk.StartSnapshot(); err != nil {
+			return false
+		}
+		x, y, z := int64(a%1000), int64(bb%1000), int64(c%1000)
+		_ = bk.Handle(reportEnv(0, 0, []int64{0, x, -z}))
+		_ = bk.Handle(reportEnv(1, 0, []int64{-x, 0, y}))
+		_ = bk.Handle(reportEnv(2, 0, []int64{z, -y, 0}))
+		return bk.RoundComplete() && bk.TotalAccounts() == before && len(bk.Violations()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSettlementSkipsFlaggedPairs(t *testing.T) {
+	b, _ := newSettlingBank(t, 2, 1000)
+	_ = b.StartSnapshot()
+	// isp1 understates: claims -3 where isp0 claims +10.
+	_ = b.Handle(reportEnv(0, 0, []int64{0, 10}))
+	_ = b.Handle(reportEnv(1, 0, []int64{-3, 0}))
+	if len(b.Violations()) != 1 {
+		t.Fatal("pair not flagged")
+	}
+	a0, _ := b.Account(0)
+	a1, _ := b.Account(1)
+	if a0 != 1000 || a1 != 1000 {
+		t.Fatalf("flagged pair settled anyway: %v/%v", a0, a1)
+	}
+	if len(b.LastTransfers()) != 0 {
+		t.Fatal("transfers recorded for a flagged round")
+	}
+}
+
+func TestSettlementShortfall(t *testing.T) {
+	b, _ := newSettlingBank(t, 2, 3) // isp0 can only cover 3 of 10
+	_ = b.StartSnapshot()
+	_ = b.Handle(reportEnv(0, 0, []int64{0, 10}))
+	_ = b.Handle(reportEnv(1, 0, []int64{-10, 0}))
+	a0, _ := b.Account(0)
+	a1, _ := b.Account(1)
+	if a0 != 0 || a1 != 6 {
+		t.Fatalf("shortfall accounts = %v/%v, want 0/6", a0, a1)
+	}
+	if b.Stats().SettlementShortfalls != 1 {
+		t.Fatal("shortfall not counted")
+	}
+}
+
+func TestSettlementRate(t *testing.T) {
+	ft := newFake()
+	b, err := New(Config{
+		NumISPs: 2, InitialAccount: 1000, Transport: ft,
+		OwnSealer: crypto.Null{}, SettleOnVerify: true, SettleRate: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = b.Enroll(0, crypto.Null{})
+	_ = b.Enroll(1, crypto.Null{})
+	_ = b.StartSnapshot()
+	_ = b.Handle(reportEnv(0, 0, []int64{0, 4}))
+	_ = b.Handle(reportEnv(1, 0, []int64{-4, 0}))
+	a0, _ := b.Account(0)
+	if a0 != 1000-12 {
+		t.Fatalf("account[0] = %v, want %v (4 e-pennies at rate 3)", a0, money.Penny(988))
+	}
+}
+
+func TestSettlementDisabledByDefault(t *testing.T) {
+	b, _ := newBank(t, 2, nil)
+	_ = b.StartSnapshot()
+	_ = b.Handle(reportEnv(0, 0, []int64{0, 4}))
+	_ = b.Handle(reportEnv(1, 0, []int64{-4, 0}))
+	a0, _ := b.Account(0)
+	if a0 != 1000 {
+		t.Fatal("settlement ran while disabled")
+	}
+}
+
+// TestSettlementEndToEndMeaning ties the pieces together: after
+// settlement, each ISP's bank account reflects the net e-penny flow its
+// users produced, so an ISP whose users are net receivers (a popular
+// newsletter host, say) is made whole in real money.
+func TestSettlementEndToEndMeaning(t *testing.T) {
+	b, _ := newSettlingBank(t, 2, 1000)
+	for round := uint64(0); round < 3; round++ {
+		if err := b.StartSnapshot(); err != nil {
+			t.Fatal(err)
+		}
+		// Every period, isp0's users net-send 10 to isp1's users.
+		_ = b.Handle(reportEnv(0, round, []int64{0, 10}))
+		_ = b.Handle(reportEnv(1, round, []int64{-10, 0}))
+	}
+	a0, _ := b.Account(0)
+	a1, _ := b.Account(1)
+	if a0 != 970 || a1 != 1030 {
+		t.Fatalf("after 3 periods: %v/%v, want 970/1030", a0, a1)
+	}
+}

@@ -1,0 +1,214 @@
+// Package clock abstracts time so that the Zmail protocol engines can
+// run both against the wall clock (real SMTP daemons) and against a
+// deterministic virtual clock (simulation and tests).
+//
+// Core ledger and protocol code never calls time.Now directly; a Clock
+// is injected at construction. The virtual clock additionally drives
+// timer callbacks in strict timestamp order, which is what makes whole
+// multi-ISP simulations reproducible from a seed.
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time and one-shot timers.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// AfterFunc arranges for fn to run once d has elapsed. The returned
+	// Timer can cancel the callback before it fires.
+	AfterFunc(d time.Duration, fn func()) Timer
+}
+
+// Timer is a cancellable pending callback.
+type Timer interface {
+	// Stop cancels the timer. It reports whether the call prevented the
+	// callback from firing.
+	Stop() bool
+}
+
+// System returns a Clock backed by the real time package.
+func System() Clock { return systemClock{} }
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+func (systemClock) AfterFunc(d time.Duration, fn func()) Timer {
+	return systemTimer{t: time.AfterFunc(d, fn)}
+}
+
+type systemTimer struct{ t *time.Timer }
+
+func (s systemTimer) Stop() bool { return s.t.Stop() }
+
+// Virtual is a deterministic simulated clock. Time advances only when
+// Advance or Run is called; pending timers fire in timestamp order
+// (ties broken by scheduling order), on the goroutine that advances the
+// clock.
+type Virtual struct {
+	mu      sync.Mutex
+	now     time.Time
+	seq     uint64
+	pending timerHeap
+}
+
+// NewVirtual creates a virtual clock starting at the given instant.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Now returns the current virtual instant.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// AfterFunc schedules fn to run when the virtual clock passes d from
+// now.
+func (v *Virtual) AfterFunc(d time.Duration, fn func()) Timer {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	t := &virtualTimer{
+		clock: v,
+		when:  v.now.Add(d),
+		seq:   v.seq,
+		fn:    fn,
+	}
+	v.seq++
+	heap.Push(&v.pending, t)
+	return t
+}
+
+// Advance moves virtual time forward by d, firing every timer whose
+// deadline falls within the window, in order.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	target := v.now.Add(d)
+	v.mu.Unlock()
+	v.AdvanceTo(target)
+}
+
+// AdvanceTo moves virtual time forward to target, firing due timers in
+// order. Timers scheduled by fired callbacks are honored if they fall
+// before target.
+func (v *Virtual) AdvanceTo(target time.Time) {
+	for {
+		v.mu.Lock()
+		if len(v.pending) == 0 || v.pending[0].when.After(target) {
+			if target.After(v.now) {
+				v.now = target
+			}
+			v.mu.Unlock()
+			return
+		}
+		t := heap.Pop(&v.pending).(*virtualTimer)
+		if t.stopped {
+			v.mu.Unlock()
+			continue
+		}
+		if t.when.After(v.now) {
+			v.now = t.when
+		}
+		fn := t.fn
+		v.mu.Unlock()
+		fn()
+	}
+}
+
+// RunUntilIdle fires all pending timers regardless of deadline,
+// advancing the clock to each. It returns the number of timers fired.
+// Useful for draining a simulation to quiescence.
+func (v *Virtual) RunUntilIdle() int {
+	fired := 0
+	for {
+		v.mu.Lock()
+		if len(v.pending) == 0 {
+			v.mu.Unlock()
+			return fired
+		}
+		t := heap.Pop(&v.pending).(*virtualTimer)
+		if t.stopped {
+			v.mu.Unlock()
+			continue
+		}
+		if t.when.After(v.now) {
+			v.now = t.when
+		}
+		fn := t.fn
+		v.mu.Unlock()
+		fn()
+		fired++
+	}
+}
+
+// PendingTimers reports how many live timers are scheduled.
+func (v *Virtual) PendingTimers() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n := 0
+	for _, t := range v.pending {
+		if !t.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+type virtualTimer struct {
+	clock   *Virtual
+	when    time.Time
+	seq     uint64
+	fn      func()
+	stopped bool
+	index   int
+}
+
+func (t *virtualTimer) Stop() bool {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	if t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+type timerHeap []*virtualTimer
+
+func (h timerHeap) Len() int { return len(h) }
+
+func (h timerHeap) Less(i, j int) bool {
+	if !h[i].when.Equal(h[j].when) {
+		return h[i].when.Before(h[j].when)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *timerHeap) Push(x any) {
+	t := x.(*virtualTimer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

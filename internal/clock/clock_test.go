@@ -1,0 +1,157 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+var epoch = time.Unix(1_100_000_000, 0)
+
+func TestVirtualNowAdvance(t *testing.T) {
+	v := NewVirtual(epoch)
+	if !v.Now().Equal(epoch) {
+		t.Fatalf("Now() = %v, want %v", v.Now(), epoch)
+	}
+	v.Advance(3 * time.Second)
+	if got := v.Now(); !got.Equal(epoch.Add(3 * time.Second)) {
+		t.Fatalf("after Advance(3s): %v", got)
+	}
+}
+
+func TestVirtualTimersFireInOrder(t *testing.T) {
+	v := NewVirtual(epoch)
+	var order []int
+	v.AfterFunc(30*time.Millisecond, func() { order = append(order, 3) })
+	v.AfterFunc(10*time.Millisecond, func() { order = append(order, 1) })
+	v.AfterFunc(20*time.Millisecond, func() { order = append(order, 2) })
+	v.Advance(time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("firing order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestVirtualSameDeadlineFIFO(t *testing.T) {
+	v := NewVirtual(epoch)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		v.AfterFunc(time.Millisecond, func() { order = append(order, i) })
+	}
+	v.Advance(time.Millisecond)
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("tie-break order = %v, want scheduling order", order)
+		}
+	}
+}
+
+func TestVirtualAdvanceStopsAtTarget(t *testing.T) {
+	v := NewVirtual(epoch)
+	fired := false
+	v.AfterFunc(10*time.Millisecond, func() { fired = true })
+	v.Advance(5 * time.Millisecond)
+	if fired {
+		t.Fatal("timer fired before its deadline")
+	}
+	if v.PendingTimers() != 1 {
+		t.Fatalf("PendingTimers = %d, want 1", v.PendingTimers())
+	}
+	v.Advance(5 * time.Millisecond)
+	if !fired {
+		t.Fatal("timer did not fire at its deadline")
+	}
+}
+
+func TestVirtualStop(t *testing.T) {
+	v := NewVirtual(epoch)
+	fired := false
+	tm := v.AfterFunc(time.Millisecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("first Stop should report true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	v.Advance(time.Second)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestVirtualNestedTimers(t *testing.T) {
+	v := NewVirtual(epoch)
+	var seq []string
+	v.AfterFunc(10*time.Millisecond, func() {
+		seq = append(seq, "outer")
+		v.AfterFunc(5*time.Millisecond, func() { seq = append(seq, "inner") })
+	})
+	v.Advance(20 * time.Millisecond)
+	if len(seq) != 2 || seq[0] != "outer" || seq[1] != "inner" {
+		t.Fatalf("nested firing = %v", seq)
+	}
+	// The inner timer's deadline (15ms) must be respected, and the
+	// clock must end at the advance target.
+	if got := v.Now(); !got.Equal(epoch.Add(20 * time.Millisecond)) {
+		t.Fatalf("clock ended at %v", got)
+	}
+}
+
+func TestVirtualNestedBeyondTarget(t *testing.T) {
+	v := NewVirtual(epoch)
+	fired := false
+	v.AfterFunc(10*time.Millisecond, func() {
+		v.AfterFunc(time.Hour, func() { fired = true })
+	})
+	v.Advance(20 * time.Millisecond)
+	if fired {
+		t.Fatal("timer beyond the advance target fired")
+	}
+	if v.PendingTimers() != 1 {
+		t.Fatalf("PendingTimers = %d, want 1", v.PendingTimers())
+	}
+}
+
+func TestRunUntilIdle(t *testing.T) {
+	v := NewVirtual(epoch)
+	count := 0
+	v.AfterFunc(time.Hour, func() {
+		count++
+		v.AfterFunc(time.Hour, func() { count++ })
+	})
+	fired := v.RunUntilIdle()
+	if fired != 2 || count != 2 {
+		t.Fatalf("RunUntilIdle fired %d (count %d), want 2", fired, count)
+	}
+	if got := v.Now(); !got.Equal(epoch.Add(2 * time.Hour)) {
+		t.Fatalf("clock = %v, want epoch+2h", got)
+	}
+}
+
+func TestVirtualNegativeDelay(t *testing.T) {
+	v := NewVirtual(epoch)
+	fired := false
+	v.AfterFunc(-time.Second, func() { fired = true })
+	v.Advance(0)
+	if !fired {
+		t.Fatal("negative-delay timer should fire immediately on advance")
+	}
+}
+
+func TestSystemClock(t *testing.T) {
+	c := System()
+	before := time.Now()
+	got := c.Now()
+	if got.Before(before.Add(-time.Second)) || got.After(before.Add(time.Second)) {
+		t.Fatalf("system clock far from wall time: %v vs %v", got, before)
+	}
+	done := make(chan struct{})
+	tm := c.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("system AfterFunc never fired")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after firing should report false")
+	}
+}

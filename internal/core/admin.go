@@ -1,0 +1,173 @@
+package core
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+)
+
+// Admin console. A zmaild operator needs to see ledgers without
+// grepping logs: the node exposes a line-oriented console (think
+// "SMTP for operators") when NodeConfig.AdminAddr is set. Every reply
+// body is terminated by a lone "." line so clients can stream it.
+//
+// Commands:
+//
+//	STATS              engine counters
+//	USERS              one line per user: name balance account sent/limit
+//	POOL               e-penny pool level and band
+//	CREDIT             the credit array for the current billing period
+//	STATEMENT <user>   the user's journal (the §1.3 transparency view)
+//	FROZEN             whether a snapshot freeze is in effect
+//	HELP               this list
+//	QUIT               close the session
+//
+// The console is unauthenticated and must only be bound to loopback or
+// an operations network — exactly like 2004-era MTA control sockets.
+
+// serveAdmin accepts console connections until the listener closes.
+func (n *Node) serveAdmin(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.adminSession(conn)
+		}()
+	}
+}
+
+func (n *Node) adminSession(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	send := func(body string) bool {
+		body = strings.TrimRight(body, "\n")
+		if body != "" {
+			for _, line := range strings.Split(body, "\n") {
+				fmt.Fprintf(w, "%s\r\n", line)
+			}
+		}
+		fmt.Fprint(w, ".\r\n")
+		return w.Flush() == nil
+	}
+	fmt.Fprintf(w, "zmail admin console, %s\r\n.\r\n", n.engine.Domain())
+	if w.Flush() != nil {
+		return
+	}
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(5 * time.Minute))
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		verb, arg, _ := strings.Cut(strings.TrimSpace(line), " ")
+		switch strings.ToUpper(verb) {
+		case "STATS":
+			st := n.engine.Stats()
+			if !send(fmt.Sprintf(
+				"submitted=%d delivered-local=%d sent-paid=%d sent-unpaid=%d\n"+
+					"received-paid=%d received-unpaid=%d discarded=%d buffered=%d\n"+
+					"acks-generated=%d acks-received=%d\n"+
+					"limit-rejects=%d balance-rejects=%d zombie-warnings=%d snapshot-rounds=%d",
+				st.Submitted, st.DeliveredLocal, st.SentPaid, st.SentUnpaid,
+				st.ReceivedPaid, st.ReceivedUnpaid, st.Discarded, st.Buffered,
+				st.AcksGenerated, st.AcksReceived,
+				st.LimitRejects, st.BalanceRejects, st.ZombieWarnings, st.SnapshotRounds)) {
+				return
+			}
+		case "USERS":
+			var b strings.Builder
+			for _, u := range n.engine.Users() {
+				fmt.Fprintf(&b, "%s balance=%v account=%v sent=%d/%d\n",
+					u.Name, u.Balance, u.Account, u.Sent, u.Limit)
+			}
+			if !send(b.String()) {
+				return
+			}
+		case "POOL":
+			lo, hi := n.engine.PoolBand()
+			if !send(fmt.Sprintf("avail=%v band=[%v, %v]", n.engine.Avail(), lo, hi)) {
+				return
+			}
+		case "CREDIT":
+			if !send(fmt.Sprintf("credit=%v", n.engine.Credit())) {
+				return
+			}
+		case "STATEMENT":
+			if arg == "" {
+				if !send("ERR usage: STATEMENT <user>") {
+					return
+				}
+				continue
+			}
+			if !send(n.engine.FormatStatement(arg)) {
+				return
+			}
+		case "FROZEN":
+			if !send(fmt.Sprintf("frozen=%v", n.engine.Frozen())) {
+				return
+			}
+		case "HELP":
+			if !send("STATS USERS POOL CREDIT STATEMENT <user> FROZEN HELP QUIT") {
+				return
+			}
+		case "QUIT":
+			send("bye")
+			return
+		case "":
+			// Ignore blank lines.
+		default:
+			if !send(fmt.Sprintf("ERR unknown command %q; try HELP", verb)) {
+				return
+			}
+		}
+	}
+}
+
+// startAdmin binds the admin listener; called from NewNode when
+// AdminAddr is configured.
+func (n *Node) startAdmin(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("core: admin listen %s: %w", addr, err)
+	}
+	n.mu.Lock()
+	n.adminLn = l
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.serveAdmin(l)
+	}()
+	return nil
+}
+
+// AdminAddr returns the bound admin console address, or nil.
+func (n *Node) AdminAddr() net.Addr {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.adminLn == nil {
+		return nil
+	}
+	return n.adminLn.Addr()
+}
+
+// closeAdmin stops the console listener (idempotent).
+func (n *Node) closeAdmin() {
+	n.mu.Lock()
+	l := n.adminLn
+	n.adminLn = nil
+	n.mu.Unlock()
+	if l != nil {
+		if err := l.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+			n.cfg.Logf("core: admin close: %v", err)
+		}
+	}
+}

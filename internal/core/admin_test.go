@@ -1,0 +1,163 @@
+package core
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"zmail/internal/crypto"
+	"zmail/internal/isp"
+	"zmail/internal/mail"
+)
+
+// adminClient drives the console line protocol.
+type adminClient struct {
+	t    *testing.T
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dialAdmin(t *testing.T, addr string) *adminClient {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	c := &adminClient{t: t, conn: conn, r: bufio.NewReader(conn)}
+	c.readBody() // greeting
+	return c
+}
+
+// cmd sends one command and returns the reply body (without the
+// terminating dot).
+func (c *adminClient) cmd(line string) string {
+	c.t.Helper()
+	if _, err := c.conn.Write([]byte(line + "\r\n")); err != nil {
+		c.t.Fatal(err)
+	}
+	return c.readBody()
+}
+
+func (c *adminClient) readBody() string {
+	c.t.Helper()
+	var b strings.Builder
+	for {
+		_ = c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			c.t.Fatalf("admin read: %v", err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "." {
+			return b.String()
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+}
+
+func startAdminNode(t *testing.T) *Node {
+	t.Helper()
+	dir := isp.NewDirectory([]string{"adm.example", "peer.example"}, nil)
+	node, err := NewNode(NodeConfig{
+		Engine: isp.Config{
+			Index: 0, Domain: "adm.example", Directory: dir,
+			InitialAvail: 1000,
+			BankSealer:   crypto.Null{}, OwnSealer: crypto.Null{},
+		},
+		ListenAddr: "127.0.0.1:0",
+		AdminAddr:  "127.0.0.1:0",
+		Logf:       quietLog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = node.Close() })
+	return node
+}
+
+func TestAdminConsole(t *testing.T) {
+	node := startAdminNode(t)
+	eng := node.Engine()
+	if err := eng.RegisterUser("alice", 100, 50, 20); err != nil {
+		t.Fatal(err)
+	}
+	a := mail.MustParseAddress("alice@adm.example")
+	if _, err := eng.Submit(mail.NewMessage(a, a, "self note", "b")); err != nil {
+		t.Fatal(err)
+	}
+
+	c := dialAdmin(t, node.AdminAddr().String())
+
+	users := c.cmd("USERS")
+	if !strings.Contains(users, "alice") || !strings.Contains(users, "sent=1/20") {
+		t.Fatalf("USERS = %q", users)
+	}
+	stats := c.cmd("STATS")
+	if !strings.Contains(stats, "submitted=1") || !strings.Contains(stats, "delivered-local=1") {
+		t.Fatalf("STATS = %q", stats)
+	}
+	pool := c.cmd("POOL")
+	if !strings.Contains(pool, "avail=950e¢") {
+		t.Fatalf("POOL = %q", pool)
+	}
+	credit := c.cmd("CREDIT")
+	if !strings.Contains(credit, "credit=[0 0]") {
+		t.Fatalf("CREDIT = %q", credit)
+	}
+	stmt := c.cmd("STATEMENT alice")
+	if !strings.Contains(stmt, "Statement for alice@adm.example") ||
+		!strings.Contains(stmt, "sent") || !strings.Contains(stmt, "received") {
+		t.Fatalf("STATEMENT = %q", stmt)
+	}
+	if got := c.cmd("STATEMENT"); !strings.Contains(got, "ERR usage") {
+		t.Fatalf("bare STATEMENT = %q", got)
+	}
+	if got := c.cmd("FROZEN"); !strings.Contains(got, "frozen=false") {
+		t.Fatalf("FROZEN = %q", got)
+	}
+	if got := c.cmd("BOGUS"); !strings.Contains(got, "ERR unknown") {
+		t.Fatalf("BOGUS = %q", got)
+	}
+	if got := c.cmd("HELP"); !strings.Contains(got, "STATEMENT") {
+		t.Fatalf("HELP = %q", got)
+	}
+	if got := c.cmd("QUIT"); !strings.Contains(got, "bye") {
+		t.Fatalf("QUIT = %q", got)
+	}
+}
+
+func TestAdminConsoleConcurrentSessions(t *testing.T) {
+	node := startAdminNode(t)
+	c1 := dialAdmin(t, node.AdminAddr().String())
+	c2 := dialAdmin(t, node.AdminAddr().String())
+	if got := c1.cmd("FROZEN"); !strings.Contains(got, "frozen=") {
+		t.Fatalf("session1 = %q", got)
+	}
+	if got := c2.cmd("POOL"); !strings.Contains(got, "avail=") {
+		t.Fatalf("session2 = %q", got)
+	}
+}
+
+func TestAdminDisabledByDefault(t *testing.T) {
+	dir := isp.NewDirectory([]string{"noadm.example"}, nil)
+	node, err := NewNode(NodeConfig{
+		Engine: isp.Config{
+			Index: 0, Domain: "noadm.example", Directory: dir,
+			InitialAvail: 100,
+			BankSealer:   crypto.Null{}, OwnSealer: crypto.Null{},
+		},
+		ListenAddr: "127.0.0.1:0",
+		Logf:       quietLog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	if node.AdminAddr() != nil {
+		t.Fatal("admin console bound without AdminAddr")
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"zmail/internal/bank"
+	"zmail/internal/wire"
+)
+
+// BankServer exposes a bank.Bank over TCP with the wire framing. Each
+// compliant ISP keeps one persistent connection; the server learns
+// which connection belongs to which ISP from the From field of the
+// first envelope it receives on it, and routes bank→ISP traffic back
+// over the same connection.
+type BankServer struct {
+	bank *bank.Bank
+	logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	conns  map[int]net.Conn // ISP index → connection
+	ln     net.Listener
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewBankServer wraps a configured bank. Set the bank's Transport to
+// the value returned by (*BankServer).Transport before constructing the
+// bank, or use StartBank for the one-step path.
+func NewBankServer(b *bank.Bank, logf func(string, ...any)) *BankServer {
+	if logf == nil {
+		logf = log.Printf
+	}
+	return &BankServer{bank: b, logf: logf, conns: make(map[int]net.Conn)}
+}
+
+// StartBank builds a bank whose transport routes through a new
+// BankServer, starts listening on addr, and returns both. Enrollment
+// (bank.Enroll) remains the caller's job.
+func StartBank(cfg bank.Config, addr string, logf func(string, ...any)) (*bank.Bank, *BankServer, error) {
+	srv := NewBankServer(nil, logf)
+	cfg.Transport = srv.Transport()
+	b, err := bank.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv.bank = b
+	if err := srv.Listen(addr); err != nil {
+		return nil, nil, err
+	}
+	return b, srv, nil
+}
+
+// Transport returns a bank.Transport that writes to the connection
+// registered for each ISP.
+func (s *BankServer) Transport() bank.Transport { return (*bankServerTransport)(s) }
+
+type bankServerTransport BankServer
+
+var _ bank.Transport = (*bankServerTransport)(nil)
+
+func (t *bankServerTransport) SendISP(index int, env *wire.Envelope) {
+	s := (*BankServer)(t)
+	s.mu.Lock()
+	conn := s.conns[index]
+	s.mu.Unlock()
+	if conn == nil {
+		s.logf("bankserver: no connection for isp[%d]; dropping %v", index, env.Kind)
+		return
+	}
+	if err := wire.WriteEnvelope(conn, env); err != nil {
+		s.logf("bankserver: write to isp[%d]: %v", index, err)
+	}
+}
+
+// Listen binds addr and starts accepting ISP connections.
+func (s *BankServer) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("bankserver: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serveConn(conn)
+			}()
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound address.
+func (s *BankServer) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops the listener and all connections.
+func (s *BankServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for _, c := range s.conns {
+		_ = c.Close()
+	}
+	s.conns = make(map[int]net.Conn)
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	if errors.Is(err, net.ErrClosed) {
+		return nil
+	}
+	return err
+}
+
+func (s *BankServer) serveConn(conn net.Conn) {
+	defer conn.Close()
+	registered := -1
+	for {
+		env, err := wire.ReadEnvelope(conn)
+		if err != nil {
+			break
+		}
+		idx := int(env.From)
+		if registered != idx {
+			s.mu.Lock()
+			if old := s.conns[idx]; old != nil && old != conn {
+				_ = old.Close()
+			}
+			s.conns[idx] = conn
+			s.mu.Unlock()
+			registered = idx
+		}
+		if env.Kind == wire.KindHello {
+			continue // registration only
+		}
+		if err := s.bank.Handle(env); err != nil {
+			s.logf("bankserver: handle %v from isp[%d]: %v", env.Kind, idx, err)
+		}
+	}
+	if registered >= 0 {
+		s.mu.Lock()
+		if s.conns[registered] == conn {
+			delete(s.conns, registered)
+		}
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,379 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"zmail/internal/bank"
+	"zmail/internal/crypto"
+	"zmail/internal/isp"
+	"zmail/internal/mail"
+	"zmail/internal/smtp"
+)
+
+func quietLog(string, ...any) {}
+
+// testCluster is a two-node federation plus bank on loopback TCP.
+type testCluster struct {
+	nodes [2]*Node
+	bank  *bank.Bank
+	srv   *BankServer
+}
+
+func startCluster(t *testing.T) *testCluster {
+	t.Helper()
+	domains := []string{"alpha.example", "beta.example"}
+	dir := isp.NewDirectory(domains, nil)
+
+	bk, srv, err := StartBank(bank.Config{
+		NumISPs:        2,
+		InitialAccount: 100_000,
+		OwnSealer:      crypto.Null{},
+	}, "127.0.0.1:0", quietLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	for i := 0; i < 2; i++ {
+		if err := bk.Enroll(i, crypto.Null{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c := &testCluster{bank: bk, srv: srv}
+	for i := 0; i < 2; i++ {
+		node, err := NewNode(NodeConfig{
+			Engine: isp.Config{
+				Index:          i,
+				Domain:         domains[i],
+				Directory:      dir,
+				MinAvail:       100,
+				MaxAvail:       100_000,
+				InitialAvail:   10_000,
+				FreezeDuration: 100 * time.Millisecond,
+				BankSealer:     crypto.Null{},
+				OwnSealer:      crypto.Null{},
+			},
+			ListenAddr:   "127.0.0.1:0",
+			BankAddr:     srv.Addr().String(),
+			TickInterval: 50 * time.Millisecond,
+			Logf:         quietLog,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = node.Close() })
+		c.nodes[i] = node
+	}
+	for i := range c.nodes {
+		for j := range c.nodes {
+			if i != j {
+				c.nodes[i].AddPeer(j, c.nodes[j].Addr().String())
+			}
+		}
+	}
+	return c
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestSubmissionAndRelay(t *testing.T) {
+	c := startCluster(t)
+	if err := c.nodes[0].Engine().RegisterUser("alice", 100, 50, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.nodes[1].Engine().RegisterUser("bob", 100, 50, 100); err != nil {
+		t.Fatal(err)
+	}
+	alice := mail.MustParseAddress("alice@alpha.example")
+	bob := mail.MustParseAddress("bob@beta.example")
+	msg := mail.NewMessage(alice, bob, "hi", "over tcp")
+	if err := smtp.SendMail(c.nodes[0].Addr().String(), "alpha.example", alice,
+		[]mail.Address{bob}, msg, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "delivery", func() bool { return len(c.nodes[1].Inbox("bob")) == 1 })
+	got := c.nodes[1].Inbox("bob")[0]
+	if got.Body != "over tcp" {
+		t.Fatalf("body = %q", got.Body)
+	}
+	a, _ := c.nodes[0].Engine().User("alice")
+	b, _ := c.nodes[1].Engine().User("bob")
+	if a.Balance != 49 || b.Balance != 51 {
+		t.Fatalf("balances %v/%v", a.Balance, b.Balance)
+	}
+}
+
+func TestLocalSubmission(t *testing.T) {
+	c := startCluster(t)
+	eng := c.nodes[0].Engine()
+	_ = eng.RegisterUser("alice", 0, 10, 100)
+	_ = eng.RegisterUser("bob", 0, 10, 100)
+	alice := mail.MustParseAddress("alice@alpha.example")
+	bob := mail.MustParseAddress("bob@alpha.example")
+	msg := mail.NewMessage(alice, bob, "local", "b")
+	if err := smtp.SendMail(c.nodes[0].Addr().String(), "alpha.example", alice,
+		[]mail.Address{bob}, msg, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "local delivery", func() bool { return len(c.nodes[0].Inbox("bob")) == 1 })
+}
+
+func TestSubmissionRejectedWhenBroke(t *testing.T) {
+	c := startCluster(t)
+	_ = c.nodes[0].Engine().RegisterUser("poor", 0, 0, 100)
+	poor := mail.MustParseAddress("poor@alpha.example")
+	bob := mail.MustParseAddress("bob@beta.example")
+	msg := mail.NewMessage(poor, bob, "s", "b")
+	err := smtp.SendMail(c.nodes[0].Addr().String(), "alpha.example", poor,
+		[]mail.Address{bob}, msg, 5*time.Second)
+	if err == nil {
+		t.Fatal("unfunded submission accepted")
+	}
+}
+
+func TestRelayDeniedForThirdParty(t *testing.T) {
+	c := startCluster(t)
+	// A foreign client (HELO other.example, MAIL FROM foreign) must not
+	// be able to relay THROUGH alpha to beta.
+	from := mail.MustParseAddress("x@other.example")
+	to := mail.MustParseAddress("bob@beta.example")
+	msg := mail.NewMessage(from, to, "s", "b")
+	err := smtp.SendMail(c.nodes[0].Addr().String(), "other.example", from,
+		[]mail.Address{to}, msg, 5*time.Second)
+	if err == nil {
+		t.Fatal("open relay!")
+	}
+}
+
+func TestSnapshotOverTCP(t *testing.T) {
+	c := startCluster(t)
+	_ = c.nodes[0].Engine().RegisterUser("alice", 0, 10, 100)
+	_ = c.nodes[1].Engine().RegisterUser("bob", 0, 10, 100)
+	alice := mail.MustParseAddress("alice@alpha.example")
+	bob := mail.MustParseAddress("bob@beta.example")
+	msg := mail.NewMessage(alice, bob, "s", "b")
+	if err := smtp.SendMail(c.nodes[0].Addr().String(), "alpha.example", alice,
+		[]mail.Address{bob}, msg, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "delivery", func() bool { return len(c.nodes[1].Inbox("bob")) == 1 })
+
+	// Hello packets are sent at startup; wait until both links are
+	// registered, then audit.
+	waitFor(t, "snapshot", func() bool {
+		if err := c.bank.StartSnapshot(); err != nil {
+			return false
+		}
+		return true
+	})
+	waitFor(t, "round completion", c.bank.RoundComplete)
+	if len(c.bank.Violations()) != 0 {
+		t.Fatalf("violations = %v", c.bank.Violations())
+	}
+	if c.bank.Stats().Rounds == 0 {
+		t.Fatal("no round completed")
+	}
+}
+
+func TestBankRestockOverTCP(t *testing.T) {
+	domains := []string{"gamma.example"}
+	dir := isp.NewDirectory(domains, nil)
+	bk, srv, err := StartBank(bank.Config{
+		NumISPs: 1, InitialAccount: 100_000, OwnSealer: crypto.Null{},
+	}, "127.0.0.1:0", quietLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	_ = bk.Enroll(0, crypto.Null{})
+	node, err := NewNode(NodeConfig{
+		Engine: isp.Config{
+			Index: 0, Domain: "gamma.example", Directory: dir,
+			MinAvail: 1000, MaxAvail: 10_000, InitialAvail: 50, // low: must restock
+			BankSealer: crypto.Null{}, OwnSealer: crypto.Null{},
+		},
+		ListenAddr:   "127.0.0.1:0",
+		BankAddr:     srv.Addr().String(),
+		TickInterval: 20 * time.Millisecond,
+		Logf:         quietLog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	waitFor(t, "restock", func() bool { return node.Engine().Avail() >= 1000 })
+	if bk.Stats().BuysAccepted == 0 {
+		t.Fatal("bank recorded no buy")
+	}
+}
+
+func TestMailboxCallback(t *testing.T) {
+	domains := []string{"delta.example"}
+	dir := isp.NewDirectory(domains, nil)
+	got := make(chan string, 1)
+	node, err := NewNode(NodeConfig{
+		Engine: isp.Config{
+			Index: 0, Domain: "delta.example", Directory: dir,
+			InitialAvail: 100,
+			BankSealer:   crypto.Null{}, OwnSealer: crypto.Null{},
+		},
+		ListenAddr: "127.0.0.1:0",
+		Mailbox:    func(user string, m *mail.Message) { got <- user + ":" + m.Body },
+		Logf:       quietLog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	_ = node.Engine().RegisterUser("a", 0, 10, 10)
+	_ = node.Engine().RegisterUser("b", 0, 10, 10)
+	a := mail.MustParseAddress("a@delta.example")
+	b := mail.MustParseAddress("b@delta.example")
+	if _, err := node.Engine().Submit(mail.NewMessage(a, b, "s", "payload")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-got:
+		if v != "b:payload" {
+			t.Fatalf("mailbox callback = %q", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("mailbox callback never fired")
+	}
+}
+
+func TestNodeCloseIdempotent(t *testing.T) {
+	dir := isp.NewDirectory([]string{"eps.example"}, nil)
+	node, err := NewNode(NodeConfig{
+		Engine: isp.Config{
+			Index: 0, Domain: "eps.example", Directory: dir,
+			InitialAvail: 100,
+			BankSealer:   crypto.Null{}, OwnSealer: crypto.Null{},
+		},
+		ListenAddr: "127.0.0.1:0",
+		Logf:       quietLog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestAckSinkOnNode(t *testing.T) {
+	c := startCluster(t)
+	// announce@alpha runs a distributor; bob@beta subscribes. A list
+	// message triggers beta's automatic ack, which must arrive at
+	// alpha's AckSink rather than a mailbox.
+	acks := make(chan *mail.Message, 1)
+	// Rebuild node 0 with an AckSink: NodeConfig is fixed at
+	// construction, so make a dedicated node here.
+	dir := isp.NewDirectory([]string{"acksink.example", "beta2.example"}, nil)
+	n0, err := NewNode(NodeConfig{
+		Engine: isp.Config{
+			Index: 0, Domain: "acksink.example", Directory: dir,
+			InitialAvail: 1000,
+			BankSealer:   crypto.Null{}, OwnSealer: crypto.Null{},
+		},
+		ListenAddr: "127.0.0.1:0",
+		AckSink:    func(user string, m *mail.Message) { acks <- m },
+		Logf:       quietLog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n0.Close()
+	n1, err := NewNode(NodeConfig{
+		Engine: isp.Config{
+			Index: 1, Domain: "beta2.example", Directory: dir,
+			InitialAvail: 1000,
+			BankSealer:   crypto.Null{}, OwnSealer: crypto.Null{},
+		},
+		ListenAddr: "127.0.0.1:0",
+		Logf:       quietLog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Close()
+	n0.AddPeer(1, n1.Addr().String())
+	n1.AddPeer(0, n0.Addr().String())
+	_ = n0.Engine().RegisterUser("announce", 0, 10, 100)
+	_ = n1.Engine().RegisterUser("bob", 0, 10, 100)
+
+	listMsg := mail.NewMessage(
+		mail.MustParseAddress("announce@acksink.example"),
+		mail.MustParseAddress("bob@beta2.example"),
+		"issue 1", "news")
+	listMsg.SetClass(mail.ClassList)
+	if _, err := n0.Engine().Submit(listMsg); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-acks:
+		if m.Class() != mail.ClassAck {
+			t.Fatalf("sink got %v", m.Class())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ack never reached the sink")
+	}
+	_ = c
+}
+
+func TestSendBankWithoutBankConfigured(t *testing.T) {
+	// An engine that wants to restock but has no bank address logs and
+	// drops; the node must not wedge or crash.
+	dir := isp.NewDirectory([]string{"nobank.example"}, nil)
+	node, err := NewNode(NodeConfig{
+		Engine: isp.Config{
+			Index: 0, Domain: "nobank.example", Directory: dir,
+			MinAvail: 1000, MaxAvail: 10_000, InitialAvail: 50, // wants to buy
+			BankSealer: crypto.Null{}, OwnSealer: crypto.Null{},
+		},
+		ListenAddr:   "127.0.0.1:0",
+		TickInterval: 20 * time.Millisecond,
+		Logf:         quietLog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // a few ticks fire SendBank
+	if err := node.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBankServerDropsForUnknownConnection(t *testing.T) {
+	bk, srv, err := StartBank(bank.Config{
+		NumISPs: 2, InitialAccount: 1000, OwnSealer: crypto.Null{},
+	}, "127.0.0.1:0", quietLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	_ = bk.Enroll(0, crypto.Null{})
+	_ = bk.Enroll(1, crypto.Null{})
+	// No ISP connection registered: a snapshot request has nowhere to
+	// go; the transport logs and drops without panicking.
+	if err := bk.StartSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if bk.RoundComplete() {
+		t.Fatal("round completed with no connected ISPs")
+	}
+}

@@ -1,0 +1,125 @@
+package corpus
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := NewGenerator(7).Batch(Spam, 10)
+	b := NewGenerator(7).Batch(Spam, 10)
+	for i := range a {
+		if a[i].Body != b[i].Body || a[i].Subject() != b[i].Subject() {
+			t.Fatalf("generation not deterministic at %d", i)
+		}
+	}
+}
+
+func TestClassesAreDistinct(t *testing.T) {
+	g := NewGenerator(1)
+	countHits := func(msgs []*msgWrap, pool []string) float64 {
+		poolSet := make(map[string]bool, len(pool))
+		for _, w := range pool {
+			poolSet[w] = true
+		}
+		hits, total := 0, 0
+		for _, m := range msgs {
+			for _, tok := range strings.Fields(m.body) {
+				total++
+				if poolSet[tok] {
+					hits++
+				}
+			}
+		}
+		return float64(hits) / float64(total)
+	}
+	wrap := func(class Class, n int) []*msgWrap {
+		out := make([]*msgWrap, n)
+		for i := range out {
+			m, _ := g.Generate(class)
+			out[i] = &msgWrap{body: m.Body}
+		}
+		return out
+	}
+	spam := wrap(Spam, 200)
+	ham := wrap(Ham, 200)
+	if spamRate := countHits(spam, spamWords); spamRate < 0.2 {
+		t.Fatalf("spam messages only %.0f%% spam tokens", 100*spamRate)
+	}
+	if crossRate := countHits(ham, spamWords); crossRate > 0.1 {
+		t.Fatalf("ham messages %.0f%% spam tokens (cross-noise too high)", 100*crossRate)
+	}
+}
+
+type msgWrap struct{ body string }
+
+func TestFromDomainsPerClass(t *testing.T) {
+	g := NewGenerator(2)
+	m, _ := g.Generate(Spam)
+	if m.From.Domain != "bulk-offers.example" {
+		t.Fatalf("spam from %v", m.From)
+	}
+	m, _ = g.Generate(Ham)
+	if m.From.Domain != "colleague.example" {
+		t.Fatalf("ham from %v", m.From)
+	}
+	m, _ = g.Generate(Newsletter)
+	if m.From.Domain != "store-news.example" {
+		t.Fatalf("newsletter from %v", m.From)
+	}
+}
+
+func TestMangleChangesTokens(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	changed := 0
+	for i := 0; i < 100; i++ {
+		if Mangle(rng, "viagra") != "viagra" {
+			changed++
+		}
+	}
+	if changed < 90 {
+		t.Fatalf("Mangle left %d/100 tokens unchanged", 100-changed)
+	}
+	// Short tokens pass through untouched.
+	if Mangle(rng, "ab") != "ab" {
+		t.Fatal("short token mangled")
+	}
+}
+
+func TestMangleProbAppliesOnlyToSpamTokens(t *testing.T) {
+	g := NewGenerator(5)
+	g.MangleProb = 1.0
+	spamSet := make(map[string]bool, len(spamWords))
+	for _, w := range spamWords {
+		spamSet[w] = true
+	}
+	for i := 0; i < 50; i++ {
+		m, _ := g.Generate(Spam)
+		for _, tok := range strings.Fields(m.Body) {
+			if spamSet[tok] {
+				t.Fatalf("unmangled spam token %q survived MangleProb=1", tok)
+			}
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Spam.String() != "spam" || Ham.String() != "ham" ||
+		Newsletter.String() != "newsletter" || Class(0).String() != "unknown" {
+		t.Fatal("class names")
+	}
+}
+
+func TestBatchSizeAndLabels(t *testing.T) {
+	g := NewGenerator(9)
+	batch := g.Batch(Newsletter, 25)
+	if len(batch) != 25 {
+		t.Fatalf("batch = %d", len(batch))
+	}
+	for _, m := range batch {
+		if m.Body == "" || m.Subject() == "" {
+			t.Fatal("empty generated message")
+		}
+	}
+}

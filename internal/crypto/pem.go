@@ -1,0 +1,78 @@
+package crypto
+
+import (
+	"crypto/rsa"
+	"crypto/x509"
+	"encoding/pem"
+	"errors"
+	"fmt"
+)
+
+// PEM block types used for key files.
+const (
+	pemPrivateType = "ZMAIL PRIVATE KEY"
+	pemPublicType  = "ZMAIL PUBLIC KEY"
+)
+
+// Errors returned by the PEM helpers.
+var (
+	ErrBadPEM = errors.New("crypto: malformed key PEM")
+)
+
+// MarshalPrivatePEM encodes the box's private key (PKCS#8 inside PEM)
+// for storage in a key file. Fails if the box is public-only.
+func (b *Box) MarshalPrivatePEM() ([]byte, error) {
+	if b.priv == nil {
+		return nil, ErrNoPrivateKey
+	}
+	der, err := x509.MarshalPKCS8PrivateKey(b.priv)
+	if err != nil {
+		return nil, fmt.Errorf("crypto: marshal private key: %w", err)
+	}
+	return pem.EncodeToMemory(&pem.Block{Type: pemPrivateType, Bytes: der}), nil
+}
+
+// MarshalPublicPEM encodes the box's public key (PKIX inside PEM) for
+// distribution to peers.
+func (b *Box) MarshalPublicPEM() ([]byte, error) {
+	der, err := x509.MarshalPKIXPublicKey(b.pub)
+	if err != nil {
+		return nil, fmt.Errorf("crypto: marshal public key: %w", err)
+	}
+	return pem.EncodeToMemory(&pem.Block{Type: pemPublicType, Bytes: der}), nil
+}
+
+// LoadPrivatePEM reconstructs a full Box from MarshalPrivatePEM output.
+func LoadPrivatePEM(data []byte) (*Box, error) {
+	block, _ := pem.Decode(data)
+	if block == nil || block.Type != pemPrivateType {
+		return nil, ErrBadPEM
+	}
+	key, err := x509.ParsePKCS8PrivateKey(block.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("crypto: parse private key: %w", err)
+	}
+	rsaKey, ok := key.(*rsa.PrivateKey)
+	if !ok {
+		return nil, fmt.Errorf("%w: not an RSA key", ErrBadPEM)
+	}
+	return &Box{pub: &rsaKey.PublicKey, priv: rsaKey}, nil
+}
+
+// LoadPublicPEM reconstructs a public-only Box from MarshalPublicPEM
+// output.
+func LoadPublicPEM(data []byte) (*Box, error) {
+	block, _ := pem.Decode(data)
+	if block == nil || block.Type != pemPublicType {
+		return nil, ErrBadPEM
+	}
+	key, err := x509.ParsePKIXPublicKey(block.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("crypto: parse public key: %w", err)
+	}
+	rsaKey, ok := key.(*rsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("%w: not an RSA key", ErrBadPEM)
+	}
+	return &Box{pub: rsaKey}, nil
+}

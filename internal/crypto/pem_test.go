@@ -1,0 +1,72 @@
+package crypto
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestPEMRoundTrip(t *testing.T) {
+	b, _ := boxes(t)
+	privPEM, err := b.MarshalPrivatePEM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubPEM, err := b.MarshalPublicPEM()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := LoadPrivatePEM(privPEM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubOnly, err := LoadPublicPEM(pubPEM)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Seal with the restored public key, open with the restored
+	// private key — and with the original.
+	sealed, err := pubOnly.Seal([]byte("key file payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Open(sealed)
+	if err != nil || !bytes.Equal(got, []byte("key file payload")) {
+		t.Fatalf("restored open: %q, %v", got, err)
+	}
+	if _, err := b.Open(sealed); err != nil {
+		t.Fatalf("original open: %v", err)
+	}
+	// The public-only restoration cannot open.
+	if _, err := pubOnly.Open(sealed); !errors.Is(err, ErrNoPrivateKey) {
+		t.Fatalf("public-only open: %v", err)
+	}
+}
+
+func TestPEMPublicOnlyCannotMarshalPrivate(t *testing.T) {
+	b, _ := boxes(t)
+	pub := b.PublicOnly().(*Box)
+	if _, err := pub.MarshalPrivatePEM(); !errors.Is(err, ErrNoPrivateKey) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := pub.MarshalPublicPEM(); err != nil {
+		t.Fatalf("public marshal from public-only: %v", err)
+	}
+}
+
+func TestPEMGarbage(t *testing.T) {
+	if _, err := LoadPrivatePEM([]byte("not pem")); !errors.Is(err, ErrBadPEM) {
+		t.Fatalf("garbage private: %v", err)
+	}
+	if _, err := LoadPublicPEM([]byte("-----BEGIN X-----\nZm9v\n-----END X-----")); !errors.Is(err, ErrBadPEM) {
+		t.Fatalf("wrong type: %v", err)
+	}
+	// Private PEM loaded as public (wrong block type) fails.
+	b, _ := boxes(t)
+	privPEM, _ := b.MarshalPrivatePEM()
+	if _, err := LoadPublicPEM(privPEM); !errors.Is(err, ErrBadPEM) {
+		t.Fatalf("cross-type load: %v", err)
+	}
+}

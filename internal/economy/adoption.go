@@ -1,0 +1,179 @@
+package economy
+
+import (
+	"math"
+	"math/rand"
+)
+
+// AdoptionModel simulates the paper's incremental-deployment dynamic
+// (§1.3, §5): "The good experience of the users of compliant ISPs will
+// attract more people to switch to compliant ISPs and more ISPs will
+// therefore become compliant."
+//
+// Mechanics per round:
+//
+//   - Spam load: users of non-compliant ISPs receive the full ambient
+//     spam rate. Users of compliant ISPs receive spam only via the
+//     unpaid path, and their ISP segregates or rejects it (§5), so
+//     their effective spam exposure is AmbientSpam × UnpaidLeak.
+//   - Users migrate toward compliant ISPs with probability
+//     proportional to the spam-exposure difference (logistic).
+//   - An ISP flips to compliant when the compliant side's user share
+//     it can observe exceeds its flip threshold (drawn per-ISP), i.e.
+//     ISPs follow their customers.
+type AdoptionModel struct {
+	// ISPs is the federation size.
+	ISPs int
+	// InitialCompliant seeds the deployment; the paper's bootstrap is 2.
+	InitialCompliant int
+	// UsersPerISP sizes each ISP's initial customer base.
+	UsersPerISP int
+	// AmbientSpam is the spam messages per user per week on the open
+	// Internet (the paper cites >60% of all traffic).
+	AmbientSpam float64
+	// UnpaidLeak is the fraction of ambient spam that still reaches a
+	// compliant ISP's users (via the non-compliant path after
+	// filtering/segregation). Zero selects 0.1.
+	UnpaidLeak float64
+	// SwitchSensitivity scales user migration pressure; zero selects
+	// 0.001, under which the initial ~90-spam/week exposure gap moves
+	// roughly 4.5% of non-compliant users per round — switching ISPs is
+	// a high-friction decision.
+	SwitchSensitivity float64
+	// Seed drives per-ISP thresholds and stochastic switching.
+	Seed int64
+}
+
+func (a AdoptionModel) defaults() AdoptionModel {
+	if a.ISPs == 0 {
+		a.ISPs = 20
+	}
+	if a.InitialCompliant == 0 {
+		a.InitialCompliant = 2
+	}
+	if a.UsersPerISP == 0 {
+		a.UsersPerISP = 1000
+	}
+	if a.AmbientSpam == 0 {
+		a.AmbientSpam = 100
+	}
+	if a.UnpaidLeak == 0 {
+		a.UnpaidLeak = 0.1
+	}
+	if a.SwitchSensitivity == 0 {
+		a.SwitchSensitivity = 0.001
+	}
+	return a
+}
+
+// AdoptionPoint is one round of the trajectory.
+type AdoptionPoint struct {
+	Round             int
+	CompliantISPs     int
+	CompliantUserFrac float64
+	// MeanSpamCompliant and MeanSpamOther are spam per user per week on
+	// each side.
+	MeanSpamCompliant float64
+	MeanSpamOther     float64
+}
+
+// Run simulates the trajectory for the given number of rounds.
+func (a AdoptionModel) Run(rounds int) []AdoptionPoint {
+	a = a.defaults()
+	rng := rand.New(rand.NewSource(a.Seed))
+
+	compliant := make([]bool, a.ISPs)
+	for i := 0; i < a.InitialCompliant && i < a.ISPs; i++ {
+		compliant[i] = true
+	}
+	// Per-ISP flip thresholds: an ISP becomes compliant when the
+	// federation-wide compliant user share exceeds its threshold.
+	threshold := make([]float64, a.ISPs)
+	for i := range threshold {
+		threshold[i] = 0.15 + 0.8*rng.Float64()
+	}
+	users := make([]float64, a.ISPs)
+	for i := range users {
+		users[i] = float64(a.UsersPerISP)
+	}
+	totalUsers := float64(a.ISPs * a.UsersPerISP)
+
+	spamCompliant := a.AmbientSpam * a.UnpaidLeak
+	spamOther := a.AmbientSpam
+
+	out := make([]AdoptionPoint, 0, rounds+1)
+	record := func(round int) {
+		nComp := 0
+		var compUsers float64
+		for i := range compliant {
+			if compliant[i] {
+				nComp++
+				compUsers += users[i]
+			}
+		}
+		out = append(out, AdoptionPoint{
+			Round:             round,
+			CompliantISPs:     nComp,
+			CompliantUserFrac: compUsers / totalUsers,
+			MeanSpamCompliant: spamCompliant,
+			MeanSpamOther:     spamOther,
+		})
+	}
+	record(0)
+
+	for r := 1; r <= rounds; r++ {
+		// User migration: the spam-exposure gap pushes users from
+		// non-compliant to compliant ISPs through a logistic response.
+		gap := spamOther - spamCompliant
+		moveFrac := 2/(1+math.Exp(-a.SwitchSensitivity*gap)) - 1 // 0..1
+		var compUsers, otherUsers float64
+		nComp := 0
+		for i := range compliant {
+			if compliant[i] {
+				compUsers += users[i]
+				nComp++
+			} else {
+				otherUsers += users[i]
+			}
+		}
+		if nComp > 0 && otherUsers > 0 {
+			moved := otherUsers * moveFrac
+			for i := range compliant {
+				if compliant[i] {
+					users[i] += moved / float64(nComp)
+				} else {
+					users[i] -= users[i] / otherUsers * moved
+				}
+			}
+			compUsers += moved
+		}
+
+		// ISP flips: follow the customers.
+		share := compUsers / totalUsers
+		for i := range compliant {
+			if !compliant[i] && share >= threshold[i] {
+				compliant[i] = true
+			}
+		}
+
+		// Ambient spam decays as the compliant share grows: spam
+		// targeted at compliant users must pay (or leak), so the
+		// profitable target pool shrinks with (1 - share).
+		spamOther = a.AmbientSpam * (1 - 0.5*share)
+		spamCompliant = spamOther * a.UnpaidLeak
+
+		record(r)
+	}
+	return out
+}
+
+// TippingRound returns the first round at which at least frac of users
+// are on compliant ISPs, or -1 if never reached.
+func TippingRound(traj []AdoptionPoint, frac float64) int {
+	for _, p := range traj {
+		if p.CompliantUserFrac >= frac {
+			return p.Round
+		}
+	}
+	return -1
+}

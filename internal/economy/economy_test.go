@@ -1,0 +1,312 @@
+package economy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestReferenceCampaignProfitableOnFreeSMTP(t *testing.T) {
+	c := ReferenceCampaign2004()
+	if !c.Profitable() {
+		t.Fatalf("reference campaign unprofitable on free SMTP: profit $%.2f", c.Profit())
+	}
+	// 1M msgs × $0.0001 = $100 cost; 50 responses × $20 = $1000.
+	if got := c.TotalCost(); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("cost = %g", got)
+	}
+	if got := c.ExpectedRevenue(); math.Abs(got-1000) > 1e-9 {
+		t.Fatalf("revenue = %g", got)
+	}
+}
+
+func TestEPennyFlipsProfitability(t *testing.T) {
+	c := ReferenceCampaign2004().WithEPennyPrice(0.01)
+	if c.Profitable() {
+		t.Fatalf("reference campaign still profitable at $0.01: $%.2f", c.Profit())
+	}
+}
+
+func TestCostIncreaseTwoOrdersOfMagnitude(t *testing.T) {
+	c := ReferenceCampaign2004()
+	factor := c.CostIncreaseFactor(0.01)
+	if factor < 100 {
+		t.Fatalf("cost factor = %.1f, paper claims >= 100", factor)
+	}
+	beBase := c.BreakEvenResponseRate()
+	bePriced := c.WithEPennyPrice(0.01).BreakEvenResponseRate()
+	if bePriced/beBase < 100 {
+		t.Fatalf("break-even ratio = %.1f, paper claims 'similarly' >= 100", bePriced/beBase)
+	}
+}
+
+// TestBreakEvenMonotone: break-even response rate rises monotonically
+// with price, for any campaign with positive margins.
+func TestBreakEvenMonotone(t *testing.T) {
+	f := func(infraMilli, revCents uint16, p1, p2 float64) bool {
+		c := Campaign{
+			Messages:           1000,
+			InfraCostPerMsg:    float64(infraMilli%100) / 1e5,
+			RevenuePerResponse: float64(revCents%1000)/100 + 0.01,
+			ResponseRate:       0.001,
+		}
+		p1 = math.Abs(math.Mod(p1, 1))
+		p2 = math.Abs(math.Mod(p2, 1))
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return c.WithEPennyPrice(p1).BreakEvenResponseRate() <= c.WithEPennyPrice(p2).BreakEvenResponseRate()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBreakEvenDegenerate(t *testing.T) {
+	c := Campaign{RevenuePerResponse: 0}
+	if !math.IsInf(c.BreakEvenResponseRate(), 1) {
+		t.Fatal("zero-revenue campaign should have infinite break-even")
+	}
+	c = Campaign{InfraCostPerMsg: 0}
+	if !math.IsInf(c.CostIncreaseFactor(0.01), 1) {
+		t.Fatal("zero infra cost: factor should be infinite")
+	}
+}
+
+func TestDeliveryRateScalesRevenue(t *testing.T) {
+	c := ReferenceCampaign2004()
+	c.DeliveryRate = 0.5
+	if got := c.ExpectedRevenue(); math.Abs(got-500) > 1e-9 {
+		t.Fatalf("revenue at 50%% delivery = %g", got)
+	}
+}
+
+func TestMaxProfitableVolume(t *testing.T) {
+	c := ReferenceCampaign2004()
+	// Free SMTP at positive infra cost but huge margins: volume far
+	// exceeds the pool (diminishing returns eventually bite).
+	v0 := MaxProfitableVolume(c, 10_000, 1.0)
+	if v0 <= 10_000 {
+		t.Fatalf("free volume = %d, want beyond the pool", v0)
+	}
+	// Adding the e-penny collapses volume.
+	v1 := MaxProfitableVolume(c.WithEPennyPrice(0.01), 10_000, 1.0)
+	if v1 >= v0/10 {
+		t.Fatalf("priced volume %d not well below free volume %d", v1, v0)
+	}
+	// Hopeless campaign sends nothing.
+	hopeless := Campaign{InfraCostPerMsg: 1, ResponseRate: 1e-9, RevenuePerResponse: 0.01}
+	if got := MaxProfitableVolume(hopeless, 1000, 1.0); got != 0 {
+		t.Fatalf("hopeless volume = %d", got)
+	}
+	// Degenerate pool.
+	if got := MaxProfitableVolume(c, 0, 1.0); got != 0 {
+		t.Fatalf("zero pool = %d", got)
+	}
+}
+
+// TestMaxProfitableVolumeMonotoneInPrice via quick.
+func TestMaxProfitableVolumeMonotoneInPrice(t *testing.T) {
+	c := ReferenceCampaign2004()
+	f := func(a, b float64) bool {
+		a = math.Abs(math.Mod(a, 0.1))
+		b = math.Abs(math.Mod(b, 0.1))
+		if a > b {
+			a, b = b, a
+		}
+		va := MaxProfitableVolume(c.WithEPennyPrice(a), 10_000, 1.0)
+		vb := MaxProfitableVolume(c.WithEPennyPrice(b), 10_000, 1.0)
+		return va >= vb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarketSupplyCurve(t *testing.T) {
+	m := MarketModel{Seed: 4}
+	prices := []float64{0, 0.001, 0.01, 0.1}
+	pts := m.Supply(prices)
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].TotalSpam > pts[i-1].TotalSpam {
+			t.Fatalf("supply not monotone: %v", pts)
+		}
+		if pts[i].ActiveSpammers > pts[i-1].ActiveSpammers {
+			t.Fatalf("active spammers not monotone: %v", pts)
+		}
+	}
+	if pts[0].TotalSpam == 0 {
+		t.Fatal("free spam supply is zero — model degenerate")
+	}
+	if pts[3].TotalSpam*100 > pts[0].TotalSpam {
+		t.Fatalf("at $0.10 spam should collapse >100x: %d vs %d", pts[3].TotalSpam, pts[0].TotalSpam)
+	}
+}
+
+func TestMarketDeterminism(t *testing.T) {
+	m := MarketModel{Seed: 9}
+	a := m.Supply([]float64{0, 0.01})
+	b := m.Supply([]float64{0, 0.01})
+	if a[0].TotalSpam != b[0].TotalSpam || a[1].TotalSpam != b[1].TotalSpam {
+		t.Fatal("market model not deterministic")
+	}
+}
+
+func TestAdoptionPositiveFeedback(t *testing.T) {
+	m := AdoptionModel{Seed: 2}
+	traj := m.Run(30)
+	if traj[0].CompliantISPs != 2 {
+		t.Fatalf("bootstrap = %d, want 2", traj[0].CompliantISPs)
+	}
+	for i := 1; i < len(traj); i++ {
+		if traj[i].CompliantISPs < traj[i-1].CompliantISPs {
+			t.Fatal("compliant ISPs decreased")
+		}
+		if traj[i].CompliantUserFrac < traj[i-1].CompliantUserFrac-1e-9 {
+			t.Fatal("compliant user share decreased")
+		}
+	}
+	last := traj[len(traj)-1]
+	if last.CompliantUserFrac < 0.9 {
+		t.Fatalf("final user share = %.2f, want > 0.9", last.CompliantUserFrac)
+	}
+	if tip := TippingRound(traj, 0.5); tip <= 0 {
+		t.Fatalf("tipping round = %d", tip)
+	}
+	// Compliant users always see less spam.
+	for _, p := range traj {
+		if p.MeanSpamCompliant > p.MeanSpamOther {
+			t.Fatal("compliant users saw more spam than others")
+		}
+	}
+}
+
+func TestTippingRoundNotReached(t *testing.T) {
+	traj := []AdoptionPoint{{Round: 0, CompliantUserFrac: 0.1}}
+	if got := TippingRound(traj, 0.5); got != -1 {
+		t.Fatalf("TippingRound = %d, want -1", got)
+	}
+}
+
+func TestZombieLimitCapsAndDetects(t *testing.T) {
+	unlimited := ZombieModel{Machines: 50, SendRatePerHour: 400, Seed: 7}.RunDay()
+	if unlimited.Blocked != 0 || unlimited.DetectedMachines != 0 {
+		t.Fatalf("plain SMTP blocked/detected: %+v", unlimited)
+	}
+	if unlimited.OwnerCostEPennies != 0 {
+		t.Fatal("plain SMTP charged owners")
+	}
+
+	capped := ZombieModel{Machines: 50, SendRatePerHour: 400, DailyLimit: 200, Seed: 7}.RunDay()
+	if capped.Delivered > 50*200 {
+		t.Fatalf("delivered %d exceeds machines×limit", capped.Delivered)
+	}
+	if capped.DetectedMachines != 50 {
+		t.Fatalf("detected %d of 50", capped.DetectedMachines)
+	}
+	if capped.MeanDetectionHour <= 0 || capped.MeanDetectionHour > 1 {
+		t.Fatalf("detection hour = %g, want under an hour at 400/h vs limit 200", capped.MeanDetectionHour)
+	}
+	if capped.Attempted != unlimited.Attempted {
+		t.Fatal("same seed should attempt the same volume")
+	}
+	if capped.Delivered+capped.Blocked != capped.Attempted {
+		t.Fatal("delivered+blocked != attempted")
+	}
+	if capped.OwnerCostEPennies != capped.Delivered {
+		t.Fatal("owner liability != delivered paid mail")
+	}
+}
+
+func TestZombieHighLimitNoDetection(t *testing.T) {
+	out := ZombieModel{Machines: 10, SendRatePerHour: 10, DailyLimit: 100_000, Seed: 1}.RunDay()
+	if out.DetectedMachines != 0 || out.Blocked != 0 {
+		t.Fatalf("high limit tripped: %+v", out)
+	}
+}
+
+func TestTrafficZeroSum(t *testing.T) {
+	tm := TrafficModel{Users: 50, Seed: 3}
+	events := tm.Generate(5000)
+	if len(events) != 5000 {
+		t.Fatalf("events = %d", len(events))
+	}
+	net := NetFlows(50, events)
+	var total int64
+	for _, n := range net {
+		total += n
+	}
+	if total != 0 {
+		t.Fatalf("population net = %d, want 0 (exact zero-sum)", total)
+	}
+	for _, e := range events {
+		if e.From == e.To {
+			t.Fatal("self-send generated")
+		}
+		if e.From < 0 || e.From >= 50 || e.To < 0 || e.To >= 50 {
+			t.Fatalf("event out of range: %+v", e)
+		}
+	}
+}
+
+func TestTrafficDeterminism(t *testing.T) {
+	a := TrafficModel{Users: 20, Seed: 5}.Generate(100)
+	b := TrafficModel{Users: 20, Seed: 5}.Generate(100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("traffic model not deterministic")
+		}
+	}
+}
+
+func TestTrafficRoughSymmetry(t *testing.T) {
+	// Mean |net| should be far below per-user volume: active users
+	// both send and receive more.
+	tm := TrafficModel{Users: 100, Seed: 8}
+	net := NetFlows(100, tm.Generate(20_000))
+	perUser := 200.0
+	var absSum float64
+	for _, n := range net {
+		absSum += math.Abs(float64(n))
+	}
+	if rel := (absSum / 100) / perUser; rel > 0.6 {
+		t.Fatalf("mean |drift| = %.2f of volume, want < 0.6", rel)
+	}
+}
+
+func TestAttentionModelMatchesGartner(t *testing.T) {
+	a := AttentionModel{} // 2004 calibration
+	loss := a.AnnualLossDollars()
+	// The paper cites Gartner: $300k/year for a 1000-employee business.
+	if loss < 250_000 || loss > 350_000 {
+		t.Fatalf("calibrated loss = $%.0f, want ~$300k", loss)
+	}
+	if per := a.PerEmployeePerYear(); math.Abs(per-loss/1000) > 1e-9 {
+		t.Fatalf("per-employee = %g, want loss/1000", per)
+	}
+}
+
+func TestAttentionModelZeroSpamIsFree(t *testing.T) {
+	a := AttentionModel{}.WithSpamRate(0)
+	if got := a.AnnualLossDollars(); got != 0 {
+		t.Fatalf("spam-free loss = $%g, want 0", got)
+	}
+	if got := a.HoursLostPerYear(); got != 0 {
+		t.Fatalf("spam-free hours = %g", got)
+	}
+}
+
+func TestAttentionModelScalesLinearly(t *testing.T) {
+	half := AttentionModel{}.WithSpamRate(13.3 / 2)
+	full := AttentionModel{}
+	if math.Abs(half.AnnualLossDollars()*2-full.AnnualLossDollars()) > 1e-6 {
+		t.Fatal("loss not linear in spam rate")
+	}
+	big := AttentionModel{Employees: 2000}
+	if math.Abs(big.AnnualLossDollars()-2*full.AnnualLossDollars()) > 1e-6 {
+		t.Fatal("loss not linear in headcount")
+	}
+}

@@ -1,0 +1,105 @@
+package economy
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MarketModel aggregates a heterogeneous population of spammers into a
+// spam-supply curve as a function of the e-penny price (experiment
+// E10). Each spammer draws a response rate and margin from log-normal
+// distributions around the reference campaign, plus a target-pool size;
+// at a given price each sends its MaxProfitableVolume.
+type MarketModel struct {
+	// Spammers is the population size.
+	Spammers int
+	// Reference centers the distributions.
+	Reference Campaign
+	// RateSigma and MarginSigma are the log-normal spreads of response
+	// rate and margin; zero selects 1.0 and 0.5.
+	RateSigma, MarginSigma float64
+	// PoolMean is the mean targeted-prospect pool; zero selects 50k.
+	PoolMean float64
+	// Elasticity is the diminishing-returns exponent; zero selects 1.0.
+	Elasticity float64
+	// Seed drives the draws.
+	Seed int64
+}
+
+func (m MarketModel) defaults() MarketModel {
+	if m.Spammers == 0 {
+		m.Spammers = 200
+	}
+	if m.Reference == (Campaign{}) {
+		m.Reference = ReferenceCampaign2004()
+	}
+	if m.RateSigma == 0 {
+		m.RateSigma = 1.0
+	}
+	if m.MarginSigma == 0 {
+		m.MarginSigma = 0.5
+	}
+	if m.PoolMean == 0 {
+		m.PoolMean = 50_000
+	}
+	if m.Elasticity == 0 {
+		m.Elasticity = 1.0
+	}
+	return m
+}
+
+// SupplyPoint is one row of the spam-supply curve.
+type SupplyPoint struct {
+	// PriceDollars is the e-penny price per message.
+	PriceDollars float64
+	// TotalSpam is the aggregate profitable volume at that price.
+	TotalSpam int64
+	// ActiveSpammers counts spammers with positive volume.
+	ActiveSpammers int
+	// MeanBreakEvenRate is the population's mean break-even response
+	// rate at that price.
+	MeanBreakEvenRate float64
+}
+
+// Supply evaluates the spam-supply curve at each price. The same seed
+// yields the same spammer population across prices, so the curve is a
+// true comparative static.
+func (m MarketModel) Supply(prices []float64) []SupplyPoint {
+	m = m.defaults()
+	rng := rand.New(rand.NewSource(m.Seed))
+
+	type spammer struct {
+		c    Campaign
+		pool int64
+	}
+	pop := make([]spammer, m.Spammers)
+	for i := range pop {
+		c := m.Reference
+		c.ResponseRate *= math.Exp(rng.NormFloat64() * m.RateSigma)
+		c.RevenuePerResponse *= math.Exp(rng.NormFloat64() * m.MarginSigma)
+		pool := int64(m.PoolMean * math.Exp(rng.NormFloat64()*0.7))
+		if pool < 100 {
+			pool = 100
+		}
+		pop[i] = spammer{c: c, pool: pool}
+	}
+
+	out := make([]SupplyPoint, 0, len(prices))
+	for _, price := range prices {
+		var pt SupplyPoint
+		pt.PriceDollars = price
+		var beSum float64
+		for _, sp := range pop {
+			c := sp.c.WithEPennyPrice(price)
+			v := MaxProfitableVolume(c, sp.pool, m.Elasticity)
+			if v > 0 {
+				pt.ActiveSpammers++
+				pt.TotalSpam += v
+			}
+			beSum += c.BreakEvenResponseRate()
+		}
+		pt.MeanBreakEvenRate = beSum / float64(len(pop))
+		out = append(out, pt)
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+// Package economy contains the market models behind the Zmail paper's
+// §1.2 argument: spam-campaign economics (break-even response rates
+// under free SMTP versus sender-pays Zmail), normal-user traffic
+// symmetry, zombie outbreaks bounded by daily limits, ISP adoption
+// dynamics for incremental deployment, and the aggregate market
+// response of spam volume to the e-penny price.
+//
+// All models are deterministic given their seeds; monetary quantities
+// are float64 dollars at this layer (these are projections, not ledger
+// entries — the ledgers in internal/isp and internal/bank stay
+// integral).
+package economy
+
+import "math"
+
+// Campaign describes one bulk-mail campaign's economics.
+//
+// Calibration follows the paper's framing: 2004-era spammers paid
+// roughly $100 per million messages of infrastructure (≈$0.0001 per
+// message), so a $0.01 e-penny raises marginal cost by two orders of
+// magnitude ("the cost of sending spam will increase by at least two
+// orders of magnitude").
+type Campaign struct {
+	// Messages is the campaign size.
+	Messages int64
+	// InfraCostPerMsg is the sender's pre-Zmail marginal cost per
+	// message, in dollars (bandwidth, botnet rental, list purchase).
+	InfraCostPerMsg float64
+	// EPennyPrice is the Zmail postage per message in dollars (0 for
+	// plain SMTP, 0.01 for the paper's nominal e-penny).
+	EPennyPrice float64
+	// ResponseRate is the fraction of recipients who buy.
+	ResponseRate float64
+	// RevenuePerResponse is the seller's margin per conversion, in
+	// dollars.
+	RevenuePerResponse float64
+	// DeliveryRate is the fraction of messages that reach an inbox
+	// (filters and dead addresses reduce it); zero means 1.
+	DeliveryRate float64
+}
+
+func (c Campaign) deliveryRate() float64 {
+	if c.DeliveryRate == 0 {
+		return 1
+	}
+	return c.DeliveryRate
+}
+
+// CostPerMessage is the sender's total marginal cost per message.
+func (c Campaign) CostPerMessage() float64 {
+	return c.InfraCostPerMsg + c.EPennyPrice
+}
+
+// TotalCost is the campaign's total sending cost.
+func (c Campaign) TotalCost() float64 {
+	return float64(c.Messages) * c.CostPerMessage()
+}
+
+// ExpectedRevenue is conversions × margin.
+func (c Campaign) ExpectedRevenue() float64 {
+	return float64(c.Messages) * c.deliveryRate() * c.ResponseRate * c.RevenuePerResponse
+}
+
+// Profit is revenue minus cost.
+func (c Campaign) Profit() float64 {
+	return c.ExpectedRevenue() - c.TotalCost()
+}
+
+// Profitable reports whether the campaign clears break-even.
+func (c Campaign) Profitable() bool { return c.Profit() > 0 }
+
+// BreakEvenResponseRate is the response rate at which profit is zero:
+// cost-per-delivered-message / revenue-per-response. The paper's claim
+// is that this rises by the same factor as the cost ("the response rate
+// required to break even will increase similarly").
+func (c Campaign) BreakEvenResponseRate() float64 {
+	if c.RevenuePerResponse <= 0 {
+		return math.Inf(1)
+	}
+	return c.CostPerMessage() / (c.deliveryRate() * c.RevenuePerResponse)
+}
+
+// WithEPennyPrice returns a copy of the campaign priced under Zmail.
+func (c Campaign) WithEPennyPrice(price float64) Campaign {
+	c.EPennyPrice = price
+	return c
+}
+
+// CostIncreaseFactor returns how much Zmail at the given price
+// multiplies the campaign's marginal cost — the paper's
+// "two orders of magnitude" figure for the nominal calibration.
+func (c Campaign) CostIncreaseFactor(price float64) float64 {
+	if c.InfraCostPerMsg <= 0 {
+		return math.Inf(1)
+	}
+	return (c.InfraCostPerMsg + price) / c.InfraCostPerMsg
+}
+
+// ReferenceCampaign2004 is the calibration used throughout the
+// experiments: a one-million-message campaign at $0.0001 infrastructure
+// cost, 0.005 % response rate and $20 margin per response — numbers in
+// the range industry reports cited by the paper (Brightmail, Ferris
+// Research) describe for 2004-era spam.
+func ReferenceCampaign2004() Campaign {
+	return Campaign{
+		Messages:           1_000_000,
+		InfraCostPerMsg:    0.0001,
+		ResponseRate:       0.00005,
+		RevenuePerResponse: 20,
+	}
+}
+
+// MaxProfitableVolume returns how many messages a spammer with a fixed
+// prospect pool can profitably send under diminishing returns: the
+// prospect pool's response propensity declines as volume grows (the
+// best-targeted addresses are mailed first). The response rate at
+// volume v is base × (targetPool/v)^elasticity for v > targetPool.
+// This is the per-spammer supply curve aggregated by MarketModel.
+func MaxProfitableVolume(c Campaign, targetPool int64, elasticity float64) int64 {
+	if targetPool <= 0 {
+		return 0
+	}
+	costPerMsg := c.CostPerMessage()
+	if costPerMsg <= 0 {
+		return math.MaxInt64 / 2 // free sending: volume unbounded
+	}
+	// Marginal revenue at volume v: rate(v) × revenue. Send while
+	// marginal revenue >= marginal cost.
+	rate := func(v int64) float64 {
+		if v <= targetPool {
+			return c.ResponseRate
+		}
+		return c.ResponseRate * math.Pow(float64(targetPool)/float64(v), elasticity)
+	}
+	marginal := func(v int64) float64 {
+		return rate(v)*c.deliveryRate()*c.RevenuePerResponse - costPerMsg
+	}
+	if marginal(targetPool) < 0 {
+		// Even the best-targeted message loses money.
+		if marginal(1) < 0 {
+			return 0
+		}
+		// Binary search within the pool is unnecessary: rate is flat
+		// inside the pool, so either all of it profits or none does.
+		return 0
+	}
+	// Exponential + binary search for the crossover above the pool.
+	lo, hi := targetPool, targetPool
+	for marginal(hi) >= 0 && hi < math.MaxInt64/4 {
+		lo = hi
+		hi *= 2
+	}
+	for lo < hi-1 {
+		mid := lo + (hi-lo)/2
+		if marginal(mid) >= 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

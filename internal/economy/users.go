@@ -1,0 +1,108 @@
+package economy
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// TrafficModel generates the normal-user workload for experiment E3:
+// a population whose members exchange mail with one another, roughly
+// symmetrically, as §1.2 assumes ("Users who receive as much email as
+// they send, on average, will neither pay nor profit").
+//
+// Each user draws an activity level; each message picks its sender
+// proportional to activity and its recipient from the sender's contact
+// circle. Symmetry is emergent, not imposed: active users both send
+// and receive more.
+type TrafficModel struct {
+	// Users is the population size.
+	Users int
+	// ContactsPerUser sizes each user's circle; zero selects 20.
+	ContactsPerUser int
+	// ActivitySigma is the log-normal spread of activity; zero selects
+	// 0.8.
+	ActivitySigma float64
+	// Seed drives all draws.
+	Seed int64
+}
+
+// Event is one generated message: sender and recipient user indexes.
+type Event struct {
+	From, To int
+}
+
+// Generate produces n message events.
+func (t TrafficModel) Generate(n int) []Event {
+	if t.Users == 0 {
+		t.Users = 100
+	}
+	if t.ContactsPerUser == 0 {
+		t.ContactsPerUser = 20
+	}
+	if t.ActivitySigma == 0 {
+		t.ActivitySigma = 0.8
+	}
+	rng := rand.New(rand.NewSource(t.Seed))
+
+	// Activity weights and cumulative distribution for sender picks.
+	weights := make([]float64, t.Users)
+	var total float64
+	for i := range weights {
+		w := lognormal(rng, t.ActivitySigma)
+		weights[i] = w
+		total += w
+	}
+	cum := make([]float64, t.Users)
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		cum[i] = acc
+	}
+
+	// Contact circles: preferential toward active users, so heavy
+	// senders are also heavy receivers.
+	contacts := make([][]int, t.Users)
+	for i := range contacts {
+		circle := make([]int, 0, t.ContactsPerUser)
+		for len(circle) < t.ContactsPerUser {
+			c := pickWeighted(rng, cum)
+			if c != i {
+				circle = append(circle, c)
+			}
+		}
+		contacts[i] = circle
+	}
+
+	events := make([]Event, n)
+	for k := range events {
+		from := pickWeighted(rng, cum)
+		to := contacts[from][rng.Intn(len(contacts[from]))]
+		events[k] = Event{From: from, To: to}
+	}
+	return events
+}
+
+// NetFlows tallies sent−received per user for a batch of events; under
+// Zmail each unit is one e-penny of net drift.
+func NetFlows(users int, events []Event) []int64 {
+	net := make([]int64, users)
+	for _, e := range events {
+		net[e.From]--
+		net[e.To]++
+	}
+	return net
+}
+
+func lognormal(rng *rand.Rand, sigma float64) float64 {
+	return math.Exp(rng.NormFloat64() * sigma)
+}
+
+// pickWeighted draws an index from a cumulative distribution.
+func pickWeighted(rng *rand.Rand, cum []float64) int {
+	i := sort.SearchFloat64s(cum, rng.Float64())
+	if i >= len(cum) {
+		i = len(cum) - 1
+	}
+	return i
+}

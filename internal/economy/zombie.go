@@ -1,0 +1,83 @@
+package economy
+
+import (
+	"math/rand"
+)
+
+// ZombieModel simulates the §5 email-virus scenario: infected machines
+// ("zombies") send spam at machine speed at their owner's expense,
+// and the per-user daily e-penny limit both caps the damage and
+// *detects* the infection ("Exceeding this limit blocks further
+// outgoing mail ... and the user is sent a warning message to check for
+// viruses").
+type ZombieModel struct {
+	// Machines is the number of infected machines.
+	Machines int
+	// SendRatePerHour is each zombie's attempted send rate.
+	SendRatePerHour float64
+	// DailyLimit is the Zmail per-user limit; 0 disables the limit
+	// (the plain-SMTP baseline).
+	DailyLimit int64
+	// Seed drives send-time jitter.
+	Seed int64
+}
+
+// ZombieOutcome summarizes one simulated day of an outbreak.
+type ZombieOutcome struct {
+	// Attempted is the total messages the zombies tried to send.
+	Attempted int64
+	// Delivered is how many actually went out (≤ limit × machines
+	// under Zmail).
+	Delivered int64
+	// Blocked is attempts rejected by the limit.
+	Blocked int64
+	// DetectedMachines is how many zombies tripped their limit and
+	// triggered the §5 warning.
+	DetectedMachines int
+	// MeanDetectionHour is the mean hour-of-day at which detection
+	// fired (0 if none).
+	MeanDetectionHour float64
+	// OwnerCostEPennies is the e-penny spend the owners are liable for.
+	OwnerCostEPennies int64
+}
+
+// RunDay simulates 24 hours of the outbreak.
+func (z ZombieModel) RunDay() ZombieOutcome {
+	if z.Machines == 0 {
+		z.Machines = 100
+	}
+	if z.SendRatePerHour == 0 {
+		z.SendRatePerHour = 500
+	}
+	rng := rand.New(rand.NewSource(z.Seed))
+
+	var out ZombieOutcome
+	var detectSum float64
+	for m := 0; m < z.Machines; m++ {
+		// Jitter each machine's rate ±20%.
+		rate := z.SendRatePerHour * (0.8 + 0.4*rng.Float64())
+		attempts := int64(rate * 24)
+		out.Attempted += attempts
+
+		if z.DailyLimit <= 0 {
+			out.Delivered += attempts
+			out.OwnerCostEPennies += 0 // plain SMTP: free, silent
+			continue
+		}
+		if attempts <= z.DailyLimit {
+			out.Delivered += attempts
+			out.OwnerCostEPennies += attempts
+			continue
+		}
+		out.Delivered += z.DailyLimit
+		out.Blocked += attempts - z.DailyLimit
+		out.OwnerCostEPennies += z.DailyLimit
+		out.DetectedMachines++
+		// Detection hour: when cumulative sends hit the limit.
+		detectSum += float64(z.DailyLimit) / rate
+	}
+	if out.DetectedMachines > 0 {
+		out.MeanDetectionHour = detectSum / float64(out.DetectedMachines)
+	}
+	return out
+}

@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"zmail/internal/ap/zmailspec"
+	"zmail/internal/bank"
+	"zmail/internal/clock"
+	"zmail/internal/corpus"
+	"zmail/internal/crypto"
+	"zmail/internal/filter"
+	"zmail/internal/isp"
+	"zmail/internal/mail"
+	"zmail/internal/metrics"
+	"zmail/internal/wire"
+)
+
+// replayRig wires one engine to one bank through capturing loopback
+// transports so E11 can replay captured ciphertext.
+type replayRig struct {
+	eng      *isp.Engine
+	bk       *bank.Bank
+	toBank   []*wire.Envelope
+	toISP    []*wire.Envelope
+	clk      *clock.Virtual
+	deferred []func()
+}
+
+func (r *replayRig) SendMail(int, string, *mail.Message) {}
+func (r *replayRig) DeliverLocal(string, *mail.Message)  {}
+func (r *replayRig) DeliverAck(string, *mail.Message)    {}
+func (r *replayRig) SendBank(env *wire.Envelope) {
+	r.toBank = append(r.toBank, env)
+	r.deferred = append(r.deferred, func() { _ = r.bk.Handle(env) })
+}
+func (r *replayRig) SendISP(_ int, env *wire.Envelope) {
+	r.toISP = append(r.toISP, env)
+	r.deferred = append(r.deferred, func() { _ = r.eng.HandleBank(env) })
+}
+
+// settle runs deferred deliveries until quiescent.
+func (r *replayRig) settle() {
+	for len(r.deferred) > 0 {
+		q := r.deferred
+		r.deferred = nil
+		for _, fn := range q {
+			fn()
+		}
+	}
+	r.clk.RunUntilIdle()
+}
+
+// E11 — replay protection (§4.3–§4.4): replayed buy/sell envelopes and
+// stale replies are rejected by nonces; replayed snapshot requests by
+// sequence numbers; and money moves exactly once.
+func E11(_ int64) (*Result, error) {
+	rig := &replayRig{clk: clock.NewVirtual(time.Unix(1_100_000_000, 0))}
+	dir := isp.NewDirectory([]string{"a.example"}, nil)
+	eng, err := isp.New(isp.Config{
+		Index: 0, Domain: "a.example", Directory: dir,
+		Clock: rig.clk, Transport: rig,
+		MinAvail: 100, MaxAvail: 1000, InitialAvail: 10, // below min: wants to buy
+		FreezeDuration: time.Second,
+		BankSealer:     crypto.Null{}, OwnSealer: crypto.Null{},
+	})
+	if err != nil {
+		return nil, err
+	}
+	bk, err := bank.New(bank.Config{
+		NumISPs: 1, InitialAccount: 100_000,
+		Transport: rig, OwnSealer: crypto.Null{},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := bk.Enroll(0, crypto.Null{}); err != nil {
+		return nil, err
+	}
+	rig.eng, rig.bk = eng, bk
+
+	table := metrics.NewTable("E11: replay-attack outcomes", "attack", "outcome", "ledger effect")
+	pass := true
+	row := func(name string, ok bool, effect string) {
+		pass = pass && ok
+		verdict := "rejected"
+		if !ok {
+			verdict = "ACCEPTED (vulnerability)"
+		}
+		table.AddRow(name, verdict, effect)
+	}
+
+	// Legitimate buy: engine below MinAvail buys on Tick.
+	if err := eng.Tick(); err != nil {
+		return nil, err
+	}
+	rig.settle()
+	acct0, _ := bk.Account(0)
+	availAfterBuy := eng.Avail()
+	if len(rig.toBank) == 0 {
+		return nil, errors.New("E11: no buy captured")
+	}
+	buyEnv := rig.toBank[0]
+
+	// Attack 1: replay the captured buy envelope to the bank.
+	err1 := bk.Handle(buyEnv)
+	rig.settle()
+	acct1, _ := bk.Account(0)
+	row("replay buy to bank", errors.Is(err1, bank.ErrReplay) && acct1 == acct0,
+		fmt.Sprintf("account %v -> %v (unchanged)", acct0, acct1))
+
+	// Attack 2: replay the captured buyreply to the ISP.
+	if len(rig.toISP) == 0 {
+		return nil, errors.New("E11: no buyreply captured")
+	}
+	err2 := eng.HandleBank(rig.toISP[0])
+	row("replay buyreply to ISP", errors.Is(err2, isp.ErrStaleReply) && eng.Avail() == availAfterBuy,
+		fmt.Sprintf("pool %v (unchanged)", eng.Avail()))
+
+	// Legitimate snapshot round.
+	preReq := len(rig.toISP)
+	if err := bk.StartSnapshot(); err != nil {
+		return nil, err
+	}
+	rig.settle()
+	rounds0 := eng.Stats().SnapshotRounds
+	if len(rig.toISP) <= preReq {
+		return nil, errors.New("E11: no snapshot request captured")
+	}
+	reqEnv := rig.toISP[preReq]
+
+	// Attack 3: replay the snapshot request (old seq).
+	err3 := eng.HandleBank(reqEnv)
+	rig.settle()
+	row("replay snapshot request", errors.Is(err3, isp.ErrStaleReply) && eng.Stats().SnapshotRounds == rounds0,
+		fmt.Sprintf("rounds %d (unchanged), frozen=%v", eng.Stats().SnapshotRounds, eng.Frozen()))
+
+	// Attack 4: replay the ISP's credit report to the bank.
+	var report *wire.Envelope
+	for _, env := range rig.toBank {
+		if env.Kind == wire.KindReply {
+			report = env
+		}
+	}
+	if report == nil {
+		return nil, errors.New("E11: no credit report captured")
+	}
+	roundsBank := bk.Stats().Rounds
+	err4 := bk.Handle(report)
+	row("replay credit report to bank", errors.Is(err4, bank.ErrReplay) && bk.Stats().Rounds == roundsBank,
+		fmt.Sprintf("verified rounds %d (unchanged)", bk.Stats().Rounds))
+
+	notes := fmt.Sprintf("bank replay counter=%d; every replay rejected with the nonce/seq checks of §4.3-§4.4",
+		bk.Stats().Replays)
+	return &Result{
+		ID:    "E11",
+		Title: "nonces and sequence numbers defeat message replay",
+		Table: table,
+		Pass:  pass,
+		Notes: notes,
+	}, nil
+}
+
+// E13 — filtering baselines' false positives (§2.2): a trained Bayes
+// filter discards a meaningful share of legitimate newsletters (the
+// paper's Jupiter-figures hazard) and loses recall against mangled
+// spam, while Zmail by construction never discards paid mail.
+func E13(seed int64) (*Result, error) {
+	gen := corpus.NewGenerator(seed)
+	bayes := filter.NewBayes()
+	for _, m := range gen.Batch(corpus.Spam, 400) {
+		bayes.TrainSpam(m)
+	}
+	for _, m := range gen.Batch(corpus.Ham, 400) {
+		bayes.TrainHam(m)
+	}
+
+	rate := func(msgs []*mail.Message) float64 {
+		discarded := 0
+		for _, m := range msgs {
+			if bayes.Classify("x.example", m) == filter.Discard {
+				discarded++
+			}
+		}
+		return float64(discarded) / float64(len(msgs))
+	}
+
+	spamRate := rate(gen.Batch(corpus.Spam, 300))
+	hamRate := rate(gen.Batch(corpus.Ham, 300))
+	newsRate := rate(gen.Batch(corpus.Newsletter, 300))
+	gen.MangleProb = 0.6
+	mangledRate := rate(gen.Batch(corpus.Spam, 300))
+	gen.MangleProb = 0
+
+	table := metrics.NewTable("E13: Bayes filter (trained 400+400) vs Zmail on held-out classes",
+		"class", "bayes discard rate", "zmail discard rate")
+	table.AddRow("spam (clean)", fmt.Sprintf("%.1f%%", 100*spamRate), "0% (unpaid path: policy)")
+	table.AddRow("spam (mangled, 60% tokens)", fmt.Sprintf("%.1f%%", 100*mangledRate), "0% (sender still pays)")
+	table.AddRow("ham (personal)", fmt.Sprintf("%.1f%%", 100*hamRate), "0%")
+	table.AddRow("newsletter (solicited commercial)", fmt.Sprintf("%.1f%%", 100*newsRate), "0%")
+
+	pass := spamRate > 0.9 && // the filter does work on clean spam
+		newsRate > 0.10 && // but newsletters suffer real false positives
+		newsRate > hamRate+0.05 && // concentrated on commercial legit mail
+		mangledRate < spamRate // and mangling evades it
+	notes := fmt.Sprintf("newsletter false-positive rate %.1f%% vs ham %.1f%%; mangling cuts spam recall %.1f%%->%.1f%%; Zmail has no discard decision to get wrong",
+		100*newsRate, 100*hamRate, 100*spamRate, 100*mangledRate)
+	return &Result{
+		ID:    "E13",
+		Title: "content filters false-positive on legitimate commercial mail; Zmail cannot",
+		Table: table,
+		Pass:  pass,
+		Notes: notes,
+	}, nil
+}
+
+// E14 — formal-spec model check (§3–§4): the paper's pseudocode, run on
+// the AP runtime under randomized fair scheduling with snapshot rounds
+// and bank trades, maintains conservation, antisymmetry, solvency and
+// rate-limit invariants; an injected cheater is flagged.
+func E14(seed int64) (*Result, error) {
+	table := metrics.NewTable("E14: randomized model check of the §4 AP specification",
+		"run", "seed", "steps", "invariant violations", "bank flags", "expected flags")
+	pass := true
+
+	for run := 0; run < 4; run++ {
+		s := zmailspec.New(zmailspec.Config{NumISPs: 4, UsersPerISP: 3, Seed: seed + int64(run)})
+		violations := 0
+		for round := 0; round < 3; round++ {
+			if _, err := s.Run(4000); err != nil {
+				violations++
+			}
+			s.TriggerSnapshot()
+			if _, err := s.Run(4000); err != nil {
+				violations++
+			}
+			s.TriggerEndOfDay()
+		}
+		ok := violations == 0 && len(s.Violations) == 0
+		pass = pass && ok
+		table.AddRow(fmt.Sprintf("honest-%d", run), seed+int64(run), s.Sys.Steps(),
+			violations, len(s.Violations), 0)
+	}
+
+	// Cheater run: isp[1] understates credit; the spec's own invariants
+	// tolerate it (cheater pairs are exempted) but the bank must flag it.
+	sc := zmailspec.New(zmailspec.Config{NumISPs: 4, UsersPerISP: 3, Seed: seed + 99})
+	sc.InjectCheat(1)
+	if _, err := sc.Run(6000); err != nil {
+		return nil, fmt.Errorf("cheater run invariant: %w", err)
+	}
+	sc.TriggerSnapshot()
+	if _, err := sc.Run(6000); err != nil {
+		return nil, fmt.Errorf("cheater run invariant: %w", err)
+	}
+	cheaterFlagged := false
+	cleanPairFlagged := false
+	for _, v := range sc.Violations {
+		if v[0] == 1 || v[1] == 1 {
+			cheaterFlagged = true
+		} else {
+			cleanPairFlagged = true
+		}
+	}
+	table.AddRow("cheater(isp1)", seed+99, sc.Sys.Steps(), 0,
+		len(sc.Violations), ">=1 involving isp1")
+	pass = pass && cheaterFlagged && !cleanPairFlagged
+
+	notes := "all safety invariants hold at every step across randomized schedules; verification flags only the injected cheater"
+	return &Result{
+		ID:    "E14",
+		Title: "the paper's formal specification passes randomized model checking",
+		Table: table,
+		Pass:  pass,
+		Notes: notes,
+	}, nil
+}

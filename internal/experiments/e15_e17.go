@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"zmail/internal/ap"
+	"zmail/internal/ap/zmailspec"
+	"zmail/internal/metrics"
+	"zmail/internal/sim"
+)
+
+// E15 — inter-ISP settlement (§1.3): Zmail is "an accounting
+// relationship among compliant ISPs, which reconcile payments to and
+// from their users." With settlement enabled, each verified audit round
+// moves real money between ISP bank accounts to back the period's net
+// e-penny flows; total money is conserved; flagged pairs are frozen.
+func E15(seed int64) (*Result, error) {
+	const n = 3
+	w, err := sim.NewWorld(sim.Config{
+		NumISPs:     n,
+		UsersPerISP: 4,
+		Settle:      true,
+		BankFunds:   10_000,
+		Seed:        seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	moneyBefore := w.Bank.TotalAccounts()
+
+	table := metrics.NewTable("E15: settlement over 3 billing periods (isp0's users are net senders)",
+		"period", "net flow 0→1", "net flow 0→2", "transfers", "acct isp0", "acct isp1", "acct isp2")
+	pass := true
+	for period := 1; period <= 3; period++ {
+		// Asymmetric traffic: isp0's users each send 10 to isp1 and 5
+		// to isp2; a trickle comes back.
+		for u := 0; u < 4; u++ {
+			for k := 0; k < 10; k++ {
+				if _, err := w.Send(w.UserAddr(0, u), w.UserAddr(1, (u+k)%4), "m", "b"); err != nil {
+					return nil, err
+				}
+			}
+			for k := 0; k < 5; k++ {
+				if _, err := w.Send(w.UserAddr(0, u), w.UserAddr(2, (u+k)%4), "m", "b"); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := w.Send(w.UserAddr(1, u), w.UserAddr(0, u), "re", "b"); err != nil {
+				return nil, err
+			}
+		}
+		w.Run()
+		credit0 := w.Engine(0).Credit()
+		net01, net02 := credit0[1], credit0[2]
+		if err := w.SnapshotRound(); err != nil {
+			return nil, err
+		}
+		transfers := w.Bank.LastTransfers()
+		a0, _ := w.Bank.Account(0)
+		a1, _ := w.Bank.Account(1)
+		a2, _ := w.Bank.Account(2)
+		table.AddRow(period, net01, net02, len(transfers), a0, a1, a2)
+
+		// isp0 net-sent, so its account must fall each period.
+		if net01 <= 0 || len(transfers) == 0 {
+			pass = false
+		}
+	}
+
+	a0, _ := w.Bank.Account(0)
+	a1, _ := w.Bank.Account(1)
+	conserved := w.Bank.TotalAccounts() == moneyBefore
+	st := w.Bank.Stats()
+	pass = pass && conserved && a0 < 10_000 && a1 > 10_000 &&
+		st.SettlementShortfalls == 0 && len(w.Bank.Violations()) == 0 &&
+		w.ConservationHolds()
+	notes := fmt.Sprintf("money conserved across settlement (%v total); isp0 paid out %v over 3 periods; e-penny conservation intact",
+		w.Bank.TotalAccounts(), 10_000-a0)
+	return &Result{
+		ID:    "E15",
+		Title: "audit rounds settle real money along net e-penny flows",
+		Table: table,
+		Pass:  pass,
+		Notes: notes,
+	}, nil
+}
+
+// E16 — ablations: re-enable two behaviors of the paper's literal
+// pseudocode that this reproduction fixed, and show each one fail under
+// the model checker — the evidence behind deviations 3 and 4 in
+// internal/ap/zmailspec.
+func E16(seed int64) (*Result, error) {
+	table := metrics.NewTable("E16: ablations of the paper's literal pseudocode (model-checked)",
+		"variant", "seeds", "failures observed", "failure mode")
+
+	// Ablation A: §4.3's sell-at-reply. Expect solvency violations
+	// (negative pool) on most seeds.
+	const seeds = 6
+	sellFailures := 0
+	for k := int64(0); k < seeds; k++ {
+		s := zmailspec.New(zmailspec.Config{
+			NumISPs: 3, UsersPerISP: 3, Seed: seed + k,
+			PaperSellAtReply: true,
+		})
+		if _, err := s.Run(40_000); err != nil {
+			var ie *ap.InvariantError
+			if errors.As(err, &ie) && ie.Invariant == "solvency" {
+				sellFailures++
+			} else {
+				return nil, fmt.Errorf("unexpected failure: %w", err)
+			}
+		}
+	}
+	table.AddRow("sell-at-reply (paper §4.3)", seeds, sellFailures, "pool overdrawn (solvency)")
+
+	// Control: the escrow fix never fails on the same seeds.
+	escrowFailures := 0
+	for k := int64(0); k < seeds; k++ {
+		s := zmailspec.New(zmailspec.Config{NumISPs: 3, UsersPerISP: 3, Seed: seed + k})
+		if _, err := s.Run(40_000); err != nil {
+			escrowFailures++
+		}
+	}
+	table.AddRow("escrow-at-send (this repo)", seeds, escrowFailures, "none")
+
+	// Ablation B: §4.4's immediate resume. Expect the bank to flag
+	// honest pairs (false positives) on some seeds.
+	falsePositiveSeeds := 0
+	totalFlags := 0
+	for k := int64(0); k < seeds; k++ {
+		s := zmailspec.New(zmailspec.Config{
+			NumISPs: 4, UsersPerISP: 3, Seed: seed + k,
+			Limit:        1 << 30, // keep senders active during the race window
+			UnsafeResume: true,
+		})
+		for round := 0; round < 6; round++ {
+			if _, err := s.Run(2000); err != nil {
+				return nil, fmt.Errorf("unsafe-resume run: %w", err)
+			}
+			s.TriggerSnapshot()
+			if _, err := s.Run(8000); err != nil {
+				return nil, fmt.Errorf("unsafe-resume snapshot: %w", err)
+			}
+			s.TriggerEndOfDay()
+		}
+		if len(s.Violations) > 0 {
+			falsePositiveSeeds++
+			totalFlags += len(s.Violations)
+		}
+	}
+	table.AddRow("immediate resume (paper §4.4)", seeds, falsePositiveSeeds,
+		fmt.Sprintf("honest ISPs flagged (%d pair flags total)", totalFlags))
+
+	// Control: the resume barrier never flags honest ISPs (this is
+	// also asserted by E14; re-run two seeds here for the table).
+	barrierFlags := 0
+	for k := int64(0); k < 2; k++ {
+		s := zmailspec.New(zmailspec.Config{NumISPs: 4, UsersPerISP: 3, Seed: seed + k})
+		for round := 0; round < 4; round++ {
+			if _, err := s.Run(3000); err != nil {
+				return nil, err
+			}
+			s.TriggerSnapshot()
+			if _, err := s.Run(8000); err != nil {
+				return nil, err
+			}
+		}
+		barrierFlags += len(s.Violations)
+	}
+	table.AddRow("resume barrier (this repo)", 2, barrierFlags, "none")
+
+	pass := sellFailures > 0 && escrowFailures == 0 &&
+		falsePositiveSeeds > 0 && barrierFlags == 0
+	notes := fmt.Sprintf(
+		"sell-at-reply overdraws the pool on %d/%d seeds; immediate resume falsely flags honest ISPs on %d/%d seeds; both fixes are failure-free",
+		sellFailures, seeds, falsePositiveSeeds, seeds)
+	return &Result{
+		ID:    "E16",
+		Title: "ablations confirm both published-spec bugs and both fixes",
+		Table: table,
+		Pass:  pass,
+		Notes: notes,
+	}, nil
+}

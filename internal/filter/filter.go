@@ -1,0 +1,76 @@
+// Package filter implements the anti-spam baselines the Zmail paper
+// surveys in §2, so the evaluation harness can compare Zmail against
+// them on the same workloads:
+//
+//   - header-based filtering: blacklists and whitelists (§2.2);
+//   - content-based filtering: a naive-Bayes classifier in the style
+//     of Sahami et al. (§2.2, ref [26]);
+//   - human-effort challenge/response in the style of Mailblocks and
+//     Active Spam Killer (§2.3);
+//   - computational proof-of-work in the style of hashcash and the
+//     Penny Black project (§2.3, refs [4], [22]);
+//   - SHRED/Vanquish-style receiver-triggered per-message payments
+//     (§2.3, refs [16], [31]) — the economic baseline whose four
+//     weaknesses Zmail is designed to overcome.
+package filter
+
+import (
+	"zmail/internal/mail"
+)
+
+// Verdict is a filter decision.
+type Verdict int
+
+// Verdicts.
+const (
+	// Deliver passes the message to the inbox.
+	Deliver Verdict = iota + 1
+	// Discard silently drops the message.
+	Discard
+	// Challenge holds the message pending a challenge-response round.
+	Challenge
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Deliver:
+		return "deliver"
+	case Discard:
+		return "discard"
+	case Challenge:
+		return "challenge"
+	default:
+		return "unknown"
+	}
+}
+
+// Filter classifies inbound messages.
+type Filter interface {
+	// Classify returns a verdict for the message, which arrived from
+	// the given peer domain.
+	Classify(fromDomain string, msg *mail.Message) Verdict
+}
+
+// Func adapts a function to Filter.
+type Func func(fromDomain string, msg *mail.Message) Verdict
+
+// Classify implements Filter.
+func (f Func) Classify(fromDomain string, msg *mail.Message) Verdict {
+	return f(fromDomain, msg)
+}
+
+// Chain applies filters in order and returns the first non-Deliver
+// verdict (whitelist-style filters should therefore come first and
+// return Deliver to short-circuit: use Allow for that).
+type Chain []Filter
+
+// Classify implements Filter.
+func (c Chain) Classify(fromDomain string, msg *mail.Message) Verdict {
+	for _, f := range c {
+		if v := f.Classify(fromDomain, msg); v != Deliver {
+			return v
+		}
+	}
+	return Deliver
+}

@@ -1,0 +1,327 @@
+package filter
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"zmail/internal/mail"
+)
+
+func msg(from, to, subject, body string) *mail.Message {
+	return mail.NewMessage(mail.MustParseAddress(from), mail.MustParseAddress(to), subject, body)
+}
+
+func TestBlacklist(t *testing.T) {
+	b := NewBlacklist("spamhaus.example")
+	m := msg("x@spamhaus.example", "u@a.example", "s", "b")
+	if got := b.Classify("spamhaus.example", m); got != Discard {
+		t.Fatalf("listed domain = %v", got)
+	}
+	if got := b.Classify("clean.example", m); got != Deliver {
+		t.Fatalf("unlisted domain = %v", got)
+	}
+	b.Add("NEW.example")
+	if !b.Contains("new.EXAMPLE") {
+		t.Fatal("blacklist not case-insensitive")
+	}
+	b.Remove("new.example")
+	if b.Contains("new.example") {
+		t.Fatal("Remove did not delist")
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+}
+
+// TestBlacklistEvasion demonstrates the paper's §2.2 critique: the
+// spammer moves to a fresh domain and the blacklist misses.
+func TestBlacklistEvasion(t *testing.T) {
+	b := NewBlacklist("old-spam.example")
+	m := msg("x@fresh-spam.example", "u@a.example", "buy pills", "pills")
+	if got := b.Classify("fresh-spam.example", m); got != Deliver {
+		t.Fatalf("fresh domain = %v (blacklists cannot catch rotation)", got)
+	}
+}
+
+func TestWhitelist(t *testing.T) {
+	friend := mail.MustParseAddress("friend@b.example")
+	w := NewWhitelist(Challenge, friend)
+	if got := w.Classify("b.example", msg("friend@b.example", "u@a.example", "s", "b")); got != Deliver {
+		t.Fatalf("listed sender = %v", got)
+	}
+	if got := w.Classify("b.example", msg("stranger@b.example", "u@a.example", "s", "b")); got != Challenge {
+		t.Fatalf("unlisted sender = %v", got)
+	}
+	w.Add(mail.MustParseAddress("new@c.example"))
+	if !w.Contains(mail.MustParseAddress("new@c.example")) {
+		t.Fatal("Add failed")
+	}
+}
+
+// TestWhitelistForgery demonstrates the paper's §2.2 critique: a forged
+// From passes the whitelist.
+func TestWhitelistForgery(t *testing.T) {
+	friend := mail.MustParseAddress("friend@b.example")
+	w := NewWhitelist(Discard, friend)
+	forged := msg("friend@b.example", "u@a.example", "buy pills", "pills")
+	if got := w.Classify("evil.example", forged); got != Deliver {
+		t.Fatalf("forged sender = %v (whitelists trust the From header)", got)
+	}
+}
+
+func TestChain(t *testing.T) {
+	friend := mail.MustParseAddress("friend@b.example")
+	chain := Chain{
+		NewWhitelist(Deliver, friend), // advisory: falls through
+		NewBlacklist("bad.example"),
+	}
+	if got := chain.Classify("bad.example", msg("x@bad.example", "u@a.example", "s", "b")); got != Discard {
+		t.Fatalf("chain blacklist = %v", got)
+	}
+	if got := chain.Classify("ok.example", msg("x@ok.example", "u@a.example", "s", "b")); got != Deliver {
+		t.Fatalf("chain passthrough = %v", got)
+	}
+}
+
+func TestFilterFunc(t *testing.T) {
+	f := Func(func(_ string, m *mail.Message) Verdict {
+		if strings.Contains(m.Subject(), "spam") {
+			return Discard
+		}
+		return Deliver
+	})
+	if f.Classify("x", msg("a@b.example", "c@d.example", "spammy", "b")) != Discard {
+		t.Fatal("func filter")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Deliver.String() != "deliver" || Discard.String() != "discard" ||
+		Challenge.String() != "challenge" || Verdict(99).String() != "unknown" {
+		t.Fatal("verdict names")
+	}
+}
+
+func TestBayesLearnsSeparation(t *testing.T) {
+	b := NewBayes()
+	for i := 0; i < 50; i++ {
+		b.TrainSpamText("viagra casino lottery winner pills free offer")
+		b.TrainHamText("meeting project deadline report lunch thanks")
+	}
+	spamMsg := msg("x@y.example", "u@a.example", "viagra casino", "lottery winner pills")
+	hamMsg := msg("x@y.example", "u@a.example", "meeting", "project deadline report")
+	if p := b.SpamProbability(spamMsg); p < 0.9 {
+		t.Fatalf("P(spam|spam) = %g", p)
+	}
+	if p := b.SpamProbability(hamMsg); p > 0.1 {
+		t.Fatalf("P(spam|ham) = %g", p)
+	}
+	if b.Classify("y.example", spamMsg) != Discard {
+		t.Fatal("spam not discarded")
+	}
+	if b.Classify("y.example", hamMsg) != Deliver {
+		t.Fatal("ham discarded")
+	}
+}
+
+func TestBayesUntrainedIsNeutral(t *testing.T) {
+	b := NewBayes()
+	if p := b.SpamProbability(msg("a@b.example", "c@d.example", "anything", "at all")); p != 0.5 {
+		t.Fatalf("untrained P = %g, want 0.5", p)
+	}
+	if b.Classify("b.example", msg("a@b.example", "c@d.example", "s", "b")) != Deliver {
+		t.Fatal("untrained filter should deliver")
+	}
+}
+
+// TestBayesProbabilityBounds: probabilities stay in [0,1] for any
+// input, including pathological token floods.
+func TestBayesProbabilityBounds(t *testing.T) {
+	b := NewBayes()
+	b.TrainSpamText("aaa bbb ccc")
+	b.TrainHamText("xxx yyy zzz")
+	f := func(body string) bool {
+		m := msg("a@b.example", "c@d.example", "s", body)
+		p := b.SpamProbability(m)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+	// Extreme repetition must not overflow to NaN/Inf.
+	long := strings.Repeat("aaa ", 5000)
+	if p := b.SpamProbability(msg("a@b.example", "c@d.example", "s", long)); p < 0.99 {
+		t.Fatalf("flooded spam tokens: P = %g", p)
+	}
+}
+
+func TestBayesThreshold(t *testing.T) {
+	b := NewBayes()
+	b.TrainSpamText("casino casino casino")
+	b.TrainHamText("meeting meeting meeting")
+	borderline := msg("a@b.example", "c@d.example", "", "casino meeting")
+	b.Threshold = 0.999999
+	if b.Classify("b.example", borderline) != Deliver {
+		t.Fatal("near-1 threshold should deliver borderline mail")
+	}
+	b.Threshold = 0.000001
+	if b.Classify("b.example", borderline) != Discard {
+		t.Fatal("near-0 threshold should discard everything")
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Hello, WORLD! x a1-b2 don't")
+	want := []string{"hello", "world", "a1", "b2", "don"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tokenize = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBayesVocabularySize(t *testing.T) {
+	b := NewBayes()
+	b.TrainSpamText("aa bb")
+	b.TrainHamText("bb cc")
+	if got := b.VocabularySize(); got != 3 {
+		t.Fatalf("VocabularySize = %d, want 3", got)
+	}
+}
+
+func TestHashcashMintVerify(t *testing.T) {
+	h := Hashcash{Bits: 8} // cheap for tests
+	stamp, err := h.MintStamp("bob@a.example:20041101", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.VerifyStamp(stamp, "bob@a.example:20041101"); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong resource fails.
+	if err := h.VerifyStamp(stamp, "eve@a.example:20041101"); !errors.Is(err, ErrBadStamp) {
+		t.Fatalf("wrong resource: %v", err)
+	}
+	// Tampered counter fails (almost surely).
+	if err := h.VerifyStamp(stamp+"0", "bob@a.example:20041101"); err == nil {
+		t.Fatal("tampered stamp verified")
+	}
+	// Garbage fails.
+	if err := h.VerifyStamp("nonsense", "bob@a.example:20041101"); !errors.Is(err, ErrBadStamp) {
+		t.Fatalf("garbage stamp: %v", err)
+	}
+}
+
+func TestHashcashDifficultyScales(t *testing.T) {
+	if (Hashcash{}).ExpectedHashes() != float64(1<<20) {
+		t.Fatal("default difficulty should be 20 bits")
+	}
+	if (Hashcash{Bits: 8}).ExpectedHashes() != 256 {
+		t.Fatal("8-bit difficulty")
+	}
+}
+
+func TestHashcashMaxTries(t *testing.T) {
+	h := Hashcash{Bits: 30}
+	if _, err := h.MintStamp("r", 10); err == nil {
+		t.Fatal("10 tries at 30 bits should fail")
+	}
+}
+
+func TestHashcashStampsUniquePerResource(t *testing.T) {
+	h := Hashcash{Bits: 6}
+	f := func(n uint16) bool {
+		res := "user" + string(rune('a'+n%26)) + "@x.example"
+		stamp, err := h.MintStamp(res, 0)
+		if err != nil {
+			return false
+		}
+		return h.VerifyStamp(stamp, res) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChallengeResponseFlow(t *testing.T) {
+	known := mail.MustParseAddress("friend@b.example")
+	cr := NewChallengeResponse(known)
+
+	// Known sender delivers directly.
+	if got := cr.Classify("b.example", msg("friend@b.example", "u@a.example", "s", "b")); got != Deliver {
+		t.Fatalf("known sender = %v", got)
+	}
+
+	// Unknown sender is challenged; mail held.
+	stranger := msg("new@c.example", "u@a.example", "hello", "b")
+	if got := cr.Classify("c.example", stranger); got != Challenge {
+		t.Fatalf("unknown sender = %v", got)
+	}
+	cr.Hold(stranger)
+	if cr.PendingSenders() != 1 {
+		t.Fatalf("pending = %d", cr.PendingSenders())
+	}
+
+	// Human responds: mail released, sender now known.
+	released := cr.Respond(mail.MustParseAddress("new@c.example"))
+	if len(released) != 1 || released[0].Subject() != "hello" {
+		t.Fatalf("released = %v", released)
+	}
+	if got := cr.Classify("c.example", msg("new@c.example", "u@a.example", "again", "b")); got != Deliver {
+		t.Fatalf("responder still challenged: %v", got)
+	}
+
+	// Bulk mailer never responds: held mail expires.
+	bulk := msg("blast@d.example", "u@a.example", "offer", "b")
+	cr.Hold(bulk)
+	cr.Hold(bulk.Clone())
+	if n := cr.Expire(mail.MustParseAddress("blast@d.example")); n != 2 {
+		t.Fatalf("expired = %d", n)
+	}
+	st := cr.Stats()
+	if st.ChallengesIssued != 3 || st.Released != 1 || st.Expired != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestShredModel(t *testing.T) {
+	s := NewShred()
+	s.SetColluding("colluder.example", true)
+	// 100 spams from an honest-ISP spammer, half triggered.
+	for i := 0; i < 100; i++ {
+		s.Deliver("spammer.example", i%2 == 0)
+	}
+	// 100 spams via the colluding ISP, half triggered.
+	for i := 0; i < 100; i++ {
+		s.Deliver("colluder.example", i%2 == 0)
+	}
+	st := s.Stats()
+	if st.Delivered != 200 || st.Triggers != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.CollectedReal != 50 || st.RefundedReal != 50 {
+		t.Fatalf("collusion accounting: %+v", st)
+	}
+	if st.UserActions != 100 {
+		t.Fatalf("user actions = %d (each trigger costs effort)", st.UserActions)
+	}
+	if st.AccountingMsgs != 300 {
+		t.Fatalf("accounting msgs = %d, want 100×3", st.AccountingMsgs)
+	}
+	// Effective deterrent: 50 pennies over 200 spams = $0.0025/spam,
+	// versus Zmail's unconditional $0.01.
+	if got := s.EffectiveCostPerSpam(); got != 0.25 {
+		t.Fatalf("effective cost = %g pennies/spam", got)
+	}
+}
+
+func TestShredZeroDeliveries(t *testing.T) {
+	if NewShred().EffectiveCostPerSpam() != 0 {
+		t.Fatal("zero deliveries should cost zero")
+	}
+}

@@ -1,0 +1,112 @@
+package filter
+
+import (
+	"sync"
+
+	"zmail/internal/money"
+)
+
+// Shred is a behavioral model of the SHRED and Vanquish schemes the
+// paper compares against in §2.3: the *receiver* of an unwanted email
+// may trigger a payment from the sender to the *sender's ISP* (not to
+// the receiver). The model exposes exactly the four weaknesses the
+// paper enumerates so experiment E5 can quantify them against Zmail:
+//
+//  1. extra user effort — every trigger is one additional user action,
+//     counted in UserActions;
+//  2. no receiver incentive — the trigger probability is a model input
+//     (low in calibrated runs, since the receiver gains nothing);
+//  3. ISP collusion — a colluding sender ISP refunds the payment to
+//     the spammer, zeroing the deterrent; toggled per sender ISP;
+//  4. per-payment overhead — every trigger generates AccountingMsgs
+//     control messages handled individually, versus Zmail's bulk
+//     reconciliation.
+type Shred struct {
+	// PenaltyPerMessage is the payment a trigger extracts; the paper
+	// says "one penny or even a fraction of a penny".
+	PenaltyPerMessage money.Penny
+	// MsgsPerPayment is how many control messages one individual
+	// payment costs end to end (receiver ISP → sender ISP → settlement).
+	MsgsPerPayment int64
+
+	mu             sync.Mutex
+	colluding      map[string]bool
+	delivered      int64
+	triggers       int64
+	userActions    int64
+	accountingMsgs int64
+	collectedReal  money.Penny // penalties actually costing the spammer
+	refundedReal   money.Penny // penalties refunded by colluding ISPs
+}
+
+// NewShred creates the model with the classic one-penny penalty and a
+// three-message settlement path.
+func NewShred() *Shred {
+	return &Shred{
+		PenaltyPerMessage: 1,
+		MsgsPerPayment:    3,
+		colluding:         make(map[string]bool),
+	}
+}
+
+// SetColluding marks a sender ISP domain as colluding with spammers
+// (weakness 3).
+func (s *Shred) SetColluding(domain string, colluding bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.colluding[domain] = colluding
+}
+
+// Deliver records one delivered message and, when triggered is true,
+// one receiver-initiated penalty against the sender's ISP domain.
+func (s *Shred) Deliver(senderDomain string, triggered bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.delivered++
+	if !triggered {
+		return
+	}
+	s.triggers++
+	s.userActions++ // the extra action beyond deleting the message
+	s.accountingMsgs += s.MsgsPerPayment
+	if s.colluding[senderDomain] {
+		s.refundedReal += s.PenaltyPerMessage
+	} else {
+		s.collectedReal += s.PenaltyPerMessage
+	}
+}
+
+// ShredStats is a snapshot of the model's counters.
+type ShredStats struct {
+	Delivered      int64
+	Triggers       int64
+	UserActions    int64
+	AccountingMsgs int64
+	CollectedReal  money.Penny
+	RefundedReal   money.Penny
+}
+
+// Stats returns the counters.
+func (s *Shred) Stats() ShredStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ShredStats{
+		Delivered:      s.delivered,
+		Triggers:       s.triggers,
+		UserActions:    s.userActions,
+		AccountingMsgs: s.accountingMsgs,
+		CollectedReal:  s.collectedReal,
+		RefundedReal:   s.refundedReal,
+	}
+}
+
+// EffectiveCostPerSpam returns the expected real cost one spam imposes
+// on its sender under this model: penalty × trigger rate, zeroed by
+// collusion.
+func (s *Shred) EffectiveCostPerSpam() float64 {
+	st := s.Stats()
+	if st.Delivered == 0 {
+		return 0
+	}
+	return float64(st.CollectedReal) / float64(st.Delivered)
+}

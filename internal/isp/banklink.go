@@ -1,0 +1,221 @@
+package isp
+
+import (
+	"errors"
+	"fmt"
+
+	"zmail/internal/money"
+	"zmail/internal/wire"
+)
+
+// Errors specific to bank traffic.
+var (
+	ErrNotConfigured = errors.New("isp: bank sealers not configured")
+	ErrStaleReply    = errors.New("isp: bank reply nonce does not match a pending request")
+)
+
+// Tick runs the §4.3 pool-maintenance guards: if the pool is below
+// MinAvail and no buy is outstanding, request more inventory from the
+// bank; if above MaxAvail and no sell is outstanding, sell the excess.
+// Call it periodically (the simulator calls it after every delivery
+// round; the daemon on a timer).
+func (e *Engine) Tick() error {
+	err := e.tickLocked()
+	e.flush()
+	return err
+}
+
+func (e *Engine) tickLocked() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	if e.avail < e.cfg.MinAvail && e.canBuy {
+		if e.cfg.BankSealer == nil {
+			return ErrNotConfigured
+		}
+		nonce, err := e.nonces.Next()
+		if err != nil {
+			return fmt.Errorf("isp: buy nonce: %w", err)
+		}
+		e.canBuy = false
+		e.ns1 = nonce
+		e.buyVal = e.cfg.RestockAmount
+		body := (&wire.Buy{Value: int64(e.buyVal), Nonce: uint64(nonce)}).MarshalBinary()
+		sealed, err := e.cfg.BankSealer.Seal(body)
+		if err != nil {
+			e.canBuy = true
+			return fmt.Errorf("isp: seal buy: %w", err)
+		}
+		env := &wire.Envelope{Kind: wire.KindBuy, From: int32(e.cfg.Index), Payload: sealed}
+		e.emit(func() { e.cfg.Transport.SendBank(env) })
+	}
+
+	if e.avail > e.cfg.MaxAvail && e.canSell {
+		if e.cfg.BankSealer == nil {
+			return ErrNotConfigured
+		}
+		nonce, err := e.nonces.Next()
+		if err != nil {
+			return fmt.Errorf("isp: sell nonce: %w", err)
+		}
+		e.canSell = false
+		e.ns2 = nonce
+		// Sell down to the midpoint of the operating band. The sold
+		// amount is escrowed out of the pool now: the paper's §4.3
+		// pseudocode decrements avail only when the sellreply arrives,
+		// which lets user buys during the bank round-trip overdraw the
+		// pool (found by the model checker, experiment E14).
+		mid := e.cfg.MinAvail + (e.cfg.MaxAvail-e.cfg.MinAvail)/2
+		e.sellVal = e.avail - mid
+		e.avail -= e.sellVal
+		body := (&wire.Sell{Value: int64(e.sellVal), Nonce: uint64(nonce)}).MarshalBinary()
+		sealed, err := e.cfg.BankSealer.Seal(body)
+		if err != nil {
+			e.avail += e.sellVal
+			e.canSell = true
+			return fmt.Errorf("isp: seal sell: %w", err)
+		}
+		env := &wire.Envelope{Kind: wire.KindSell, From: int32(e.cfg.Index), Payload: sealed}
+		e.emit(func() { e.cfg.Transport.SendBank(env) })
+	}
+	return nil
+}
+
+// HandleBank processes a control message from the bank: buy/sell
+// replies (§4.3) and snapshot requests (§4.4). Replies with stale or
+// replayed nonces are dropped with ErrStaleReply, exactly as the
+// paper's ns≠nr branches skip.
+func (e *Engine) HandleBank(env *wire.Envelope) error {
+	err := e.handleBankLocked(env)
+	e.flush()
+	return err
+}
+
+func (e *Engine) handleBankLocked(env *wire.Envelope) error {
+	if e.cfg.OwnSealer == nil {
+		return ErrNotConfigured
+	}
+	plain, err := e.cfg.OwnSealer.Open(env.Payload)
+	if err != nil {
+		return fmt.Errorf("isp: open bank message: %w", err)
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	switch env.Kind {
+	case wire.KindBuyReply:
+		var br wire.BuyReply
+		if err := br.UnmarshalBinary(plain); err != nil {
+			return err
+		}
+		if e.canBuy || br.Nonce != uint64(e.ns1) {
+			return ErrStaleReply
+		}
+		e.canBuy = true
+		if br.Accepted {
+			e.avail += e.buyVal
+		}
+		return nil
+
+	case wire.KindSellReply:
+		var sr wire.SellReply
+		if err := sr.UnmarshalBinary(plain); err != nil {
+			return err
+		}
+		if e.canSell || sr.Nonce != uint64(e.ns2) {
+			return ErrStaleReply
+		}
+		// The sold amount was escrowed at send time; the reply only
+		// closes the exchange.
+		e.canSell = true
+		return nil
+
+	case wire.KindRequest:
+		var rq wire.Request
+		if err := rq.UnmarshalBinary(plain); err != nil {
+			return err
+		}
+		if rq.Seq != e.seq || e.frozen {
+			return ErrStaleReply // replayed snapshot request (§4.4)
+		}
+		e.beginFreezeLocked(rq.Seq)
+		return nil
+
+	default:
+		return fmt.Errorf("isp: unexpected bank message kind %v", env.Kind)
+	}
+}
+
+// beginFreezeLocked starts the §4.4 snapshot: stop sending, arm the
+// quiet-period timer. Call with mu held.
+func (e *Engine) beginFreezeLocked(seq uint64) {
+	if e.frozen {
+		return
+	}
+	e.frozen = true
+	e.emit(func() {
+		e.cfg.Clock.AfterFunc(e.cfg.FreezeDuration, func() { e.finishFreeze(seq) })
+	})
+}
+
+// finishFreeze runs when the quiet period expires: report the credit
+// array, reset it for the new billing period, thaw, and drain the
+// buffered outbox.
+func (e *Engine) finishFreeze(seq uint64) {
+	e.mu.Lock()
+	if !e.frozen {
+		e.mu.Unlock()
+		return
+	}
+	report := &wire.CreditReport{Seq: seq, Credits: make([]int64, len(e.credit))}
+	copy(report.Credits, e.credit)
+	for i := range e.credit {
+		e.credit[i] = 0
+	}
+	e.seq++
+	e.frozen = false
+	e.stats.SnapshotRounds++
+	outbox := e.outbox
+	e.outbox = nil
+
+	var env *wire.Envelope
+	var sealErr error
+	if e.cfg.BankSealer != nil {
+		sealed, err := e.cfg.BankSealer.Seal(report.MarshalBinary())
+		if err != nil {
+			sealErr = err
+		} else {
+			env = &wire.Envelope{Kind: wire.KindReply, From: int32(e.cfg.Index), Payload: sealed}
+		}
+	}
+	if env != nil {
+		e.emit(func() { e.cfg.Transport.SendBank(env) })
+	}
+	e.mu.Unlock()
+	e.flush()
+	_ = sealErr // a seal failure only skips the report; next round retries
+
+	// Drain the buffered outbox through the normal submission path.
+	// Messages that can no longer be funded are dropped, mirroring what
+	// a real MTA queue does when an account is closed mid-queue.
+	for _, msg := range outbox {
+		_, _ = e.submitLocked(msg, true)
+		e.flush()
+	}
+}
+
+// ForceSnapshot triggers the freeze path without a bank request; used
+// by tests and the simulator's direct-drive mode.
+func (e *Engine) ForceSnapshot() {
+	e.mu.Lock()
+	seq := e.seq
+	e.beginFreezeLocked(seq)
+	e.mu.Unlock()
+	e.flush()
+}
+
+// PoolBand reports the configured (min, max) pool thresholds.
+func (e *Engine) PoolBand() (money.EPenny, money.EPenny) {
+	return e.cfg.MinAvail, e.cfg.MaxAvail
+}

@@ -1,0 +1,476 @@
+// Package isp implements the compliant-ISP side of the Zmail protocol
+// (§4 of the paper): the per-user e-penny ledger, the per-peer credit
+// arrays, the e-penny pool traded with the bank, the daily send limits
+// that bound zombie damage, and the snapshot freeze that lets the bank
+// audit the federation.
+//
+// The Engine is pure bookkeeping plus an injected clock: all I/O is
+// delegated to callbacks (Transport), so the identical engine runs
+// under the deterministic in-process simulator (internal/sim) and under
+// the real SMTP/TCP daemon (cmd/zmaild). Callbacks are always invoked
+// after the engine's lock is released, so they may re-enter the engine.
+package isp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"zmail/internal/clock"
+	"zmail/internal/crypto"
+	"zmail/internal/mail"
+	"zmail/internal/money"
+	"zmail/internal/wire"
+)
+
+// Directory maps mail domains to federation ISP indexes and records
+// which ISPs are compliant. It corresponds to the paper's published
+// "compliant" array, extended with the domain names real SMTP needs.
+type Directory struct {
+	Domains   []string
+	Compliant []bool
+}
+
+// NewDirectory builds a directory; compliant may be nil (all
+// compliant).
+func NewDirectory(domains []string, compliant []bool) *Directory {
+	if compliant == nil {
+		compliant = make([]bool, len(domains))
+		for i := range compliant {
+			compliant[i] = true
+		}
+	}
+	return &Directory{Domains: domains, Compliant: compliant}
+}
+
+// Lookup resolves a domain. ok is false for domains outside the
+// directory (treated as non-compliant foreign ISPs).
+func (d *Directory) Lookup(domain string) (index int, compliant bool, ok bool) {
+	for i, dom := range d.Domains {
+		if dom == domain {
+			return i, d.Compliant[i], true
+		}
+	}
+	return -1, false, false
+}
+
+// Len returns the number of ISPs in the federation.
+func (d *Directory) Len() int { return len(d.Domains) }
+
+// NonCompliantPolicy selects what a compliant ISP does with mail
+// arriving from non-compliant ISPs. §4.1 leaves this open ("deliver to
+// r or discard it"); §5 notes users "may decide to segregate or discard
+// email from non-compliant ISPs, or require [it] to pass a spam
+// filter".
+type NonCompliantPolicy int
+
+// Policies for unpaid inbound mail.
+const (
+	// AcceptUnpaid delivers mail from non-compliant ISPs normally.
+	AcceptUnpaid NonCompliantPolicy = iota + 1
+	// TagUnpaid delivers it with an X-Zmail-Unpaid header so clients
+	// can segregate it.
+	TagUnpaid
+	// FilterUnpaid passes it through the configured Filter; rejected
+	// mail is discarded.
+	FilterUnpaid
+	// RejectUnpaid discards all unpaid mail.
+	RejectUnpaid
+)
+
+// HeaderUnpaid marks mail that arrived without an e-penny payment.
+const HeaderUnpaid = "X-Zmail-Unpaid"
+
+// Transport carries the engine's outbound traffic. Implementations
+// must not block for long; they are called outside the engine lock.
+type Transport interface {
+	// SendMail transmits a message to the ISP at the given federation
+	// index (or any foreign domain when index is -1).
+	SendMail(toIndex int, toDomain string, msg *mail.Message)
+	// SendBank transmits a sealed control message to the bank.
+	SendBank(env *wire.Envelope)
+	// DeliverLocal hands an inbound message to a local mailbox.
+	DeliverLocal(user string, msg *mail.Message)
+	// DeliverAck hands an inbound acknowledgment (never shown to a
+	// human) to whatever local agent awaits it, e.g. a mailing-list
+	// distributor.
+	DeliverAck(user string, msg *mail.Message)
+}
+
+// Config configures an Engine.
+type Config struct {
+	// Index is this ISP's federation index.
+	Index int
+	// Domain is this ISP's mail domain.
+	Domain string
+	// Directory is the federation map (required).
+	Directory *Directory
+	// Clock is injected time (required).
+	Clock clock.Clock
+	// Transport carries outbound traffic (required).
+	Transport Transport
+
+	// MinAvail/MaxAvail bound the e-penny pool (§4.3). When the pool
+	// drops below MinAvail the engine buys RestockAmount from the bank;
+	// above MaxAvail it sells the excess down to the midpoint.
+	MinAvail, MaxAvail money.EPenny
+	// InitialAvail seeds the pool.
+	InitialAvail money.EPenny
+	// RestockAmount is the buy size; 0 means (MaxAvail-MinAvail)/2.
+	RestockAmount money.EPenny
+
+	// DefaultLimit is the per-user daily send cap applied when a user
+	// registers without an explicit limit (§5, zombie containment).
+	DefaultLimit int64
+
+	// FreezeDuration is the snapshot quiet period (§4.4's "10
+	// minutes"). Zero selects 10 minutes.
+	FreezeDuration time.Duration
+
+	// Policy selects handling of unpaid inbound mail; zero selects
+	// AcceptUnpaid.
+	Policy NonCompliantPolicy
+	// Filter is consulted when Policy is FilterUnpaid; it reports
+	// whether the message should be delivered.
+	Filter func(msg *mail.Message) bool
+
+	// BankSealer seals control messages to the bank (required for bank
+	// traffic; crypto.Null{} is acceptable in simulations).
+	BankSealer crypto.Sealer
+	// OwnSealer opens bank replies sealed to this ISP (required for
+	// bank traffic).
+	OwnSealer crypto.Sealer
+	// Nonces generates replay-protection nonces; nil selects a fresh
+	// crypto source.
+	Nonces *crypto.Source
+}
+
+// Errors reported by the engine.
+var (
+	ErrUnknownUser         = errors.New("isp: unknown user")
+	ErrDuplicateUser       = errors.New("isp: user already registered")
+	ErrInsufficientBalance = errors.New("isp: insufficient e-penny balance")
+	ErrInsufficientFunds   = errors.New("isp: insufficient real-money account")
+	ErrLimitExceeded       = errors.New("isp: daily send limit exceeded")
+	ErrPoolExhausted       = errors.New("isp: e-penny pool exhausted")
+	ErrBadAmount           = errors.New("isp: amount must be positive")
+	ErrNotCompliant        = errors.New("isp: operation requires a compliant ISP")
+)
+
+// SendOutcome describes what Submit did with a message.
+type SendOutcome int
+
+// Submit outcomes.
+const (
+	// SentLocal: delivered to a mailbox on this ISP; one e-penny moved
+	// between the two local balances.
+	SentLocal SendOutcome = iota + 1
+	// SentPaid: transmitted to a compliant peer; sender charged, this
+	// ISP's credit against the peer incremented.
+	SentPaid
+	// SentUnpaid: transmitted to a non-compliant or foreign ISP with no
+	// payment (the paper's ~compliant[j] branch).
+	SentUnpaid
+	// SentBuffered: the engine is frozen for a snapshot; the message is
+	// queued and will be charged and transmitted at thaw (§4.4: "these
+	// emails will be buffered and sent right after the timeout
+	// expires").
+	SentBuffered
+)
+
+// String names the outcome.
+func (o SendOutcome) String() string {
+	switch o {
+	case SentLocal:
+		return "local"
+	case SentPaid:
+		return "paid"
+	case SentUnpaid:
+		return "unpaid"
+	case SentBuffered:
+		return "buffered"
+	default:
+		return fmt.Sprintf("SendOutcome(%d)", int(o))
+	}
+}
+
+// user is the paper's per-user state row.
+type user struct {
+	account money.Penny  // real pennies on deposit with the ISP
+	balance money.EPenny // e-pennies
+	sent    int64        // emails sent today (compliant paths only)
+	limit   int64        // daily cap
+	// warnedToday marks that the §5 zombie warning has been delivered
+	// for the current day; reset at EndOfDay.
+	warnedToday bool
+	// journal is the user's recent statement ring (see journal.go).
+	journal []Entry
+}
+
+// UserInfo is a read-only snapshot of one user's state.
+type UserInfo struct {
+	Name    string
+	Account money.Penny
+	Balance money.EPenny
+	Sent    int64
+	Limit   int64
+}
+
+// Stats is a read-only snapshot of engine counters.
+type Stats struct {
+	Submitted      int64
+	DeliveredLocal int64
+	SentPaid       int64
+	SentUnpaid     int64
+	ReceivedPaid   int64
+	ReceivedUnpaid int64
+	Discarded      int64
+	AcksGenerated  int64
+	AcksReceived   int64
+	Buffered       int64
+	LimitRejects   int64
+	BalanceRejects int64
+	SnapshotRounds int64
+	ZombieWarnings int64
+}
+
+// Engine is one compliant ISP's protocol state machine.
+type Engine struct {
+	cfg    Config
+	nonces *crypto.Source
+
+	mu         sync.Mutex
+	users      map[string]*user
+	credit     []int64
+	avail      money.EPenny
+	frozen     bool
+	outbox     []*mail.Message
+	seq        uint64
+	canBuy     bool
+	canSell    bool
+	ns1        crypto.Nonce // pending buy nonce
+	ns2        crypto.Nonce // pending sell nonce
+	buyVal     money.EPenny
+	sellVal    money.EPenny
+	msgIDs     *mail.MessageIDCounter
+	stats      Stats
+	cheat      bool
+	journalSeq int64
+
+	// emitq holds callbacks queued under the lock and run after it is
+	// released, so Transport implementations may re-enter the engine.
+	emitq []func()
+}
+
+// New validates cfg and builds an engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Directory == nil {
+		return nil, errors.New("isp: Config.Directory is required")
+	}
+	if cfg.Clock == nil {
+		return nil, errors.New("isp: Config.Clock is required")
+	}
+	if cfg.Transport == nil {
+		return nil, errors.New("isp: Config.Transport is required")
+	}
+	if cfg.Index < 0 || cfg.Index >= cfg.Directory.Len() {
+		return nil, fmt.Errorf("isp: index %d outside directory of %d ISPs", cfg.Index, cfg.Directory.Len())
+	}
+	if !cfg.Directory.Compliant[cfg.Index] {
+		return nil, ErrNotCompliant
+	}
+	if cfg.MinAvail == 0 {
+		cfg.MinAvail = 100
+	}
+	if cfg.MaxAvail == 0 {
+		cfg.MaxAvail = 10 * cfg.MinAvail
+	}
+	if cfg.MaxAvail <= cfg.MinAvail {
+		return nil, fmt.Errorf("isp: MaxAvail %d must exceed MinAvail %d", cfg.MaxAvail, cfg.MinAvail)
+	}
+	if cfg.RestockAmount == 0 {
+		cfg.RestockAmount = (cfg.MaxAvail - cfg.MinAvail) / 2
+	}
+	if cfg.DefaultLimit == 0 {
+		cfg.DefaultLimit = 500
+	}
+	if cfg.FreezeDuration == 0 {
+		cfg.FreezeDuration = 10 * time.Minute
+	}
+	if cfg.Policy == 0 {
+		cfg.Policy = AcceptUnpaid
+	}
+	nonces := cfg.Nonces
+	if nonces == nil {
+		nonces = crypto.NewSource(nil)
+	}
+	return &Engine{
+		cfg:     cfg,
+		nonces:  nonces,
+		users:   make(map[string]*user),
+		credit:  make([]int64, cfg.Directory.Len()),
+		avail:   cfg.InitialAvail,
+		canBuy:  true,
+		canSell: true,
+		msgIDs:  mail.NewMessageIDCounter(cfg.Domain),
+	}, nil
+}
+
+// Index returns this ISP's federation index.
+func (e *Engine) Index() int { return e.cfg.Index }
+
+// Domain returns this ISP's mail domain.
+func (e *Engine) Domain() string { return e.cfg.Domain }
+
+// flush runs queued transport callbacks; call without holding mu.
+func (e *Engine) flush() {
+	for {
+		e.mu.Lock()
+		if len(e.emitq) == 0 {
+			e.mu.Unlock()
+			return
+		}
+		q := e.emitq
+		e.emitq = nil
+		e.mu.Unlock()
+		for _, fn := range q {
+			fn()
+		}
+	}
+}
+
+// emit queues a callback; call with mu held.
+func (e *Engine) emit(fn func()) { e.emitq = append(e.emitq, fn) }
+
+// RegisterUser creates a mailbox. limit <= 0 selects the configured
+// default. account and balance seed the user's real-money and e-penny
+// holdings (the paper's "initial balances ... to buffer the
+// fluctuations"); the initial e-pennies are drawn from the ISP pool and
+// fail with ErrPoolExhausted if it cannot cover them.
+func (e *Engine) RegisterUser(name string, account money.Penny, balance money.EPenny, limit int64) error {
+	if limit <= 0 {
+		limit = e.cfg.DefaultLimit
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.users[name]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateUser, name)
+	}
+	if balance < 0 || account < 0 {
+		return ErrBadAmount
+	}
+	if balance > e.avail {
+		return fmt.Errorf("%w: need %v, pool has %v", ErrPoolExhausted, balance, e.avail)
+	}
+	e.avail -= balance
+	e.users[name] = &user{account: account, balance: balance, limit: limit}
+	return nil
+}
+
+// User returns a snapshot of one user's state.
+func (e *Engine) User(name string) (UserInfo, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	u, ok := e.users[name]
+	if !ok {
+		return UserInfo{}, false
+	}
+	return UserInfo{Name: name, Account: u.account, Balance: u.balance, Sent: u.sent, Limit: u.limit}, true
+}
+
+// Users lists all user snapshots, sorted by name.
+func (e *Engine) Users() []UserInfo {
+	e.mu.Lock()
+	out := make([]UserInfo, 0, len(e.users))
+	for name, u := range e.users {
+		out = append(out, UserInfo{Name: name, Account: u.account, Balance: u.balance, Sent: u.sent, Limit: u.limit})
+	}
+	e.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SetLimit updates a user's daily cap (§5: "a user specified limit on
+// the number of e-pennies the user is willing to spend per day").
+func (e *Engine) SetLimit(name string, limit int64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	u, ok := e.users[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownUser, name)
+	}
+	if limit <= 0 {
+		return ErrBadAmount
+	}
+	u.limit = limit
+	return nil
+}
+
+// Avail returns the pool level.
+func (e *Engine) Avail() money.EPenny {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.avail
+}
+
+// Credit returns a copy of the credit array.
+func (e *Engine) Credit() []int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]int64, len(e.credit))
+	copy(out, e.credit)
+	return out
+}
+
+// Frozen reports whether a snapshot freeze is in effect.
+func (e *Engine) Frozen() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.frozen
+}
+
+// Stats returns a copy of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// TotalEPennies returns pool + all user balances + credit entries; with
+// every engine quiescent, summing this across the federation is the
+// conserved quantity of experiment E1.
+func (e *Engine) TotalEPennies() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	total := int64(e.avail)
+	for _, u := range e.users {
+		total += int64(u.balance)
+	}
+	for _, c := range e.credit {
+		total += c
+	}
+	return total
+}
+
+// SetCheat makes the engine misbehave for experiment E4: it keeps
+// charging its users but stops incrementing its credit array on
+// outbound paid mail, understating what it owes the federation. The
+// bank's §4.4 verification is designed to flag every pair involving a
+// cheater after the next snapshot round.
+func (e *Engine) SetCheat(cheat bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cheat = cheat
+}
+
+// EndOfDay resets every user's sent counter (§4.1's midnight action).
+func (e *Engine) EndOfDay() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, u := range e.users {
+		u.sent = 0
+		u.warnedToday = false
+	}
+}

@@ -1,0 +1,147 @@
+package isp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"zmail/internal/money"
+)
+
+// The paper promises that "all the payments are handled automatically
+// and the underlying economics remains almost transparent to the users"
+// (§1.3). Transparency needs a statement: every ledger-affecting event
+// on a user's account is journaled, and Statement returns the recent
+// history — what a 2004 webmail provider would render as the "billing"
+// tab.
+
+// EntryKind labels one journal entry.
+type EntryKind int
+
+// Journal entry kinds.
+const (
+	// EntrySent: one e-penny paid to send a message.
+	EntrySent EntryKind = iota + 1
+	// EntryReceived: one e-penny earned receiving a message.
+	EntryReceived
+	// EntryAckSent: one e-penny returned to a distributor via an
+	// automatic acknowledgment.
+	EntryAckSent
+	// EntryBuy: e-pennies bought from the ISP pool with real money.
+	EntryBuy
+	// EntrySell: e-pennies sold back for real money.
+	EntrySell
+	// EntryDeposit: real money added to the account.
+	EntryDeposit
+	// EntryWithdraw: real money taken out.
+	EntryWithdraw
+)
+
+// String names the kind.
+func (k EntryKind) String() string {
+	switch k {
+	case EntrySent:
+		return "sent"
+	case EntryReceived:
+		return "received"
+	case EntryAckSent:
+		return "ack-sent"
+	case EntryBuy:
+		return "buy"
+	case EntrySell:
+		return "sell"
+	case EntryDeposit:
+		return "deposit"
+	case EntryWithdraw:
+		return "withdraw"
+	default:
+		return fmt.Sprintf("EntryKind(%d)", int(k))
+	}
+}
+
+// Entry is one journaled event. EPennies and Pennies are signed deltas
+// applied to the user's balance and account.
+type Entry struct {
+	Seq          int64     `json:"seq"`
+	Time         time.Time `json:"time"`
+	Kind         EntryKind `json:"kind"`
+	Counterparty string    `json:"counterparty,omitempty"` // peer address, or "" for pool/account ops
+	EPennies     int64     `json:"ePennies,omitempty"`
+	Pennies      int64     `json:"pennies,omitempty"`
+	MsgID        string    `json:"msgID,omitempty"`
+}
+
+// String renders one statement line.
+func (e Entry) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d %s %-9s", e.Seq, e.Time.Format("2006-01-02 15:04:05"), e.Kind)
+	if e.EPennies != 0 {
+		fmt.Fprintf(&b, " %+de¢", e.EPennies)
+	}
+	if e.Pennies != 0 {
+		fmt.Fprintf(&b, " %+v", money.Penny(e.Pennies))
+	}
+	if e.Counterparty != "" {
+		fmt.Fprintf(&b, " ↔ %s", e.Counterparty)
+	}
+	if e.MsgID != "" {
+		fmt.Fprintf(&b, " (%s)", e.MsgID)
+	}
+	return b.String()
+}
+
+// journalDepth is the per-user ring size; old entries roll off.
+const journalDepth = 256
+
+// journalLocked appends an entry to a user's ring; call with mu held.
+func (e *Engine) journalLocked(name string, kind EntryKind, counterparty string, epennies, pennies int64, msgID string) {
+	u, ok := e.users[name]
+	if !ok {
+		return
+	}
+	e.journalSeq++
+	entry := Entry{
+		Seq:          e.journalSeq,
+		Time:         e.cfg.Clock.Now(),
+		Kind:         kind,
+		Counterparty: counterparty,
+		EPennies:     epennies,
+		Pennies:      pennies,
+		MsgID:        msgID,
+	}
+	u.journal = append(u.journal, entry)
+	if len(u.journal) > journalDepth {
+		u.journal = u.journal[len(u.journal)-journalDepth:]
+	}
+}
+
+// Statement returns a copy of the user's recent journal, oldest first.
+func (e *Engine) Statement(name string) ([]Entry, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	u, ok := e.users[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownUser, name)
+	}
+	return append([]Entry(nil), u.journal...), nil
+}
+
+// FormatStatement renders a user's statement with a closing balance
+// line, or an error message for unknown users.
+func (e *Engine) FormatStatement(name string) string {
+	entries, err := e.Statement(name)
+	if err != nil {
+		return err.Error()
+	}
+	info, _ := e.User(name)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Statement for %s@%s\n", name, e.cfg.Domain)
+	for _, entry := range entries {
+		b.WriteString("  ")
+		b.WriteString(entry.String())
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  balance %v, account %v, sent today %d/%d\n",
+		info.Balance, info.Account, info.Sent, info.Limit)
+	return b.String()
+}

@@ -1,0 +1,140 @@
+package isp
+
+import (
+	"strings"
+	"testing"
+
+	"zmail/internal/mail"
+)
+
+func TestStatementRecordsAllKinds(t *testing.T) {
+	e, _, _ := newEngine(t, 0, nil, nil)
+	mustRegister(t, e, "alice", 100, 10)
+	mustRegister(t, e, "bob", 0, 5)
+
+	// sent(local) + received for bob
+	if _, err := e.Submit(mail.NewMessage(addr("alice@a.example"), addr("bob@a.example"), "s", "b")); err != nil {
+		t.Fatal(err)
+	}
+	// sent(paid remote)
+	if _, err := e.Submit(mail.NewMessage(addr("alice@a.example"), addr("x@b.example"), "s", "b")); err != nil {
+		t.Fatal(err)
+	}
+	// received(remote)
+	if err := e.ReceiveRemote("b.example", mail.NewMessage(addr("x@b.example"), addr("alice@a.example"), "s", "b")); err != nil {
+		t.Fatal(err)
+	}
+	// trades + account ops
+	if err := e.BuyEPennies("alice", 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SellEPennies("alice", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Deposit("alice", 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Withdraw("alice", 20); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := e.Statement("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[EntryKind]int{}
+	var eSum, pSum int64
+	for i, entry := range entries {
+		kinds[entry.Kind]++
+		eSum += entry.EPennies
+		pSum += entry.Pennies
+		if i > 0 && entries[i].Seq <= entries[i-1].Seq {
+			t.Fatal("journal sequence not increasing")
+		}
+	}
+	want := map[EntryKind]int{
+		EntrySent: 2, EntryReceived: 1, EntryBuy: 1, EntrySell: 1,
+		EntryDeposit: 1, EntryWithdraw: 1,
+	}
+	for k, n := range want {
+		if kinds[k] != n {
+			t.Errorf("%v entries = %d, want %d (all: %v)", k, kinds[k], n, kinds)
+		}
+	}
+	// Journal deltas reconcile exactly with the ledger.
+	info, _ := e.User("alice")
+	if int64(info.Balance) != 10+eSum {
+		t.Fatalf("balance %v != initial 10 + journal %d", info.Balance, eSum)
+	}
+	if int64(info.Account) != 100+pSum {
+		t.Fatalf("account %v != initial 100 + journal %d", info.Account, pSum)
+	}
+
+	// Bob has exactly one received entry with the message id attached.
+	bobEntries, _ := e.Statement("bob")
+	if len(bobEntries) != 1 || bobEntries[0].Kind != EntryReceived || bobEntries[0].MsgID == "" {
+		t.Fatalf("bob statement = %v", bobEntries)
+	}
+	if bobEntries[0].Counterparty != "alice@a.example" {
+		t.Fatalf("counterparty = %q", bobEntries[0].Counterparty)
+	}
+}
+
+func TestStatementAckKind(t *testing.T) {
+	e, _, _ := newEngine(t, 0, nil, nil)
+	mustRegister(t, e, "bob", 0, 0)
+	listMsg := mail.NewMessage(addr("announce@b.example"), addr("bob@a.example"), "issue", "news")
+	listMsg.SetClass(mail.ClassList)
+	listMsg.SetHeader(mail.HeaderMsgID, "<l1.b.example>")
+	if err := e.ReceiveRemote("b.example", listMsg); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := e.Statement("bob")
+	// +1 for the list delivery, -1 for the automatic ack.
+	if len(entries) != 2 {
+		t.Fatalf("entries = %v", entries)
+	}
+	if entries[0].Kind != EntryReceived || entries[1].Kind != EntryAckSent {
+		t.Fatalf("kinds = %v %v", entries[0].Kind, entries[1].Kind)
+	}
+}
+
+func TestStatementRingCap(t *testing.T) {
+	e, _, _ := newEngine(t, 0, nil, func(c *Config) {
+		c.DefaultLimit = 1 << 40
+		c.InitialAvail = 1 << 21
+		c.MaxAvail = 1 << 22
+	})
+	mustRegister(t, e, "alice", 1<<20, 1<<20)
+	msg := func() *mail.Message {
+		return mail.NewMessage(addr("alice@a.example"), addr("x@b.example"), "s", "b")
+	}
+	for i := 0; i < journalDepth+50; i++ {
+		if _, err := e.Submit(msg()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, _ := e.Statement("alice")
+	if len(entries) != journalDepth {
+		t.Fatalf("journal length = %d, want cap %d", len(entries), journalDepth)
+	}
+	// The oldest entries rolled off: first retained seq is 51.
+	if entries[0].Seq != 51 {
+		t.Fatalf("first retained seq = %d, want 51", entries[0].Seq)
+	}
+}
+
+func TestFormatStatement(t *testing.T) {
+	e, _, _ := newEngine(t, 0, nil, nil)
+	mustRegister(t, e, "alice", 100, 10)
+	_ = e.BuyEPennies("alice", 5)
+	out := e.FormatStatement("alice")
+	for _, want := range []string{"Statement for alice@a.example", "buy", "+5e¢", "balance 15e¢"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("statement missing %q:\n%s", want, out)
+		}
+	}
+	if got := e.FormatStatement("ghost"); !strings.Contains(got, "unknown user") {
+		t.Errorf("ghost statement = %q", got)
+	}
+}

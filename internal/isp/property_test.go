@@ -1,0 +1,166 @@
+package isp
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"zmail/internal/clock"
+	"zmail/internal/mail"
+)
+
+// TestEngineConservationProperty drives one engine with arbitrary
+// operation sequences — local and remote submits, inbound paid mail,
+// user trades, deposits, freezes with buffered mail, daily resets —
+// and checks after every step that e-pennies are conserved at the
+// engine boundary:
+//
+//	pool + Σbalances + Σcredit + Σ(credit wiped by snapshots) == initial
+//
+// A snapshot reset moves the period's claims to the bank's books; it
+// must never destroy value.
+func TestEngineConservationProperty(t *testing.T) {
+	type op struct {
+		Kind byte
+		A, B uint8
+	}
+	f := func(ops []op) bool {
+		ft := &fakeTransport{}
+		clk := clock.NewVirtual(time.Unix(1_100_000_000, 0))
+		e, err := New(Config{
+			Index:          0,
+			Domain:         testDomains[0],
+			Directory:      NewDirectory(testDomains, nil),
+			Clock:          clk,
+			Transport:      ft,
+			MinAvail:       10,
+			MaxAvail:       1 << 40, // never auto-sell: no bank flows here
+			InitialAvail:   10_000,
+			DefaultLimit:   1 << 30,
+			FreezeDuration: time.Minute,
+		})
+		if err != nil {
+			return false
+		}
+		users := []string{"a", "b", "c"}
+		for _, u := range users {
+			if err := e.RegisterUser(u, 1000, 100, 0); err != nil {
+				return false
+			}
+		}
+		const initial = int64(10_000)
+
+		var wipedBySnapshots int64
+		check := func() bool {
+			return e.TotalEPennies()+wipedBySnapshots == initial
+		}
+		if !check() {
+			return false
+		}
+
+		for _, o := range ops {
+			u := users[int(o.A)%len(users)]
+			v := users[int(o.B)%len(users)]
+			switch o.Kind % 8 {
+			case 0: // local mail
+				msg := mail.NewMessage(addr(u+"@a.example"), addr(v+"@a.example"), "s", "b")
+				_, _ = e.Submit(msg)
+			case 1: // paid remote mail (credit +1 stays on the books)
+				msg := mail.NewMessage(addr(u+"@a.example"), addr("x@b.example"), "s", "b")
+				_, _ = e.Submit(msg)
+			case 2: // inbound paid mail
+				msg := mail.NewMessage(addr("x@c.example"), addr(v+"@a.example"), "s", "b")
+				_ = e.ReceiveRemote("c.example", msg)
+			case 3: // user buys e-pennies
+				_ = e.BuyEPennies(u, int64(o.B)%50+1)
+			case 4: // user sells e-pennies
+				_ = e.SellEPennies(u, int64(o.B)%50+1)
+			case 5: // real-money ops (must not touch e-pennies)
+				_ = e.Deposit(u, 10)
+				_ = e.Withdraw(v, 5)
+			case 6: // freeze, buffer one send, thaw
+				pre := e.Credit() // the claims the reset will wipe
+				e.ForceSnapshot()
+				msg := mail.NewMessage(addr(u+"@a.example"), addr("x@b.example"), "s", "b")
+				if out, err := e.Submit(msg); err == nil && out != SentBuffered {
+					return false // frozen engine must buffer
+				}
+				clk.Advance(time.Minute)
+				for _, c := range pre {
+					wipedBySnapshots += c
+				}
+			case 7:
+				e.EndOfDay()
+			}
+			if !check() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEngineNeverNegativeProperty: no operation sequence can drive a
+// balance, the pool, or an account negative.
+func TestEngineNeverNegativeProperty(t *testing.T) {
+	type op struct {
+		Kind byte
+		A, B uint8
+	}
+	f := func(ops []op) bool {
+		ft := &fakeTransport{}
+		clk := clock.NewVirtual(time.Unix(1_100_000_000, 0))
+		e, err := New(Config{
+			Index: 0, Domain: testDomains[0],
+			Directory: NewDirectory(testDomains, nil),
+			Clock:     clk, Transport: ft,
+			MinAvail: 10, MaxAvail: 1 << 40, InitialAvail: 200,
+			DefaultLimit: 5,
+		})
+		if err != nil {
+			return false
+		}
+		_ = e.RegisterUser("a", 20, 10, 3)
+		_ = e.RegisterUser("b", 0, 0, 3)
+		for _, o := range ops {
+			u := "a"
+			if o.A%2 == 1 {
+				u = "b"
+			}
+			switch o.Kind % 6 {
+			case 0:
+				msg := mail.NewMessage(addr(u+"@a.example"), addr("x@b.example"), "s", "b")
+				_, _ = e.Submit(msg)
+			case 1:
+				_ = e.BuyEPennies(u, int64(o.B)+1)
+			case 2:
+				_ = e.SellEPennies(u, int64(o.B)+1)
+			case 3:
+				_ = e.Withdraw(u, 7)
+			case 4:
+				msg := mail.NewMessage(addr("x@b.example"), addr(u+"@a.example"), "s", "b")
+				_ = e.ReceiveRemote("b.example", msg)
+			case 5:
+				e.EndOfDay()
+			}
+			if e.Avail() < 0 {
+				return false
+			}
+			for _, info := range e.Users() {
+				if info.Balance < 0 || info.Account < 0 {
+					return false
+				}
+				if info.Sent > info.Limit {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

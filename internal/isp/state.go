@@ -1,0 +1,123 @@
+package isp
+
+import (
+	"fmt"
+
+	"zmail/internal/money"
+)
+
+// Durable state. A zmaild restart must not lose the ledger: balances
+// are user money and the credit array is this period's claim against
+// the federation. ExportState captures everything durable; a fresh
+// engine built with the same Config restores it with RestoreState.
+//
+// Deliberately NOT persisted, and why that is safe:
+//
+//   - the snapshot freeze and buffered outbox — a restart mid-freeze
+//     loses the buffered submissions (clients retry, as with any MTA
+//     restart) and skips the round's report; the bank's round stalls
+//     and is retried next period;
+//   - in-flight bank trades — a buy reply arriving for a pre-restart
+//     nonce is dropped by the nonce check. An accepted-but-unapplied
+//     buy is the one real loss window; operators should drain (stop
+//     Tick) before planned restarts.
+
+// EngineStateVersion identifies the state schema.
+const EngineStateVersion = 1
+
+// UserState is one user's durable row.
+type UserState struct {
+	Name        string `json:"name"`
+	Account     int64  `json:"account"`
+	Balance     int64  `json:"balance"`
+	Sent        int64  `json:"sent"`
+	Limit       int64  `json:"limit"`
+	WarnedToday bool   `json:"warnedToday,omitempty"`
+	// Journal is the user's statement ring (bounded, see journal.go).
+	Journal []Entry `json:"journal,omitempty"`
+}
+
+// EngineState is the engine's durable snapshot.
+type EngineState struct {
+	Version    int         `json:"version"`
+	Domain     string      `json:"domain"`
+	Index      int         `json:"index"`
+	Avail      int64       `json:"avail"`
+	Seq        uint64      `json:"seq"`
+	Credit     []int64     `json:"credit"`
+	JournalSeq int64       `json:"journalSeq"`
+	Users      []UserState `json:"users"`
+}
+
+// ExportState captures the durable ledger under the engine lock.
+func (e *Engine) ExportState() *EngineState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := &EngineState{
+		Version:    EngineStateVersion,
+		Domain:     e.cfg.Domain,
+		Index:      e.cfg.Index,
+		Avail:      int64(e.avail),
+		Seq:        e.seq,
+		Credit:     append([]int64(nil), e.credit...),
+		JournalSeq: e.journalSeq,
+	}
+	for name, u := range e.users {
+		st.Users = append(st.Users, UserState{
+			Name:        name,
+			Account:     int64(u.account),
+			Balance:     int64(u.balance),
+			Sent:        u.sent,
+			Limit:       u.limit,
+			WarnedToday: u.warnedToday,
+			Journal:     append([]Entry(nil), u.journal...),
+		})
+	}
+	return st
+}
+
+// RestoreState loads a snapshot into a freshly-constructed engine
+// (same Config as the exporter). It refuses mismatched identity or
+// schema, and refuses to clobber an engine that already has users.
+func (e *Engine) RestoreState(st *EngineState) error {
+	if st == nil {
+		return fmt.Errorf("isp: nil state")
+	}
+	if st.Version != EngineStateVersion {
+		return fmt.Errorf("isp: state version %d, want %d", st.Version, EngineStateVersion)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if st.Domain != e.cfg.Domain || st.Index != e.cfg.Index {
+		return fmt.Errorf("isp: state is for %s[%d], engine is %s[%d]",
+			st.Domain, st.Index, e.cfg.Domain, e.cfg.Index)
+	}
+	if len(st.Credit) != len(e.credit) {
+		return fmt.Errorf("isp: state has %d credit entries, federation has %d",
+			len(st.Credit), len(e.credit))
+	}
+	if len(e.users) != 0 {
+		return fmt.Errorf("isp: engine already has %d users; restore onto a fresh engine", len(e.users))
+	}
+	if st.Avail < 0 {
+		return fmt.Errorf("isp: state pool is negative")
+	}
+	e.avail = money.EPenny(st.Avail)
+	e.seq = st.Seq
+	copy(e.credit, st.Credit)
+	e.journalSeq = st.JournalSeq
+	for _, us := range st.Users {
+		if us.Balance < 0 || us.Account < 0 || us.Limit <= 0 {
+			return fmt.Errorf("isp: state user %q has invalid ledger", us.Name)
+		}
+		e.users[us.Name] = &user{
+			account:     money.Penny(us.Account),
+			balance:     money.EPenny(us.Balance),
+			sent:        us.Sent,
+			limit:       us.Limit,
+			warnedToday: us.WarnedToday,
+			journal:     append([]Entry(nil), us.Journal...),
+		}
+	}
+	return nil
+}

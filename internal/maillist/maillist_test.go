@@ -1,0 +1,270 @@
+package maillist
+
+import (
+	"errors"
+	"testing"
+
+	"zmail/internal/mail"
+)
+
+var listAddr = mail.MustParseAddress("announce@list.example")
+
+// fakeSubmit records submissions and can fail selectively.
+type fakeSubmit struct {
+	sent    []*mail.Message
+	failFor map[mail.Address]bool
+}
+
+func (f *fakeSubmit) submit(msg *mail.Message) error {
+	if f.failFor[msg.To] {
+		return errors.New("injected submit failure")
+	}
+	f.sent = append(f.sent, msg)
+	return nil
+}
+
+func newList(t *testing.T, mutate func(*Config)) (*Distributor, *fakeSubmit) {
+	t.Helper()
+	fs := &fakeSubmit{failFor: make(map[mail.Address]bool)}
+	cfg := Config{Address: listAddr, Submit: fs.submit}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, fs
+}
+
+func subAddr(i int) mail.Address {
+	return mail.Address{Local: "sub" + string(rune('a'+i)), Domain: "users.example"}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Submit: func(*mail.Message) error { return nil }}); err == nil {
+		t.Error("missing address accepted")
+	}
+	if _, err := New(Config{Address: listAddr}); err == nil {
+		t.Error("missing submit accepted")
+	}
+}
+
+func TestSubscribeUnsubscribe(t *testing.T) {
+	d, _ := newList(t, nil)
+	a := subAddr(0)
+	if err := d.Subscribe(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Subscribe(a); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate subscribe: %v", err)
+	}
+	if got := d.Subscribers(); len(got) != 1 || got[0] != a {
+		t.Fatalf("subscribers = %v", got)
+	}
+	if err := d.Unsubscribe(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Unsubscribe(a); !errors.Is(err, ErrNotSubscribed) {
+		t.Fatalf("double unsubscribe: %v", err)
+	}
+}
+
+func TestDistributeFansOut(t *testing.T) {
+	d, fs := newList(t, nil)
+	for i := 0; i < 3; i++ {
+		if err := d.Subscribe(subAddr(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	post := mail.NewMessage(subAddr(0), listAddr, "issue 1", "content")
+	if err := d.Submit(post); err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.sent) != 3 {
+		t.Fatalf("fanned out %d copies", len(fs.sent))
+	}
+	for _, m := range fs.sent {
+		if m.Class() != mail.ClassList {
+			t.Fatalf("copy class = %v", m.Class())
+		}
+		if m.From != listAddr {
+			t.Fatalf("copy From = %v, want distributor (acks must return here)", m.From)
+		}
+		if m.Header("X-Original-From") != subAddr(0).String() {
+			t.Fatalf("original poster lost: %q", m.Header("X-Original-From"))
+		}
+		if m.Body != "content" || m.Subject() != "issue 1" {
+			t.Fatal("content altered")
+		}
+		if m.ID() == "" {
+			t.Fatal("list copy has no Message-Id (acks key on it)")
+		}
+	}
+	st := d.Stats()
+	if st.Distributed != 3 || st.Submissions != 1 || st.EPenniesSpent != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestNonSubscriberCannotPost(t *testing.T) {
+	d, _ := newList(t, nil)
+	_ = d.Subscribe(subAddr(0))
+	post := mail.NewMessage(mail.MustParseAddress("rando@x.example"), listAddr, "s", "b")
+	if err := d.Submit(post); !errors.Is(err, ErrNotSubscribed) {
+		t.Fatalf("outsider post: %v", err)
+	}
+}
+
+func TestAckRefundsAndNet(t *testing.T) {
+	d, fs := newList(t, nil)
+	for i := 0; i < 2; i++ {
+		_ = d.Subscribe(subAddr(i))
+	}
+	post := mail.NewMessage(subAddr(0), listAddr, "s", "b")
+	if err := d.Submit(post); err != nil {
+		t.Fatal(err)
+	}
+	if d.NetEPennies() != -2 {
+		t.Fatalf("net before acks = %d", d.NetEPennies())
+	}
+	// Both subscribers' ISPs ack.
+	msgID := fs.sent[0].ID()
+	for i := 0; i < 2; i++ {
+		ack := mail.NewMessage(subAddr(i), listAddr, "Ack: s", "")
+		ack.SetClass(mail.ClassAck)
+		ack.SetHeader(mail.HeaderAckFor, msgID)
+		d.HandleAck(ack)
+	}
+	if d.NetEPennies() != 0 {
+		t.Fatalf("net after acks = %d, want 0", d.NetEPennies())
+	}
+}
+
+func TestPruneDeadSubscribers(t *testing.T) {
+	d, fs := newList(t, func(c *Config) { c.PruneAfter = 2 })
+	live := subAddr(0)
+	dead := subAddr(1)
+	_ = d.Subscribe(live)
+	_ = d.Subscribe(dead)
+
+	ackFromLive := func() {
+		var msgID string
+		for _, m := range fs.sent {
+			if m.To == live {
+				msgID = m.ID()
+			}
+		}
+		ack := mail.NewMessage(live, listAddr, "Ack", "")
+		ack.SetClass(mail.ClassAck)
+		ack.SetHeader(mail.HeaderAckFor, msgID)
+		d.HandleAck(ack)
+	}
+
+	post := func(n int) {
+		p := mail.NewMessage(live, listAddr, "s", "b")
+		if err := d.Submit(p); err != nil {
+			t.Fatalf("post %d: %v", n, err)
+		}
+	}
+
+	post(1)
+	ackFromLive()
+	post(2) // dead has 1 miss
+	ackFromLive()
+	post(3) // sweep before fan-out sees 2 misses for dead → pruned
+	subs := d.Subscribers()
+	if len(subs) != 1 || subs[0] != live {
+		t.Fatalf("subscribers after prune = %v", subs)
+	}
+	if d.Stats().Pruned != 1 {
+		t.Fatalf("pruned = %d", d.Stats().Pruned)
+	}
+	// The live subscriber must never be pruned.
+	ackFromLive()
+	post(4)
+	if len(d.Subscribers()) != 1 {
+		t.Fatal("live subscriber pruned")
+	}
+}
+
+func TestLateAckStillRefunds(t *testing.T) {
+	d, fs := newList(t, nil)
+	_ = d.Subscribe(subAddr(0))
+	_ = d.Submit(mail.NewMessage(subAddr(0), listAddr, "one", "b"))
+	oldID := fs.sent[0].ID()
+	_ = d.Submit(mail.NewMessage(subAddr(0), listAddr, "two", "b"))
+	// Ack for the OLD message arrives after the new fan-out: the
+	// e-penny is still recovered even though the liveness credit is
+	// stale.
+	ack := mail.NewMessage(subAddr(0), listAddr, "Ack", "")
+	ack.SetClass(mail.ClassAck)
+	ack.SetHeader(mail.HeaderAckFor, oldID)
+	d.HandleAck(ack)
+	st := d.Stats()
+	if st.EPenniesBack != 1 {
+		t.Fatalf("late ack not credited: %+v", st)
+	}
+}
+
+func TestModeratedList(t *testing.T) {
+	d, fs := newList(t, func(c *Config) { c.Moderated = true })
+	_ = d.Subscribe(subAddr(0))
+	post := mail.NewMessage(subAddr(0), listAddr, "held", "b")
+	err := d.Submit(post)
+	if !errors.Is(err, ErrModerated) {
+		t.Fatalf("moderated submit: %v", err)
+	}
+	if len(fs.sent) != 0 {
+		t.Fatal("moderated post distributed without approval")
+	}
+	id := post.ID()
+	if id == "" {
+		t.Fatal("held post has no id")
+	}
+	// Reject unknown id.
+	if err := d.Approve("<bogus>"); !errors.Is(err, ErrNoPending) {
+		t.Fatalf("approve bogus: %v", err)
+	}
+	if err := d.Approve(id); err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.sent) != 1 {
+		t.Fatalf("approved post distributed %d copies", len(fs.sent))
+	}
+	// Double approval fails (already released).
+	if err := d.Approve(id); !errors.Is(err, ErrNoPending) {
+		t.Fatalf("double approve: %v", err)
+	}
+}
+
+func TestModeratedReject(t *testing.T) {
+	d, fs := newList(t, func(c *Config) { c.Moderated = true })
+	_ = d.Subscribe(subAddr(0))
+	post := mail.NewMessage(subAddr(0), listAddr, "bad post", "b")
+	_ = d.Submit(post)
+	if err := d.Reject(post.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Reject(post.ID()); !errors.Is(err, ErrNoPending) {
+		t.Fatalf("double reject: %v", err)
+	}
+	if len(fs.sent) != 0 {
+		t.Fatal("rejected post distributed")
+	}
+}
+
+func TestSubmitFailureSurfaced(t *testing.T) {
+	d, fs := newList(t, nil)
+	_ = d.Subscribe(subAddr(0))
+	_ = d.Subscribe(subAddr(1))
+	fs.failFor[subAddr(0)] = true
+	err := d.Submit(mail.NewMessage(subAddr(1), listAddr, "s", "b"))
+	if err == nil {
+		t.Fatal("submit failure swallowed")
+	}
+	// The other copy still went out.
+	if len(fs.sent) != 1 || fs.sent[0].To != subAddr(1) {
+		t.Fatalf("partial fan-out = %v", fs.sent)
+	}
+}

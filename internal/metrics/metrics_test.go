@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(5)
+	c.Add(-3) // ignored: counters are monotone
+	if got := c.Value(); got != 6 {
+		t.Fatalf("Value = %d, want 6", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 5000 {
+		t.Fatalf("Value = %d, want 5000", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("Value = %g, want 1.5", got)
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count = %d", got)
+	}
+	if got := h.Mean(); got != 3 {
+		t.Fatalf("Mean = %g, want 3", got)
+	}
+	if got := h.Quantile(0.5); got != 3 {
+		t.Fatalf("p50 = %g, want 3", got)
+	}
+	if got := h.Min(); got != 1 {
+		t.Fatalf("Min = %g", got)
+	}
+	if got := h.Max(); got != 5 {
+		t.Fatalf("Max = %g", got)
+	}
+	want := math.Sqrt(2)
+	if got := h.StdDev(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("StdDev = %g, want %g", got, want)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.StdDev() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram statistics should be zero")
+	}
+}
+
+func TestHistogramObserveAfterQuantile(t *testing.T) {
+	var h Histogram
+	h.Observe(5)
+	h.Observe(1)
+	_ = h.Quantile(0.5) // forces a sort
+	h.Observe(3)
+	if got := h.Quantile(0.5); got != 3 {
+		t.Fatalf("p50 after re-observe = %g, want 3", got)
+	}
+}
+
+// TestHistogramQuantileBounds: any quantile lies within [min, max] and
+// quantiles are monotone in q.
+func TestHistogramQuantileBounds(t *testing.T) {
+	f := func(vals []float64, q1, q2 float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			h.Observe(v)
+		}
+		q1 = math.Abs(math.Mod(q1, 1))
+		q2 = math.Abs(math.Mod(q2, 1))
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		a, b := h.Quantile(q1), h.Quantile(q2)
+		return a >= h.Min() && b <= h.Max() && a <= b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Inc()
+	if got := r.Counter("a").Value(); got != 1 {
+		t.Fatalf("registry counter not shared: %d", got)
+	}
+	r.Gauge("g").Set(7)
+	r.Histogram("h").Observe(1)
+	snap := r.Snapshot()
+	for _, want := range []string{"a = 1", "g = 7", "h = n=1"} {
+		if !strings.Contains(snap, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, snap)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("title", "col1", "longer-column")
+	tb.AddRow("a", 12)
+	tb.AddRow("bbbb", 3.14159)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "title" {
+		t.Fatalf("first line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "col1") || !strings.Contains(lines[1], "longer-column") {
+		t.Fatalf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "----") {
+		t.Fatalf("separator = %q", lines[2])
+	}
+	if !strings.Contains(out, "3.142") {
+		t.Fatalf("float formatting missing: %s", out)
+	}
+}
+
+func TestTableExtraAndMissingCells(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("only")            // missing cell renders empty
+	tb.AddRow("x", "y", "extra") // extra cell dropped
+	out := tb.String()
+	if strings.Contains(out, "extra") {
+		t.Fatalf("extra cell leaked into output:\n%s", out)
+	}
+}

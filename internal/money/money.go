@@ -1,0 +1,58 @@
+// Package money defines the integer currency types used throughout the
+// Zmail system.
+//
+// The paper ("Zmail: Zero-Sum Free Market Control of Spam", ICDCS 2005)
+// uses two currencies: real pennies held in "account" arrays, and
+// e-pennies held in "balance" arrays, with a fixed nominal exchange rate
+// of one real penny per e-penny ("assume that the 'real money' cost of
+// one e-penny is $0.01"). All ledger arithmetic is integral; there are
+// deliberately no floating-point amounts anywhere in the accounting
+// paths, so conservation invariants can be checked exactly.
+package money
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Penny is an amount of real money, in US cents.
+type Penny int64
+
+// EPenny is an amount of Zmail scrip. One e-penny is the price of
+// sending (and the reward for receiving) one email message.
+type EPenny int64
+
+// DefaultRate is the nominal exchange rate used by the paper: one real
+// penny buys one e-penny.
+const DefaultRate Penny = 1
+
+// String renders a Penny amount as dollars, e.g. "$1.23" or "-$0.07".
+func (p Penny) String() string {
+	sign := ""
+	v := int64(p)
+	if v < 0 {
+		sign = "-"
+		v = -v
+	}
+	return fmt.Sprintf("%s$%d.%02d", sign, v/100, v%100)
+}
+
+// String renders an EPenny amount with its unit, e.g. "42e¢".
+func (e EPenny) String() string {
+	return strconv.FormatInt(int64(e), 10) + "e¢"
+}
+
+// ToPennies converts an e-penny amount to real pennies at rate
+// (real pennies per e-penny).
+func (e EPenny) ToPennies(rate Penny) Penny {
+	return Penny(int64(e) * int64(rate))
+}
+
+// FromPennies converts real pennies to e-pennies at rate, truncating any
+// remainder. The remainder (change) is returned alongside.
+func FromPennies(p Penny, rate Penny) (EPenny, Penny) {
+	if rate <= 0 {
+		return 0, p
+	}
+	return EPenny(int64(p) / int64(rate)), Penny(int64(p) % int64(rate))
+}

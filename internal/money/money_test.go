@@ -1,0 +1,77 @@
+package money
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPennyString(t *testing.T) {
+	cases := []struct {
+		in   Penny
+		want string
+	}{
+		{0, "$0.00"},
+		{1, "$0.01"},
+		{99, "$0.99"},
+		{100, "$1.00"},
+		{123, "$1.23"},
+		{-7, "-$0.07"},
+		{-1234, "-$12.34"},
+		{100000, "$1000.00"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Penny(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestEPennyString(t *testing.T) {
+	if got := EPenny(42).String(); got != "42e¢" {
+		t.Errorf("EPenny(42).String() = %q", got)
+	}
+	if got := EPenny(-3).String(); got != "-3e¢" {
+		t.Errorf("EPenny(-3).String() = %q", got)
+	}
+}
+
+func TestToPennies(t *testing.T) {
+	if got := EPenny(50).ToPennies(1); got != 50 {
+		t.Errorf("50 e-pennies at rate 1 = %v, want 50", got)
+	}
+	if got := EPenny(50).ToPennies(3); got != 150 {
+		t.Errorf("50 e-pennies at rate 3 = %v, want 150", got)
+	}
+}
+
+func TestFromPennies(t *testing.T) {
+	e, change := FromPennies(10, 3)
+	if e != 3 || change != 1 {
+		t.Errorf("FromPennies(10, 3) = %v, %v; want 3, 1", e, change)
+	}
+	e, change = FromPennies(10, 0)
+	if e != 0 || change != 10 {
+		t.Errorf("FromPennies(10, 0) = %v, %v; want 0, 10 (bad rate keeps money)", e, change)
+	}
+	e, change = FromPennies(10, -1)
+	if e != 0 || change != 10 {
+		t.Errorf("FromPennies with negative rate must not convert, got %v, %v", e, change)
+	}
+}
+
+// TestFromPenniesConservation checks the exchange never creates or
+// destroys value: e×rate + change == original.
+func TestFromPenniesConservation(t *testing.T) {
+	f := func(amount int32, rate uint8) bool {
+		p := Penny(amount)
+		if p < 0 {
+			p = -p
+		}
+		r := Penny(rate%10) + 1
+		e, change := FromPennies(p, r)
+		return e.ToPennies(r)+change == p && change >= 0 && change < r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,103 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type sample struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	in := sample{Name: "zmail", Count: 42}
+	if err := SaveJSON(path, in); err != nil {
+		t.Fatal(err)
+	}
+	var out sample
+	if err := LoadJSON(path, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("roundtrip = %+v", out)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	var out sample
+	err := LoadJSON(filepath.Join(t.TempDir(), "nope.json"), &out)
+	if !errors.Is(err, ErrNotExist) {
+		t.Fatalf("err = %v, want ErrNotExist", err)
+	}
+}
+
+func TestLoadCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out sample
+	if err := LoadJSON(path, &out); err == nil || errors.Is(err, ErrNotExist) {
+		t.Fatalf("corrupt load err = %v", err)
+	}
+}
+
+func TestSaveOverwritesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := SaveJSON(path, sample{Name: "v1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveJSON(path, sample{Name: "v2", Count: 7}); err != nil {
+		t.Fatal(err)
+	}
+	var out sample
+	if err := LoadJSON(path, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != "v2" || out.Count != 7 {
+		t.Fatalf("overwrite = %+v", out)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want 1", len(entries))
+	}
+}
+
+func TestSaveMarshalError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.json")
+	if err := SaveJSON(path, make(chan int)); err == nil {
+		t.Fatal("unmarshalable value accepted")
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("failed save left a file behind")
+	}
+}
+
+func TestSaveToMissingDirectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no", "such", "dir", "x.json")
+	if err := SaveJSON(path, sample{}); err == nil {
+		t.Fatal("save into missing directory succeeded")
+	}
+}
+
+func TestLoadUnreadableFile(t *testing.T) {
+	if os.Getuid() == 0 {
+		t.Skip("root ignores file permissions")
+	}
+	path := filepath.Join(t.TempDir(), "locked.json")
+	if err := os.WriteFile(path, []byte("{}"), 0o000); err != nil {
+		t.Fatal(err)
+	}
+	var out sample
+	if err := LoadJSON(path, &out); err == nil || errors.Is(err, ErrNotExist) {
+		t.Fatalf("unreadable load err = %v", err)
+	}
+}

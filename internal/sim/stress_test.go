@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestLargeFederationStress runs a 16-ISP, 320-user federation through
+// 50k messages, periodic daily resets and four audit rounds, asserting
+// the global invariants at every checkpoint. This is the scale knob for
+// the whole stack (engines, simnet, bank) rather than a feature test.
+func TestLargeFederationStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const (
+		isps     = 16
+		users    = 20
+		messages = 50_000
+	)
+	w, err := NewWorld(Config{
+		NumISPs:        isps,
+		UsersPerISP:    users,
+		InitialBalance: 400,
+		DefaultLimit:   1 << 30,
+		Seed:           1234,
+		Settle:         true,
+		BankFunds:      1_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moneyBefore := w.Bank.TotalAccounts()
+	rng := w.Rand()
+
+	sent := 0
+	for epoch := 0; epoch < 4; epoch++ {
+		for k := 0; k < messages/4; k++ {
+			from := w.UserAddr(rng.Intn(isps), rng.Intn(users))
+			to := w.UserAddr(rng.Intn(isps), rng.Intn(users))
+			if _, err := w.Send(from, to, "stress", "body"); err == nil {
+				sent++
+			}
+			if k%4096 == 4095 {
+				w.Run()
+			}
+		}
+		w.Run()
+		if !w.ConservationHolds() {
+			t.Fatalf("epoch %d: conservation broken before audit", epoch)
+		}
+		if err := w.SnapshotRound(); err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+		if got := len(w.Bank.Violations()); got != 0 {
+			t.Fatalf("epoch %d: honest federation flagged %d pairs", epoch, got)
+		}
+		if !w.ConservationHolds() {
+			t.Fatalf("epoch %d: conservation broken after audit+settlement", epoch)
+		}
+		if w.Bank.TotalAccounts() != moneyBefore {
+			t.Fatalf("epoch %d: settlement created/destroyed money", epoch)
+		}
+		w.EndOfDay()
+	}
+
+	if sent < messages*9/10 {
+		t.Fatalf("only %d/%d messages accepted — workload degenerate", sent, messages)
+	}
+	if w.TotalInbox() != sent {
+		t.Fatalf("delivered %d of %d accepted messages", w.TotalInbox(), sent)
+	}
+	if w.Bank.Stats().Rounds != 4 {
+		t.Fatalf("rounds = %d", w.Bank.Stats().Rounds)
+	}
+	// Global zero-sum across a quarter-million ledger operations.
+	var userSum int64
+	for i := 0; i < isps; i++ {
+		for _, u := range w.Engine(i).Users() {
+			userSum += int64(u.Balance)
+		}
+	}
+	t.Logf("stress: %d messages, %d e-pennies across %d users, %d settlement transfers",
+		sent, userSum, isps*users, w.Bank.Stats().SettlementTransfers)
+}

@@ -1,0 +1,472 @@
+// Package sim builds deterministic multi-ISP Zmail worlds for the
+// experiment harness: compliant ISP engines and the central bank wired
+// over the simulated network (internal/simnet) under a virtual clock,
+// plus plain-SMTP non-compliant ISPs for spam injection and
+// incremental-deployment scenarios.
+//
+// Everything is reproducible from Config.Seed. The heavyweight crypto
+// is swapped for crypto.Null by default (the protocol logic — nonces,
+// sequence numbers, replay handling — still runs; only the sealing cost
+// is elided), and can be enabled for end-to-end realism.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"zmail/internal/bank"
+	"zmail/internal/clock"
+	"zmail/internal/crypto"
+	"zmail/internal/isp"
+	"zmail/internal/mail"
+	"zmail/internal/money"
+	"zmail/internal/simnet"
+	"zmail/internal/wire"
+)
+
+// Config sizes a world.
+type Config struct {
+	// NumISPs is the federation size; domains are isp0.example … unless
+	// Domains overrides them.
+	NumISPs int
+	// Domains optionally names each ISP.
+	Domains []string
+	// Compliant marks participating ISPs; nil means all compliant.
+	Compliant []bool
+	// UsersPerISP registers u0…u{n-1} at every ISP.
+	UsersPerISP int
+	// InitialBalance and InitialAccount seed each user.
+	InitialBalance money.EPenny
+	// InitialAccount is each user's real-money deposit.
+	InitialAccount money.Penny
+	// DefaultLimit is the per-user daily send cap.
+	DefaultLimit int64
+	// MinAvail/MaxAvail/InitialAvail configure each compliant ISP pool.
+	MinAvail, MaxAvail, InitialAvail money.EPenny
+	// BankFunds seeds each compliant ISP's account at the bank.
+	BankFunds money.Penny
+	// FreezeDuration is the snapshot quiet period; zero selects one
+	// virtual minute (delivery latency is milliseconds, so a minute is
+	// the paper's 10 minutes scaled to the simulated link speed).
+	FreezeDuration time.Duration
+	// Policy is each engine's unpaid-mail policy.
+	Policy isp.NonCompliantPolicy
+	// Filter backs FilterUnpaid policies.
+	Filter func(*mail.Message) bool
+	// RealCrypto enables RSA sealed boxes instead of crypto.Null.
+	RealCrypto bool
+	// Settle enables inter-ISP real-money settlement at each verified
+	// audit round (bank.Config.SettleOnVerify).
+	Settle bool
+	// Seed drives the network and any stochastic workload.
+	Seed int64
+	// Latency is the per-message network delay; zero selects 10ms.
+	Latency time.Duration
+	// Faults configures network fault injection (drops, duplicates);
+	// the zero value is a perfect network. Partitions can be added at
+	// runtime via World.Net.
+	Faults simnet.FaultPlan
+}
+
+func (c *Config) fill() {
+	if c.NumISPs == 0 {
+		c.NumISPs = 3
+	}
+	if c.Domains == nil {
+		c.Domains = make([]string, c.NumISPs)
+		for i := range c.Domains {
+			c.Domains[i] = fmt.Sprintf("isp%d.example", i)
+		}
+	}
+	if c.Compliant == nil {
+		c.Compliant = make([]bool, c.NumISPs)
+		for i := range c.Compliant {
+			c.Compliant[i] = true
+		}
+	}
+	if c.UsersPerISP == 0 {
+		c.UsersPerISP = 4
+	}
+	if c.InitialBalance == 0 {
+		c.InitialBalance = 100
+	}
+	if c.InitialAccount == 0 {
+		c.InitialAccount = 1000
+	}
+	if c.DefaultLimit == 0 {
+		c.DefaultLimit = 1000
+	}
+	if c.MinAvail == 0 {
+		c.MinAvail = 500
+	}
+	if c.MaxAvail == 0 {
+		c.MaxAvail = 5000
+	}
+	if c.InitialAvail == 0 {
+		// Cover every user's seed balance plus a healthy operating
+		// band, so registration never drains the pool below MinAvail.
+		c.InitialAvail = money.EPenny(c.UsersPerISP)*c.InitialBalance + 2*c.MinAvail
+		if c.InitialAvail > c.MaxAvail {
+			c.MaxAvail = 2 * c.InitialAvail
+		}
+	}
+	if c.BankFunds == 0 {
+		c.BankFunds = 1_000_000
+	}
+	if c.FreezeDuration == 0 {
+		c.FreezeDuration = time.Minute
+	}
+	if c.Latency == 0 {
+		c.Latency = 10 * time.Millisecond
+	}
+}
+
+// mailPayload travels ISP→ISP on the simulated network.
+type mailPayload struct {
+	fromDomain string
+	msg        *mail.Message
+}
+
+// World is one running simulation.
+type World struct {
+	Cfg   Config
+	Clock *clock.Virtual
+	Net   *simnet.Network
+	Dir   *isp.Directory
+	Bank  *bank.Bank
+	// Engines[i] is nil for non-compliant ISPs.
+	Engines []*isp.Engine
+
+	mu       sync.Mutex
+	inboxes  map[string][]*mail.Message // key "user@domain"
+	ackSinks map[string]func(*mail.Message)
+	foreign  int64 // mail routed to unknown domains
+	rng      *rand.Rand
+
+	initialE int64
+}
+
+func nodeISP(i int) simnet.NodeID { return simnet.NodeID(fmt.Sprintf("isp%d", i)) }
+
+const nodeBank = simnet.NodeID("bank")
+
+// ispTransport adapts one engine to the world.
+type ispTransport struct {
+	w     *World
+	index int
+}
+
+var _ isp.Transport = (*ispTransport)(nil)
+
+func (t *ispTransport) SendMail(toIndex int, toDomain string, msg *mail.Message) {
+	if toIndex < 0 {
+		t.w.mu.Lock()
+		t.w.foreign++
+		t.w.mu.Unlock()
+		return
+	}
+	payload := mailPayload{fromDomain: t.w.Cfg.Domains[t.index], msg: msg}
+	_ = t.w.Net.Send(nodeISP(t.index), nodeISP(toIndex), payload)
+}
+
+func (t *ispTransport) SendBank(env *wire.Envelope) {
+	_ = t.w.Net.Send(nodeISP(t.index), nodeBank, env)
+}
+
+func (t *ispTransport) DeliverLocal(user string, msg *mail.Message) {
+	t.w.deliver(user+"@"+t.w.Cfg.Domains[t.index], msg)
+}
+
+func (t *ispTransport) DeliverAck(user string, msg *mail.Message) {
+	t.w.deliverAck(user+"@"+t.w.Cfg.Domains[t.index], msg)
+}
+
+// bankTransport adapts the bank to the world.
+type bankTransport struct{ w *World }
+
+var _ bank.Transport = (*bankTransport)(nil)
+
+func (t *bankTransport) SendISP(index int, env *wire.Envelope) {
+	_ = t.w.Net.Send(nodeBank, nodeISP(index), env)
+}
+
+// NewWorld wires up the federation.
+func NewWorld(cfg Config) (*World, error) {
+	cfg.fill()
+	w := &World{
+		Cfg:      cfg,
+		Clock:    clock.NewVirtual(time.Unix(1_100_000_000, 0)), // Nov 2004, the paper's era
+		inboxes:  make(map[string][]*mail.Message),
+		ackSinks: make(map[string]func(*mail.Message)),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+	w.Net = simnet.New(simnet.Config{
+		Clock:  w.Clock,
+		Seed:   cfg.Seed + 1,
+		Faults: cfg.Faults,
+		Latency: func(_, _ simnet.NodeID, _ *rand.Rand) time.Duration {
+			return cfg.Latency
+		},
+	})
+	w.Dir = isp.NewDirectory(cfg.Domains, cfg.Compliant)
+
+	// Crypto material.
+	var bankBox crypto.Sealer = crypto.Null{}
+	ispBoxes := make([]crypto.Sealer, cfg.NumISPs)
+	for i := range ispBoxes {
+		ispBoxes[i] = crypto.Null{}
+	}
+	if cfg.RealCrypto {
+		bb, err := crypto.GenerateBox(1024, nil)
+		if err != nil {
+			return nil, fmt.Errorf("sim: bank keys: %w", err)
+		}
+		bankBox = bb
+		for i := range ispBoxes {
+			if !cfg.Compliant[i] {
+				continue
+			}
+			box, err := crypto.GenerateBox(1024, nil)
+			if err != nil {
+				return nil, fmt.Errorf("sim: isp keys: %w", err)
+			}
+			ispBoxes[i] = box
+		}
+	}
+
+	bk, err := bank.New(bank.Config{
+		NumISPs:        cfg.NumISPs,
+		Compliant:      cfg.Compliant,
+		InitialAccount: cfg.BankFunds,
+		Transport:      &bankTransport{w: w},
+		OwnSealer:      bankBox,
+		SettleOnVerify: cfg.Settle,
+	})
+	if err != nil {
+		return nil, err
+	}
+	w.Bank = bk
+	w.Net.Register(nodeBank, func(_ simnet.NodeID, payload any) {
+		if env, ok := payload.(*wire.Envelope); ok {
+			_ = w.Bank.Handle(env)
+		}
+	})
+
+	w.Engines = make([]*isp.Engine, cfg.NumISPs)
+	for i := 0; i < cfg.NumISPs; i++ {
+		i := i
+		if !cfg.Compliant[i] {
+			// Non-compliant ISP: a plain mail sink/source.
+			w.Net.Register(nodeISP(i), func(_ simnet.NodeID, payload any) {
+				if mp, ok := payload.(mailPayload); ok {
+					w.deliver(mp.msg.To.String(), mp.msg)
+				}
+			})
+			continue
+		}
+		eng, err := isp.New(isp.Config{
+			Index:          i,
+			Domain:         cfg.Domains[i],
+			Directory:      w.Dir,
+			Clock:          w.Clock,
+			Transport:      &ispTransport{w: w, index: i},
+			MinAvail:       cfg.MinAvail,
+			MaxAvail:       cfg.MaxAvail,
+			InitialAvail:   cfg.InitialAvail,
+			DefaultLimit:   cfg.DefaultLimit,
+			FreezeDuration: cfg.FreezeDuration,
+			Policy:         cfg.Policy,
+			Filter:         cfg.Filter,
+			BankSealer:     bankBox.PublicOnly(),
+			OwnSealer:      ispBoxes[i],
+		})
+		if err != nil {
+			return nil, err
+		}
+		w.Engines[i] = eng
+		if err := bk.Enroll(i, ispBoxes[i]); err != nil {
+			return nil, err
+		}
+		w.Net.Register(nodeISP(i), func(_ simnet.NodeID, payload any) {
+			switch p := payload.(type) {
+			case mailPayload:
+				_ = eng.ReceiveRemote(p.fromDomain, p.msg)
+			case *wire.Envelope:
+				_ = eng.HandleBank(p)
+			}
+			_ = eng.Tick()
+		})
+		for u := 0; u < cfg.UsersPerISP; u++ {
+			name := fmt.Sprintf("u%d", u)
+			if err := eng.RegisterUser(name, cfg.InitialAccount, cfg.InitialBalance, cfg.DefaultLimit); err != nil {
+				return nil, fmt.Errorf("sim: register %s@%s: %w", name, cfg.Domains[i], err)
+			}
+		}
+	}
+	w.initialE = w.TotalEPennies()
+	return w, nil
+}
+
+func (w *World) deliver(addr string, msg *mail.Message) {
+	w.mu.Lock()
+	w.inboxes[addr] = append(w.inboxes[addr], msg)
+	w.mu.Unlock()
+}
+
+func (w *World) deliverAck(addr string, msg *mail.Message) {
+	w.mu.Lock()
+	sink := w.ackSinks[addr]
+	w.mu.Unlock()
+	if sink != nil {
+		sink(msg)
+		return
+	}
+	// No registered sink: drop silently, as an MUA would for machine
+	// mail it did not ask for.
+}
+
+// SetAckSink routes acknowledgments for one address (a mailing-list
+// distributor) to a handler.
+func (w *World) SetAckSink(addr string, sink func(*mail.Message)) {
+	w.mu.Lock()
+	w.ackSinks[addr] = sink
+	w.mu.Unlock()
+}
+
+// Inbox returns the messages delivered to addr.
+func (w *World) Inbox(addr string) []*mail.Message {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]*mail.Message(nil), w.inboxes[addr]...)
+}
+
+// InboxCount returns how many messages addr has received.
+func (w *World) InboxCount(addr string) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.inboxes[addr])
+}
+
+// TotalInbox returns total delivered messages across all mailboxes.
+func (w *World) TotalInbox() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := 0
+	for _, msgs := range w.inboxes {
+		n += len(msgs)
+	}
+	return n
+}
+
+// ForeignCount reports messages routed to unknown domains.
+func (w *World) ForeignCount() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.foreign
+}
+
+// Engine returns the compliant engine at index i (nil otherwise).
+func (w *World) Engine(i int) *isp.Engine { return w.Engines[i] }
+
+// Send submits a message from a user of a compliant ISP through the
+// normal submission path.
+func (w *World) Send(from, to, subject, body string) (isp.SendOutcome, error) {
+	fa, err := mail.ParseAddress(from)
+	if err != nil {
+		return 0, err
+	}
+	ta, err := mail.ParseAddress(to)
+	if err != nil {
+		return 0, err
+	}
+	idx, compliant, ok := w.Dir.Lookup(fa.Domain)
+	if !ok || !compliant {
+		return 0, fmt.Errorf("sim: %s is not a compliant-ISP user; use InjectUnpaid", from)
+	}
+	msg := mail.NewMessage(fa, ta, subject, body)
+	return w.Engines[idx].Submit(msg)
+}
+
+// InjectUnpaid delivers a message from a non-compliant or foreign
+// domain straight onto the wire toward the recipient's ISP — the path
+// spam takes from outside the federation.
+func (w *World) InjectUnpaid(fromDomain, to, subject, body string) error {
+	ta, err := mail.ParseAddress(to)
+	if err != nil {
+		return err
+	}
+	idx, _, ok := w.Dir.Lookup(ta.Domain)
+	if !ok {
+		return fmt.Errorf("sim: unknown destination domain %s", ta.Domain)
+	}
+	from := mail.Address{Local: "bulk", Domain: fromDomain}
+	msg := mail.NewMessage(from, ta, subject, body)
+	var src simnet.NodeID = "foreign:" + simnet.NodeID(fromDomain)
+	if srcIdx, _, known := w.Dir.Lookup(fromDomain); known {
+		src = nodeISP(srcIdx)
+	} else {
+		// Foreign sources must exist as nodes to send; register a sink
+		// once.
+		w.Net.Register(src, func(simnet.NodeID, any) {})
+	}
+	return w.Net.Send(src, nodeISP(idx), mailPayload{fromDomain: fromDomain, msg: msg})
+}
+
+// Run drains the world to quiescence and returns events fired.
+func (w *World) Run() int { return w.Clock.RunUntilIdle() }
+
+// RunFor advances virtual time by d, delivering everything due.
+func (w *World) RunFor(d time.Duration) { w.Clock.Advance(d) }
+
+// SnapshotRound drives one complete §4.4 audit: bank request, ISP
+// freezes, reports, verification. It runs the world to quiescence.
+func (w *World) SnapshotRound() error {
+	if err := w.Bank.StartSnapshot(); err != nil {
+		return err
+	}
+	w.Run()
+	if !w.Bank.RoundComplete() {
+		return fmt.Errorf("sim: snapshot round did not complete")
+	}
+	return nil
+}
+
+// TotalEPennies sums pool + balances + credit over all compliant ISPs.
+// At quiescence, TotalEPennies − initial == Bank.Outstanding unless an
+// engine is cheating (experiment E1).
+func (w *World) TotalEPennies() int64 {
+	var total int64
+	for _, e := range w.Engines {
+		if e != nil {
+			total += e.TotalEPennies()
+		}
+	}
+	return total
+}
+
+// InitialEPennies reports the world's starting stock.
+func (w *World) InitialEPennies() int64 { return w.initialE }
+
+// ConservationHolds checks the E1 invariant at quiescence.
+func (w *World) ConservationHolds() bool {
+	return w.TotalEPennies() == w.initialE+w.Bank.Outstanding()
+}
+
+// EndOfDay resets every engine's sent counters.
+func (w *World) EndOfDay() {
+	for _, e := range w.Engines {
+		if e != nil {
+			e.EndOfDay()
+		}
+	}
+}
+
+// Rand exposes the world's seeded RNG for workload generators.
+func (w *World) Rand() *rand.Rand { return w.rng }
+
+// UserAddr builds "u<n>@<domain i>".
+func (w *World) UserAddr(ispIdx, userIdx int) string {
+	return fmt.Sprintf("u%d@%s", userIdx, w.Cfg.Domains[ispIdx])
+}

@@ -1,0 +1,209 @@
+// Package simnet is a deterministic in-process message network used by
+// the Zmail simulator and tests.
+//
+// It models the channel semantics of the paper's Abstract Protocol
+// notation (§3): between every ordered pair of processes there is one
+// directed channel; messages placed in a channel are delivered
+// one-at-a-time, in the order sent, and every message is eventually
+// delivered (unless a fault plan explicitly drops it). Delivery timing
+// is driven by an injected virtual clock, so entire multi-ISP runs are
+// reproducible from a seed.
+//
+// Fault injection (drops, duplicates, partitions, extra delay) is
+// available for tests that probe the protocol's robustness; the default
+// plan is fault-free, matching the paper's reliable-channel assumption.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"zmail/internal/clock"
+)
+
+// NodeID names a process on the network (e.g. "isp0", "bank").
+type NodeID string
+
+// Handler receives a delivered message. Handlers run on the goroutine
+// advancing the virtual clock; they may send further messages but must
+// not block.
+type Handler func(from NodeID, payload any)
+
+// FaultPlan configures lossy behavior. The zero value is a perfect
+// network.
+type FaultPlan struct {
+	// DropProb is the probability a message is silently dropped.
+	DropProb float64
+	// DupProb is the probability a message is delivered twice.
+	DupProb float64
+	// Partitioned holds directed node pairs whose messages are dropped.
+	Partitioned map[[2]NodeID]bool
+}
+
+// Config configures a Network.
+type Config struct {
+	// Clock drives delivery; required.
+	Clock *clock.Virtual
+	// Latency computes per-message transit time. Nil means 1ms fixed.
+	Latency func(from, to NodeID, rng *rand.Rand) time.Duration
+	// Seed seeds the network's private RNG (faults, latency jitter).
+	Seed int64
+	// Faults is the fault plan; zero value is a perfect network.
+	Faults FaultPlan
+}
+
+// Network routes messages between registered nodes.
+type Network struct {
+	clk     *clock.Virtual
+	latency func(from, to NodeID, rng *rand.Rand) time.Duration
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	nodes    map[NodeID]Handler
+	lastDue  map[[2]NodeID]time.Time
+	faults   FaultPlan
+	trace    func(Event)
+	sent     int64
+	dropped  int64
+	delivers int64
+}
+
+// Event describes one message movement, for test tracing.
+type Event struct {
+	From, To NodeID
+	Payload  any
+	Dropped  bool
+	At       time.Time
+}
+
+// New creates a network.
+func New(cfg Config) *Network {
+	if cfg.Clock == nil {
+		panic("simnet: Config.Clock is required")
+	}
+	lat := cfg.Latency
+	if lat == nil {
+		lat = func(NodeID, NodeID, *rand.Rand) time.Duration { return time.Millisecond }
+	}
+	return &Network{
+		clk:     cfg.Clock,
+		latency: lat,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		nodes:   make(map[NodeID]Handler),
+		lastDue: make(map[[2]NodeID]time.Time),
+		faults:  cfg.Faults,
+	}
+}
+
+// Register attaches a node. Registering an existing ID replaces its
+// handler.
+func (n *Network) Register(id NodeID, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nodes[id] = h
+}
+
+// SetTrace installs an event hook (nil clears it).
+func (n *Network) SetTrace(fn func(Event)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.trace = fn
+}
+
+// SetFaults replaces the fault plan.
+func (n *Network) SetFaults(f FaultPlan) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.faults = f
+}
+
+// Partition cuts the directed link from a to b (and optionally the
+// reverse) until Heal is called.
+func (n *Network) Partition(a, b NodeID, bidirectional bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.faults.Partitioned == nil {
+		n.faults.Partitioned = make(map[[2]NodeID]bool)
+	}
+	n.faults.Partitioned[[2]NodeID{a, b}] = true
+	if bidirectional {
+		n.faults.Partitioned[[2]NodeID{b, a}] = true
+	}
+}
+
+// Heal removes all partitions.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.faults.Partitioned = nil
+}
+
+// Send enqueues payload from src to dst. Delivery preserves per-pair
+// FIFO order even when latency varies. Sending to an unregistered node
+// is an error; sending across a partition or losing to DropProb is not
+// (the message is just dropped, as on a real network).
+func (n *Network) Send(src, dst NodeID, payload any) error {
+	n.mu.Lock()
+	if _, ok := n.nodes[dst]; !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("simnet: unknown destination %q", dst)
+	}
+	n.sent++
+	now := n.clk.Now()
+	if n.faults.Partitioned[[2]NodeID{src, dst}] || (n.faults.DropProb > 0 && n.rng.Float64() < n.faults.DropProb) {
+		n.dropped++
+		trace := n.trace
+		n.mu.Unlock()
+		if trace != nil {
+			trace(Event{From: src, To: dst, Payload: payload, Dropped: true, At: now})
+		}
+		return nil
+	}
+	copies := 1
+	if n.faults.DupProb > 0 && n.rng.Float64() < n.faults.DupProb {
+		copies = 2
+	}
+	key := [2]NodeID{src, dst}
+	for c := 0; c < copies; c++ {
+		due := now.Add(n.latency(src, dst, n.rng))
+		if last, ok := n.lastDue[key]; ok && due.Before(last) {
+			due = last // preserve FIFO per channel
+		}
+		n.lastDue[key] = due
+		n.scheduleLocked(src, dst, payload, due)
+	}
+	n.mu.Unlock()
+	return nil
+}
+
+// scheduleLocked must be called with n.mu held.
+func (n *Network) scheduleLocked(src, dst NodeID, payload any, due time.Time) {
+	delay := due.Sub(n.clk.Now())
+	n.clk.AfterFunc(delay, func() {
+		n.mu.Lock()
+		h := n.nodes[dst]
+		trace := n.trace
+		n.delivers++
+		n.mu.Unlock()
+		if trace != nil {
+			trace(Event{From: src, To: dst, Payload: payload, At: n.clk.Now()})
+		}
+		if h != nil {
+			h(src, payload)
+		}
+	})
+}
+
+// Stats reports lifetime counts: sent includes dropped; delivered counts
+// handler invocations (duplicates count twice).
+func (n *Network) Stats() (sent, dropped, delivered int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sent, n.dropped, n.delivers
+}
+
+// Run drains the network (and any other virtual-clock work) to
+// quiescence and returns the number of events fired.
+func (n *Network) Run() int { return n.clk.RunUntilIdle() }

@@ -1,0 +1,219 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"zmail/internal/clock"
+)
+
+func newNet(seed int64, faults FaultPlan, latency func(from, to NodeID, rng *rand.Rand) time.Duration) (*Network, *clock.Virtual) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	n := New(Config{Clock: clk, Seed: seed, Faults: faults, Latency: latency})
+	return n, clk
+}
+
+func TestDelivery(t *testing.T) {
+	n, _ := newNet(1, FaultPlan{}, nil)
+	var got []any
+	n.Register("b", func(from NodeID, payload any) {
+		if from != "a" {
+			t.Errorf("from = %v", from)
+		}
+		got = append(got, payload)
+	})
+	n.Register("a", func(NodeID, any) {})
+	if err := n.Send("a", "b", 42); err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("delivered = %v", got)
+	}
+}
+
+func TestUnknownDestination(t *testing.T) {
+	n, _ := newNet(1, FaultPlan{}, nil)
+	if err := n.Send("a", "nope", 1); err == nil {
+		t.Fatal("send to unregistered node should error")
+	}
+}
+
+// TestFIFOUnderJitter: random latencies must not reorder a channel.
+func TestFIFOUnderJitter(t *testing.T) {
+	jitter := func(_, _ NodeID, rng *rand.Rand) time.Duration {
+		return time.Duration(rng.Intn(50)) * time.Millisecond
+	}
+	n, _ := newNet(7, FaultPlan{}, jitter)
+	var got []int
+	n.Register("dst", func(_ NodeID, p any) { got = append(got, p.(int)) })
+	n.Register("src", func(NodeID, any) {})
+	for i := 0; i < 200; i++ {
+		if err := n.Send("src", "dst", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Run()
+	if len(got) != 200 {
+		t.Fatalf("delivered %d of 200", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("reordered: got[%d] = %d", i, v)
+		}
+	}
+}
+
+// TestIndependentChannelsMayInterleave: FIFO is per ordered pair; two
+// sources can interleave at a shared destination.
+func TestIndependentChannelsMayInterleave(t *testing.T) {
+	latency := func(from, _ NodeID, _ *rand.Rand) time.Duration {
+		if from == "slow" {
+			return 100 * time.Millisecond
+		}
+		return time.Millisecond
+	}
+	n, _ := newNet(1, FaultPlan{}, latency)
+	var got []NodeID
+	n.Register("dst", func(from NodeID, _ any) { got = append(got, from) })
+	n.Register("slow", func(NodeID, any) {})
+	n.Register("fast", func(NodeID, any) {})
+	_ = n.Send("slow", "dst", 1)
+	_ = n.Send("fast", "dst", 2)
+	n.Run()
+	if len(got) != 2 || got[0] != "fast" || got[1] != "slow" {
+		t.Fatalf("order = %v, want fast before slow", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int {
+		jitter := func(_, _ NodeID, rng *rand.Rand) time.Duration {
+			return time.Duration(rng.Intn(20)) * time.Millisecond
+		}
+		n, _ := newNet(99, FaultPlan{DropProb: 0.2}, jitter)
+		var got []int
+		n.Register("dst", func(_ NodeID, p any) { got = append(got, p.(int)) })
+		n.Register("src", func(NodeID, any) {})
+		for i := 0; i < 100; i++ {
+			_ = n.Send("src", "dst", i)
+		}
+		n.Run()
+		return got
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic delivery count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic order at %d", i)
+		}
+	}
+}
+
+func TestDrops(t *testing.T) {
+	n, _ := newNet(3, FaultPlan{DropProb: 1}, nil)
+	delivered := 0
+	n.Register("dst", func(NodeID, any) { delivered++ })
+	n.Register("src", func(NodeID, any) {})
+	for i := 0; i < 10; i++ {
+		_ = n.Send("src", "dst", i)
+	}
+	n.Run()
+	if delivered != 0 {
+		t.Fatalf("DropProb=1 delivered %d", delivered)
+	}
+	sent, dropped, del := n.Stats()
+	if sent != 10 || dropped != 10 || del != 0 {
+		t.Fatalf("stats = %d/%d/%d", sent, dropped, del)
+	}
+}
+
+func TestDuplicates(t *testing.T) {
+	n, _ := newNet(3, FaultPlan{DupProb: 1}, nil)
+	delivered := 0
+	n.Register("dst", func(NodeID, any) { delivered++ })
+	n.Register("src", func(NodeID, any) {})
+	_ = n.Send("src", "dst", 1)
+	n.Run()
+	if delivered != 2 {
+		t.Fatalf("DupProb=1 delivered %d, want 2", delivered)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	n, _ := newNet(1, FaultPlan{}, nil)
+	delivered := 0
+	n.Register("b", func(NodeID, any) { delivered++ })
+	n.Register("a", func(NodeID, any) {})
+	n.Partition("a", "b", false)
+	_ = n.Send("a", "b", 1)
+	n.Run()
+	if delivered != 0 {
+		t.Fatal("partitioned message delivered")
+	}
+	n.Heal()
+	_ = n.Send("a", "b", 2)
+	n.Run()
+	if delivered != 1 {
+		t.Fatalf("after heal delivered %d", delivered)
+	}
+}
+
+func TestBidirectionalPartition(t *testing.T) {
+	n, _ := newNet(1, FaultPlan{}, nil)
+	delivered := 0
+	count := func(NodeID, any) { delivered++ }
+	n.Register("a", count)
+	n.Register("b", count)
+	n.Partition("a", "b", true)
+	_ = n.Send("a", "b", 1)
+	_ = n.Send("b", "a", 1)
+	n.Run()
+	if delivered != 0 {
+		t.Fatalf("bidirectional partition leaked %d", delivered)
+	}
+}
+
+func TestTraceEvents(t *testing.T) {
+	n, _ := newNet(5, FaultPlan{}, nil)
+	n.Register("dst", func(NodeID, any) {})
+	n.Register("src", func(NodeID, any) {})
+	var events []Event
+	n.SetTrace(func(e Event) { events = append(events, e) })
+	_ = n.Send("src", "dst", "payload")
+	n.Run()
+	if len(events) != 1 || events[0].Dropped || events[0].From != "src" {
+		t.Fatalf("trace = %+v", events)
+	}
+	n.Partition("src", "dst", false)
+	_ = n.Send("src", "dst", "lost")
+	n.Run()
+	if len(events) != 2 || !events[1].Dropped {
+		t.Fatalf("drop trace = %+v", events)
+	}
+}
+
+// TestHandlerMaySend: handlers sending further messages (the protocol
+// engines do this constantly) must not deadlock or be lost.
+func TestHandlerMaySend(t *testing.T) {
+	n, _ := newNet(1, FaultPlan{}, nil)
+	done := false
+	n.Register("pong", func(from NodeID, p any) {
+		if p.(int) < 3 {
+			_ = n.Send("pong", "ping", p.(int)+1)
+		} else {
+			done = true
+		}
+	})
+	n.Register("ping", func(from NodeID, p any) {
+		_ = n.Send("ping", "pong", p.(int)+1)
+	})
+	_ = n.Send("ping", "pong", 0)
+	fired := n.Run()
+	if !done || fired == 0 {
+		t.Fatalf("ping-pong did not complete (fired %d)", fired)
+	}
+}

@@ -1,0 +1,236 @@
+package smtp
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"zmail/internal/mail"
+)
+
+// Client is a minimal SMTP sender: one TCP connection, HELO once, then
+// any number of transactions. Not safe for concurrent use.
+type Client struct {
+	conn    net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	timeout time.Duration
+	greeted bool
+}
+
+// ProtocolError is a non-2xx/3xx SMTP reply.
+type ProtocolError struct {
+	Code int
+	Text string
+}
+
+// Error implements error.
+func (e *ProtocolError) Error() string {
+	return fmt.Sprintf("smtp: server replied %d %s", e.Code, e.Text)
+}
+
+// Dial connects to an SMTP server. timeout bounds the dial and each
+// subsequent command round-trip; zero means 30 seconds.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("smtp: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn:    conn,
+		r:       bufio.NewReaderSize(conn, maxLineLength),
+		w:       bufio.NewWriter(conn),
+		timeout: timeout,
+	}
+	if _, err := c.expect(220); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Hello announces the client's identity with HELO. It (or Ehlo) must
+// be called before Send.
+func (c *Client) Hello(domain string) error {
+	if err := c.cmd("HELO %s", domain); err != nil {
+		return err
+	}
+	if _, err := c.expect(250); err != nil {
+		return err
+	}
+	c.greeted = true
+	return nil
+}
+
+// Ehlo announces the client's identity with EHLO and returns the
+// server's advertised extensions, keyed by upper-cased keyword (e.g.
+// "SIZE" → "4194304", "8BITMIME" → "").
+func (c *Client) Ehlo(domain string) (map[string]string, error) {
+	if err := c.cmd("EHLO %s", domain); err != nil {
+		return nil, err
+	}
+	lines, err := c.expectLines(250)
+	if err != nil {
+		return nil, err
+	}
+	ext := make(map[string]string, len(lines))
+	for _, line := range lines[1:] { // first line is the greeting
+		keyword, value, _ := strings.Cut(line, " ")
+		ext[strings.ToUpper(keyword)] = value
+	}
+	c.greeted = true
+	return ext, nil
+}
+
+// Send runs one full transaction: MAIL, RCPT (one per recipient), DATA.
+func (c *Client) Send(from mail.Address, rcpts []mail.Address, msg *mail.Message) error {
+	if !c.greeted {
+		return fmt.Errorf("smtp: Hello not sent")
+	}
+	if len(rcpts) == 0 {
+		return fmt.Errorf("smtp: no recipients")
+	}
+	if err := c.cmd("MAIL FROM:<%s>", from); err != nil {
+		return err
+	}
+	if _, err := c.expect(250); err != nil {
+		return err
+	}
+	for _, r := range rcpts {
+		if err := c.cmd("RCPT TO:<%s>", r); err != nil {
+			return err
+		}
+		if _, err := c.expect(250); err != nil {
+			return err
+		}
+	}
+	if err := c.cmd("DATA"); err != nil {
+		return err
+	}
+	if _, err := c.expect(354); err != nil {
+		return err
+	}
+	if err := c.writeData(msg.Encode()); err != nil {
+		return err
+	}
+	if _, err := c.expect(250); err != nil {
+		return err
+	}
+	return nil
+}
+
+// writeData dot-stuffs and transmits the message body, then the
+// terminating ".".
+func (c *Client) writeData(raw string) error {
+	_ = c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	normalized := strings.ReplaceAll(raw, "\r\n", "\n")
+	// A trailing newline would otherwise round-trip into a spurious
+	// blank body line on the receiving side.
+	normalized = strings.TrimSuffix(normalized, "\n")
+	lines := strings.Split(normalized, "\n")
+	for _, line := range lines {
+		if strings.HasPrefix(line, ".") {
+			if _, err := c.w.WriteString("."); err != nil {
+				return err
+			}
+		}
+		if _, err := c.w.WriteString(line); err != nil {
+			return err
+		}
+		if _, err := c.w.WriteString("\r\n"); err != nil {
+			return err
+		}
+	}
+	if _, err := c.w.WriteString(".\r\n"); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// Quit ends the session and closes the connection.
+func (c *Client) Quit() error {
+	if err := c.cmd("QUIT"); err != nil {
+		_ = c.conn.Close()
+		return err
+	}
+	_, _ = c.expect(221)
+	return c.conn.Close()
+}
+
+// Close closes the connection without QUIT.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) cmd(format string, args ...any) error {
+	_ = c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	fmt.Fprintf(c.w, format, args...)
+	if _, err := c.w.WriteString("\r\n"); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// expect reads one (possibly multi-line) reply and checks its code,
+// returning the final line's text.
+func (c *Client) expect(code int) (string, error) {
+	lines, err := c.expectLines(code)
+	if err != nil {
+		return "", err
+	}
+	return lines[len(lines)-1], nil
+}
+
+// expectLines reads a full RFC 5321 reply — continuation lines use
+// "code-text", the final line "code text" — and checks the code.
+func (c *Client) expectLines(code int) ([]string, error) {
+	var texts []string
+	for {
+		_ = c.conn.SetReadDeadline(time.Now().Add(c.timeout))
+		line, err := readLine(c.r)
+		if err != nil {
+			return nil, fmt.Errorf("smtp: read reply: %w", err)
+		}
+		if len(line) < 3 {
+			return nil, fmt.Errorf("smtp: short reply %q", line)
+		}
+		got, err := strconv.Atoi(line[:3])
+		if err != nil {
+			return nil, fmt.Errorf("smtp: malformed reply %q", line)
+		}
+		cont := len(line) > 3 && line[3] == '-'
+		text := strings.TrimSpace(line[3:])
+		if cont {
+			text = strings.TrimSpace(line[4:])
+		}
+		texts = append(texts, text)
+		if cont {
+			continue
+		}
+		if got != code {
+			return texts, &ProtocolError{Code: got, Text: text}
+		}
+		return texts, nil
+	}
+}
+
+// SendMail is a convenience one-shot: dial, HELO, one transaction,
+// QUIT. heloDomain identifies the submitting ISP or client.
+func SendMail(addr, heloDomain string, from mail.Address, rcpts []mail.Address, msg *mail.Message, timeout time.Duration) error {
+	c, err := Dial(addr, timeout)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if err := c.Hello(heloDomain); err != nil {
+		return err
+	}
+	if err := c.Send(from, rcpts, msg); err != nil {
+		return err
+	}
+	return c.Quit()
+}

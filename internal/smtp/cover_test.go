@@ -1,0 +1,187 @@
+package smtp
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"zmail/internal/mail"
+)
+
+func TestProtocolErrorMessage(t *testing.T) {
+	err := &ProtocolError{Code: 550, Text: "no such user"}
+	if got := err.Error(); !strings.Contains(got, "550") || !strings.Contains(got, "no such user") {
+		t.Fatalf("Error() = %q", got)
+	}
+}
+
+func TestListenAndServe(t *testing.T) {
+	srv := &Server{Domain: "las.example", Backend: &recordingBackend{}}
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- srv.ListenAndServe("127.0.0.1:0", func(a net.Addr) { ready <- a })
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	// A round-trip against the dynamically bound port.
+	from := mail.MustParseAddress("a@client.example")
+	to := mail.MustParseAddress("b@las.example")
+	if err := SendMail(addr.String(), "client.example", from, []mail.Address{to},
+		mail.NewMessage(from, to, "s", "b"), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("ListenAndServe returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ListenAndServe never returned")
+	}
+}
+
+func TestListenAndServeBadAddr(t *testing.T) {
+	srv := &Server{Domain: "x.example", Backend: &recordingBackend{}}
+	if err := srv.ListenAndServe("127.0.0.1:999999", nil); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+func TestServeRequiresBackend(t *testing.T) {
+	srv := &Server{Domain: "x.example"}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := srv.Serve(l); err == nil {
+		t.Fatal("nil backend accepted")
+	}
+}
+
+func TestDialUnreachable(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", 100*time.Millisecond); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+// rudeServer sends a non-220 greeting, or garbage.
+func rudeServer(t *testing.T, greeting string) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			_, _ = conn.Write([]byte(greeting))
+			// Echo a rejection to everything else, then hang up.
+			buf := make([]byte, 256)
+			_, _ = conn.Read(buf)
+			_, _ = conn.Write([]byte("554 go away\r\n"))
+			_ = conn.Close()
+		}
+	}()
+	return l.Addr().String()
+}
+
+func TestDialRejectsBadGreeting(t *testing.T) {
+	addr := rudeServer(t, "554 not today\r\n")
+	if _, err := Dial(addr, time.Second); err == nil {
+		t.Fatal("non-220 greeting accepted")
+	}
+	var pe *ProtocolError
+	_, err := Dial(addr, time.Second)
+	if !errors.As(err, &pe) || pe.Code != 554 {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDialMalformedGreeting(t *testing.T) {
+	addr := rudeServer(t, "?!\r\n")
+	if _, err := Dial(addr, time.Second); err == nil {
+		t.Fatal("malformed greeting accepted")
+	}
+}
+
+func TestHelloRejected(t *testing.T) {
+	addr := rudeServer(t, "220 hi\r\n")
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Hello("x.example"); err == nil {
+		t.Fatal("rejected HELO reported success")
+	}
+}
+
+func TestQuitAfterServerGone(t *testing.T) {
+	backend := &recordingBackend{}
+	addr := startServer(t, backend)
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Close() // close underneath Quit
+	if err := c.Quit(); err == nil {
+		t.Fatal("Quit on closed connection succeeded")
+	}
+}
+
+func TestQuitNormal(t *testing.T) {
+	addr := startServer(t, &recordingBackend{})
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Hello("x.example"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quit(); err != nil {
+		t.Fatalf("Quit: %v", err)
+	}
+}
+
+// TestSessionFactoryRejection: the backend can refuse a session at
+// HELO time (e.g. a connection-level blacklist).
+type pickyBackend struct{}
+
+func (pickyBackend) NewSession(helo string, _ net.Addr) (Session, error) {
+	if helo == "banned.example" {
+		return nil, errors.New("your kind is not welcome")
+	}
+	return sinkSession{}, nil
+}
+
+type sinkSession struct{}
+
+func (sinkSession) Mail(mail.Address) error                { return nil }
+func (sinkSession) Rcpt(mail.Address) error                { return nil }
+func (sinkSession) Data(mail.Address, *mail.Message) error { return nil }
+func (sinkSession) Reset()                                 {}
+
+func TestSessionFactoryRejection(t *testing.T) {
+	addr := startServer(t, pickyBackend{})
+	rs := dialRaw(t, addr)
+	rs.send("HELO banned.example")
+	rs.expect("550")
+	// The connection survives; a different identity works.
+	rs.send("HELO fine.example")
+	rs.expect("250")
+}

@@ -1,0 +1,107 @@
+package smtp
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"zmail/internal/mail"
+)
+
+func TestEhloAdvertisesExtensions(t *testing.T) {
+	backend := &recordingBackend{}
+	addr := startServer(t, backend)
+	c, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ext, err := c.Ehlo("client.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext["SIZE"] == "" {
+		t.Fatalf("SIZE not advertised: %v", ext)
+	}
+	if _, ok := ext["8BITMIME"]; !ok {
+		t.Fatalf("8BITMIME not advertised: %v", ext)
+	}
+	// A transaction after EHLO works normally.
+	from := mail.MustParseAddress("a@client.example")
+	to := mail.MustParseAddress("b@test.example")
+	if err := c.Send(from, []mail.Address{to}, mail.NewMessage(from, to, "via ehlo", "b")); err != nil {
+		t.Fatal(err)
+	}
+	if got := backend.received(); len(got) != 1 || got[0].msg.Subject() != "via ehlo" {
+		t.Fatalf("received = %v", got)
+	}
+}
+
+func TestMailSizeParameter(t *testing.T) {
+	addr := startServer(t, &recordingBackend{})
+	rs := dialRaw(t, addr)
+	rs.send("EHLO client.example")
+	// Multi-line EHLO reply: read continuation lines until the final.
+	for {
+		line := rs.expect("250")
+		if len(line) > 3 && line[3] != '-' {
+			break
+		}
+	}
+	// An acceptable declared size passes.
+	rs.send("MAIL FROM:<a@client.example> SIZE=1000")
+	rs.expect("250")
+	rs.send("RSET")
+	rs.expect("250")
+	// An oversize declaration is rejected before DATA.
+	rs.send("MAIL FROM:<a@client.example> SIZE=999999999")
+	rs.expect("552")
+	// A malformed SIZE is a syntax error.
+	rs.send("MAIL FROM:<a@client.example> SIZE=abc")
+	rs.expect("501")
+	// Unknown parameters are tolerated (RFC 5321 requires servers to
+	// reject unknown params, but 2004-era MTAs were lenient; we accept
+	// and ignore).
+	rs.send("MAIL FROM:<a@client.example> BODY=8BITMIME")
+	rs.expect("250")
+}
+
+func TestParsePathArgParams(t *testing.T) {
+	addr, params, err := parsePathArg("FROM:<a@b.example> SIZE=42 BODY=8BITMIME", "FROM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr.String() != "a@b.example" {
+		t.Fatalf("addr = %v", addr)
+	}
+	if params["SIZE"] != "42" || params["BODY"] != "8BITMIME" {
+		t.Fatalf("params = %v", params)
+	}
+	// No params: nil map, no error.
+	_, params, err = parsePathArg("TO:<a@b.example>", "TO")
+	if err != nil || params != nil {
+		t.Fatalf("bare path: %v %v", params, err)
+	}
+}
+
+func TestMultiLineErrorReply(t *testing.T) {
+	// A server replying multi-line with a non-2xx final code must
+	// surface a ProtocolError, not hang.
+	backend := &recordingBackend{rejectFrom: "banned.example"}
+	addr := startServer(t, backend)
+	c, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Ehlo("banned-but-helo-ok.example"); err != nil {
+		t.Fatal(err)
+	}
+	from := mail.MustParseAddress("x@banned.example")
+	to := mail.MustParseAddress("b@test.example")
+	err = c.Send(from, []mail.Address{to}, mail.NewMessage(from, to, "s", "b"))
+	var pe *ProtocolError
+	if !errors.As(err, &pe) || pe.Code != 550 {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,458 @@
+// Package smtp implements the subset of the Simple Mail Transfer
+// Protocol (RFC 821 / RFC 5321) that the Zmail system needs: a server
+// that accepts HELO/EHLO, MAIL FROM, RCPT TO, DATA, RSET, NOOP, VRFY
+// and QUIT, and a client that submits messages.
+//
+// Zmail requires no change to SMTP (§1.3 of the paper): payment
+// bookkeeping happens inside the receiving and sending ISPs, keyed off
+// the (authenticated) peer identity. The server surfaces that identity
+// to its Backend as the HELO domain plus remote address; the daemon
+// layers its own peer authentication policy on top.
+package smtp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"zmail/internal/mail"
+)
+
+// Limits applied to inbound sessions.
+const (
+	maxLineLength   = 4096
+	maxMessageBytes = 1 << 22 // 4 MiB
+	maxRecipients   = 100
+)
+
+// Backend creates sessions for inbound connections.
+type Backend interface {
+	// NewSession is called after a successful HELO/EHLO. heloDomain is
+	// the peer's announced identity; remoteAddr its TCP address.
+	NewSession(heloDomain string, remoteAddr net.Addr) (Session, error)
+}
+
+// Session handles one mail transaction. Returning an error from any
+// method rejects the corresponding SMTP command with a 550; the error
+// text is sent to the peer.
+type Session interface {
+	// Mail begins a transaction with the envelope sender.
+	Mail(from mail.Address) error
+	// Rcpt adds an envelope recipient.
+	Rcpt(to mail.Address) error
+	// Data finalizes the transaction with the parsed message, invoked
+	// once per recipient.
+	Data(to mail.Address, msg *mail.Message) error
+	// Reset aborts the in-progress transaction (RSET or new MAIL).
+	Reset()
+}
+
+// Server is an SMTP listener.
+type Server struct {
+	// Domain is announced in the greeting banner.
+	Domain string
+	// Backend handles transactions (required).
+	Backend Backend
+	// ReadTimeout bounds each command read; zero means 5 minutes.
+	ReadTimeout time.Duration
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// Serve accepts connections on l until Close is called. It always
+// returns a non-nil error; after Close the error is net.ErrClosed.
+func (s *Server) Serve(l net.Listener) error {
+	if s.Backend == nil {
+		return errors.New("smtp: Server.Backend is required")
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.listener = l
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.mu.Unlock()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// ListenAndServe listens on addr ("host:port") and serves. The actual
+// bound address is reported through the optional ready callback, useful
+// with ":0".
+func (s *Server) ListenAndServe(addr string, ready func(net.Addr)) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("smtp: listen %s: %w", addr, err)
+	}
+	if ready != nil {
+		ready(l.Addr())
+	}
+	return s.Serve(l)
+}
+
+// Close stops the listener and closes all active connections, waiting
+// for their handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	l := s.listener
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+type connState struct {
+	helo    string
+	session Session
+	from    mail.Address
+	rcpts   []mail.Address
+	gotMail bool
+}
+
+func (s *Server) readTimeout() time.Duration {
+	if s.ReadTimeout > 0 {
+		return s.ReadTimeout
+	}
+	return 5 * time.Minute
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, maxLineLength)
+	w := bufio.NewWriter(conn)
+	reply := func(code int, text string) bool {
+		fmt.Fprintf(w, "%d %s\r\n", code, text)
+		return w.Flush() == nil
+	}
+	if !reply(220, s.Domain+" ESMTP Zmail ready") {
+		return
+	}
+
+	// replyMulti writes an RFC 5321 multi-line reply: every line but the
+	// last uses "code-text".
+	replyMulti := func(code int, lines ...string) bool {
+		for i, text := range lines {
+			sep := "-"
+			if i == len(lines)-1 {
+				sep = " "
+			}
+			fmt.Fprintf(w, "%d%s%s\r\n", code, sep, text)
+		}
+		return w.Flush() == nil
+	}
+
+	var st connState
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(s.readTimeout()))
+		line, err := readLine(r)
+		if err != nil {
+			return
+		}
+		verb, arg := splitCommand(line)
+		switch verb {
+		case "HELO", "EHLO":
+			if arg == "" {
+				if !reply(501, "domain required") {
+					return
+				}
+				continue
+			}
+			sess, err := s.Backend.NewSession(strings.ToLower(arg), conn.RemoteAddr())
+			if err != nil {
+				if !reply(550, errText(err)) {
+					return
+				}
+				continue
+			}
+			st = connState{helo: strings.ToLower(arg), session: sess}
+			if verb == "EHLO" {
+				// Advertise the extensions this server honors.
+				if !replyMulti(250,
+					s.Domain+" greets "+arg,
+					fmt.Sprintf("SIZE %d", maxMessageBytes),
+					"8BITMIME",
+				) {
+					return
+				}
+				continue
+			}
+			if !reply(250, s.Domain+" greets "+arg) {
+				return
+			}
+
+		case "MAIL":
+			if st.session == nil {
+				if !reply(503, "send HELO first") {
+					return
+				}
+				continue
+			}
+			addr, params, perr := parsePathArg(arg, "FROM")
+			if perr != nil {
+				if !reply(501, perr.Error()) {
+					return
+				}
+				continue
+			}
+			if declared, ok := params["SIZE"]; ok {
+				n, err := strconv.ParseInt(declared, 10, 64)
+				if err != nil {
+					if !reply(501, "bad SIZE parameter") {
+						return
+					}
+					continue
+				}
+				if n > maxMessageBytes {
+					if !reply(552, "message exceeds maximum size") {
+						return
+					}
+					continue
+				}
+			}
+			if st.gotMail {
+				st.session.Reset()
+				st.from, st.rcpts, st.gotMail = mail.Address{}, nil, false
+			}
+			if err := st.session.Mail(addr); err != nil {
+				if !reply(550, errText(err)) {
+					return
+				}
+				continue
+			}
+			st.from, st.gotMail = addr, true
+			if !reply(250, "OK") {
+				return
+			}
+
+		case "RCPT":
+			if !st.gotMail {
+				if !reply(503, "send MAIL first") {
+					return
+				}
+				continue
+			}
+			if len(st.rcpts) >= maxRecipients {
+				if !reply(452, "too many recipients") {
+					return
+				}
+				continue
+			}
+			addr, _, perr := parsePathArg(arg, "TO")
+			if perr != nil {
+				if !reply(501, perr.Error()) {
+					return
+				}
+				continue
+			}
+			if err := st.session.Rcpt(addr); err != nil {
+				if !reply(550, errText(err)) {
+					return
+				}
+				continue
+			}
+			st.rcpts = append(st.rcpts, addr)
+			if !reply(250, "OK") {
+				return
+			}
+
+		case "DATA":
+			if !st.gotMail || len(st.rcpts) == 0 {
+				if !reply(503, "send MAIL and RCPT first") {
+					return
+				}
+				continue
+			}
+			if !reply(354, "end data with <CRLF>.<CRLF>") {
+				return
+			}
+			_ = conn.SetReadDeadline(time.Now().Add(s.readTimeout()))
+			raw, derr := readData(r)
+			if derr != nil {
+				if !reply(552, errText(derr)) {
+					return
+				}
+				st.session.Reset()
+				st.from, st.rcpts, st.gotMail = mail.Address{}, nil, false
+				continue
+			}
+			msg, merr := mail.Decode(raw)
+			if merr != nil {
+				if !reply(550, errText(merr)) {
+					return
+				}
+				st.session.Reset()
+				st.from, st.rcpts, st.gotMail = mail.Address{}, nil, false
+				continue
+			}
+			msg.From = st.from
+			failures := 0
+			for _, rcpt := range st.rcpts {
+				m := msg
+				if len(st.rcpts) > 1 {
+					m = msg.Clone()
+				}
+				m.To = rcpt
+				if err := st.session.Data(rcpt, m); err != nil {
+					failures++
+				}
+			}
+			st.from, st.rcpts, st.gotMail = mail.Address{}, nil, false
+			if failures > 0 {
+				if !reply(550, fmt.Sprintf("delivery failed for %d recipient(s)", failures)) {
+					return
+				}
+				continue
+			}
+			if !reply(250, "OK message accepted") {
+				return
+			}
+
+		case "RSET":
+			if st.session != nil {
+				st.session.Reset()
+			}
+			st.from, st.rcpts, st.gotMail = mail.Address{}, nil, false
+			if !reply(250, "OK") {
+				return
+			}
+
+		case "NOOP":
+			if !reply(250, "OK") {
+				return
+			}
+
+		case "VRFY":
+			// RFC 821 permits a non-committal answer; Zmail never
+			// discloses mailbox existence (it would aid address
+			// harvesting — the paper's spammers pay per address, so
+			// verified lists are valuable).
+			if !reply(252, "cannot VRFY user, send some mail and find out") {
+				return
+			}
+
+		case "QUIT":
+			reply(221, s.Domain+" closing")
+			return
+
+		default:
+			if !reply(502, "command not implemented") {
+				return
+			}
+		}
+	}
+}
+
+func errText(err error) string {
+	t := strings.ReplaceAll(err.Error(), "\r", " ")
+	return strings.ReplaceAll(t, "\n", " ")
+}
+
+// readLine reads one CRLF- (or LF-) terminated line.
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	if len(line) > maxLineLength {
+		return "", errors.New("line too long")
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+func splitCommand(line string) (verb, arg string) {
+	sp := strings.IndexByte(line, ' ')
+	if sp < 0 {
+		return strings.ToUpper(line), ""
+	}
+	return strings.ToUpper(line[:sp]), strings.TrimSpace(line[sp+1:])
+}
+
+// parsePathArg parses "FROM:<a@b> KEY=VALUE ..." / "TO:<a@b>"
+// arguments, returning the address and any ESMTP parameters (keys
+// upper-cased).
+func parsePathArg(arg, keyword string) (mail.Address, map[string]string, error) {
+	upper := strings.ToUpper(arg)
+	prefix := keyword + ":"
+	if !strings.HasPrefix(upper, prefix) {
+		return mail.Address{}, nil, fmt.Errorf("syntax: %s:<address>", keyword)
+	}
+	rest := strings.TrimSpace(arg[len(prefix):])
+	path := rest
+	var params map[string]string
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		path = rest[:sp]
+		params = make(map[string]string)
+		for _, tok := range strings.Fields(rest[sp+1:]) {
+			key, value, _ := strings.Cut(tok, "=")
+			params[strings.ToUpper(key)] = value
+		}
+	}
+	addr, err := mail.ParseAddress(path)
+	if err != nil {
+		return mail.Address{}, nil, fmt.Errorf("bad address %q", path)
+	}
+	return addr, params, nil
+}
+
+// readData reads a DATA payload up to the terminating ".", reversing
+// dot-stuffing, and returns the raw message text.
+func readData(r *bufio.Reader) (string, error) {
+	var b strings.Builder
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			return "", err
+		}
+		if line == "." {
+			return b.String(), nil
+		}
+		if strings.HasPrefix(line, ".") {
+			line = line[1:] // un-stuff
+		}
+		if b.Len()+len(line) > maxMessageBytes {
+			return "", errors.New("message too large")
+		}
+		b.WriteString(line)
+		b.WriteString("\r\n")
+	}
+}

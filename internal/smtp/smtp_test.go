@@ -1,0 +1,437 @@
+package smtp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"zmail/internal/mail"
+)
+
+// recordingBackend stores every completed transaction.
+type recordingBackend struct {
+	mu       sync.Mutex
+	sessions int
+	msgs     []received
+	// rejectRcpt makes Rcpt fail for this local part.
+	rejectRcpt string
+	// rejectFrom makes Mail fail for this sender domain.
+	rejectFrom string
+}
+
+type received struct {
+	helo string
+	from mail.Address
+	to   mail.Address
+	msg  *mail.Message
+}
+
+func (b *recordingBackend) NewSession(helo string, _ net.Addr) (Session, error) {
+	b.mu.Lock()
+	b.sessions++
+	b.mu.Unlock()
+	return &recordingSession{backend: b, helo: helo}, nil
+}
+
+func (b *recordingBackend) received() []received {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]received(nil), b.msgs...)
+}
+
+type recordingSession struct {
+	backend *recordingBackend
+	helo    string
+	from    mail.Address
+	resets  int
+}
+
+func (s *recordingSession) Mail(from mail.Address) error {
+	if s.backend.rejectFrom != "" && from.Domain == s.backend.rejectFrom {
+		return errors.New("sender rejected")
+	}
+	s.from = from
+	return nil
+}
+
+func (s *recordingSession) Rcpt(to mail.Address) error {
+	if to.Local == s.backend.rejectRcpt {
+		return errors.New("no such user")
+	}
+	return nil
+}
+
+func (s *recordingSession) Data(to mail.Address, msg *mail.Message) error {
+	s.backend.mu.Lock()
+	defer s.backend.mu.Unlock()
+	s.backend.msgs = append(s.backend.msgs, received{helo: s.helo, from: s.from, to: to, msg: msg})
+	return nil
+}
+
+func (s *recordingSession) Reset() { s.resets++ }
+
+// startServer runs a Server on a loopback listener and returns its
+// address plus a cleanup-registered shutdown.
+func startServer(t *testing.T, backend Backend) string {
+	t.Helper()
+	srv := &Server{Domain: "test.example", Backend: backend, ReadTimeout: 5 * time.Second}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(l) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return l.Addr().String()
+}
+
+func TestSendMailEndToEnd(t *testing.T) {
+	backend := &recordingBackend{}
+	addr := startServer(t, backend)
+
+	from := mail.MustParseAddress("alice@a.example")
+	to := mail.MustParseAddress("bob@test.example")
+	msg := mail.NewMessage(from, to, "Greetings", "line one\nline two")
+	if err := SendMail(addr, "a.example", from, []mail.Address{to}, msg, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got := backend.received()
+	if len(got) != 1 {
+		t.Fatalf("received %d messages", len(got))
+	}
+	r := got[0]
+	if r.helo != "a.example" || r.from != from || r.to != to {
+		t.Fatalf("envelope = %+v", r)
+	}
+	if r.msg.Subject() != "Greetings" || r.msg.Body != "line one\nline two" {
+		t.Fatalf("content = %q / %q", r.msg.Subject(), r.msg.Body)
+	}
+}
+
+func TestDotStuffing(t *testing.T) {
+	backend := &recordingBackend{}
+	addr := startServer(t, backend)
+	from := mail.MustParseAddress("a@a.example")
+	to := mail.MustParseAddress("b@test.example")
+	body := ".leading dot\n..double dot\nmiddle . dot\n."
+	msg := mail.NewMessage(from, to, "dots", body)
+	if err := SendMail(addr, "a.example", from, []mail.Address{to}, msg, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got := backend.received()
+	if len(got) != 1 || got[0].msg.Body != body {
+		t.Fatalf("body = %q, want %q", got[0].msg.Body, body)
+	}
+}
+
+func TestMultipleRecipients(t *testing.T) {
+	backend := &recordingBackend{}
+	addr := startServer(t, backend)
+	from := mail.MustParseAddress("a@a.example")
+	rcpts := []mail.Address{
+		mail.MustParseAddress("one@test.example"),
+		mail.MustParseAddress("two@test.example"),
+		mail.MustParseAddress("three@test.example"),
+	}
+	msg := mail.NewMessage(from, rcpts[0], "multi", "b")
+	if err := SendMail(addr, "a.example", from, rcpts, msg, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got := backend.received()
+	if len(got) != 3 {
+		t.Fatalf("deliveries = %d, want 3", len(got))
+	}
+	seen := map[string]bool{}
+	for _, r := range got {
+		seen[r.to.Local] = true
+		if r.msg.To != r.to {
+			t.Fatalf("per-recipient To not rewritten: %v vs %v", r.msg.To, r.to)
+		}
+	}
+	if !seen["one"] || !seen["two"] || !seen["three"] {
+		t.Fatalf("recipients = %v", seen)
+	}
+}
+
+func TestMultipleTransactionsPerConnection(t *testing.T) {
+	backend := &recordingBackend{}
+	addr := startServer(t, backend)
+	c, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Hello("a.example"); err != nil {
+		t.Fatal(err)
+	}
+	from := mail.MustParseAddress("a@a.example")
+	for i := 0; i < 3; i++ {
+		to := mail.MustParseAddress(fmt.Sprintf("u%d@test.example", i))
+		msg := mail.NewMessage(from, to, fmt.Sprintf("msg %d", i), "b")
+		if err := c.Send(from, []mail.Address{to}, msg); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := c.Quit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := backend.received(); len(got) != 3 {
+		t.Fatalf("received %d", len(got))
+	}
+	backend.mu.Lock()
+	sessions := backend.sessions
+	backend.mu.Unlock()
+	if sessions != 1 {
+		t.Fatalf("sessions = %d, want 1 (same connection)", sessions)
+	}
+}
+
+func TestRcptRejection(t *testing.T) {
+	backend := &recordingBackend{rejectRcpt: "nobody"}
+	addr := startServer(t, backend)
+	from := mail.MustParseAddress("a@a.example")
+	to := mail.MustParseAddress("nobody@test.example")
+	msg := mail.NewMessage(from, to, "s", "b")
+	err := SendMail(addr, "a.example", from, []mail.Address{to}, msg, 5*time.Second)
+	var pe *ProtocolError
+	if !errors.As(err, &pe) || pe.Code != 550 {
+		t.Fatalf("err = %v, want 550 ProtocolError", err)
+	}
+	if len(backend.received()) != 0 {
+		t.Fatal("rejected recipient still received mail")
+	}
+}
+
+func TestMailRejection(t *testing.T) {
+	backend := &recordingBackend{rejectFrom: "banned.example"}
+	addr := startServer(t, backend)
+	from := mail.MustParseAddress("x@banned.example")
+	to := mail.MustParseAddress("b@test.example")
+	msg := mail.NewMessage(from, to, "s", "b")
+	err := SendMail(addr, "banned.example", from, []mail.Address{to}, msg, 5*time.Second)
+	var pe *ProtocolError
+	if !errors.As(err, &pe) || pe.Code != 550 {
+		t.Fatalf("err = %v, want 550", err)
+	}
+}
+
+// rawSession drives the protocol by hand to exercise error branches.
+type rawSession struct {
+	t    *testing.T
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dialRaw(t *testing.T, addr string) *rawSession {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	rs := &rawSession{t: t, conn: conn, r: bufio.NewReader(conn)}
+	rs.expect("220")
+	return rs
+}
+
+func (rs *rawSession) send(line string) {
+	rs.t.Helper()
+	if _, err := rs.conn.Write([]byte(line + "\r\n")); err != nil {
+		rs.t.Fatal(err)
+	}
+}
+
+func (rs *rawSession) expect(prefix string) string {
+	rs.t.Helper()
+	_ = rs.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := rs.r.ReadString('\n')
+	if err != nil {
+		rs.t.Fatalf("read: %v", err)
+	}
+	if !strings.HasPrefix(line, prefix) {
+		rs.t.Fatalf("reply %q, want prefix %q", line, prefix)
+	}
+	return line
+}
+
+func TestCommandSequencing(t *testing.T) {
+	backend := &recordingBackend{}
+	addr := startServer(t, backend)
+	rs := dialRaw(t, addr)
+
+	rs.send("MAIL FROM:<a@a.example>")
+	rs.expect("503") // HELO first
+	rs.send("RCPT TO:<b@test.example>")
+	rs.expect("503")
+	rs.send("DATA")
+	rs.expect("503")
+	rs.send("HELO a.example")
+	rs.expect("250")
+	rs.send("RCPT TO:<b@test.example>")
+	rs.expect("503") // MAIL first
+	rs.send("MAIL FROM:<a@a.example>")
+	rs.expect("250")
+	rs.send("DATA")
+	rs.expect("503") // RCPT first
+	rs.send("RCPT TO:<b@test.example>")
+	rs.expect("250")
+	rs.send("DATA")
+	rs.expect("354")
+	rs.send("Subject: x")
+	rs.send("")
+	rs.send("body")
+	rs.send(".")
+	rs.expect("250")
+	rs.send("QUIT")
+	rs.expect("221")
+}
+
+func TestHELORequiresDomain(t *testing.T) {
+	addr := startServer(t, &recordingBackend{})
+	rs := dialRaw(t, addr)
+	rs.send("HELO")
+	rs.expect("501")
+}
+
+func TestBadAddressSyntax(t *testing.T) {
+	addr := startServer(t, &recordingBackend{})
+	rs := dialRaw(t, addr)
+	rs.send("HELO a.example")
+	rs.expect("250")
+	rs.send("MAIL FROM:not-an-address")
+	rs.expect("501")
+	rs.send("MAIL FROM <a@a.example>")
+	rs.expect("501")
+}
+
+func TestRSETClearsTransaction(t *testing.T) {
+	backend := &recordingBackend{}
+	addr := startServer(t, backend)
+	rs := dialRaw(t, addr)
+	rs.send("HELO a.example")
+	rs.expect("250")
+	rs.send("MAIL FROM:<a@a.example>")
+	rs.expect("250")
+	rs.send("RCPT TO:<b@test.example>")
+	rs.expect("250")
+	rs.send("RSET")
+	rs.expect("250")
+	rs.send("DATA")
+	rs.expect("503") // transaction gone
+}
+
+func TestNOOPAndVRFYAndUnknown(t *testing.T) {
+	addr := startServer(t, &recordingBackend{})
+	rs := dialRaw(t, addr)
+	rs.send("NOOP")
+	rs.expect("250")
+	rs.send("VRFY bob")
+	rs.expect("252") // never discloses mailbox existence
+	rs.send("BOGUS")
+	rs.expect("502")
+}
+
+func TestNewMailResetsPriorTransaction(t *testing.T) {
+	backend := &recordingBackend{}
+	addr := startServer(t, backend)
+	rs := dialRaw(t, addr)
+	rs.send("HELO a.example")
+	rs.expect("250")
+	rs.send("MAIL FROM:<first@a.example>")
+	rs.expect("250")
+	rs.send("RCPT TO:<x@test.example>")
+	rs.expect("250")
+	// Starting over with a new MAIL discards the old envelope.
+	rs.send("MAIL FROM:<second@a.example>")
+	rs.expect("250")
+	rs.send("RCPT TO:<y@test.example>")
+	rs.expect("250")
+	rs.send("DATA")
+	rs.expect("354")
+	rs.send("Subject: s")
+	rs.send("")
+	rs.send(".")
+	rs.expect("250")
+	got := backend.received()
+	if len(got) != 1 || got[0].from.Local != "second" || got[0].to.Local != "y" {
+		t.Fatalf("transaction = %+v", got)
+	}
+}
+
+func TestServerClose(t *testing.T) {
+	backend := &recordingBackend{}
+	srv := &Server{Domain: "test.example", Backend: backend}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(l) }()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := srv.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-served:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+}
+
+func TestClientHelloRequired(t *testing.T) {
+	addr := startServer(t, &recordingBackend{})
+	c, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	from := mail.MustParseAddress("a@a.example")
+	to := mail.MustParseAddress("b@test.example")
+	if err := c.Send(from, []mail.Address{to}, mail.NewMessage(from, to, "s", "b")); err == nil {
+		t.Fatal("Send before Hello succeeded")
+	}
+}
+
+func TestClientNoRecipients(t *testing.T) {
+	addr := startServer(t, &recordingBackend{})
+	c, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Hello("a.example"); err != nil {
+		t.Fatal(err)
+	}
+	from := mail.MustParseAddress("a@a.example")
+	if err := c.Send(from, nil, mail.NewMessage(from, from, "s", "b")); err == nil {
+		t.Fatal("Send with no recipients succeeded")
+	}
+}
+
+func TestZmailHeadersSurviveTransport(t *testing.T) {
+	backend := &recordingBackend{}
+	addr := startServer(t, backend)
+	from := mail.MustParseAddress("announce@a.example")
+	to := mail.MustParseAddress("bob@test.example")
+	msg := mail.NewMessage(from, to, "issue 1", "news")
+	msg.SetClass(mail.ClassList)
+	msg.SetHeader(mail.HeaderMsgID, "<list-1.a.example>")
+	if err := SendMail(addr, "a.example", from, []mail.Address{to}, msg, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got := backend.received()[0].msg
+	if got.Class() != mail.ClassList || got.ID() != "<list-1.a.example>" {
+		t.Fatalf("zmail headers lost: class=%v id=%q", got.Class(), got.ID())
+	}
+}

@@ -1,0 +1,302 @@
+// Package wire defines the bank↔ISP control-plane messages of the
+// Zmail protocol (§4.3–§4.4 of the paper) and their binary encoding.
+//
+// Six message bodies exist, mirroring the paper's channel messages:
+//
+//	buy(x)        ISP → bank   request to buy e-pennies (sealed, nonced)
+//	buyreply(x)   bank → ISP   grant/deny (echoes nonce)
+//	sell(x)       ISP → bank   sell e-pennies back (sealed, nonced)
+//	sellreply(x)  bank → ISP   confirmation (echoes nonce)
+//	request(x)    bank → ISP   credit-array snapshot request (seq)
+//	reply(x)      ISP → bank   the ISP's credit array
+//
+// Bodies are fixed little-endian binary; each travels inside an
+// Envelope that carries the message kind, the sender's ISP index, and
+// the (usually sealed) payload. Envelopes are length-prefix framed so
+// they can be streamed over TCP.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Kind discriminates envelope payloads.
+type Kind uint8
+
+// Message kinds, one per paper message.
+const (
+	KindBuy Kind = iota + 1
+	KindBuyReply
+	KindSell
+	KindSellReply
+	KindRequest
+	KindReply
+	// KindHello carries no payload; an ISP sends it immediately after
+	// connecting so the bank can associate the connection with the
+	// ISP's index before any substantive traffic flows (needed for
+	// bank-initiated snapshot requests).
+	KindHello
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindBuy:
+		return "buy"
+	case KindBuyReply:
+		return "buyreply"
+	case KindSell:
+		return "sell"
+	case KindSellReply:
+		return "sellreply"
+	case KindRequest:
+		return "request"
+	case KindReply:
+		return "reply"
+	case KindHello:
+		return "hello"
+	default:
+		return fmt.Sprintf("wire.Kind(%d)", uint8(k))
+	}
+}
+
+// Errors returned by decoders.
+var (
+	ErrShortMessage = errors.New("wire: message truncated")
+	ErrBadMagic     = errors.New("wire: bad envelope magic")
+	ErrTooLarge     = errors.New("wire: envelope exceeds size limit")
+)
+
+// MaxEnvelopeSize bounds a framed envelope; a credit array for 4096
+// ISPs plus sealing overhead fits comfortably.
+const MaxEnvelopeSize = 1 << 20
+
+const envelopeMagic = 0x5A4D // "ZM"
+
+// Envelope frames one sealed message body.
+type Envelope struct {
+	Kind    Kind
+	From    int32 // sender's ISP index; -1 when sent by the bank
+	Payload []byte
+}
+
+// MarshalBinary encodes the envelope (without the stream length
+// prefix).
+func (e *Envelope) MarshalBinary() []byte {
+	out := make([]byte, 7+len(e.Payload))
+	binary.LittleEndian.PutUint16(out[0:2], envelopeMagic)
+	out[2] = byte(e.Kind)
+	binary.LittleEndian.PutUint32(out[3:7], uint32(e.From))
+	copy(out[7:], e.Payload)
+	return out
+}
+
+// UnmarshalBinary decodes an envelope produced by MarshalBinary.
+func (e *Envelope) UnmarshalBinary(data []byte) error {
+	if len(data) < 7 {
+		return ErrShortMessage
+	}
+	if binary.LittleEndian.Uint16(data[0:2]) != envelopeMagic {
+		return ErrBadMagic
+	}
+	e.Kind = Kind(data[2])
+	e.From = int32(binary.LittleEndian.Uint32(data[3:7]))
+	e.Payload = append([]byte(nil), data[7:]...)
+	return nil
+}
+
+// WriteEnvelope frames and writes one envelope: 4-byte little-endian
+// length, then the marshaled envelope.
+func WriteEnvelope(w io.Writer, e *Envelope) error {
+	body := e.MarshalBinary()
+	if len(body) > MaxEnvelopeSize {
+		return ErrTooLarge
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(body)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return fmt.Errorf("wire: write length: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("wire: write body: %w", err)
+	}
+	return nil
+}
+
+// ReadEnvelope reads one framed envelope from the stream.
+func ReadEnvelope(r io.Reader) (*Envelope, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n > MaxEnvelopeSize {
+		return nil, ErrTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("wire: read body: %w", err)
+	}
+	var e Envelope
+	if err := e.UnmarshalBinary(body); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+// Buy is the paper's buy(NCR(B_b, buyvalue|ns1)) body: the ISP wants to
+// buy Value e-pennies; Nonce guards against replay.
+type Buy struct {
+	Value int64
+	Nonce uint64
+}
+
+// MarshalBinary encodes the body.
+func (m *Buy) MarshalBinary() []byte {
+	out := make([]byte, 16)
+	binary.LittleEndian.PutUint64(out[0:8], uint64(m.Value))
+	binary.LittleEndian.PutUint64(out[8:16], m.Nonce)
+	return out
+}
+
+// UnmarshalBinary decodes the body.
+func (m *Buy) UnmarshalBinary(data []byte) error {
+	if len(data) < 16 {
+		return ErrShortMessage
+	}
+	m.Value = int64(binary.LittleEndian.Uint64(data[0:8]))
+	m.Nonce = binary.LittleEndian.Uint64(data[8:16])
+	return nil
+}
+
+// BuyReply is the paper's buyreply(NCR(R_b, nr|accepted)) body.
+type BuyReply struct {
+	Nonce    uint64
+	Accepted bool
+}
+
+// MarshalBinary encodes the body.
+func (m *BuyReply) MarshalBinary() []byte {
+	out := make([]byte, 9)
+	binary.LittleEndian.PutUint64(out[0:8], m.Nonce)
+	if m.Accepted {
+		out[8] = 1
+	}
+	return out
+}
+
+// UnmarshalBinary decodes the body.
+func (m *BuyReply) UnmarshalBinary(data []byte) error {
+	if len(data) < 9 {
+		return ErrShortMessage
+	}
+	m.Nonce = binary.LittleEndian.Uint64(data[0:8])
+	m.Accepted = data[8] == 1
+	return nil
+}
+
+// Sell is the paper's sell(NCR(B_b, sellvalue|ns2)) body.
+type Sell struct {
+	Value int64
+	Nonce uint64
+}
+
+// MarshalBinary encodes the body.
+func (m *Sell) MarshalBinary() []byte {
+	out := make([]byte, 16)
+	binary.LittleEndian.PutUint64(out[0:8], uint64(m.Value))
+	binary.LittleEndian.PutUint64(out[8:16], m.Nonce)
+	return out
+}
+
+// UnmarshalBinary decodes the body.
+func (m *Sell) UnmarshalBinary(data []byte) error {
+	if len(data) < 16 {
+		return ErrShortMessage
+	}
+	m.Value = int64(binary.LittleEndian.Uint64(data[0:8]))
+	m.Nonce = binary.LittleEndian.Uint64(data[8:16])
+	return nil
+}
+
+// SellReply is the paper's sellreply(NCR(R_b, nr)) body.
+type SellReply struct {
+	Nonce uint64
+}
+
+// MarshalBinary encodes the body.
+func (m *SellReply) MarshalBinary() []byte {
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint64(out, m.Nonce)
+	return out
+}
+
+// UnmarshalBinary decodes the body.
+func (m *SellReply) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return ErrShortMessage
+	}
+	m.Nonce = binary.LittleEndian.Uint64(data)
+	return nil
+}
+
+// Request is the paper's request(NCR(R_b, seq)) body: the bank asks for
+// a credit-array snapshot. Seq prevents replay of old requests.
+type Request struct {
+	Seq uint64
+}
+
+// MarshalBinary encodes the body.
+func (m *Request) MarshalBinary() []byte {
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint64(out, m.Seq)
+	return out
+}
+
+// UnmarshalBinary decodes the body.
+func (m *Request) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return ErrShortMessage
+	}
+	m.Seq = binary.LittleEndian.Uint64(data)
+	return nil
+}
+
+// CreditReport is the paper's reply(NCR(B_b, credit)) body: one ISP's
+// full credit array for the closing billing period, indexed by peer ISP
+// number. Seq echoes the snapshot request it answers.
+type CreditReport struct {
+	Seq     uint64
+	Credits []int64
+}
+
+// MarshalBinary encodes the body.
+func (m *CreditReport) MarshalBinary() []byte {
+	out := make([]byte, 12+8*len(m.Credits))
+	binary.LittleEndian.PutUint64(out[0:8], m.Seq)
+	binary.LittleEndian.PutUint32(out[8:12], uint32(len(m.Credits)))
+	for i, c := range m.Credits {
+		binary.LittleEndian.PutUint64(out[12+8*i:], uint64(c))
+	}
+	return out
+}
+
+// UnmarshalBinary decodes the body.
+func (m *CreditReport) UnmarshalBinary(data []byte) error {
+	if len(data) < 12 {
+		return ErrShortMessage
+	}
+	m.Seq = binary.LittleEndian.Uint64(data[0:8])
+	n := int(binary.LittleEndian.Uint32(data[8:12]))
+	if n < 0 || len(data) < 12+8*n {
+		return ErrShortMessage
+	}
+	m.Credits = make([]int64, n)
+	for i := range m.Credits {
+		m.Credits[i] = int64(binary.LittleEndian.Uint64(data[12+8*i:]))
+	}
+	return nil
+}
