@@ -1,0 +1,34 @@
+# Zmail reproduction build targets.
+#
+# `make test` is the tier-1 gate used by CI and the roadmap; `make race`
+# is the concurrency gate for the striped-ledger work and must also stay
+# green.
+
+GO ?= go
+
+.PHONY: build test race bench determinism all
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# Tier-1: compile everything and run the full test suite.
+test: build
+	$(GO) test ./...
+
+# Concurrency gate: the whole suite under the race detector, including
+# the parallel conservation/antisymmetry property tests.
+race:
+	$(GO) test -race ./...
+
+# Ledger and control-plane benchmarks, serial vs parallel.
+bench:
+	$(GO) test -run xxx -bench 'EngineSend|WorldStep|ISPSubmit|ISPReceive' -benchmem .
+	$(GO) test -run xxx -bench 'BuyHandling' -benchmem ./internal/bank/
+
+# Seeded experiment output must be bit-identical run to run.
+determinism:
+	$(GO) run ./cmd/zsim > /tmp/zsim_a.txt
+	$(GO) run ./cmd/zsim > /tmp/zsim_b.txt
+	diff /tmp/zsim_a.txt /tmp/zsim_b.txt && echo deterministic

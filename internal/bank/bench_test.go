@@ -3,9 +3,11 @@ package bank
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"zmail/internal/crypto"
+	"zmail/internal/wire"
 )
 
 // antisymmetricReports builds a consistent set of n credit arrays.
@@ -137,4 +139,37 @@ func BenchmarkBuyHandling(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// sinkTransport discards replies; unlike the recording fake it is safe
+// for concurrent SendISP calls.
+type sinkTransport struct{}
+
+func (sinkTransport) SendISP(int, *wire.Envelope) {}
+
+// BenchmarkBuyHandlingParallel hammers Handle from GOMAXPROCS
+// goroutines, each ISP trading concurrently with globally unique
+// nonces. The bank keeps one mutex by design (it is off the per-message
+// path); this bench quantifies what that serialization costs so the
+// decision stays an informed one.
+func BenchmarkBuyHandlingParallel(b *testing.B) {
+	const isps = 8
+	bk, err := New(Config{NumISPs: isps, InitialAccount: 1 << 60, Transport: sinkTransport{}, OwnSealer: crypto.Null{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < isps; i++ {
+		_ = bk.Enroll(i, crypto.Null{})
+	}
+	var nonce atomic.Uint64
+	var worker atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		from := int32(worker.Add(1)-1) % isps
+		for pb.Next() {
+			if err := bk.Handle(buyEnv(from, 10, nonce.Add(1))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -18,14 +18,16 @@ var (
 // MinAvail and no buy is outstanding, request more inventory from the
 // bank; if above MaxAvail and no sell is outstanding, sell the excess.
 // Call it periodically (the simulator calls it after every delivery
-// round; the daemon on a timer).
+// round; the daemon on a timer). Tick only touches the cold pool state
+// and never blocks the send path.
 func (e *Engine) Tick() error {
-	err := e.tickLocked()
-	e.flush()
+	var em emitQueue
+	err := e.tick(&em)
+	em.run()
 	return err
 }
 
-func (e *Engine) tickLocked() error {
+func (e *Engine) tick(em *emitQueue) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 
@@ -47,7 +49,7 @@ func (e *Engine) tickLocked() error {
 			return fmt.Errorf("isp: seal buy: %w", err)
 		}
 		env := &wire.Envelope{Kind: wire.KindBuy, From: int32(e.cfg.Index), Payload: sealed}
-		e.emit(func() { e.cfg.Transport.SendBank(env) })
+		em.add(func() { e.cfg.Transport.SendBank(env) })
 	}
 
 	if e.avail > e.cfg.MaxAvail && e.canSell {
@@ -76,7 +78,7 @@ func (e *Engine) tickLocked() error {
 			return fmt.Errorf("isp: seal sell: %w", err)
 		}
 		env := &wire.Envelope{Kind: wire.KindSell, From: int32(e.cfg.Index), Payload: sealed}
-		e.emit(func() { e.cfg.Transport.SendBank(env) })
+		em.add(func() { e.cfg.Transport.SendBank(env) })
 	}
 	return nil
 }
@@ -86,12 +88,13 @@ func (e *Engine) tickLocked() error {
 // replayed nonces are dropped with ErrStaleReply, exactly as the
 // paper's ns≠nr branches skip.
 func (e *Engine) HandleBank(env *wire.Envelope) error {
-	err := e.handleBankLocked(env)
-	e.flush()
+	var em emitQueue
+	err := e.handleBank(&em, env)
+	em.run()
 	return err
 }
 
-func (e *Engine) handleBankLocked(env *wire.Envelope) error {
+func (e *Engine) handleBank(em *emitQueue, env *wire.Envelope) error {
 	if e.cfg.OwnSealer == nil {
 		return ErrNotConfigured
 	}
@@ -100,15 +103,14 @@ func (e *Engine) handleBankLocked(env *wire.Envelope) error {
 		return fmt.Errorf("isp: open bank message: %w", err)
 	}
 
-	e.mu.Lock()
-	defer e.mu.Unlock()
-
 	switch env.Kind {
 	case wire.KindBuyReply:
 		var br wire.BuyReply
 		if err := br.UnmarshalBinary(plain); err != nil {
 			return err
 		}
+		e.mu.Lock()
+		defer e.mu.Unlock()
 		if e.canBuy || br.Nonce != uint64(e.ns1) {
 			return ErrStaleReply
 		}
@@ -123,6 +125,8 @@ func (e *Engine) handleBankLocked(env *wire.Envelope) error {
 		if err := sr.UnmarshalBinary(plain); err != nil {
 			return err
 		}
+		e.mu.Lock()
+		defer e.mu.Unlock()
 		if e.canSell || sr.Nonce != uint64(e.ns2) {
 			return ErrStaleReply
 		}
@@ -136,10 +140,15 @@ func (e *Engine) handleBankLocked(env *wire.Envelope) error {
 		if err := rq.UnmarshalBinary(plain); err != nil {
 			return err
 		}
-		if rq.Seq != e.seq || e.frozen {
+		e.freezeMu.Lock()
+		defer e.freezeMu.Unlock()
+		e.mu.Lock()
+		seq := e.seq
+		e.mu.Unlock()
+		if rq.Seq != seq || e.frozen {
 			return ErrStaleReply // replayed snapshot request (§4.4)
 		}
-		e.beginFreezeLocked(rq.Seq)
+		e.beginFreezeLocked(em, rq.Seq)
 		return nil
 
 	default:
@@ -148,71 +157,70 @@ func (e *Engine) handleBankLocked(env *wire.Envelope) error {
 }
 
 // beginFreezeLocked starts the §4.4 snapshot: stop sending, arm the
-// quiet-period timer. Call with mu held.
-func (e *Engine) beginFreezeLocked(seq uint64) {
+// quiet-period timer. Call with freezeMu held for write.
+func (e *Engine) beginFreezeLocked(em *emitQueue, seq uint64) {
 	if e.frozen {
 		return
 	}
 	e.frozen = true
-	e.emit(func() {
+	em.add(func() {
 		e.cfg.Clock.AfterFunc(e.cfg.FreezeDuration, func() { e.finishFreeze(seq) })
 	})
 }
 
 // finishFreeze runs when the quiet period expires: report the credit
 // array, reset it for the new billing period, thaw, and drain the
-// buffered outbox.
+// buffered outbox. Holding freezeMu for write excludes every sender
+// and receiver, so the report is an exact cut of the credit state.
 func (e *Engine) finishFreeze(seq uint64) {
-	e.mu.Lock()
+	e.freezeMu.Lock()
 	if !e.frozen {
-		e.mu.Unlock()
+		e.freezeMu.Unlock()
 		return
 	}
 	report := &wire.CreditReport{Seq: seq, Credits: make([]int64, len(e.credit))}
-	copy(report.Credits, e.credit)
 	for i := range e.credit {
-		e.credit[i] = 0
+		report.Credits[i] = e.credit[i].Swap(0)
 	}
-	e.seq++
 	e.frozen = false
-	e.stats.SnapshotRounds++
+	e.stats.snapshotRounds.Add(1)
+	e.mu.Lock()
+	e.seq++
 	outbox := e.outbox
 	e.outbox = nil
+	e.mu.Unlock()
+	e.freezeMu.Unlock()
 
-	var env *wire.Envelope
-	var sealErr error
 	if e.cfg.BankSealer != nil {
 		sealed, err := e.cfg.BankSealer.Seal(report.MarshalBinary())
-		if err != nil {
-			sealErr = err
-		} else {
-			env = &wire.Envelope{Kind: wire.KindReply, From: int32(e.cfg.Index), Payload: sealed}
+		if err == nil {
+			env := &wire.Envelope{Kind: wire.KindReply, From: int32(e.cfg.Index), Payload: sealed}
+			e.cfg.Transport.SendBank(env)
 		}
+		// A seal failure only skips the report; next round retries.
 	}
-	if env != nil {
-		e.emit(func() { e.cfg.Transport.SendBank(env) })
-	}
-	e.mu.Unlock()
-	e.flush()
-	_ = sealErr // a seal failure only skips the report; next round retries
 
 	// Drain the buffered outbox through the normal submission path.
 	// Messages that can no longer be funded are dropped, mirroring what
 	// a real MTA queue does when an account is closed mid-queue.
 	for _, msg := range outbox {
-		_, _ = e.submitLocked(msg, true)
-		e.flush()
+		var em emitQueue
+		_, _ = e.submit(&em, msg, true)
+		em.run()
 	}
 }
 
 // ForceSnapshot triggers the freeze path without a bank request; used
 // by tests and the simulator's direct-drive mode.
 func (e *Engine) ForceSnapshot() {
+	var em emitQueue
+	e.freezeMu.Lock()
 	e.mu.Lock()
 	seq := e.seq
-	e.beginFreezeLocked(seq)
 	e.mu.Unlock()
-	e.flush()
+	e.beginFreezeLocked(&em, seq)
+	e.freezeMu.Unlock()
+	em.run()
 }
 
 // PoolBand reports the configured (min, max) pool thresholds.

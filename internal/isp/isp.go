@@ -8,7 +8,32 @@
 // delegated to callbacks (Transport), so the identical engine runs
 // under the deterministic in-process simulator (internal/sim) and under
 // the real SMTP/TCP daemon (cmd/zmaild). Callbacks are always invoked
-// after the engine's lock is released, so they may re-enter the engine.
+// after every engine lock is released, so they may re-enter the engine.
+//
+// # Concurrency architecture
+//
+// The hot send/receive path is lock-striped so concurrent SMTP sessions
+// (and parallel simulator workers) proceed in parallel:
+//
+//   - per-user account state (balance, sent, limit, journal) lives in
+//     N stripes keyed by an FNV-1a hash of the username; an operation
+//     locks only the stripe(s) it touches (two stripes, in index order,
+//     for an intra-ISP transfer);
+//   - per-peer credit counters are plain atomics — a paid send or
+//     receive adjusts them without any lock;
+//   - freezeMu (an RWMutex) gates the hot path against the §4.4
+//     snapshot: senders and receivers hold it for read, the freeze /
+//     thaw transition holds it for write, so the credit report is an
+//     exact cut while in-flight mail still drains during the quiet
+//     period (preserving the E9 semantics);
+//   - the remaining cold state — the e-penny pool, the bank trade
+//     handshakes, the buffered outbox — stays behind a single mutex
+//     that the send path only takes while frozen.
+//
+// Lock ordering, for every code path: freezeMu → stripe locks (in
+// ascending stripe index) → mu. Whole-ledger snapshots (TotalEPennies,
+// ExportState) take freezeMu for write to stop the world and read an
+// exactly consistent ledger.
 package isp
 
 import (
@@ -16,6 +41,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"zmail/internal/clock"
@@ -31,6 +57,10 @@ import (
 type Directory struct {
 	Domains   []string
 	Compliant []bool
+
+	// byDomain accelerates Lookup; built by NewDirectory. A Directory
+	// assembled by hand (nil map) falls back to a linear scan.
+	byDomain map[string]int
 }
 
 // NewDirectory builds a directory; compliant may be nil (all
@@ -42,12 +72,26 @@ func NewDirectory(domains []string, compliant []bool) *Directory {
 			compliant[i] = true
 		}
 	}
-	return &Directory{Domains: domains, Compliant: compliant}
+	byDomain := make(map[string]int, len(domains))
+	for i, dom := range domains {
+		if _, dup := byDomain[dom]; !dup {
+			byDomain[dom] = i
+		}
+	}
+	return &Directory{Domains: domains, Compliant: compliant, byDomain: byDomain}
 }
 
 // Lookup resolves a domain. ok is false for domains outside the
-// directory (treated as non-compliant foreign ISPs).
+// directory (treated as non-compliant foreign ISPs). It runs on every
+// send and receive, so directories built by NewDirectory answer from a
+// map rather than scanning the federation.
 func (d *Directory) Lookup(domain string) (index int, compliant bool, ok bool) {
+	if d.byDomain != nil {
+		if i, ok := d.byDomain[domain]; ok {
+			return i, d.Compliant[i], true
+		}
+		return -1, false, false
+	}
 	for i, dom := range d.Domains {
 		if dom == domain {
 			return i, d.Compliant[i], true
@@ -84,7 +128,8 @@ const (
 const HeaderUnpaid = "X-Zmail-Unpaid"
 
 // Transport carries the engine's outbound traffic. Implementations
-// must not block for long; they are called outside the engine lock.
+// must not block for long; they are called outside every engine lock
+// and may be called from multiple goroutines concurrently.
 type Transport interface {
 	// SendMail transmits a message to the ISP at the given federation
 	// index (or any foreign domain when index is -1).
@@ -135,6 +180,11 @@ type Config struct {
 	// Filter is consulted when Policy is FilterUnpaid; it reports
 	// whether the message should be delivered.
 	Filter func(msg *mail.Message) bool
+
+	// Stripes is the number of user-account lock stripes; zero selects
+	// DefaultStripes. Values are rounded up to the next power of two.
+	// One stripe degenerates to the old single-lock ledger.
+	Stripes int
 
 	// BankSealer seals control messages to the bank (required for bank
 	// traffic; crypto.Null{} is acceptable in simulations).
@@ -198,6 +248,7 @@ func (o SendOutcome) String() string {
 
 // user is the paper's per-user state row.
 type user struct {
+	name    string       // mailbox local part (stripe maps are keyed by it too)
 	account money.Penny  // real pennies on deposit with the ISP
 	balance money.EPenny // e-pennies
 	sent    int64        // emails sent today (compliant paths only)
@@ -236,32 +287,56 @@ type Stats struct {
 	ZombieWarnings int64
 }
 
+// engineStats is the live, lock-free counter set behind Stats.
+type engineStats struct {
+	submitted      atomic.Int64
+	deliveredLocal atomic.Int64
+	sentPaid       atomic.Int64
+	sentUnpaid     atomic.Int64
+	receivedPaid   atomic.Int64
+	receivedUnpaid atomic.Int64
+	discarded      atomic.Int64
+	acksGenerated  atomic.Int64
+	acksReceived   atomic.Int64
+	buffered       atomic.Int64
+	limitRejects   atomic.Int64
+	balanceRejects atomic.Int64
+	snapshotRounds atomic.Int64
+	zombieWarnings atomic.Int64
+}
+
 // Engine is one compliant ISP's protocol state machine.
 type Engine struct {
 	cfg    Config
 	nonces *crypto.Source
+	msgIDs *mail.MessageIDCounter
 
-	mu         sync.Mutex
-	users      map[string]*user
-	credit     []int64
-	avail      money.EPenny
-	frozen     bool
-	outbox     []*mail.Message
-	seq        uint64
-	canBuy     bool
-	canSell    bool
-	ns1        crypto.Nonce // pending buy nonce
-	ns2        crypto.Nonce // pending sell nonce
-	buyVal     money.EPenny
-	sellVal    money.EPenny
-	msgIDs     *mail.MessageIDCounter
-	stats      Stats
-	cheat      bool
-	journalSeq int64
+	// Hot state: user-account stripes, per-peer credit atomics, stats.
+	stripes    []accountStripe
+	stripeMask uint32
+	credit     []atomic.Int64
+	journalSeq atomic.Int64
+	cheat      atomic.Bool
+	stats      engineStats
+	contention contentionCounters
 
-	// emitq holds callbacks queued under the lock and run after it is
-	// released, so Transport implementations may re-enter the engine.
-	emitq []func()
+	// freezeMu gates the hot path against §4.4 snapshot transitions;
+	// see the package comment for the lock ordering.
+	freezeMu sync.RWMutex
+	frozen   bool // guarded by freezeMu
+
+	// mu guards the cold state: pool level, bank trade handshakes and
+	// the frozen outbox.
+	mu      sync.Mutex
+	avail   money.EPenny
+	outbox  []*mail.Message
+	seq     uint64
+	canBuy  bool
+	canSell bool
+	ns1     crypto.Nonce // pending buy nonce
+	ns2     crypto.Nonce // pending sell nonce
+	buyVal  money.EPenny
+	sellVal money.EPenny
 }
 
 // New validates cfg and builds an engine.
@@ -302,20 +377,31 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Policy == 0 {
 		cfg.Policy = AcceptUnpaid
 	}
+	if cfg.Stripes == 0 {
+		cfg.Stripes = DefaultStripes
+	}
+	cfg.Stripes = ceilPow2(cfg.Stripes)
 	nonces := cfg.Nonces
 	if nonces == nil {
 		nonces = crypto.NewSource(nil)
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:     cfg,
 		nonces:  nonces,
-		users:   make(map[string]*user),
-		credit:  make([]int64, cfg.Directory.Len()),
+		stripes: make([]accountStripe, cfg.Stripes),
+		credit:  make([]atomic.Int64, cfg.Directory.Len()),
 		avail:   cfg.InitialAvail,
 		canBuy:  true,
 		canSell: true,
 		msgIDs:  mail.NewMessageIDCounter(cfg.Domain),
-	}, nil
+	}
+	e.stripeMask = uint32(cfg.Stripes - 1)
+	for i := range e.stripes {
+		e.stripes[i].idx = i
+		e.stripes[i].users = make(map[string]*user)
+	}
+	e.contention.stripeHits = make([]atomic.Int64, cfg.Stripes)
+	return e, nil
 }
 
 // Index returns this ISP's federation index.
@@ -324,25 +410,22 @@ func (e *Engine) Index() int { return e.cfg.Index }
 // Domain returns this ISP's mail domain.
 func (e *Engine) Domain() string { return e.cfg.Domain }
 
-// flush runs queued transport callbacks; call without holding mu.
-func (e *Engine) flush() {
-	for {
-		e.mu.Lock()
-		if len(e.emitq) == 0 {
-			e.mu.Unlock()
-			return
-		}
-		q := e.emitq
-		e.emitq = nil
-		e.mu.Unlock()
-		for _, fn := range q {
-			fn()
-		}
+// Stripes reports the configured stripe count.
+func (e *Engine) Stripes() int { return len(e.stripes) }
+
+// emitQueue collects transport callbacks during one operation; they
+// run after every engine lock is released, so transports may re-enter
+// the engine. Each operation owns its queue — there is no shared
+// emit buffer to contend on.
+type emitQueue []func()
+
+func (q *emitQueue) add(fn func()) { *q = append(*q, fn) }
+
+func (q emitQueue) run() {
+	for _, fn := range q {
+		fn()
 	}
 }
-
-// emit queues a callback; call with mu held.
-func (e *Engine) emit(fn func()) { e.emitq = append(e.emitq, fn) }
 
 // RegisterUser creates a mailbox. limit <= 0 selects the configured
 // default. account and balance seed the user's real-money and e-penny
@@ -353,27 +436,33 @@ func (e *Engine) RegisterUser(name string, account money.Penny, balance money.EP
 	if limit <= 0 {
 		limit = e.cfg.DefaultLimit
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, dup := e.users[name]; dup {
-		return fmt.Errorf("%w: %q", ErrDuplicateUser, name)
-	}
 	if balance < 0 || account < 0 {
 		return ErrBadAmount
 	}
+	e.freezeMu.RLock()
+	defer e.freezeMu.RUnlock()
+	s := e.stripeFor(name)
+	e.lockStripe(s)
+	defer s.mu.Unlock()
+	if _, dup := s.users[name]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateUser, name)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if balance > e.avail {
 		return fmt.Errorf("%w: need %v, pool has %v", ErrPoolExhausted, balance, e.avail)
 	}
 	e.avail -= balance
-	e.users[name] = &user{account: account, balance: balance, limit: limit}
+	s.users[name] = &user{name: name, account: account, balance: balance, limit: limit}
 	return nil
 }
 
 // User returns a snapshot of one user's state.
 func (e *Engine) User(name string) (UserInfo, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	u, ok := e.users[name]
+	s := e.stripeFor(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u, ok := s.users[name]
 	if !ok {
 		return UserInfo{}, false
 	}
@@ -382,12 +471,15 @@ func (e *Engine) User(name string) (UserInfo, bool) {
 
 // Users lists all user snapshots, sorted by name.
 func (e *Engine) Users() []UserInfo {
-	e.mu.Lock()
-	out := make([]UserInfo, 0, len(e.users))
-	for name, u := range e.users {
-		out = append(out, UserInfo{Name: name, Account: u.account, Balance: u.balance, Sent: u.sent, Limit: u.limit})
+	var out []UserInfo
+	for i := range e.stripes {
+		s := &e.stripes[i]
+		s.mu.Lock()
+		for name, u := range s.users {
+			out = append(out, UserInfo{Name: name, Account: u.account, Balance: u.balance, Sent: u.sent, Limit: u.limit})
+		}
+		s.mu.Unlock()
 	}
-	e.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
@@ -395,14 +487,15 @@ func (e *Engine) Users() []UserInfo {
 // SetLimit updates a user's daily cap (§5: "a user specified limit on
 // the number of e-pennies the user is willing to spend per day").
 func (e *Engine) SetLimit(name string, limit int64) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	u, ok := e.users[name]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownUser, name)
-	}
 	if limit <= 0 {
 		return ErrBadAmount
+	}
+	s := e.stripeFor(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u, ok := s.users[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownUser, name)
 	}
 	u.limit = limit
 	return nil
@@ -417,39 +510,62 @@ func (e *Engine) Avail() money.EPenny {
 
 // Credit returns a copy of the credit array.
 func (e *Engine) Credit() []int64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	out := make([]int64, len(e.credit))
-	copy(out, e.credit)
+	for i := range e.credit {
+		out[i] = e.credit[i].Load()
+	}
 	return out
 }
 
 // Frozen reports whether a snapshot freeze is in effect.
 func (e *Engine) Frozen() bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.freezeMu.RLock()
+	defer e.freezeMu.RUnlock()
 	return e.frozen
 }
 
 // Stats returns a copy of the engine counters.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	return Stats{
+		Submitted:      e.stats.submitted.Load(),
+		DeliveredLocal: e.stats.deliveredLocal.Load(),
+		SentPaid:       e.stats.sentPaid.Load(),
+		SentUnpaid:     e.stats.sentUnpaid.Load(),
+		ReceivedPaid:   e.stats.receivedPaid.Load(),
+		ReceivedUnpaid: e.stats.receivedUnpaid.Load(),
+		Discarded:      e.stats.discarded.Load(),
+		AcksGenerated:  e.stats.acksGenerated.Load(),
+		AcksReceived:   e.stats.acksReceived.Load(),
+		Buffered:       e.stats.buffered.Load(),
+		LimitRejects:   e.stats.limitRejects.Load(),
+		BalanceRejects: e.stats.balanceRejects.Load(),
+		SnapshotRounds: e.stats.snapshotRounds.Load(),
+		ZombieWarnings: e.stats.zombieWarnings.Load(),
+	}
 }
 
 // TotalEPennies returns pool + all user balances + credit entries; with
 // every engine quiescent, summing this across the federation is the
-// conserved quantity of experiment E1.
+// conserved quantity of experiment E1. It stops the world (no send or
+// receive is in flight while it reads), so even a concurrent caller
+// sees an exactly consistent cut of the ledger.
 func (e *Engine) TotalEPennies() int64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	total := int64(e.avail)
-	for _, u := range e.users {
-		total += int64(u.balance)
+	e.freezeMu.Lock()
+	defer e.freezeMu.Unlock()
+	var total int64
+	for i := range e.stripes {
+		s := &e.stripes[i]
+		s.mu.Lock()
+		for _, u := range s.users {
+			total += int64(u.balance)
+		}
+		s.mu.Unlock()
 	}
-	for _, c := range e.credit {
-		total += c
+	e.mu.Lock()
+	total += int64(e.avail)
+	e.mu.Unlock()
+	for i := range e.credit {
+		total += e.credit[i].Load()
 	}
 	return total
 }
@@ -459,18 +575,17 @@ func (e *Engine) TotalEPennies() int64 {
 // outbound paid mail, understating what it owes the federation. The
 // bank's §4.4 verification is designed to flag every pair involving a
 // cheater after the next snapshot round.
-func (e *Engine) SetCheat(cheat bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.cheat = cheat
-}
+func (e *Engine) SetCheat(cheat bool) { e.cheat.Store(cheat) }
 
 // EndOfDay resets every user's sent counter (§4.1's midnight action).
 func (e *Engine) EndOfDay() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for _, u := range e.users {
-		u.sent = 0
-		u.warnedToday = false
+	for i := range e.stripes {
+		s := &e.stripes[i]
+		s.mu.Lock()
+		for _, u := range s.users {
+			u.sent = 0
+			u.warnedToday = false
+		}
+		s.mu.Unlock()
 	}
 }

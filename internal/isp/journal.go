@@ -93,15 +93,12 @@ func (e Entry) String() string {
 // journalDepth is the per-user ring size; old entries roll off.
 const journalDepth = 256
 
-// journalLocked appends an entry to a user's ring; call with mu held.
-func (e *Engine) journalLocked(name string, kind EntryKind, counterparty string, epennies, pennies int64, msgID string) {
-	u, ok := e.users[name]
-	if !ok {
-		return
-	}
-	e.journalSeq++
+// journalUser appends an entry to a user's ring. The caller holds the
+// user's stripe lock; the sequence number is drawn from an engine-wide
+// atomic so entries across stripes still order globally.
+func (e *Engine) journalUser(u *user, kind EntryKind, counterparty string, epennies, pennies int64, msgID string) {
 	entry := Entry{
-		Seq:          e.journalSeq,
+		Seq:          e.journalSeq.Add(1),
 		Time:         e.cfg.Clock.Now(),
 		Kind:         kind,
 		Counterparty: counterparty,
@@ -117,9 +114,10 @@ func (e *Engine) journalLocked(name string, kind EntryKind, counterparty string,
 
 // Statement returns a copy of the user's recent journal, oldest first.
 func (e *Engine) Statement(name string) ([]Entry, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	u, ok := e.users[name]
+	s := e.stripeFor(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u, ok := s.users[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownUser, name)
 	}

@@ -1,0 +1,282 @@
+package isp
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"zmail/internal/clock"
+	"zmail/internal/crypto"
+	"zmail/internal/mail"
+	"zmail/internal/metrics"
+	"zmail/internal/wire"
+)
+
+// loopbackTransport wires engines to each other directly: SendMail
+// invokes the destination engine's ReceiveRemote on the sender's own
+// goroutine, so remote delivery is synchronous and the federation is
+// quiescent the moment every submitting goroutine returns. Because the
+// engine runs transport emits with no locks held, this re-entrancy is
+// safe by design.
+type loopbackTransport struct {
+	domain string
+	peers  []*Engine // indexed by directory index; set after all engines exist
+	local  atomic.Int64
+	acks   atomic.Int64
+	// wiped accumulates every credit entry reported (and therefore
+	// zeroed) by snapshot rounds, decoded from the bank reports.
+	wiped *atomic.Int64
+}
+
+func (t *loopbackTransport) SendMail(toIndex int, _ string, msg *mail.Message) {
+	if toIndex >= 0 && t.peers[toIndex] != nil {
+		_ = t.peers[toIndex].ReceiveRemote(t.domain, msg)
+	}
+}
+
+func (t *loopbackTransport) SendBank(env *wire.Envelope) {
+	if t.wiped == nil || env.Kind != wire.KindReply {
+		return
+	}
+	plain, err := (crypto.Null{}).Open(env.Payload)
+	if err != nil {
+		return
+	}
+	var rep wire.CreditReport
+	if err := rep.UnmarshalBinary(plain); err != nil {
+		return
+	}
+	for _, c := range rep.Credits {
+		t.wiped.Add(c)
+	}
+}
+
+func (t *loopbackTransport) DeliverLocal(string, *mail.Message) { t.local.Add(1) }
+func (t *loopbackTransport) DeliverAck(string, *mail.Message)   { t.acks.Add(1) }
+
+// newLoopbackFederation builds nISPs compliant engines wired directly
+// to each other, each with usersPer registered users u0…u{n-1}.
+func newLoopbackFederation(t *testing.T, clk *clock.Virtual, usersPer int, wiped *atomic.Int64) ([]*Engine, []*loopbackTransport) {
+	t.Helper()
+	dir := NewDirectory(testDomains, nil)
+	engines := make([]*Engine, len(testDomains))
+	transports := make([]*loopbackTransport, len(testDomains))
+	for i, dom := range testDomains {
+		tr := &loopbackTransport{domain: dom, peers: engines, wiped: wiped}
+		transports[i] = tr
+		e, err := New(Config{
+			Index:          i,
+			Domain:         dom,
+			Directory:      dir,
+			Clock:          clk,
+			Transport:      tr,
+			MinAvail:       10,
+			MaxAvail:       1 << 40, // no auto-sell: the only bank flow is the snapshot report
+			InitialAvail:   1 << 20,
+			DefaultLimit:   1 << 30,
+			FreezeDuration: time.Minute,
+			BankSealer:     crypto.Null{},
+			OwnSealer:      crypto.Null{},
+		})
+		if err != nil {
+			t.Fatalf("New(%s): %v", dom, err)
+		}
+		engines[i] = e
+		for u := 0; u < usersPer; u++ {
+			if err := e.RegisterUser(fmt.Sprintf("u%d", u), 1<<20, 1000, 0); err != nil {
+				t.Fatalf("RegisterUser: %v", err)
+			}
+		}
+	}
+	return engines, transports
+}
+
+func federationTotal(engines []*Engine) int64 {
+	var total int64
+	for _, e := range engines {
+		total += e.TotalEPennies()
+	}
+	return total
+}
+
+// TestParallelConservationAntisymmetry hammers a three-ISP loopback
+// federation with sends and user trades from GOMAXPROCS-scaled
+// goroutines, then checks the two cross-engine ledger invariants at
+// quiescence:
+//
+//	E1 (zero-sum): Σ over engines of (pool + Σbalances + Σcredit)
+//	    is exactly the initial stock — no operation mints or burns.
+//	E4 (antisymmetry): credit_i[j] + credit_j[i] == 0 for every pair,
+//	    since each paid remote delivery books +1 on the sender's row
+//	    and −1 on the mirror row.
+//
+// Run under -race this is also the main concurrency shakedown for the
+// striped account path.
+func TestParallelConservationAntisymmetry(t *testing.T) {
+	const usersPer = 8
+	clk := clock.NewVirtual(time.Unix(1_100_000_000, 0))
+	engines, _ := newLoopbackFederation(t, clk, usersPer, nil)
+	initial := federationTotal(engines)
+
+	workers := runtime.GOMAXPROCS(0) * 2
+	if workers < 4 {
+		workers = 4
+	}
+	const opsPerWorker = 400
+
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for n := 0; n < opsPerWorker; n++ {
+				src := rng.Intn(len(engines))
+				dst := rng.Intn(len(engines))
+				from := fmt.Sprintf("u%d@%s", rng.Intn(usersPer), testDomains[src])
+				to := fmt.Sprintf("u%d@%s", rng.Intn(usersPer), testDomains[dst])
+				switch rng.Intn(10) {
+				case 8:
+					_ = engines[src].BuyEPennies(fmt.Sprintf("u%d", rng.Intn(usersPer)), rng.Int63n(20)+1)
+				case 9:
+					_ = engines[src].SellEPennies(fmt.Sprintf("u%d", rng.Intn(usersPer)), rng.Int63n(20)+1)
+				default:
+					msg := mail.NewMessage(addr(from), addr(to), "s", "b")
+					_, _ = engines[src].Submit(msg)
+				}
+			}
+		}(int64(k + 1))
+	}
+	wg.Wait()
+
+	if got := federationTotal(engines); got != initial {
+		t.Errorf("E1 violated: total e-pennies %d, want initial %d", got, initial)
+	}
+	for i := range engines {
+		ci := engines[i].Credit()
+		for j := range engines {
+			if i == j {
+				continue
+			}
+			cj := engines[j].Credit()
+			if ci[j]+cj[i] != 0 {
+				t.Errorf("antisymmetry violated: credit[%d][%d]=%d, credit[%d][%d]=%d", i, j, ci[j], j, i, cj[i])
+			}
+		}
+	}
+}
+
+// TestContentionObservability checks the refactor's observability
+// contract: stripe hits are counted, and PublishMetrics exposes the
+// counters through the metrics registry.
+func TestContentionObservability(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(1_100_000_000, 0))
+	engines, _ := newLoopbackFederation(t, clk, 4, nil)
+	e := engines[0]
+	for n := 0; n < 50; n++ {
+		from := fmt.Sprintf("u%d@%s", n%4, testDomains[0])
+		to := fmt.Sprintf("u%d@%s", (n+1)%4, testDomains[0])
+		if _, err := e.Submit(mail.NewMessage(addr(from), addr(to), "s", "b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := e.Contention()
+	var hits int64
+	for _, h := range cs.StripeHits {
+		hits += h
+	}
+	if hits == 0 {
+		t.Error("no stripe acquisitions recorded")
+	}
+	if cs.Contended > hits {
+		t.Errorf("contended count %d exceeds total acquisitions %d", cs.Contended, hits)
+	}
+
+	reg := metrics.NewRegistry()
+	e.PublishMetrics(reg, "isp0")
+	snap := reg.Snapshot()
+	for _, want := range []string{"isp0.stripe_hits", "isp0.lock_contended", "isp0.stripe_skew"} {
+		if !strings.Contains(snap, want) {
+			t.Errorf("metric %q missing from snapshot:\n%s", want, snap)
+		}
+	}
+}
+
+// TestParallelFreezeStress interleaves snapshot freeze/thaw cycles with
+// concurrent submission traffic. Every credit entry a snapshot wipes is
+// reported to the (stub) bank first, so conservation extends across
+// rounds:
+//
+//	Σ totals + Σ reported credits == initial stock.
+//
+// This exercises the freezeMu write path racing the striped read path —
+// the regime where the old single-mutex engine was trivially correct
+// and the striped one has to earn it.
+func TestParallelFreezeStress(t *testing.T) {
+	const usersPer = 8
+	var wiped atomic.Int64
+	clk := clock.NewVirtual(time.Unix(1_100_000_000, 0))
+	engines, _ := newLoopbackFederation(t, clk, usersPer, &wiped)
+	initial := federationTotal(engines)
+
+	workers := runtime.GOMAXPROCS(0) * 2
+	if workers < 4 {
+		workers = 4
+	}
+	const opsPerWorker = 300
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for n := 0; n < opsPerWorker; n++ {
+				src := rng.Intn(len(engines))
+				from := fmt.Sprintf("u%d@%s", rng.Intn(usersPer), testDomains[src])
+				to := fmt.Sprintf("u%d@%s", rng.Intn(usersPer), testDomains[rng.Intn(len(engines))])
+				msg := mail.NewMessage(addr(from), addr(to), "s", "b")
+				_, _ = engines[src].Submit(msg)
+			}
+		}(int64(k + 100))
+	}
+
+	// Snapshot driver: freeze and thaw each engine while traffic flows.
+	var driver sync.WaitGroup
+	driver.Add(1)
+	go func() {
+		defer driver.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, e := range engines {
+				e.ForceSnapshot()
+			}
+			clk.Advance(2 * time.Minute) // fire the quiet-period timers
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	driver.Wait()
+	// One final thaw so no engine is left frozen with a buffered outbox.
+	clk.Advance(2 * time.Minute)
+
+	if got := federationTotal(engines) + wiped.Load(); got != initial {
+		t.Errorf("conservation across snapshots violated: totals+wiped=%d, want %d", got, initial)
+	}
+	for _, e := range engines {
+		if e.Frozen() {
+			t.Error("engine still frozen after final thaw")
+		}
+	}
+}

@@ -2,6 +2,7 @@ package isp
 
 import (
 	"fmt"
+	"sort"
 
 	"zmail/internal/money"
 )
@@ -49,30 +50,44 @@ type EngineState struct {
 	Users      []UserState `json:"users"`
 }
 
-// ExportState captures the durable ledger under the engine lock.
+// ExportState captures the durable ledger. It stops the world (no send
+// or receive in flight) so the snapshot is exactly consistent even on
+// a busy daemon; users are listed sorted by name so identical ledgers
+// serialize identically.
 func (e *Engine) ExportState() *EngineState {
+	e.freezeMu.Lock()
+	defer e.freezeMu.Unlock()
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	st := &EngineState{
 		Version:    EngineStateVersion,
 		Domain:     e.cfg.Domain,
 		Index:      e.cfg.Index,
 		Avail:      int64(e.avail),
 		Seq:        e.seq,
-		Credit:     append([]int64(nil), e.credit...),
-		JournalSeq: e.journalSeq,
+		JournalSeq: e.journalSeq.Load(),
 	}
-	for name, u := range e.users {
-		st.Users = append(st.Users, UserState{
-			Name:        name,
-			Account:     int64(u.account),
-			Balance:     int64(u.balance),
-			Sent:        u.sent,
-			Limit:       u.limit,
-			WarnedToday: u.warnedToday,
-			Journal:     append([]Entry(nil), u.journal...),
-		})
+	e.mu.Unlock()
+	st.Credit = make([]int64, len(e.credit))
+	for i := range e.credit {
+		st.Credit[i] = e.credit[i].Load()
 	}
+	for i := range e.stripes {
+		s := &e.stripes[i]
+		s.mu.Lock()
+		for name, u := range s.users {
+			st.Users = append(st.Users, UserState{
+				Name:        name,
+				Account:     int64(u.account),
+				Balance:     int64(u.balance),
+				Sent:        u.sent,
+				Limit:       u.limit,
+				WarnedToday: u.warnedToday,
+				Journal:     append([]Entry(nil), u.journal...),
+			})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(st.Users, func(i, j int) bool { return st.Users[i].Name < st.Users[j].Name })
 	return st
 }
 
@@ -86,8 +101,8 @@ func (e *Engine) RestoreState(st *EngineState) error {
 	if st.Version != EngineStateVersion {
 		return fmt.Errorf("isp: state version %d, want %d", st.Version, EngineStateVersion)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.freezeMu.Lock()
+	defer e.freezeMu.Unlock()
 	if st.Domain != e.cfg.Domain || st.Index != e.cfg.Index {
 		return fmt.Errorf("isp: state is for %s[%d], engine is %s[%d]",
 			st.Domain, st.Index, e.cfg.Domain, e.cfg.Index)
@@ -96,21 +111,36 @@ func (e *Engine) RestoreState(st *EngineState) error {
 		return fmt.Errorf("isp: state has %d credit entries, federation has %d",
 			len(st.Credit), len(e.credit))
 	}
-	if len(e.users) != 0 {
-		return fmt.Errorf("isp: engine already has %d users; restore onto a fresh engine", len(e.users))
+	for i := range e.stripes {
+		s := &e.stripes[i]
+		s.mu.Lock()
+		n := len(s.users)
+		s.mu.Unlock()
+		if n != 0 {
+			return fmt.Errorf("isp: engine already has users; restore onto a fresh engine")
+		}
 	}
 	if st.Avail < 0 {
 		return fmt.Errorf("isp: state pool is negative")
 	}
-	e.avail = money.EPenny(st.Avail)
-	e.seq = st.Seq
-	copy(e.credit, st.Credit)
-	e.journalSeq = st.JournalSeq
 	for _, us := range st.Users {
 		if us.Balance < 0 || us.Account < 0 || us.Limit <= 0 {
 			return fmt.Errorf("isp: state user %q has invalid ledger", us.Name)
 		}
-		e.users[us.Name] = &user{
+	}
+	e.mu.Lock()
+	e.avail = money.EPenny(st.Avail)
+	e.seq = st.Seq
+	e.mu.Unlock()
+	for i := range e.credit {
+		e.credit[i].Store(st.Credit[i])
+	}
+	e.journalSeq.Store(st.JournalSeq)
+	for _, us := range st.Users {
+		s := e.stripeFor(us.Name)
+		s.mu.Lock()
+		s.users[us.Name] = &user{
+			name:        us.Name,
 			account:     money.Penny(us.Account),
 			balance:     money.EPenny(us.Balance),
 			sent:        us.Sent,
@@ -118,6 +148,7 @@ func (e *Engine) RestoreState(st *EngineState) error {
 			warnedToday: us.WarnedToday,
 			journal:     append([]Entry(nil), us.Journal...),
 		}
+		s.mu.Unlock()
 	}
 	return nil
 }

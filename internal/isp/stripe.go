@@ -1,0 +1,154 @@
+package isp
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zmail/internal/metrics"
+)
+
+// DefaultStripes is the default user-account stripe count. Sixteen
+// stripes keep two uncorrelated users on distinct locks with ~94%
+// probability while the per-engine footprint stays a few cache lines.
+const DefaultStripes = 16
+
+// accountStripe is one shard of the per-user ledger. Everything the
+// paper keeps per user — balance, account, sent/limit, the statement
+// journal — lives under the stripe lock; two users in different
+// stripes never contend.
+type accountStripe struct {
+	idx   int // position in Engine.stripes, fixed at construction
+	mu    sync.Mutex
+	users map[string]*user
+}
+
+// fnv1a32 is the FNV-1a hash used to key usernames to stripes.
+func fnv1a32(s string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}
+
+// ceilPow2 rounds n up to the next power of two (minimum 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// stripeFor maps a username to its account stripe.
+func (e *Engine) stripeFor(name string) *accountStripe {
+	return &e.stripes[fnv1a32(name)&e.stripeMask]
+}
+
+// contentionCounters track hot-path lock behavior so the striping can
+// be observed rather than assumed: how often each stripe is taken, how
+// often an acquisition had to wait, and for how long in total. The
+// wait clock only runs when TryLock fails, so the uncontended path
+// pays one atomic add and nothing else.
+type contentionCounters struct {
+	stripeHits    []atomic.Int64
+	contended     atomic.Int64
+	lockWaitNanos atomic.Int64
+}
+
+// lockStripe acquires a stripe lock, recording the hit and — only when
+// the lock was already held — the wait it cost.
+func (e *Engine) lockStripe(s *accountStripe) {
+	e.contention.stripeHits[s.idx].Add(1)
+	if s.mu.TryLock() {
+		return
+	}
+	start := time.Now()
+	s.mu.Lock()
+	e.contention.contended.Add(1)
+	e.contention.lockWaitNanos.Add(time.Since(start).Nanoseconds())
+}
+
+// lockTwoStripes acquires two stripes in ascending index order (the
+// package-wide deadlock discipline); a==b locks once.
+func (e *Engine) lockTwoStripes(a, b *accountStripe) {
+	if a == b {
+		e.lockStripe(a)
+		return
+	}
+	if a.idx < b.idx {
+		e.lockStripe(a)
+		e.lockStripe(b)
+	} else {
+		e.lockStripe(b)
+		e.lockStripe(a)
+	}
+}
+
+// unlockTwoStripes releases what lockTwoStripes acquired.
+func unlockTwoStripes(a, b *accountStripe) {
+	a.mu.Unlock()
+	if a != b {
+		b.mu.Unlock()
+	}
+}
+
+// ContentionStats is a snapshot of the engine's hot-path lock counters.
+type ContentionStats struct {
+	// StripeHits[i] counts lock acquisitions routed to stripe i; a
+	// flat distribution means the FNV keying is spreading users.
+	StripeHits []int64
+	// Contended counts acquisitions that found the lock held.
+	Contended int64
+	// LockWait is the total time spent waiting on held stripe locks.
+	LockWait time.Duration
+}
+
+// Contention returns the engine's contention counters.
+func (e *Engine) Contention() ContentionStats {
+	out := ContentionStats{
+		StripeHits: make([]int64, len(e.contention.stripeHits)),
+		Contended:  e.contention.contended.Load(),
+		LockWait:   time.Duration(e.contention.lockWaitNanos.Load()),
+	}
+	for i := range e.contention.stripeHits {
+		out.StripeHits[i] = e.contention.stripeHits[i].Load()
+	}
+	return out
+}
+
+// PublishMetrics copies the engine's throughput and contention
+// counters into a metrics registry under the given prefix (e.g.
+// "isp0"). Gauges are used throughout because the engine counters are
+// the source of truth and each publish is a fresh snapshot.
+func (e *Engine) PublishMetrics(r *metrics.Registry, prefix string) {
+	st := e.Stats()
+	r.Gauge(prefix + ".submitted").Set(float64(st.Submitted))
+	r.Gauge(prefix + ".sent_paid").Set(float64(st.SentPaid))
+	r.Gauge(prefix + ".sent_unpaid").Set(float64(st.SentUnpaid))
+	r.Gauge(prefix + ".received_paid").Set(float64(st.ReceivedPaid))
+	r.Gauge(prefix + ".delivered_local").Set(float64(st.DeliveredLocal))
+	c := e.Contention()
+	r.Gauge(prefix + ".lock_contended").Set(float64(c.Contended))
+	r.Gauge(prefix + ".lock_wait_ns").Set(float64(c.LockWait.Nanoseconds()))
+	var hits, maxHits int64
+	for _, h := range c.StripeHits {
+		hits += h
+		if h > maxHits {
+			maxHits = h
+		}
+	}
+	r.Gauge(prefix + ".stripe_hits").Set(float64(hits))
+	if hits > 0 {
+		// 1.0 = perfectly flat; stripes × busiest/total grows as load
+		// concentrates on few stripes.
+		skew := float64(maxHits) * float64(len(c.StripeHits)) / float64(hits)
+		r.Gauge(prefix + ".stripe_skew").Set(skew)
+	}
+}

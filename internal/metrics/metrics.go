@@ -9,12 +9,16 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Registry is a named collection of metrics. The zero value is not
-// usable; call NewRegistry.
+// usable; call NewRegistry. Lookups take only a read lock, so metric
+// access from many goroutines does not serialize the instrumented hot
+// paths; callers on a critical path should still hold on to the
+// returned Counter/Gauge rather than re-resolving the name per event.
 type Registry struct {
-	mu         sync.Mutex
+	mu         sync.RWMutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
@@ -31,45 +35,63 @@ func NewRegistry() *Registry {
 
 // Counter returns (creating if needed) the counter with the given name.
 func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c, ok := r.counters[name]
-	if !ok {
-		c = &Counter{}
-		r.counters[name] = c
+	if c, ok := r.counters[name]; ok {
+		return c
 	}
+	c = &Counter{}
+	r.counters[name] = c
 	return c
 }
 
 // Gauge returns (creating if needed) the gauge with the given name.
 func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	g, ok := r.gauges[name]
-	if !ok {
-		g = &Gauge{}
-		r.gauges[name] = g
+	if g, ok := r.gauges[name]; ok {
+		return g
 	}
+	g = &Gauge{}
+	r.gauges[name] = g
 	return g
 }
 
 // Histogram returns (creating if needed) the histogram with the given
 // name.
 func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	h, ok := r.histograms[name]
-	if !ok {
-		h = &Histogram{}
-		r.histograms[name] = h
+	if h, ok := r.histograms[name]; ok {
+		return h
 	}
+	h = &Histogram{}
+	r.histograms[name] = h
 	return h
 }
 
 // Snapshot returns a sorted, human-readable dump of every metric.
 func (r *Registry) Snapshot() string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	var lines []string
 	for name, c := range r.counters {
 		lines = append(lines, fmt.Sprintf("%s = %d", name, c.Value()))
@@ -84,10 +106,10 @@ func (r *Registry) Snapshot() string {
 	return strings.Join(lines, "\n")
 }
 
-// Counter is a monotonically increasing int64.
+// Counter is a monotonically increasing int64. It is lock-free so
+// counting on a parallel hot path costs one atomic add.
 type Counter struct {
-	mu sync.Mutex
-	v  int64
+	v atomic.Int64
 }
 
 // Inc adds one.
@@ -99,44 +121,34 @@ func (c *Counter) Add(delta int64) {
 	if delta < 0 {
 		return
 	}
-	c.mu.Lock()
-	c.v += delta
-	c.mu.Unlock()
+	c.v.Add(delta)
 }
 
 // Value returns the current count.
-func (c *Counter) Value() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.v
-}
+func (c *Counter) Value() int64 { return c.v.Load() }
 
-// Gauge is a settable float64.
+// Gauge is a settable float64, stored as IEEE-754 bits in an atomic
+// word so reads and writes never block.
 type Gauge struct {
-	mu sync.Mutex
-	v  float64
+	bits atomic.Uint64
 }
 
 // Set replaces the gauge value.
-func (g *Gauge) Set(v float64) {
-	g.mu.Lock()
-	g.v = v
-	g.mu.Unlock()
-}
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add adjusts the gauge by delta.
 func (g *Gauge) Add(delta float64) {
-	g.mu.Lock()
-	g.v += delta
-	g.mu.Unlock()
+	for {
+		old := g.bits.Load()
+		want := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, want) {
+			return
+		}
+	}
 }
 
 // Value returns the current value.
-func (g *Gauge) Value() float64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.v
-}
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Histogram accumulates float64 observations and reports order
 // statistics. It stores all samples; intended for simulation-scale

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// TestParallelWorldConservation is the satellite concurrency property
+// test from the sharding work: K worker goroutines push M random sends
+// each across a 3-ISP world via SendAll, the world is drained to
+// quiescence, and the cross-ISP ledger invariants must hold exactly as
+// they do in serial mode — E1 conservation (no e-penny minted or lost)
+// and pairwise credit antisymmetry.
+func TestParallelWorldConservation(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0) * 2
+	if workers < 4 {
+		workers = 4
+	}
+	const usersPer = 6
+	w, err := NewWorld(Config{
+		NumISPs:     3,
+		UsersPerISP: usersPer,
+		Seed:        42,
+		Workers:     workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const sendsPerWorker = 250
+	rng := rand.New(rand.NewSource(7))
+	specs := make([]SendSpec, 0, workers*sendsPerWorker)
+	for n := 0; n < workers*sendsPerWorker; n++ {
+		specs = append(specs, SendSpec{
+			From:    w.UserAddr(rng.Intn(3), rng.Intn(usersPer)),
+			To:      w.UserAddr(rng.Intn(3), rng.Intn(usersPer)),
+			Subject: fmt.Sprintf("msg %d", n),
+			Body:    "hello",
+		})
+	}
+	results := w.SendAll(specs)
+	accepted := 0
+	for _, r := range results {
+		if r.Err == nil {
+			accepted++
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("no sends accepted; workload is vacuous")
+	}
+	w.Run() // drain in-flight remote deliveries deterministically
+
+	if !w.ConservationHolds() {
+		t.Errorf("E1 violated after parallel workload: total=%d initial=%d outstanding=%d",
+			w.TotalEPennies(), w.InitialEPennies(), w.Bank.Outstanding())
+	}
+	for i := 0; i < 3; i++ {
+		ci := w.Engine(i).Credit()
+		for j := 0; j < 3; j++ {
+			if i == j {
+				continue
+			}
+			cj := w.Engine(j).Credit()
+			if ci[j]+cj[i] != 0 {
+				t.Errorf("antisymmetry violated: credit[%d][%d]=%d credit[%d][%d]=%d",
+					i, j, ci[j], j, i, cj[i])
+			}
+		}
+	}
+	w.EndOfDay() // exercise the parallel per-stripe reset too
+	for i := 0; i < 3; i++ {
+		for _, u := range w.Engine(i).Users() {
+			if u.Sent != 0 {
+				t.Errorf("EndOfDay left isp%d user %s with Sent=%d", i, u.Name, u.Sent)
+			}
+		}
+	}
+}
+
+// TestSendAllSerialMatchesSend: with Workers <= 1, SendAll must be
+// byte-for-byte the same as calling Send in a loop — same outcomes,
+// same inbox contents — because serial mode is the reproducibility
+// contract for seeded experiments.
+func TestSendAllSerialMatchesSend(t *testing.T) {
+	build := func() (*World, []SendSpec) {
+		w, err := NewWorld(Config{NumISPs: 3, UsersPerISP: 4, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(3))
+		var specs []SendSpec
+		for n := 0; n < 60; n++ {
+			specs = append(specs, SendSpec{
+				From:    w.UserAddr(rng.Intn(3), rng.Intn(4)),
+				To:      w.UserAddr(rng.Intn(3), rng.Intn(4)),
+				Subject: fmt.Sprintf("m%d", n),
+				Body:    "x",
+			})
+		}
+		return w, specs
+	}
+
+	wa, specs := build()
+	got := wa.SendAll(specs)
+	wa.Run()
+
+	wb, _ := build()
+	for i, s := range specs {
+		out, err := wb.Send(s.From, s.To, s.Subject, s.Body)
+		if got[i].Outcome != out || (got[i].Err == nil) != (err == nil) {
+			t.Fatalf("spec %d: SendAll=(%v,%v) loop=(%v,%v)", i, got[i].Outcome, got[i].Err, out, err)
+		}
+	}
+	wb.Run()
+
+	for i := 0; i < 3; i++ {
+		for u := 0; u < 4; u++ {
+			addr := wa.UserAddr(i, u)
+			a, b := wa.Inbox(addr), wb.Inbox(addr)
+			if len(a) != len(b) {
+				t.Fatalf("inbox %s: SendAll delivered %d, loop %d", addr, len(a), len(b))
+			}
+			for k := range a {
+				if a[k].ID() != b[k].ID() || a[k].Subject() != b[k].Subject() {
+					t.Fatalf("inbox %s msg %d differs: %q/%q vs %q/%q",
+						addr, k, a[k].ID(), a[k].Subject(), b[k].ID(), b[k].Subject())
+				}
+			}
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"zmail/internal/bank"
@@ -68,6 +69,15 @@ type Config struct {
 	// the zero value is a perfect network. Partitions can be added at
 	// runtime via World.Net.
 	Faults simnet.FaultPlan
+	// Workers sizes the submission worker pool used by SendAll and the
+	// per-engine fan-out in EndOfDay. Zero or one keeps every batch
+	// operation serial and in submission order, which — together with
+	// the virtual clock's serial drain — preserves bit-identical seeded
+	// runs. Values above one submit concurrently across the engines'
+	// account stripes; aggregate invariants (conservation, credit
+	// antisymmetry) still hold, but per-message interleaving is no
+	// longer reproducible.
+	Workers int
 }
 
 func (c *Config) fill() {
@@ -389,6 +399,80 @@ func (w *World) Send(from, to, subject, body string) (isp.SendOutcome, error) {
 	return w.Engines[idx].Submit(msg)
 }
 
+// SendSpec describes one submission for SendAll.
+type SendSpec struct {
+	From, To, Subject, Body string
+}
+
+// SendResult pairs a SendAll outcome with its error, positionally
+// matching the input spec.
+type SendResult struct {
+	Outcome isp.SendOutcome
+	Err     error
+}
+
+// SendAll submits a batch of messages. With Config.Workers <= 1 the
+// batch runs serially in spec order (deterministic); otherwise Workers
+// goroutines pull specs concurrently, exercising the engines' striped
+// submission path. Results are positional either way, so callers can
+// correlate errors with specs regardless of mode.
+func (w *World) SendAll(specs []SendSpec) []SendResult {
+	results := make([]SendResult, len(specs))
+	workers := w.Cfg.Workers
+	if workers <= 1 || len(specs) < 2 {
+		for i, s := range specs {
+			results[i].Outcome, results[i].Err = w.Send(s.From, s.To, s.Subject, s.Body)
+		}
+		return results
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(specs) {
+					return
+				}
+				s := specs[i]
+				results[i].Outcome, results[i].Err = w.Send(s.From, s.To, s.Subject, s.Body)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// eachEngine applies fn to every compliant engine, fanning out across
+// Config.Workers goroutines when parallelism is enabled.
+func (w *World) eachEngine(fn func(*isp.Engine)) {
+	if w.Cfg.Workers <= 1 {
+		for _, e := range w.Engines {
+			if e != nil {
+				fn(e)
+			}
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, e := range w.Engines {
+		if e == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(e *isp.Engine) {
+			defer wg.Done()
+			fn(e)
+		}(e)
+	}
+	wg.Wait()
+}
+
 // InjectUnpaid delivers a message from a non-compliant or foreign
 // domain straight onto the wire toward the recipient's ISP — the path
 // spam takes from outside the federation.
@@ -454,13 +538,10 @@ func (w *World) ConservationHolds() bool {
 	return w.TotalEPennies() == w.initialE+w.Bank.Outstanding()
 }
 
-// EndOfDay resets every engine's sent counters.
+// EndOfDay resets every engine's sent counters, in parallel when
+// Config.Workers > 1 (the reset walks every account stripe).
 func (w *World) EndOfDay() {
-	for _, e := range w.Engines {
-		if e != nil {
-			e.EndOfDay()
-		}
-	}
+	w.eachEngine((*isp.Engine).EndOfDay)
 }
 
 // Rand exposes the world's seeded RNG for workload generators.

@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"zmail/internal/mail"
@@ -46,7 +47,11 @@ type Session interface {
 	// Rcpt adds an envelope recipient.
 	Rcpt(to mail.Address) error
 	// Data finalizes the transaction with the parsed message, invoked
-	// once per recipient.
+	// once per recipient. The calls for one transaction's recipients
+	// may run concurrently (each with its own message copy), so
+	// implementations must be safe for concurrent use — the ledger
+	// engine behind the daemon is lock-striped precisely so these
+	// deliveries do not serialize.
 	Data(to mail.Address, msg *mail.Message) error
 	// Reset aborts the in-progress transaction (RSET or new MAIL).
 	Reset()
@@ -325,17 +330,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				continue
 			}
 			msg.From = st.from
-			failures := 0
-			for _, rcpt := range st.rcpts {
-				m := msg
-				if len(st.rcpts) > 1 {
-					m = msg.Clone()
-				}
-				m.To = rcpt
-				if err := st.session.Data(rcpt, m); err != nil {
-					failures++
-				}
-			}
+			failures := deliverAll(st.session, st.rcpts, msg)
 			st.from, st.rcpts, st.gotMail = mail.Address{}, nil, false
 			if failures > 0 {
 				if !reply(550, fmt.Sprintf("delivery failed for %d recipient(s)", failures)) {
@@ -380,6 +375,38 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 		}
 	}
+}
+
+// deliverAll hands the message to the session once per recipient and
+// returns the number of failed deliveries. A single-recipient
+// transaction (the overwhelmingly common case) runs inline; larger
+// recipient lists fan out one goroutine per recipient so deliveries
+// land on the engine's account stripes in parallel instead of
+// serializing behind this connection.
+func deliverAll(session Session, rcpts []mail.Address, msg *mail.Message) int {
+	if len(rcpts) == 1 {
+		m := msg
+		m.To = rcpts[0]
+		if err := session.Data(rcpts[0], m); err != nil {
+			return 1
+		}
+		return 0
+	}
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for _, rcpt := range rcpts {
+		m := msg.Clone()
+		m.To = rcpt
+		wg.Add(1)
+		go func(rcpt mail.Address, m *mail.Message) {
+			defer wg.Done()
+			if err := session.Data(rcpt, m); err != nil {
+				failures.Add(1)
+			}
+		}(rcpt, m)
+	}
+	wg.Wait()
+	return int(failures.Load())
 }
 
 func errText(err error) string {

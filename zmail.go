@@ -219,6 +219,12 @@ type (
 	World = sim.World
 	// WorldConfig sizes a World.
 	WorldConfig = sim.Config
+	// SendSpec describes one submission for World.SendAll batches.
+	SendSpec = sim.SendSpec
+	// SendResult is one positional outcome of a SendAll batch.
+	SendResult = sim.SendResult
+	// ContentionStats reports stripe-lock contention for an Engine.
+	ContentionStats = isp.ContentionStats
 	// SimNetwork is the deterministic message network.
 	SimNetwork = simnet.Network
 	// VirtualClock drives deterministic time.
