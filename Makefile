@@ -2,11 +2,12 @@
 #
 # `make test` is the tier-1 gate used by CI and the roadmap; `make race`
 # is the concurrency gate for the striped-ledger work and must also stay
-# green.
+# green. `make check` is the full pre-merge sweep: tier-1, race, chaos,
+# fuzz smoke, and determinism.
 
 GO ?= go
 
-.PHONY: build test race bench determinism all
+.PHONY: build test race bench determinism chaos fuzz-smoke golden check all
 
 all: build test
 
@@ -32,3 +33,25 @@ determinism:
 	$(GO) run ./cmd/zsim > /tmp/zsim_a.txt
 	$(GO) run ./cmd/zsim > /tmp/zsim_b.txt
 	diff /tmp/zsim_a.txt /tmp/zsim_b.txt && echo deterministic
+
+# Crash-recovery gate: the E20 chaos experiment end to end, plus every
+# crash/restart/recovery test across the tree.
+chaos:
+	$(GO) run ./cmd/zsim -experiment E20
+	$(GO) test -run 'Chaos|Crash|Restart|Replay|Recover|Generate|Validate|Auditor|Antisymmetry' \
+		./internal/simnet/ ./internal/sim/ ./internal/persist/ ./internal/chaos/ -v
+
+# Wire-codec fuzz smoke: each target runs briefly; go test allows one
+# -fuzz pattern per invocation, hence the loop.
+fuzz-smoke:
+	for f in FuzzDecodeEnvelope FuzzDecodeBodies FuzzReadEnvelope; do \
+		$(GO) test -run xxx -fuzz $$f -fuzztime 5s ./internal/wire/ || exit 1; \
+	done
+
+# Regenerate the committed golden output after an intentional
+# experiment change (cmd/zsim's golden test diffs against it).
+golden:
+	$(GO) run ./cmd/zsim > zsim_output.txt
+
+# Full pre-merge sweep.
+check: test race chaos fuzz-smoke determinism

@@ -137,24 +137,20 @@ func run(args []string) error {
 		}
 	}
 	if *stateFile != "" {
-		var st bank.BankState
-		switch err := persist.LoadJSON(*stateFile, &st); {
+		switch err := bk.LoadState(*stateFile); {
 		case err == nil:
-			if err := bk.RestoreState(&st); err != nil {
-				return fmt.Errorf("restore %s: %w", *stateFile, err)
-			}
 			logf("restored ledger from %s", *stateFile)
 		case errors.Is(err, persist.ErrNotExist):
 			logf("no prior state at %s; starting fresh", *stateFile)
 		default:
-			return err
+			return fmt.Errorf("restore %s: %w", *stateFile, err)
 		}
 	}
 	saveState := func() {
 		if *stateFile == "" {
 			return
 		}
-		if err := persist.SaveJSON(*stateFile, bk.ExportState()); err != nil {
+		if err := bk.SaveState(*stateFile); err != nil {
 			logf("save state: %v", err)
 		}
 	}

@@ -200,24 +200,20 @@ func run(args []string) error {
 	defer node.Close()
 
 	if *stateFile != "" {
-		var st isp.EngineState
-		switch err := persist.LoadJSON(*stateFile, &st); {
+		switch err := node.LoadState(*stateFile); {
 		case err == nil:
-			if err := node.Engine().RestoreState(&st); err != nil {
-				return fmt.Errorf("restore %s: %w", *stateFile, err)
-			}
-			logf("restored ledger from %s (%d users)", *stateFile, len(st.Users))
+			logf("restored ledger from %s (%d users)", *stateFile, len(node.Engine().ExportState().Users))
 		case errors.Is(err, persist.ErrNotExist):
 			logf("no prior state at %s; starting fresh", *stateFile)
 		default:
-			return err
+			return fmt.Errorf("restore %s: %w", *stateFile, err)
 		}
 	}
 	saveState := func() {
 		if *stateFile == "" {
 			return
 		}
-		if err := persist.SaveJSON(*stateFile, node.Engine().ExportState()); err != nil {
+		if err := node.SaveState(*stateFile); err != nil {
 			logf("save state: %v", err)
 		}
 	}
@@ -264,15 +260,17 @@ func run(args []string) error {
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	checkpoint := time.NewTicker(5 * time.Minute)
-	defer checkpoint.Stop()
+	if *stateFile != "" {
+		stopCkpt := node.StartCheckpoints(*stateFile, 5*time.Minute, func(err error) {
+			logf("checkpoint: %v", err)
+		})
+		defer stopCkpt()
+	}
 	for {
 		select {
 		case <-midnight:
 			node.Engine().EndOfDay()
 			logf("daily send counters reset")
-		case <-checkpoint.C:
-			saveState()
 		case <-stop:
 			logf("shutting down (%d messages delivered)", delivered.Load())
 			return nil

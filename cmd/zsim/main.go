@@ -14,19 +14,20 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"zmail/internal/experiments"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "zsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("zsim", flag.ContinueOnError)
 	var (
 		experiment = fs.String("experiment", "", "run a single experiment by ID (e.g. E4)")
@@ -39,7 +40,7 @@ func run(args []string) error {
 
 	if *list {
 		for _, id := range experiments.IDs() {
-			fmt.Printf("%-4s %s\n", id, experiments.Title(id))
+			fmt.Fprintf(w, "%-4s %s\n", id, experiments.Title(id))
 		}
 		return nil
 	}
@@ -61,12 +62,12 @@ func run(args []string) error {
 
 	failed := 0
 	for _, r := range results {
-		fmt.Println(r)
+		fmt.Fprintln(w, r)
 		if !r.Pass {
 			failed++
 		}
 	}
-	fmt.Printf("%d/%d experiments pass\n", len(results)-failed, len(results))
+	fmt.Fprintf(w, "%d/%d experiments pass\n", len(results)-failed, len(results))
 	if failed > 0 {
 		return fmt.Errorf("%d experiment(s) failed", failed)
 	}

@@ -1,27 +1,35 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"strings"
+	"testing"
+)
 
 func TestZsimList(t *testing.T) {
-	if err := run([]string{"-list"}); err != nil {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
 		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "E20") {
+		t.Fatalf("listing missing E20:\n%s", out.String())
 	}
 }
 
 func TestZsimSingleExperiment(t *testing.T) {
-	if err := run([]string{"-experiment", "E2"}); err != nil {
+	if err := run([]string{"-experiment", "E2"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestZsimUnknownExperiment(t *testing.T) {
-	if err := run([]string{"-experiment", "E99"}); err == nil {
+	if err := run([]string{"-experiment", "E99"}, io.Discard); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestZsimSeedFlag(t *testing.T) {
-	if err := run([]string{"-experiment", "E3", "-seed", "5"}); err != nil {
+	if err := run([]string{"-experiment", "E3", "-seed", "5"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }

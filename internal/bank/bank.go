@@ -79,6 +79,7 @@ type Stats struct {
 	Burned        int64
 	Replays       int64
 	Rounds        int64
+	RoundsAborted int64
 	ControlMsgs   int64 // total control messages processed (E5 metric)
 	ViolationsAll int64
 
@@ -108,6 +109,7 @@ type Bank struct {
 
 	violations    []Violation
 	lastTransfers []Transfer
+	lastRoundSum  int64
 	stats         Stats
 
 	emitq []func()
@@ -389,9 +391,52 @@ func (b *Bank) RoundComplete() bool {
 	return !b.gathering
 }
 
+// AbortRound abandons an in-progress snapshot round that can never
+// complete (an ISP crashed mid-round, or its report was lost). The
+// round's sequence number is retired — ISPs that already reported have
+// moved to seq+1, so reusing the seq would wedge them — and the partial
+// verify matrix is discarded. The skipped round's credits are not lost:
+// ISPs that never reported carry them into the next round, and the
+// engines' adopt-forward seq handling realigns everyone on the next
+// StartSnapshot.
+func (b *Bank) AbortRound() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.gathering {
+		return ErrNoRound
+	}
+	b.gathering = false
+	b.total = 0
+	b.seq++
+	b.stats.RoundsAborted++
+	for i := range b.verify {
+		for j := range b.verify[i] {
+			b.verify[i][j] = 0
+		}
+	}
+	return nil
+}
+
+// LastRoundCreditSum reports the sum over every entry of the last
+// verified round's credit matrix. Over a closed billing period with no
+// channel losses it is exactly zero — every pair's claims cancel (the
+// freeze-snapshot exactness invariant); with losses it equals the
+// number of paid messages (or acks) lost in flight during the period.
+func (b *Bank) LastRoundCreditSum() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastRoundSum
+}
+
 // verifyLocked is the §4.4 pairwise sweep; call with mu held.
 func (b *Bank) verifyLocked() {
 	n := b.cfg.NumISPs
+	b.lastRoundSum = 0
+	for i := range b.verify {
+		for _, v := range b.verify[i] {
+			b.lastRoundSum += v
+		}
+	}
 	flagged := make(map[[2]int]bool)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {

@@ -1,0 +1,21 @@
+package bank
+
+import "zmail/internal/persist"
+
+// SaveState atomically persists the durable ledger to path. The bank
+// has no injected clock, so periodic checkpointing is the caller's job
+// (cmd/zbank runs a ticker; the simulator checkpoints at crash points).
+func (b *Bank) SaveState(path string) error {
+	return persist.SaveJSON(path, b.ExportState())
+}
+
+// LoadState restores the ledger persisted at path into a freshly built
+// bank with the same federation size. A missing file surfaces as
+// persist's os.ErrNotExist, which callers treat as a first boot.
+func (b *Bank) LoadState(path string) error {
+	var st BankState
+	if err := persist.LoadJSON(path, &st); err != nil {
+		return err
+	}
+	return b.RestoreState(&st)
+}

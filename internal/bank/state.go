@@ -2,6 +2,7 @@ package bank
 
 import (
 	"fmt"
+	"sort"
 
 	"zmail/internal/money"
 )
@@ -32,10 +33,18 @@ type BankState struct {
 func (b *Bank) ExportState() *BankState {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	seq := b.seq
+	if b.gathering {
+		// The in-flight round has consumed this seq: ISPs that already
+		// reported are at seq+1. Export the retired value so a restore
+		// starts the next round convergent with every survivor (the
+		// round itself is abandoned, as documented above).
+		seq++
+	}
 	st := &BankState{
 		Version: BankStateVersion,
 		NumISPs: b.cfg.NumISPs,
-		Seq:     b.seq,
+		Seq:     seq,
 		Minted:  b.stats.Minted,
 		Burned:  b.stats.Burned,
 	}
@@ -46,6 +55,9 @@ func (b *Bank) ExportState() *BankState {
 	for n := range b.seenNonces {
 		st.Nonces = append(st.Nonces, n)
 	}
+	// Sorted so identical ledgers serialize identically (map order is
+	// random); state files must be byte-stable for golden comparisons.
+	sort.Slice(st.Nonces, func(i, j int) bool { return st.Nonces[i] < st.Nonces[j] })
 	st.Violations = append(st.Violations, b.violations...)
 	return st
 }

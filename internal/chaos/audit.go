@@ -1,0 +1,153 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Check is one recorded invariant verdict.
+type Check struct {
+	Name   string
+	OK     bool
+	Detail string
+}
+
+// Auditor accumulates invariant checks during a chaos run and renders a
+// deterministic report. It is safe for concurrent use; checks appear in
+// the report in recording order, so a deterministic run produces a
+// byte-identical report.
+type Auditor struct {
+	mu     sync.Mutex
+	checks []Check
+	notes  []string
+}
+
+// NewAuditor creates an empty auditor.
+func NewAuditor() *Auditor { return &Auditor{} }
+
+// Checkf records one named check with a formatted detail string.
+func (a *Auditor) Checkf(ok bool, name, format string, args ...any) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.checks = append(a.checks, Check{Name: name, OK: ok, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Notef records a non-check annotation (context the report should carry
+// that is neither a pass nor a violation).
+func (a *Auditor) Notef(format string, args ...any) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.notes = append(a.notes, fmt.Sprintf(format, args...))
+}
+
+// Checks returns a copy of every recorded check.
+func (a *Auditor) Checks() []Check {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Check(nil), a.checks...)
+}
+
+// Violations returns the failed checks.
+func (a *Auditor) Violations() []Check {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []Check
+	for _, c := range a.checks {
+		if !c.OK {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Report renders the audit deterministically: a summary line, then one
+// line per check in recording order, then any notes.
+func (a *Auditor) Report() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var b strings.Builder
+	bad := 0
+	for _, c := range a.checks {
+		if !c.OK {
+			bad++
+		}
+	}
+	fmt.Fprintf(&b, "chaos audit: %d checks, %d violations\n", len(a.checks), bad)
+	for _, c := range a.checks {
+		status := "ok  "
+		if !c.OK {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "  %s %-40s %s\n", status, c.Name, c.Detail)
+	}
+	for _, n := range a.notes {
+		fmt.Fprintf(&b, "  note %s\n", n)
+	}
+	return b.String()
+}
+
+// Domain-specific check helpers. Each takes plain values so the package
+// stays free of protocol imports.
+
+// CheckConservation asserts the federation's e-penny total equals the
+// initially seeded supply plus the bank's net outstanding mint.
+func (a *Auditor) CheckConservation(label string, total, want int64) {
+	a.Checkf(total == want, "conservation@"+label, "total=%d want=%d", total, want)
+}
+
+// CheckAntisymmetry reconciles the pair asymmetries flagged by a bank
+// audit round against the asymmetries explained by counted channel
+// losses: a paid message (or its ack) dropped in flight leaves its pair
+// sum exactly +1. Keys are ISP index pairs with I < J; values are the
+// pair's credit sum. A flagged pair with no matching explanation — or
+// an explained loss the round failed to flag — is a violation.
+func (a *Auditor) CheckAntisymmetry(label string, flagged, explained map[[2]int]int64) {
+	keys := make(map[[2]int]bool, len(flagged)+len(explained))
+	for k := range flagged {
+		keys[k] = true
+	}
+	for k := range explained {
+		keys[k] = true
+	}
+	sorted := make([][2]int, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i][0] != sorted[j][0] {
+			return sorted[i][0] < sorted[j][0]
+		}
+		return sorted[i][1] < sorted[j][1]
+	})
+	if len(sorted) == 0 {
+		a.Checkf(true, "antisymmetry@"+label, "all pair sums zero, no losses to explain")
+		return
+	}
+	for _, k := range sorted {
+		got, want := flagged[k], explained[k]
+		a.Checkf(got == want, fmt.Sprintf("antisymmetry@%s isp[%d]/isp[%d]", label, k[0], k[1]),
+			"pair sum=%d explained losses=%d", got, want)
+	}
+}
+
+// CheckReplayRejected asserts a replayed pre-crash message was refused
+// after the restart (nonce monotonicity made observable).
+func (a *Auditor) CheckReplayRejected(label string, got, want error) {
+	a.Checkf(errors.Is(got, want), "nonce-monotonic@"+label, "replay => %v (want %v)", got, want)
+}
+
+// CheckNonceCounter asserts a restored nonce counter never moved
+// backwards across a crash/restart cycle.
+func (a *Auditor) CheckNonceCounter(label string, before, after uint32) {
+	a.Checkf(after >= before, "nonce-monotonic@"+label, "counter %d -> %d", before, after)
+}
+
+// CheckSnapshotExact asserts the last audit round's whole-matrix credit
+// sum equals the losses that should account for it (zero on a lossless
+// network): the §4.4 freeze produced an exact cut.
+func (a *Auditor) CheckSnapshotExact(label string, sum, want int64) {
+	a.Checkf(sum == want, "snapshot-exact@"+label, "round credit sum=%d want=%d", sum, want)
+}

@@ -1,0 +1,250 @@
+// Package chaos provides deterministic crash-recovery fault plans and
+// the invariant auditor used to certify the Zmail economy's recovery
+// guarantees.
+//
+// A Plan is a seeded schedule of crashes, restarts, partitions and
+// heals, expressed in virtual time; internal/sim executes it against a
+// simulated federation (checkpointing each node's durable ledger at the
+// crash instant and restoring it at restart, see sim.World.RunChaos).
+// The Auditor accumulates named invariant checks — e-penny
+// conservation, credit antisymmetry, nonce monotonicity, freeze-
+// snapshot exactness — and renders a deterministic report, so two runs
+// of the same seeded scenario must produce byte-identical audit output.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Kind classifies a chaos event.
+type Kind int
+
+// Chaos event kinds.
+const (
+	// KindCrashISP kills one compliant ISP process. Its durable ledger
+	// (the state persisted at the crash instant) survives on disk.
+	KindCrashISP Kind = iota + 1
+	// KindRestartISP boots a fresh ISP process from the persisted
+	// ledger.
+	KindRestartISP
+	// KindCrashBank kills the bank process.
+	KindCrashBank
+	// KindRestartBank boots a fresh bank from the persisted ledger.
+	KindRestartBank
+	// KindPartition cuts the bidirectional link between two ISPs.
+	KindPartition
+	// KindHeal removes every partition.
+	KindHeal
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCrashISP:
+		return "crash-isp"
+	case KindRestartISP:
+		return "restart-isp"
+	case KindCrashBank:
+		return "crash-bank"
+	case KindRestartBank:
+		return "restart-bank"
+	case KindPartition:
+		return "partition"
+	case KindHeal:
+		return "heal"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one scheduled fault. Node names the target ISP index for
+// ISP events and the first endpoint for partitions; Peer is the second
+// partition endpoint. Bank events ignore both.
+type Event struct {
+	At   time.Duration
+	Kind Kind
+	Node int
+	Peer int
+}
+
+// String renders the event deterministically for audit output.
+func (e Event) String() string {
+	switch e.Kind {
+	case KindCrashISP, KindRestartISP:
+		return fmt.Sprintf("t+%v %v isp[%d]", e.At, e.Kind, e.Node)
+	case KindPartition:
+		return fmt.Sprintf("t+%v %v isp[%d]<->isp[%d]", e.At, e.Kind, e.Node, e.Peer)
+	default:
+		return fmt.Sprintf("t+%v %v", e.At, e.Kind)
+	}
+}
+
+// Plan is a deterministic chaos schedule.
+type Plan struct {
+	// Seed labels the scenario (the world's RNGs are seeded separately
+	// by sim.Config.Seed; Generate uses this seed to draw the events).
+	Seed int64
+	// AtQuiescence drains the world to quiescence before applying each
+	// event. Crashes then never catch a bank trade mid-handshake, so
+	// every invariant — including exact conservation — must hold. With
+	// it false, crashes land on in-flight traffic and the auditor
+	// reconciles the resulting losses instead.
+	AtQuiescence bool
+	// Events is the schedule, ordered by At.
+	Events []Event
+}
+
+// Validate checks the plan is executable against a federation of
+// numISPs: events ordered by time, crash/restart strictly alternating
+// per node starting with a crash, every crashed node restarted by the
+// end (the auditor's final sweep needs a fully live federation), and
+// partition endpoints in range and distinct.
+func (p *Plan) Validate(numISPs int) error {
+	ispDown := make([]bool, numISPs)
+	bankDown := false
+	var last time.Duration
+	for i, ev := range p.Events {
+		if ev.At < last {
+			return fmt.Errorf("chaos: event %d (%v) out of order", i, ev)
+		}
+		last = ev.At
+		switch ev.Kind {
+		case KindCrashISP, KindRestartISP:
+			if ev.Node < 0 || ev.Node >= numISPs {
+				return fmt.Errorf("chaos: event %d (%v) targets isp[%d] outside federation of %d", i, ev, ev.Node, numISPs)
+			}
+			wantDown := ev.Kind == KindRestartISP
+			if ispDown[ev.Node] != wantDown {
+				return fmt.Errorf("chaos: event %d (%v) does not alternate crash/restart", i, ev)
+			}
+			ispDown[ev.Node] = !wantDown
+		case KindCrashBank, KindRestartBank:
+			wantDown := ev.Kind == KindRestartBank
+			if bankDown != wantDown {
+				return fmt.Errorf("chaos: event %d (%v) does not alternate crash/restart", i, ev)
+			}
+			bankDown = !wantDown
+		case KindPartition:
+			if ev.Node < 0 || ev.Node >= numISPs || ev.Peer < 0 || ev.Peer >= numISPs || ev.Node == ev.Peer {
+				return fmt.Errorf("chaos: event %d (%v) has bad partition endpoints", i, ev)
+			}
+		case KindHeal:
+			// always valid
+		default:
+			return fmt.Errorf("chaos: event %d has unknown kind %d", i, int(ev.Kind))
+		}
+	}
+	for i, down := range ispDown {
+		if down {
+			return fmt.Errorf("chaos: plan leaves isp[%d] down", i)
+		}
+	}
+	if bankDown {
+		return fmt.Errorf("chaos: plan leaves the bank down")
+	}
+	return nil
+}
+
+// GenConfig parameterizes Generate.
+type GenConfig struct {
+	// Seed drives every random choice; same seed, same plan.
+	Seed int64
+	// NumISPs is the federation size (required).
+	NumISPs int
+	// Span is the window faults are drawn from; zero selects one hour.
+	Span time.Duration
+	// ISPCrashes / BankCrashes / Partitions count the faults to draw.
+	ISPCrashes  int
+	BankCrashes int
+	Partitions  int
+	// MinDown/MaxDown bound each outage's length; zero selects
+	// [1m, 5m].
+	MinDown, MaxDown time.Duration
+	// AtQuiescence is copied onto the plan.
+	AtQuiescence bool
+}
+
+// Generate draws a seeded random plan: each crash picks a target whose
+// previous outage (if any) has ended, each partition gets a matching
+// heal. The result always passes Validate.
+func Generate(cfg GenConfig) (*Plan, error) {
+	if cfg.NumISPs <= 0 {
+		return nil, fmt.Errorf("chaos: NumISPs must be positive")
+	}
+	if cfg.Span == 0 {
+		cfg.Span = time.Hour
+	}
+	if cfg.MinDown == 0 {
+		cfg.MinDown = time.Minute
+	}
+	if cfg.MaxDown == 0 {
+		cfg.MaxDown = 5 * time.Minute
+	}
+	if cfg.MaxDown < cfg.MinDown {
+		return nil, fmt.Errorf("chaos: MaxDown %v below MinDown %v", cfg.MaxDown, cfg.MinDown)
+	}
+	if cfg.Partitions > 0 && cfg.NumISPs < 2 {
+		return nil, fmt.Errorf("chaos: partitions need at least 2 ISPs")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	within := func(span time.Duration) time.Duration {
+		return time.Duration(rng.Int63n(int64(span)))
+	}
+	outage := func() time.Duration {
+		if cfg.MaxDown == cfg.MinDown {
+			return cfg.MinDown
+		}
+		return cfg.MinDown + time.Duration(rng.Int63n(int64(cfg.MaxDown-cfg.MinDown)))
+	}
+	var events []Event
+	// freeAt[i] is when isp[i]'s previous outage ends; crashes drawn
+	// before that are pushed past it so crash/restart pairs never
+	// overlap on one node.
+	freeAt := make([]time.Duration, cfg.NumISPs)
+	for c := 0; c < cfg.ISPCrashes; c++ {
+		node := rng.Intn(cfg.NumISPs)
+		at := within(cfg.Span)
+		if at < freeAt[node] {
+			at = freeAt[node] + within(cfg.MinDown) + 1
+		}
+		down := outage()
+		events = append(events,
+			Event{At: at, Kind: KindCrashISP, Node: node},
+			Event{At: at + down, Kind: KindRestartISP, Node: node})
+		freeAt[node] = at + down
+	}
+	var bankFree time.Duration
+	for c := 0; c < cfg.BankCrashes; c++ {
+		at := within(cfg.Span)
+		if at < bankFree {
+			at = bankFree + within(cfg.MinDown) + 1
+		}
+		down := outage()
+		events = append(events,
+			Event{At: at, Kind: KindCrashBank},
+			Event{At: at + down, Kind: KindRestartBank})
+		bankFree = at + down
+	}
+	for c := 0; c < cfg.Partitions; c++ {
+		a := rng.Intn(cfg.NumISPs)
+		b := rng.Intn(cfg.NumISPs - 1)
+		if b >= a {
+			b++
+		}
+		at := within(cfg.Span)
+		events = append(events,
+			Event{At: at, Kind: KindPartition, Node: a, Peer: b},
+			Event{At: at + outage(), Kind: KindHeal})
+	}
+	// Stable sort by time; ties keep insertion order, which already has
+	// each crash before its own restart.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	p := &Plan{Seed: cfg.Seed, AtQuiescence: cfg.AtQuiescence, Events: events}
+	if err := p.Validate(cfg.NumISPs); err != nil {
+		return nil, fmt.Errorf("chaos: generated invalid plan: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,120 @@
+package chaos
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGenerateDeterministicAndValid(t *testing.T) {
+	cfg := GenConfig{Seed: 7, NumISPs: 5, ISPCrashes: 4, BankCrashes: 2, Partitions: 2}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("same seed, different plans: %d vs %d events", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("same seed, event %d differs: %v vs %v", i, a.Events[i], b.Events[i])
+		}
+	}
+	if err := a.Validate(cfg.NumISPs); err != nil {
+		t.Fatal(err)
+	}
+	crashes := 0
+	for _, ev := range a.Events {
+		if ev.Kind == KindCrashISP {
+			crashes++
+		}
+	}
+	if crashes != cfg.ISPCrashes {
+		t.Fatalf("generated %d ISP crashes, want %d", crashes, cfg.ISPCrashes)
+	}
+}
+
+func TestValidateRejectsBadPlans(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+	}{
+		{"restart without crash", Plan{Events: []Event{{At: 1, Kind: KindRestartISP, Node: 0}}}},
+		{"double crash", Plan{Events: []Event{
+			{At: 1, Kind: KindCrashISP, Node: 0},
+			{At: 2, Kind: KindCrashISP, Node: 0},
+		}}},
+		{"never restarted", Plan{Events: []Event{{At: 1, Kind: KindCrashISP, Node: 0}}}},
+		{"bank left down", Plan{Events: []Event{{At: 1, Kind: KindCrashBank}}}},
+		{"out of order", Plan{Events: []Event{
+			{At: 5, Kind: KindCrashISP, Node: 0},
+			{At: 1, Kind: KindRestartISP, Node: 0},
+		}}},
+		{"node out of range", Plan{Events: []Event{
+			{At: 1, Kind: KindCrashISP, Node: 9},
+			{At: 2, Kind: KindRestartISP, Node: 9},
+		}}},
+		{"self partition", Plan{Events: []Event{{At: 1, Kind: KindPartition, Node: 1, Peer: 1}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.plan.Validate(3); err == nil {
+			t.Errorf("%s: Validate accepted a bad plan", tc.name)
+		}
+	}
+}
+
+func TestAuditorReportDeterministicAndComplete(t *testing.T) {
+	build := func() *Auditor {
+		a := NewAuditor()
+		a.CheckConservation("q1", 700, 700)
+		a.CheckAntisymmetry("final", map[[2]int]int64{{0, 2}: 3}, map[[2]int]int64{{0, 2}: 3, {1, 2}: 0})
+		a.CheckReplayRejected("bank buy", errors.New("wrapped: no"), errors.New("no"))
+		a.CheckNonceCounter("isp[1]", 10, 12)
+		a.CheckSnapshotExact("final", 0, 0)
+		a.Notef("2 mail drops during partition window")
+		return a
+	}
+	a := build()
+	if got, want := a.Report(), build().Report(); got != want {
+		t.Fatalf("same checks, different reports:\n%s\nvs\n%s", got, want)
+	}
+	// The wrapped-error replay check must fail (errors.Is, not string
+	// match), and everything else pass.
+	v := a.Violations()
+	if len(v) != 1 || !strings.Contains(v[0].Name, "nonce-monotonic@bank buy") {
+		t.Fatalf("violations = %+v", v)
+	}
+	rep := a.Report()
+	if !strings.Contains(rep, "6 checks, 1 violations") ||
+		!strings.Contains(rep, "note 2 mail drops") {
+		t.Fatalf("report rendering:\n%s", rep)
+	}
+}
+
+func TestCheckAntisymmetryFlagsUnexplainedPairs(t *testing.T) {
+	a := NewAuditor()
+	// Flagged by the bank but not explained by any counted loss.
+	a.CheckAntisymmetry("r", map[[2]int]int64{{0, 1}: 2}, nil)
+	// Explained loss the bank round failed to flag.
+	a.CheckAntisymmetry("r", nil, map[[2]int]int64{{1, 2}: 1})
+	if len(a.Violations()) != 2 {
+		t.Fatalf("violations = %+v", a.Violations())
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	if _, err := Generate(GenConfig{NumISPs: 0}); err == nil {
+		t.Fatal("NumISPs=0 accepted")
+	}
+	if _, err := Generate(GenConfig{NumISPs: 1, Partitions: 1}); err == nil {
+		t.Fatal("partition in 1-ISP federation accepted")
+	}
+	if _, err := Generate(GenConfig{NumISPs: 2, MinDown: time.Hour, MaxDown: time.Minute}); err == nil {
+		t.Fatal("MaxDown < MinDown accepted")
+	}
+}

@@ -149,6 +149,23 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 // Engine exposes the underlying protocol engine.
 func (n *Node) Engine() *isp.Engine { return n.engine }
 
+// Crash-recovery plumbing: the node's durable ledger is exactly the
+// engine's exported state; these delegate to the engine's checkpoint
+// helpers so daemons restore/persist without reaching into Engine().
+
+// SaveState atomically persists the node's durable ledger to path.
+func (n *Node) SaveState(path string) error { return n.engine.SaveState(path) }
+
+// LoadState restores a ledger persisted by SaveState. Call before any
+// traffic flows; a missing file surfaces as persist's ErrNotExist.
+func (n *Node) LoadState(path string) error { return n.engine.LoadState(path) }
+
+// StartCheckpoints persists the ledger every interval on the engine's
+// clock; the returned stop function cancels the schedule.
+func (n *Node) StartCheckpoints(path string, interval time.Duration, onErr func(error)) (stop func()) {
+	return n.engine.StartCheckpoints(path, interval, onErr)
+}
+
 // Addr returns the bound SMTP address.
 func (n *Node) Addr() net.Addr { return n.addr }
 

@@ -68,6 +68,26 @@ func (s *Source) Next() (Nonce, error) {
 	return Nonce(uint64(c)<<32 | uint64(low)), nil
 }
 
+// Counter returns the monotonic half's current value, for persisting
+// across restarts.
+func (s *Source) Counter() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counter
+}
+
+// SetCounter fast-forwards the monotonic half to at least c. Restoring a
+// checkpointed counter keeps every post-restart nonce strictly above
+// every nonce issued before the crash, preserving nonrepetition across
+// process lifetimes. It never moves the counter backwards.
+func (s *Source) SetCounter(c uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c > s.counter {
+		s.counter = c
+	}
+}
+
 // Sealer seals byte payloads so that only the holder of the matching
 // private key can open them. It models the paper's NCR/DCR pair.
 type Sealer interface {

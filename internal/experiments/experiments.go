@@ -68,6 +68,7 @@ var registry = map[string]Runner{
 	"E17": E17,
 	"E18": E18,
 	"E19": E19,
+	"E20": E20,
 }
 
 // titles gives each experiment's claim without running it (zsim -list).
@@ -91,6 +92,7 @@ var titles = map[string]string{
 	"E17": "a bank hierarchy preserves detection while shrinking the root's load",
 	"E18": "one-workload shootout of every surveyed anti-spam approach",
 	"E19": "the Gartner productivity figure is reproducible from first principles",
+	"E20": "crashed ISPs and bank recover from persisted ledgers with every economic invariant intact",
 }
 
 // Title returns an experiment's one-line claim, or "".

@@ -7,10 +7,10 @@ import (
 
 func TestIDsOrdered(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 19 {
-		t.Fatalf("experiments = %d, want 19", len(ids))
+	if len(ids) != 20 {
+		t.Fatalf("experiments = %d, want 20", len(ids))
 	}
-	if ids[0] != "E1" || ids[9] != "E10" || ids[18] != "E19" {
+	if ids[0] != "E1" || ids[9] != "E10" || ids[19] != "E20" {
 		t.Fatalf("order = %v", ids)
 	}
 }
@@ -32,7 +32,7 @@ func TestAllExperimentsPass(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 19 {
+	if len(results) != 20 {
 		t.Fatalf("ran %d experiments", len(results))
 	}
 	for _, r := range results {

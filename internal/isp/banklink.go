@@ -31,6 +31,16 @@ func (e *Engine) tick(em *emitQueue) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 
+	// Re-arm a buy whose request (or reply) was lost in transit. Sells
+	// are deliberately not retried: the sold amount is escrowed out of
+	// the pool at send time, and refunding it on a timeout would mint
+	// value if the bank did burn the original.
+	if e.cfg.RestockRetry > 0 && !e.canBuy &&
+		e.cfg.Clock.Now().Sub(e.buyAt) >= e.cfg.RestockRetry {
+		e.canBuy = true
+		e.stats.restockRetries.Add(1)
+	}
+
 	if e.avail < e.cfg.MinAvail && e.canBuy {
 		if e.cfg.BankSealer == nil {
 			return ErrNotConfigured
@@ -42,6 +52,7 @@ func (e *Engine) tick(em *emitQueue) error {
 		e.canBuy = false
 		e.ns1 = nonce
 		e.buyVal = e.cfg.RestockAmount
+		e.buyAt = e.cfg.Clock.Now()
 		body := (&wire.Buy{Value: int64(e.buyVal), Nonce: uint64(nonce)}).MarshalBinary()
 		sealed, err := e.cfg.BankSealer.Seal(body)
 		if err != nil {
@@ -145,7 +156,14 @@ func (e *Engine) handleBank(em *emitQueue, env *wire.Envelope) error {
 		e.mu.Lock()
 		seq := e.seq
 		e.mu.Unlock()
-		if rq.Seq != seq || e.frozen {
+		// Replay protection is monotonic, not exact-match: a request for
+		// an older billing period is a replay and is dropped, but a
+		// request from the future is adopted — the bank is ahead (it
+		// aborted a round this engine missed while down, or this
+		// engine's report was lost). Adopting the bank's seq keeps a
+		// restarted federation convergent instead of wedging every
+		// subsequent round on a sequence mismatch.
+		if rq.Seq < seq || e.frozen {
 			return ErrStaleReply // replayed snapshot request (§4.4)
 		}
 		e.beginFreezeLocked(em, rq.Seq)
@@ -185,7 +203,7 @@ func (e *Engine) finishFreeze(seq uint64) {
 	e.frozen = false
 	e.stats.snapshotRounds.Add(1)
 	e.mu.Lock()
-	e.seq++
+	e.seq = seq + 1 // follow the round actually reported (adopt-forward)
 	outbox := e.outbox
 	e.outbox = nil
 	e.mu.Unlock()

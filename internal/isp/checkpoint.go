@@ -1,0 +1,66 @@
+package isp
+
+import (
+	"sync"
+	"time"
+
+	"zmail/internal/clock"
+	"zmail/internal/persist"
+)
+
+// Checkpointing: the durable-ledger half of crash recovery. SaveState /
+// LoadState move ExportState/RestoreState through internal/persist's
+// atomic file protocol; StartCheckpoints does it periodically on the
+// engine's injected clock, so the same code path runs under the real
+// daemon and the deterministic simulator.
+
+// SaveState atomically persists the durable ledger to path.
+func (e *Engine) SaveState(path string) error {
+	return persist.SaveJSON(path, e.ExportState())
+}
+
+// LoadState restores the ledger persisted at path into a freshly built
+// engine (same Config as the exporter). A missing file surfaces as
+// persist's os.ErrNotExist, which callers treat as a first boot.
+func (e *Engine) LoadState(path string) error {
+	var st EngineState
+	if err := persist.LoadJSON(path, &st); err != nil {
+		return err
+	}
+	return e.RestoreState(&st)
+}
+
+// StartCheckpoints saves the ledger to path every interval, on the
+// engine's clock. onErr (optional) observes save failures; a failed
+// save never stops the schedule. The returned stop function cancels
+// future checkpoints; it does not interrupt one already running.
+func (e *Engine) StartCheckpoints(path string, interval time.Duration, onErr func(error)) (stop func()) {
+	var (
+		mu      sync.Mutex
+		timer   clock.Timer
+		stopped bool
+	)
+	var arm func()
+	arm = func() {
+		mu.Lock()
+		defer mu.Unlock()
+		if stopped {
+			return
+		}
+		timer = e.cfg.Clock.AfterFunc(interval, func() {
+			if err := e.SaveState(path); err != nil && onErr != nil {
+				onErr(err)
+			}
+			arm()
+		})
+	}
+	arm()
+	return func() {
+		mu.Lock()
+		defer mu.Unlock()
+		stopped = true
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+}

@@ -165,6 +165,14 @@ type Config struct {
 	InitialAvail money.EPenny
 	// RestockAmount is the buy size; 0 means (MaxAvail-MinAvail)/2.
 	RestockAmount money.EPenny
+	// RestockRetry re-arms an unanswered pool buy after this much time,
+	// so a buy request lost to a bank crash does not park the restock
+	// handshake forever. Zero disables retries, matching the paper's
+	// reliable-channel assumption. Retrying is safe when the request was
+	// lost (the bank never minted); if instead the reply was lost after
+	// the bank minted, the minted value is stranded — a loss the chaos
+	// auditor (internal/chaos) accounts explicitly.
+	RestockRetry time.Duration
 
 	// DefaultLimit is the per-user daily send cap applied when a user
 	// registers without an explicit limit (§5, zombie containment).
@@ -285,6 +293,7 @@ type Stats struct {
 	BalanceRejects int64
 	SnapshotRounds int64
 	ZombieWarnings int64
+	RestockRetries int64
 }
 
 // engineStats is the live, lock-free counter set behind Stats.
@@ -303,6 +312,7 @@ type engineStats struct {
 	balanceRejects atomic.Int64
 	snapshotRounds atomic.Int64
 	zombieWarnings atomic.Int64
+	restockRetries atomic.Int64
 }
 
 // Engine is one compliant ISP's protocol state machine.
@@ -337,6 +347,7 @@ type Engine struct {
 	ns2     crypto.Nonce // pending sell nonce
 	buyVal  money.EPenny
 	sellVal money.EPenny
+	buyAt   time.Time // when the pending buy was issued (RestockRetry)
 }
 
 // New validates cfg and builds an engine.
@@ -541,6 +552,7 @@ func (e *Engine) Stats() Stats {
 		BalanceRejects: e.stats.balanceRejects.Load(),
 		SnapshotRounds: e.stats.snapshotRounds.Load(),
 		ZombieWarnings: e.stats.zombieWarnings.Load(),
+		RestockRetries: e.stats.restockRetries.Load(),
 	}
 }
 

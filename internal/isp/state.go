@@ -21,7 +21,14 @@ import (
 //   - in-flight bank trades — a buy reply arriving for a pre-restart
 //     nonce is dropped by the nonce check. An accepted-but-unapplied
 //     buy is the one real loss window; operators should drain (stop
-//     Tick) before planned restarts.
+//     Tick) before planned restarts. Config.RestockRetry re-arms a lost
+//     buy so the pool recovers; the stranded value of a lost *reply* is
+//     what internal/chaos's auditor accounts for.
+//
+// The nonce source's monotonic counter IS persisted (NonceCounter):
+// restoring it keeps post-restart nonces strictly above every nonce the
+// previous incarnation issued, so the bank's replay protection and the
+// engine's own stale-reply checks stay sound across crashes.
 
 // EngineStateVersion identifies the state schema.
 const EngineStateVersion = 1
@@ -47,7 +54,25 @@ type EngineState struct {
 	Seq        uint64      `json:"seq"`
 	Credit     []int64     `json:"credit"`
 	JournalSeq int64       `json:"journalSeq"`
-	Users      []UserState `json:"users"`
+	// NonceCounter is the monotonic half of the nonce source, persisted
+	// so a restarted engine never reuses a pre-crash nonce.
+	NonceCounter uint32      `json:"nonceCounter,omitempty"`
+	Users        []UserState `json:"users"`
+}
+
+// Total sums the ledger value captured in the snapshot: the pool, every
+// user balance, and every credit entry. While the exporting node is
+// down, this is its contribution to the federation's conserved e-penny
+// total (the disk survives the process).
+func (st *EngineState) Total() int64 {
+	total := st.Avail
+	for i := range st.Credit {
+		total += st.Credit[i]
+	}
+	for i := range st.Users {
+		total += st.Users[i].Balance
+	}
+	return total
 }
 
 // ExportState captures the durable ledger. It stops the world (no send
@@ -63,8 +88,9 @@ func (e *Engine) ExportState() *EngineState {
 		Domain:     e.cfg.Domain,
 		Index:      e.cfg.Index,
 		Avail:      int64(e.avail),
-		Seq:        e.seq,
-		JournalSeq: e.journalSeq.Load(),
+		Seq:          e.seq,
+		JournalSeq:   e.journalSeq.Load(),
+		NonceCounter: e.nonces.Counter(),
 	}
 	e.mu.Unlock()
 	st.Credit = make([]int64, len(e.credit))
@@ -136,6 +162,7 @@ func (e *Engine) RestoreState(st *EngineState) error {
 		e.credit[i].Store(st.Credit[i])
 	}
 	e.journalSeq.Store(st.JournalSeq)
+	e.nonces.SetCounter(st.NonceCounter)
 	for _, us := range st.Users {
 		s := e.stripeFor(us.Name)
 		s.mu.Lock()

@@ -1,0 +1,184 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Crash-window simulations: each case reproduces the on-disk debris a
+// process crash can leave at some point inside (or instead of) SaveJSON
+// and asserts the previously committed state is still loadable, with
+// corruption distinguishable from a fresh start.
+
+func TestCrashDebrisKeepsPreviousState(t *testing.T) {
+	good := sample{Name: "committed", Count: 3}
+
+	cases := []struct {
+		name string
+		// wreck simulates the crash: given the state path (which holds
+		// the committed good state), leave behind whatever a crash at
+		// that instant would.
+		wreck func(t *testing.T, path string)
+		// wantLoadErr: the state file itself was destroyed, so the load
+		// must fail — but NOT with ErrNotExist (corruption and fresh
+		// start stay distinguishable).
+		wantLoadErr bool
+	}{
+		{
+			name: "torn temp file left behind",
+			// Crash after CreateTemp+partial write, before rename: a
+			// .tmp file with half a JSON object sits next to the state.
+			wreck: func(t *testing.T, path string) {
+				tmp := filepath.Join(filepath.Dir(path), filepath.Base(path)+".tmp12345")
+				if err := os.WriteFile(tmp, []byte(`{"name": "half`), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			name: "complete temp file, crash before rename",
+			// The new state was fully written and synced but never
+			// renamed into place: the old state must win.
+			wreck: func(t *testing.T, path string) {
+				tmp := filepath.Join(filepath.Dir(path), filepath.Base(path)+".tmp99")
+				if err := os.WriteFile(tmp, []byte(`{"name":"newer","count":9}`), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			name: "empty temp file",
+			wreck: func(t *testing.T, path string) {
+				tmp := filepath.Join(filepath.Dir(path), filepath.Base(path)+".tmp0")
+				if err := os.WriteFile(tmp, nil, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			name: "state file truncated mid-write by a non-atomic writer",
+			// What SaveJSON's write-to-temp dance prevents; if some
+			// other actor truncates the real file, the load must error
+			// without claiming the file is missing.
+			wreck: func(t *testing.T, path string) {
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantLoadErr: true,
+		},
+		{
+			name: "state file replaced with garbage",
+			wreck: func(t *testing.T, path string) {
+				if err := os.WriteFile(path, []byte("\x00\xffnot json"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantLoadErr: true,
+		},
+		{
+			name: "state file emptied",
+			wreck: func(t *testing.T, path string) {
+				if err := os.WriteFile(path, nil, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantLoadErr: true,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "state.json")
+			if err := SaveJSON(path, good); err != nil {
+				t.Fatal(err)
+			}
+			tc.wreck(t, path)
+
+			var out sample
+			err := LoadJSON(path, &out)
+			if tc.wantLoadErr {
+				if err == nil {
+					t.Fatalf("load of wrecked state succeeded: %+v", out)
+				}
+				if errors.Is(err, ErrNotExist) {
+					t.Fatalf("corruption reported as fresh start: %v", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out != good {
+				t.Fatalf("committed state lost: %+v, want %+v", out, good)
+			}
+
+			// Recovery: the next save must succeed despite the debris
+			// and commit cleanly over it.
+			next := sample{Name: "recovered", Count: 4}
+			if err := SaveJSON(path, next); err != nil {
+				t.Fatal(err)
+			}
+			var out2 sample
+			if err := LoadJSON(path, &out2); err != nil {
+				t.Fatal(err)
+			}
+			if out2 != next {
+				t.Fatalf("post-crash save = %+v, want %+v", out2, next)
+			}
+		})
+	}
+}
+
+// TestTempDebrisNeverLoaded pins the naming contract the crash cases
+// rely on: SaveJSON's temp files never collide with the state path
+// itself, so debris cannot shadow committed state.
+func TestTempDebrisNeverLoaded(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := SaveJSON(path, sample{Name: "real"}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "state.json" && !strings.HasPrefix(e.Name(), "state.json.tmp") {
+			t.Fatalf("unexpected file %q in state dir", e.Name())
+		}
+	}
+}
+
+// TestRepeatedCrashRecoveryCycles drives many save → wreck → load
+// cycles, emulating a daemon that keeps crashing mid-checkpoint: the
+// survivor must always be the last committed generation.
+func TestRepeatedCrashRecoveryCycles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	for gen := 0; gen < 20; gen++ {
+		if err := SaveJSON(path, sample{Name: "gen", Count: gen}); err != nil {
+			t.Fatal(err)
+		}
+		// A fresh torn temp file every cycle, never cleaned up.
+		tmp := filepath.Join(dir, "state.json.tmpcrash"+string(rune('a'+gen)))
+		if err := os.WriteFile(tmp, []byte(`{"count":`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out sample
+		if err := LoadJSON(path, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Count != gen {
+			t.Fatalf("cycle %d: loaded generation %d", gen, out.Count)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"zmail/internal/bank"
+	"zmail/internal/chaos"
 	"zmail/internal/clock"
 	"zmail/internal/crypto"
 	"zmail/internal/isp"
@@ -69,6 +70,19 @@ type Config struct {
 	// the zero value is a perfect network. Partitions can be added at
 	// runtime via World.Net.
 	Faults simnet.FaultPlan
+	// RestockRetry is handed to every engine (isp.Config.RestockRetry):
+	// re-arm an unanswered pool buy after this much virtual time, so a
+	// buy lost to a bank outage does not park the restock handshake
+	// forever. Zero disables retries (the seed behavior).
+	RestockRetry time.Duration
+	// Chaos is an optional crash/restart fault plan executed by
+	// World.RunChaos (see internal/chaos and chaos.go in this package).
+	// Nil disables chaos.
+	Chaos *chaos.Plan
+	// ChaosDir holds the per-node checkpoint files written during a
+	// chaos run; empty selects a fresh temp directory owned (and
+	// removed) by RunChaos.
+	ChaosDir string
 	// Workers sizes the submission worker pool used by SendAll and the
 	// per-engine fan-out in EndOfDay. Zero or one keeps every batch
 	// operation serial and in submission order, which — together with
@@ -156,21 +170,46 @@ type World struct {
 	rng      *rand.Rand
 
 	initialE int64
+
+	// Key material and per-node transports are retained so a crashed
+	// node can be rebuilt with the same identity (see chaos.go).
+	bankBox   crypto.Sealer
+	ispBoxes  []crypto.Sealer
+	ispTrans  []*ispTransport
+	bankTrans *bankTransport
+
+	// Chaos bookkeeping (chaos.go): which nodes are down, each down
+	// ISP's durable e-penny total (the disk survives the process), the
+	// channel-loss ledger, and captured envelopes for replay probes.
+	nodeIdx   map[simnet.NodeID]int
+	ispDown   []bool
+	bankDown  bool
+	downTotal []int64
+	chaosDir  string
+	losses    *lossLedger
+	probes    *replayProbes
 }
 
 func nodeISP(i int) simnet.NodeID { return simnet.NodeID(fmt.Sprintf("isp%d", i)) }
 
 const nodeBank = simnet.NodeID("bank")
 
-// ispTransport adapts one engine to the world.
+// ispTransport adapts one engine to the world. Each engine incarnation
+// owns one; the dead flag silences a crashed incarnation's stragglers
+// (a pending freeze timer firing during downtime must not put traffic
+// on the wire from a process that no longer exists).
 type ispTransport struct {
 	w     *World
 	index int
+	dead  atomic.Bool
 }
 
 var _ isp.Transport = (*ispTransport)(nil)
 
 func (t *ispTransport) SendMail(toIndex int, toDomain string, msg *mail.Message) {
+	if t.dead.Load() {
+		return
+	}
 	if toIndex < 0 {
 		t.w.mu.Lock()
 		t.w.foreign++
@@ -182,29 +221,50 @@ func (t *ispTransport) SendMail(toIndex int, toDomain string, msg *mail.Message)
 }
 
 func (t *ispTransport) SendBank(env *wire.Envelope) {
+	if t.dead.Load() {
+		return
+	}
 	_ = t.w.Net.Send(nodeISP(t.index), nodeBank, env)
 }
 
 func (t *ispTransport) DeliverLocal(user string, msg *mail.Message) {
+	if t.dead.Load() {
+		return
+	}
 	t.w.deliver(user+"@"+t.w.Cfg.Domains[t.index], msg)
 }
 
 func (t *ispTransport) DeliverAck(user string, msg *mail.Message) {
+	if t.dead.Load() {
+		return
+	}
 	t.w.deliverAck(user+"@"+t.w.Cfg.Domains[t.index], msg)
 }
 
-// bankTransport adapts the bank to the world.
-type bankTransport struct{ w *World }
+// bankTransport adapts the bank to the world, with the same dead-flag
+// semantics as ispTransport.
+type bankTransport struct {
+	w    *World
+	dead atomic.Bool
+}
 
 var _ bank.Transport = (*bankTransport)(nil)
 
 func (t *bankTransport) SendISP(index int, env *wire.Envelope) {
+	if t.dead.Load() {
+		return
+	}
 	_ = t.w.Net.Send(nodeBank, nodeISP(index), env)
 }
 
 // NewWorld wires up the federation.
 func NewWorld(cfg Config) (*World, error) {
 	cfg.fill()
+	if cfg.Chaos != nil {
+		if err := cfg.Chaos.Validate(cfg.NumISPs); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+	}
 	w := &World{
 		Cfg:      cfg,
 		Clock:    clock.NewVirtual(time.Unix(1_100_000_000, 0)), // Nov 2004, the paper's era
@@ -246,11 +306,22 @@ func NewWorld(cfg Config) (*World, error) {
 		}
 	}
 
+	w.bankBox = bankBox
+	w.ispBoxes = ispBoxes
+	w.ispTrans = make([]*ispTransport, cfg.NumISPs)
+	w.ispDown = make([]bool, cfg.NumISPs)
+	w.downTotal = make([]int64, cfg.NumISPs)
+	w.nodeIdx = make(map[simnet.NodeID]int, cfg.NumISPs)
+	for i := 0; i < cfg.NumISPs; i++ {
+		w.nodeIdx[nodeISP(i)] = i
+	}
+
+	w.bankTrans = &bankTransport{w: w}
 	bk, err := bank.New(bank.Config{
 		NumISPs:        cfg.NumISPs,
 		Compliant:      cfg.Compliant,
 		InitialAccount: cfg.BankFunds,
-		Transport:      &bankTransport{w: w},
+		Transport:      w.bankTrans,
 		OwnSealer:      bankBox,
 		SettleOnVerify: cfg.Settle,
 	})
@@ -258,15 +329,10 @@ func NewWorld(cfg Config) (*World, error) {
 		return nil, err
 	}
 	w.Bank = bk
-	w.Net.Register(nodeBank, func(_ simnet.NodeID, payload any) {
-		if env, ok := payload.(*wire.Envelope); ok {
-			_ = w.Bank.Handle(env)
-		}
-	})
+	w.Net.Register(nodeBank, w.bankHandler())
 
 	w.Engines = make([]*isp.Engine, cfg.NumISPs)
 	for i := 0; i < cfg.NumISPs; i++ {
-		i := i
 		if !cfg.Compliant[i] {
 			// Non-compliant ISP: a plain mail sink/source.
 			w.Net.Register(nodeISP(i), func(_ simnet.NodeID, payload any) {
@@ -276,22 +342,7 @@ func NewWorld(cfg Config) (*World, error) {
 			})
 			continue
 		}
-		eng, err := isp.New(isp.Config{
-			Index:          i,
-			Domain:         cfg.Domains[i],
-			Directory:      w.Dir,
-			Clock:          w.Clock,
-			Transport:      &ispTransport{w: w, index: i},
-			MinAvail:       cfg.MinAvail,
-			MaxAvail:       cfg.MaxAvail,
-			InitialAvail:   cfg.InitialAvail,
-			DefaultLimit:   cfg.DefaultLimit,
-			FreezeDuration: cfg.FreezeDuration,
-			Policy:         cfg.Policy,
-			Filter:         cfg.Filter,
-			BankSealer:     bankBox.PublicOnly(),
-			OwnSealer:      ispBoxes[i],
-		})
+		eng, err := w.buildEngine(i)
 		if err != nil {
 			return nil, err
 		}
@@ -299,15 +350,7 @@ func NewWorld(cfg Config) (*World, error) {
 		if err := bk.Enroll(i, ispBoxes[i]); err != nil {
 			return nil, err
 		}
-		w.Net.Register(nodeISP(i), func(_ simnet.NodeID, payload any) {
-			switch p := payload.(type) {
-			case mailPayload:
-				_ = eng.ReceiveRemote(p.fromDomain, p.msg)
-			case *wire.Envelope:
-				_ = eng.HandleBank(p)
-			}
-			_ = eng.Tick()
-		})
+		w.Net.Register(nodeISP(i), w.ispHandler(eng))
 		for u := 0; u < cfg.UsersPerISP; u++ {
 			name := fmt.Sprintf("u%d", u)
 			if err := eng.RegisterUser(name, cfg.InitialAccount, cfg.InitialBalance, cfg.DefaultLimit); err != nil {
@@ -317,6 +360,58 @@ func NewWorld(cfg Config) (*World, error) {
 	}
 	w.initialE = w.TotalEPennies()
 	return w, nil
+}
+
+// buildEngine constructs the compliant engine (and its transport) for
+// index i with the world's retained key material. Used at world
+// construction and again when a crashed ISP restarts.
+func (w *World) buildEngine(i int) (*isp.Engine, error) {
+	tr := &ispTransport{w: w, index: i}
+	eng, err := isp.New(isp.Config{
+		Index:          i,
+		Domain:         w.Cfg.Domains[i],
+		Directory:      w.Dir,
+		Clock:          w.Clock,
+		Transport:      tr,
+		MinAvail:       w.Cfg.MinAvail,
+		MaxAvail:       w.Cfg.MaxAvail,
+		InitialAvail:   w.Cfg.InitialAvail,
+		DefaultLimit:   w.Cfg.DefaultLimit,
+		FreezeDuration: w.Cfg.FreezeDuration,
+		RestockRetry:   w.Cfg.RestockRetry,
+		Policy:         w.Cfg.Policy,
+		Filter:         w.Cfg.Filter,
+		BankSealer:     w.bankBox.PublicOnly(),
+		OwnSealer:      w.ispBoxes[i],
+	})
+	if err != nil {
+		return nil, err
+	}
+	w.ispTrans[i] = tr
+	return eng, nil
+}
+
+// ispHandler is the network receive loop for one engine incarnation.
+func (w *World) ispHandler(eng *isp.Engine) simnet.Handler {
+	return func(_ simnet.NodeID, payload any) {
+		switch p := payload.(type) {
+		case mailPayload:
+			_ = eng.ReceiveRemote(p.fromDomain, p.msg)
+		case *wire.Envelope:
+			_ = eng.HandleBank(p)
+		}
+		_ = eng.Tick()
+	}
+}
+
+// bankHandler is the bank's receive loop; it reads w.Bank on every
+// delivery so a restarted bank instance picks up seamlessly.
+func (w *World) bankHandler() simnet.Handler {
+	return func(_ simnet.NodeID, payload any) {
+		if env, ok := payload.(*wire.Envelope); ok {
+			_ = w.Bank.Handle(env)
+		}
+	}
 }
 
 func (w *World) deliver(addr string, msg *mail.Message) {
@@ -396,7 +491,11 @@ func (w *World) Send(from, to, subject, body string) (isp.SendOutcome, error) {
 		return 0, fmt.Errorf("sim: %s is not a compliant-ISP user; use InjectUnpaid", from)
 	}
 	msg := mail.NewMessage(fa, ta, subject, body)
-	return w.Engines[idx].Submit(msg)
+	eng := w.Engines[idx]
+	if eng == nil {
+		return 0, fmt.Errorf("sim: %s is down (crashed)", fa.Domain)
+	}
+	return eng.Submit(msg)
 }
 
 // SendSpec describes one submission for SendAll.
@@ -519,12 +618,16 @@ func (w *World) SnapshotRound() error {
 
 // TotalEPennies sums pool + balances + credit over all compliant ISPs.
 // At quiescence, TotalEPennies − initial == Bank.Outstanding unless an
-// engine is cheating (experiment E1).
+// engine is cheating (experiment E1). A crashed ISP contributes its
+// durable (checkpointed) total: the disk survives the process.
 func (w *World) TotalEPennies() int64 {
 	var total int64
-	for _, e := range w.Engines {
-		if e != nil {
+	for i, e := range w.Engines {
+		switch {
+		case e != nil:
 			total += e.TotalEPennies()
+		case w.ispDown[i]:
+			total += w.downTotal[i]
 		}
 	}
 	return total

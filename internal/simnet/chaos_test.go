@@ -1,0 +1,210 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestCrashDropsInflight: messages already scheduled toward a node are
+// dropped at their delivery instant if the node crashed in between.
+func TestCrashDropsInflight(t *testing.T) {
+	n, clk := newNet(1, FaultPlan{}, nil)
+	delivered := 0
+	n.Register("dst", func(NodeID, any) { delivered++ })
+	n.Register("src", func(NodeID, any) {})
+	_ = n.Send("src", "dst", 1) // due at +1ms
+	if err := n.Crash("dst"); err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	if delivered != 0 {
+		t.Fatalf("in-flight message delivered to crashed node (%d)", delivered)
+	}
+	_, dropped, _ := n.Stats()
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+	if !n.Down("dst") {
+		t.Fatal("Down(dst) = false after crash")
+	}
+	_ = clk
+}
+
+// TestCrashOrphansOldIncarnation: a message sent before a crash but due
+// after the restart belongs to the old incarnation and must never reach
+// the new one.
+func TestCrashOrphansOldIncarnation(t *testing.T) {
+	slow := func(_, _ NodeID, _ *rand.Rand) time.Duration { return 100 * time.Millisecond }
+	n, clk := newNet(1, FaultPlan{}, slow)
+	var got []int
+	n.Register("dst", func(_ NodeID, p any) { got = append(got, p.(int)) })
+	n.Register("src", func(NodeID, any) {})
+	_ = n.Send("src", "dst", 1) // old incarnation, due at +100ms
+	clk.Advance(10 * time.Millisecond)
+	if err := n.Crash("dst"); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(10 * time.Millisecond)
+	if err := n.Restart("dst", func(_ NodeID, p any) { got = append(got, 100+p.(int)) }); err != nil {
+		t.Fatal(err)
+	}
+	_ = n.Send("src", "dst", 2) // new incarnation
+	n.Run()
+	if len(got) != 1 || got[0] != 102 {
+		t.Fatalf("delivered %v, want only [102]", got)
+	}
+}
+
+// TestSendWhileDownDrops: traffic to or from a down node is dropped at
+// send time, not queued for the restarted incarnation.
+func TestSendWhileDownDrops(t *testing.T) {
+	n, _ := newNet(1, FaultPlan{}, nil)
+	delivered := 0
+	n.Register("dst", func(NodeID, any) { delivered++ })
+	n.Register("src", func(NodeID, any) {})
+	if err := n.Crash("dst"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send("src", "dst", 1); err != nil {
+		t.Fatalf("send to down node should drop, not error: %v", err)
+	}
+	if err := n.Crash("src"); err != nil {
+		t.Fatal(err)
+	}
+	_ = n.Restart("dst", func(NodeID, any) { delivered++ })
+	_ = n.Send("src", "dst", 2) // src still down
+	n.Run()
+	if delivered != 0 {
+		t.Fatalf("down-node traffic delivered %d messages", delivered)
+	}
+	_, dropped, _ := n.Stats()
+	if dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+}
+
+func TestCrashRestartErrors(t *testing.T) {
+	n, _ := newNet(1, FaultPlan{}, nil)
+	n.Register("a", func(NodeID, any) {})
+	if err := n.Crash("ghost"); err == nil {
+		t.Fatal("crash of unknown node should error")
+	}
+	if err := n.Restart("a", nil); err == nil {
+		t.Fatal("restart of a running node should error")
+	}
+	if err := n.Crash("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Crash("a"); err == nil {
+		t.Fatal("double crash should error")
+	}
+	if err := n.Restart("a", func(NodeID, any) {}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Down("a") {
+		t.Fatal("Down(a) = true after restart")
+	}
+}
+
+// TestDelayFault: DelayProb/MaxDelay stretch transit time but keep the
+// channel FIFO and the run deterministic.
+func TestDelayFault(t *testing.T) {
+	run := func() (time.Duration, []int) {
+		n, clk := newNet(11, FaultPlan{DelayProb: 1, MaxDelay: 50 * time.Millisecond}, nil)
+		var got []int
+		var last time.Time
+		n.Register("dst", func(_ NodeID, p any) {
+			got = append(got, p.(int))
+			last = clk.Now()
+		})
+		n.Register("src", func(NodeID, any) {})
+		for i := 0; i < 20; i++ {
+			_ = n.Send("src", "dst", i)
+		}
+		n.Run()
+		return last.Sub(time.Unix(0, 0)), got
+	}
+	elapsed, got := run()
+	if len(got) != 20 {
+		t.Fatalf("delivered %d of 20", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("delay fault reordered channel: got[%d] = %d", i, v)
+		}
+	}
+	// Base latency is 1ms; every message drew extra delay, so the last
+	// delivery must land past the base-latency horizon.
+	if elapsed <= time.Millisecond {
+		t.Fatalf("no extra delay observed (last delivery at %v)", elapsed)
+	}
+	if elapsed > time.Millisecond+50*time.Millisecond {
+		t.Fatalf("delay exceeded MaxDelay bound: %v", elapsed)
+	}
+	elapsed2, got2 := run()
+	if elapsed != elapsed2 || len(got) != len(got2) {
+		t.Fatalf("delay fault is not deterministic: %v vs %v", elapsed, elapsed2)
+	}
+}
+
+// TestReorderFault: with ReorderProb=1 and shrinking latencies, later
+// sends may overtake earlier ones; with ReorderProb=0 the FIFO clamp
+// holds under the same latencies.
+func TestReorderFault(t *testing.T) {
+	shrinking := func() func(_, _ NodeID, _ *rand.Rand) time.Duration {
+		lat := 100 * time.Millisecond
+		return func(_, _ NodeID, _ *rand.Rand) time.Duration {
+			lat -= 40 * time.Millisecond
+			return lat + 40*time.Millisecond
+		}
+	}
+	deliverOrder := func(p float64) []int {
+		n, _ := newNet(1, FaultPlan{ReorderProb: p}, shrinking())
+		var got []int
+		n.Register("dst", func(_ NodeID, pl any) { got = append(got, pl.(int)) })
+		n.Register("src", func(NodeID, any) {})
+		_ = n.Send("src", "dst", 0) // latency 100ms
+		_ = n.Send("src", "dst", 1) // latency 60ms
+		_ = n.Send("src", "dst", 2) // latency 20ms
+		n.Run()
+		return got
+	}
+	ordered := deliverOrder(0)
+	for i, v := range ordered {
+		if v != i {
+			t.Fatalf("ReorderProb=0 reordered: %v", ordered)
+		}
+	}
+	reordered := deliverOrder(1)
+	if len(reordered) != 3 {
+		t.Fatalf("reorder lost messages: %v", reordered)
+	}
+	if reordered[0] != 2 || reordered[2] != 0 {
+		t.Fatalf("ReorderProb=1 kept FIFO order: %v", reordered)
+	}
+}
+
+// TestZeroFaultPlanDrawsNothing: the new fault knobs must not consume
+// RNG draws when disabled, so existing seeded runs stay bit-identical.
+func TestZeroFaultPlanDrawsNothing(t *testing.T) {
+	jitter := func(_, _ NodeID, rng *rand.Rand) time.Duration {
+		return time.Duration(rng.Intn(20)) * time.Millisecond
+	}
+	deliveries := func(f FaultPlan) []int {
+		n, _ := newNet(42, f, jitter)
+		var got []int
+		n.Register("dst", func(_ NodeID, p any) { got = append(got, p.(int)) })
+		n.Register("src", func(NodeID, any) {})
+		for i := 0; i < 50; i++ {
+			_ = n.Send("src", "dst", i)
+		}
+		n.Run()
+		return got
+	}
+	a := deliveries(FaultPlan{})
+	b := deliveries(FaultPlan{DelayProb: 0, MaxDelay: time.Second, ReorderProb: 0})
+	if len(a) != len(b) {
+		t.Fatalf("zero-valued fault knobs changed rng stream: %d vs %d deliveries", len(a), len(b))
+	}
+}

@@ -9,9 +9,23 @@
 // is driven by an injected virtual clock, so entire multi-ISP runs are
 // reproducible from a seed.
 //
-// Fault injection (drops, duplicates, partitions, extra delay) is
-// available for tests that probe the protocol's robustness; the default
-// plan is fault-free, matching the paper's reliable-channel assumption.
+// Fault injection (drops, duplicates, partitions, extra delay,
+// reordering) is available for tests that probe the protocol's
+// robustness; the default plan is fault-free, matching the paper's
+// reliable-channel assumption.
+//
+// # Crash/restart semantics
+//
+// A registered node can be crashed at a virtual-clock instant and later
+// restarted with a fresh handler. A crash models a process dying with
+// its TCP connections: every message already in flight toward the node
+// is dropped at its delivery instant (the connection broke before the
+// bytes were consumed), messages sent to or from the node while it is
+// down are dropped at send time, and messages sent before the crash but
+// due after a restart are also dropped — each restart is a new
+// incarnation, and traffic addressed to a previous incarnation never
+// reaches the new one. Durable recovery is the layer above's job (see
+// internal/persist and internal/chaos).
 package simnet
 
 import (
@@ -38,6 +52,18 @@ type FaultPlan struct {
 	DropProb float64
 	// DupProb is the probability a message is delivered twice.
 	DupProb float64
+	// DelayProb is the probability a message incurs extra transit delay
+	// of up to MaxDelay beyond its base latency. Delayed messages still
+	// respect per-channel FIFO order. Inert unless MaxDelay > 0.
+	DelayProb float64
+	// MaxDelay bounds the extra delay added by DelayProb; the actual
+	// delay is drawn uniformly from (0, MaxDelay] using the network's
+	// seeded RNG, so runs remain deterministic.
+	MaxDelay time.Duration
+	// ReorderProb is the probability a message is exempted from the
+	// per-channel FIFO clamp, letting it overtake earlier traffic on the
+	// same channel when its drawn latency is shorter.
+	ReorderProb float64
 	// Partitioned holds directed node pairs whose messages are dropped.
 	Partitioned map[[2]NodeID]bool
 }
@@ -63,6 +89,8 @@ type Network struct {
 	rng      *rand.Rand
 	nodes    map[NodeID]Handler
 	lastDue  map[[2]NodeID]time.Time
+	down     map[NodeID]bool
+	inc      map[NodeID]uint64
 	faults   FaultPlan
 	trace    func(Event)
 	sent     int64
@@ -93,6 +121,8 @@ func New(cfg Config) *Network {
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		nodes:   make(map[NodeID]Handler),
 		lastDue: make(map[[2]NodeID]time.Time),
+		down:    make(map[NodeID]bool),
+		inc:     make(map[NodeID]uint64),
 		faults:  cfg.Faults,
 	}
 }
@@ -140,6 +170,46 @@ func (n *Network) Heal() {
 	n.faults.Partitioned = nil
 }
 
+// Crash takes a node down at the current virtual instant. All in-flight
+// messages addressed to it are dropped at their delivery time, and
+// traffic to or from it is dropped until Restart. Crashing an
+// unregistered or already-down node is an error.
+func (n *Network) Crash(id NodeID) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[id]; !ok {
+		return fmt.Errorf("simnet: crash of unknown node %q", id)
+	}
+	if n.down[id] {
+		return fmt.Errorf("simnet: node %q is already down", id)
+	}
+	n.down[id] = true
+	n.inc[id]++ // new incarnation: orphan everything in flight
+	return nil
+}
+
+// Restart brings a crashed node back with a fresh handler (the restarted
+// process's receive loop). Messages sent to the previous incarnation are
+// never delivered to the new one. Restarting a node that is not down is
+// an error.
+func (n *Network) Restart(id NodeID, h Handler) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.down[id] {
+		return fmt.Errorf("simnet: restart of node %q which is not down", id)
+	}
+	n.down[id] = false
+	n.nodes[id] = h
+	return nil
+}
+
+// Down reports whether id is currently crashed.
+func (n *Network) Down(id NodeID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down[id]
+}
+
 // Send enqueues payload from src to dst. Delivery preserves per-pair
 // FIFO order even when latency varies. Sending to an unregistered node
 // is an error; sending across a partition or losing to DropProb is not
@@ -152,7 +222,8 @@ func (n *Network) Send(src, dst NodeID, payload any) error {
 	}
 	n.sent++
 	now := n.clk.Now()
-	if n.faults.Partitioned[[2]NodeID{src, dst}] || (n.faults.DropProb > 0 && n.rng.Float64() < n.faults.DropProb) {
+	if n.down[src] || n.down[dst] || n.faults.Partitioned[[2]NodeID{src, dst}] ||
+		(n.faults.DropProb > 0 && n.rng.Float64() < n.faults.DropProb) {
 		n.dropped++
 		trace := n.trace
 		n.mu.Unlock()
@@ -166,23 +237,45 @@ func (n *Network) Send(src, dst NodeID, payload any) error {
 		copies = 2
 	}
 	key := [2]NodeID{src, dst}
+	inc := n.inc[dst]
 	for c := 0; c < copies; c++ {
-		due := now.Add(n.latency(src, dst, n.rng))
-		if last, ok := n.lastDue[key]; ok && due.Before(last) {
-			due = last // preserve FIFO per channel
+		lat := n.latency(src, dst, n.rng)
+		if n.faults.DelayProb > 0 && n.faults.MaxDelay > 0 && n.rng.Float64() < n.faults.DelayProb {
+			lat += time.Duration(1 + n.rng.Int63n(int64(n.faults.MaxDelay)))
 		}
-		n.lastDue[key] = due
-		n.scheduleLocked(src, dst, payload, due)
+		due := now.Add(lat)
+		if n.faults.ReorderProb > 0 && n.rng.Float64() < n.faults.ReorderProb {
+			// Out-of-band delivery: skip the FIFO clamp and leave the
+			// channel's high-water mark alone so later traffic is not
+			// dragged behind this message either.
+		} else {
+			if last, ok := n.lastDue[key]; ok && due.Before(last) {
+				due = last // preserve FIFO per channel
+			}
+			n.lastDue[key] = due
+		}
+		n.scheduleLocked(src, dst, payload, due, inc)
 	}
 	n.mu.Unlock()
 	return nil
 }
 
-// scheduleLocked must be called with n.mu held.
-func (n *Network) scheduleLocked(src, dst NodeID, payload any, due time.Time) {
+// scheduleLocked must be called with n.mu held. inc is the destination's
+// incarnation at send time; the delivery is abandoned if the node has
+// crashed (or crashed and restarted) since.
+func (n *Network) scheduleLocked(src, dst NodeID, payload any, due time.Time, inc uint64) {
 	delay := due.Sub(n.clk.Now())
 	n.clk.AfterFunc(delay, func() {
 		n.mu.Lock()
+		if n.down[dst] || n.inc[dst] != inc {
+			n.dropped++
+			trace := n.trace
+			n.mu.Unlock()
+			if trace != nil {
+				trace(Event{From: src, To: dst, Payload: payload, Dropped: true, At: n.clk.Now()})
+			}
+			return
+		}
 		h := n.nodes[dst]
 		trace := n.trace
 		n.delivers++
@@ -197,7 +290,8 @@ func (n *Network) scheduleLocked(src, dst NodeID, payload any, due time.Time) {
 }
 
 // Stats reports lifetime counts: sent includes dropped; delivered counts
-// handler invocations (duplicates count twice).
+// handler invocations (duplicates count twice). Messages dropped in
+// flight by a crash count once per scheduled copy.
 func (n *Network) Stats() (sent, dropped, delivered int64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()

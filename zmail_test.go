@@ -71,7 +71,7 @@ func TestPublicAPIExperiment(t *testing.T) {
 	if !res.Pass || !strings.Contains(res.Table.String(), "price") {
 		t.Fatalf("E2 via public API: %v", res)
 	}
-	if len(zmail.ExperimentIDs()) != 19 {
+	if len(zmail.ExperimentIDs()) != 20 {
 		t.Fatal("experiment registry size")
 	}
 }
