@@ -7,16 +7,19 @@
 
 GO ?= go
 
-.PHONY: build test race bench determinism chaos fuzz-smoke golden check all
+.PHONY: build test race bench determinism chaos fuzz-smoke golden lint check all
 
 all: build test
 
 build:
 	$(GO) build ./...
 
-# Tier-1: compile everything and run the full test suite.
+# Tier-1: compile everything, vet it, and run the full test suite.
+# -shuffle=on randomizes test and subtest order so order-dependent
+# tests fail here instead of surprising a later refactor.
 test: build
-	$(GO) test ./...
+	$(GO) vet ./...
+	$(GO) test -shuffle=on ./...
 
 # Concurrency gate: the whole suite under the race detector, including
 # the parallel conservation/antisymmetry property tests.
@@ -53,5 +56,11 @@ fuzz-smoke:
 golden:
 	$(GO) run ./cmd/zsim > zsim_output.txt
 
+# Project-specific static analysis (cmd/zlint): determinism, lock
+# order, ledger encapsulation, dropped persistence/crypto errors.
+# Exits nonzero on any unsuppressed finding.
+lint:
+	$(GO) run ./cmd/zlint
+
 # Full pre-merge sweep.
-check: test race chaos fuzz-smoke determinism
+check: test race lint chaos fuzz-smoke determinism

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSelfCleanTree is `make lint` end to end: the driver over the
+// whole module must exit 0 with no output. This is the gate the
+// Makefile and CI wire in; if a determinism or lock-order regression
+// lands, this test names the file and line.
+func TestSelfCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is slow; run without -short")
+	}
+	var stdout, stderr strings.Builder
+	code := run(nil, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("zlint over the tree exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("expected no findings, got:\n%s", stdout.String())
+	}
+}
+
+// TestPassSubset runs a single pass by name.
+func TestPassSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is slow; run without -short")
+	}
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-passes", "errdrop"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("errdrop-only run exited %d: %s%s", code, stdout.String(), stderr.String())
+	}
+}
+
+// TestUnknownPassIsUsageError pins exit code 2 for bad invocations.
+func TestUnknownPassIsUsageError(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-passes", "nosuchpass"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown pass exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "nosuchpass") {
+		t.Errorf("usage error should name the bad pass, got: %s", stderr.String())
+	}
+}
+
+// TestListPasses pins the four-pass contract.
+func TestListPasses(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, name := range []string{"detrand", "lockorder", "ledgerguard", "errdrop"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing pass %s:\n%s", name, stdout.String())
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetRand returns the determinism pass. Seeded zsim runs must be
+// bit-identical (the golden test and `make determinism` gate on it),
+// which dies the moment a simulation path reads the wall clock, draws
+// from the process-global math/rand source, or prints map contents in
+// hash order. Inside the determinism-critical packages the pass flags:
+//
+//   - calls to time.Now, time.Since, time.Until (wall-clock reads; use
+//     the injected clock.Clock);
+//   - calls to math/rand package-level draw functions (rand.Intn,
+//     rand.Float64, ... — the global source; use a seeded *rand.Rand).
+//     Constructors (rand.New, rand.NewSource, rand.NewZipf) are fine;
+//   - `for ... range m` over a map whose body writes output (fmt print
+//     family, or a Write*/Sum method) — map order is randomized per
+//     run, so anything it feeds to output or hashing diverges.
+func DetRand() Pass {
+	return Pass{
+		Name: "detrand",
+		Doc:  "wall-clock, global rand, and map-order output in determinism-critical packages",
+		Run:  runDetRand,
+	}
+}
+
+// globalRandDraws are the math/rand package-level functions that read
+// the shared global source.
+var globalRandDraws = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+// timeReads are the time package functions that observe the wall clock.
+var timeReads = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runDetRand(u *Unit) []Diagnostic {
+	if !pathMatches(u.Pkg.ImportPath, u.Cfg.DeterminismPkgs) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range u.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if pkgPath, name, ok := pkgFuncCallee(u.Pkg.Info, n); ok {
+					switch {
+					case pkgPath == "time" && timeReads[name]:
+						out = append(out, u.diag("detrand", n.Pos(),
+							"time.%s reads the wall clock in a determinism-critical package; use the injected clock.Clock", name))
+					case pkgPath == "math/rand" && globalRandDraws[name]:
+						out = append(out, u.diag("detrand", n.Pos(),
+							"rand.%s draws from the process-global source; use a seeded *rand.Rand", name))
+					}
+				}
+			case *ast.RangeStmt:
+				if d, ok := mapRangeFeedingOutput(u, n); ok {
+					out = append(out, d)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// pkgFuncCallee resolves a call to a package-level function, returning
+// the defining package's path and the function name. Methods and local
+// function values return ok=false.
+func pkgFuncCallee(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	// The qualifier must be a package name, not a value: rand.Intn is
+	// the global source, rng.Intn is a seeded generator.
+	id, okID := sel.X.(*ast.Ident)
+	if !okID {
+		return "", "", false
+	}
+	if _, isPkg := info.Uses[id].(*types.PkgName); !isPkg {
+		return "", "", false
+	}
+	fn, okFn := info.Uses[sel.Sel].(*types.Func)
+	if !okFn || fn.Pkg() == nil {
+		return "", "", false
+	}
+	return fn.Pkg().Path(), fn.Name(), true
+}
+
+// mapRangeFeedingOutput reports a range over a map whose body contains
+// an output or hashing sink. Loops that only accumulate commutatively
+// (sums, counters, building another map) are order-insensitive and not
+// flagged.
+func mapRangeFeedingOutput(u *Unit, rng *ast.RangeStmt) (Diagnostic, bool) {
+	tv, ok := u.Pkg.Info.Types[rng.X]
+	if !ok {
+		return Diagnostic{}, false
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return Diagnostic{}, false
+	}
+	sink := ""
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		call, okCall := n.(*ast.CallExpr)
+		if !okCall {
+			return true
+		}
+		if pkgPath, name, okFn := pkgFuncCallee(u.Pkg.Info, call); okFn {
+			if pkgPath == "fmt" && name != "Errorf" {
+				sink = "fmt." + name
+				return false
+			}
+		}
+		if sel, okSel := call.Fun.(*ast.SelectorExpr); okSel {
+			if fn, okM := u.Pkg.Info.Uses[sel.Sel].(*types.Func); okM && fn.Type().(*types.Signature).Recv() != nil {
+				name := fn.Name()
+				if name == "Write" || name == "WriteString" || name == "WriteByte" ||
+					name == "WriteRune" || name == "Sum" {
+					sink = name
+					return false
+				}
+			}
+		}
+		return true
+	})
+	if sink == "" {
+		return Diagnostic{}, false
+	}
+	return u.diag("detrand", rng.Pos(),
+		"map iteration feeds %s: map order is randomized per run; collect and sort keys first", sink), true
+}

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LedgerGuard returns the conservation-boundary pass. E-penny
+// conservation (experiment E1, the chaos auditor's first invariant)
+// holds because every mutation of ledger state goes through the owning
+// package's methods, which debit and credit in matched pairs. A raw
+// field write from outside — `st.Balance += 1` on an exported snapshot,
+// say — mints or burns value with no journal entry and no counterparty.
+//
+// The pass flags assignments (including op-assign and ++/--) whose
+// target is a struct field named balance, credit, avail, or account
+// (case-insensitive) when the struct type is declared in a different
+// package than the writer. Reads are free; composite literals are
+// construction, not mutation, and are also free.
+func LedgerGuard() Pass {
+	return Pass{
+		Name: "ledgerguard",
+		Doc:  "ledger fields (balance/credit/avail/account) written only by their owning package",
+		Run:  runLedgerGuard,
+	}
+}
+
+func runLedgerGuard(u *Unit) []Diagnostic {
+	fields := make(map[string]bool, len(u.Cfg.LedgerFields))
+	for _, f := range u.Cfg.LedgerFields {
+		fields[strings.ToLower(f)] = true
+	}
+	if len(fields) == 0 {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range u.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if d, ok := ledgerWrite(u, lhs, fields); ok {
+						out = append(out, d)
+					}
+				}
+			case *ast.IncDecStmt:
+				if d, ok := ledgerWrite(u, n.X, fields); ok {
+					out = append(out, d)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// ledgerWrite reports whether lhs writes a guarded ledger field owned
+// by a foreign package.
+func ledgerWrite(u *Unit, lhs ast.Expr, fields map[string]bool) (Diagnostic, bool) {
+	// Unwrap index/paren chains: st.Users[i].Balance, (*p).credit.
+	for {
+		switch e := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = e.X
+			continue
+		case *ast.IndexExpr:
+			lhs = e.X
+			continue
+		case *ast.StarExpr:
+			lhs = e.X
+			continue
+		}
+		break
+	}
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok || !fields[strings.ToLower(sel.Sel.Name)] {
+		return Diagnostic{}, false
+	}
+	selection, ok := u.Pkg.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return Diagnostic{}, false
+	}
+	obj := selection.Obj()
+	owner := obj.Pkg()
+	if owner == nil || owner.Path() == u.Pkg.ImportPath {
+		return Diagnostic{}, false
+	}
+	return u.diag("ledgerguard", sel.Sel.Pos(),
+		"direct write to ledger field %s.%s from outside %s: mutate through the owning package's methods so conservation and the journal stay intact",
+		ownerTypeName(selection), sel.Sel.Name, owner.Path()), true
+}
+
+// ownerTypeName names the struct type a selected field belongs to, for
+// the diagnostic message.
+func ownerTypeName(selection *types.Selection) string {
+	t := selection.Recv()
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

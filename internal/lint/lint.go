@@ -1,0 +1,177 @@
+// Package lint is zmail's project-specific static analyzer. It encodes
+// the invariants the reproduction actually depends on — seeded
+// determinism, the isp lock hierarchy, ledger-field encapsulation, and
+// never-dropped persistence/crypto errors — as compile-time checks, so
+// a violation is a build failure instead of a chaos-harness bisect.
+//
+// The analyzer is stdlib-only (go/parser, go/ast, go/types with the
+// source importer); go.mod stays dependency-free. Four passes run over
+// every package in the module:
+//
+//   - detrand: wall-clock reads, global math/rand draws, and map
+//     iteration feeding output inside determinism-critical packages
+//     (the seeded simulator and everything zsim's golden output covers);
+//   - lockorder: within internal/isp, mutex acquisitions must respect
+//     freeze → stripes → cold order, never double-acquire a rank, and
+//     every Lock needs a matching Unlock;
+//   - ledgerguard: e-penny ledger fields (balance, credit, avail,
+//     account) may only be written by their owning package;
+//   - errdrop: errors returned by internal/persist, internal/wire and
+//     internal/crypto APIs must not be discarded — silent failure there
+//     breaks crash recovery and replay protection.
+//
+// A finding that is intentional is silenced in place with
+//
+//	//zlint:ignore <pass>[,<pass>...] <reason>
+//
+// on the flagged line or the line directly above it. The reason is
+// mandatory: the suppression is the documentation. Deleting a
+// suppression re-surfaces the finding, so the set of accepted
+// exceptions is itself under review on every run.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// A Diagnostic is one finding from one pass.
+type Diagnostic struct {
+	Pos  token.Position
+	Pass string
+	Msg  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Pass, d.Msg)
+}
+
+// A Pass inspects one type-checked package and reports findings.
+type Pass struct {
+	Name string
+	Doc  string
+	Run  func(u *Unit) []Diagnostic
+}
+
+// Unit is the per-package input handed to a pass.
+type Unit struct {
+	Pkg *Package
+	Cfg Config
+}
+
+// diag is the helper passes use to report at a token.Pos.
+func (u *Unit) diag(pass string, pos token.Pos, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Pos:  u.Pkg.Fset.Position(pos),
+		Pass: pass,
+		Msg:  fmt.Sprintf(format, args...),
+	}
+}
+
+// Config scopes the passes. The zero value runs nothing; DefaultConfig
+// returns the project policy. Tests point the path lists at fixture
+// packages instead.
+type Config struct {
+	// DeterminismPkgs are import-path prefixes where detrand applies:
+	// everything on the seeded zsim path, where bit-identical reruns are
+	// a tier-1 guarantee.
+	DeterminismPkgs []string
+	// LockOrderPkgs are import-path prefixes where lockorder applies
+	// (the striped-ledger engine).
+	LockOrderPkgs []string
+	// ErrDropPkgs are package paths whose error results must never be
+	// discarded, anywhere in the tree.
+	ErrDropPkgs []string
+	// LedgerFields are field names (case-insensitive) that only the
+	// owning package may mutate.
+	LedgerFields []string
+}
+
+// DefaultConfig is the project policy enforced by `make lint`.
+func DefaultConfig() Config {
+	return Config{
+		DeterminismPkgs: []string{
+			"zmail/internal/sim",
+			"zmail/internal/chaos",
+			"zmail/internal/experiments",
+			"zmail/internal/economy",
+			"zmail/cmd/zsim",
+		},
+		LockOrderPkgs: []string{
+			"zmail/internal/isp",
+		},
+		ErrDropPkgs: []string{
+			"zmail/internal/persist",
+			"zmail/internal/wire",
+			"zmail/internal/crypto",
+		},
+		LedgerFields: []string{"balance", "credit", "avail", "account"},
+	}
+}
+
+// Passes returns the full pass set, in reporting order.
+func Passes() []Pass {
+	return []Pass{DetRand(), LockOrder(), LedgerGuard(), ErrDrop()}
+}
+
+// PassNames lists the valid pass names (used to validate suppression
+// directives and -passes flags).
+func PassNames() []string {
+	var names []string
+	for _, p := range Passes() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// pathMatches reports whether an import path falls under any of the
+// given prefixes (exact match or a "/"-delimited subpackage).
+func pathMatches(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the given passes over the packages, filters suppressed
+// findings, and appends diagnostics for malformed or unknown
+// suppression directives. Results are sorted by position.
+func Run(pkgs []*Package, passes []Pass, cfg Config) []Diagnostic {
+	var out []Diagnostic
+	valid := make(map[string]bool)
+	for _, p := range passes {
+		valid[p.Name] = true
+	}
+	for _, name := range PassNames() {
+		valid[name] = true
+	}
+	for _, pkg := range pkgs {
+		u := &Unit{Pkg: pkg, Cfg: cfg}
+		sup, bad := collectSuppressions(pkg, valid)
+		out = append(out, bad...)
+		for _, p := range passes {
+			for _, d := range p.Run(u) {
+				if sup.covers(d) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Pass < out[j].Pass
+	})
+	return out
+}

@@ -1,0 +1,259 @@
+package lint
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The fixture convention: a `//want <pass>` marker on a line means
+// exactly one diagnostic from that pass is expected there. Fixtures
+// live under testdata/<pass>/<case>/ and are loaded through the real
+// loader, so they exercise parsing, type-checking, suppression and the
+// pass itself end to end.
+
+var (
+	loaderOnce sync.Once
+	shared     *Loader
+	loaderErr  error
+)
+
+// sharedLoader caches one Loader per test process: the stdlib source
+// importer's work (fmt, io, sync, ...) is paid once instead of per
+// subtest.
+func sharedLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		shared, loaderErr = NewLoader(".")
+	})
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	return shared
+}
+
+// fixturePath maps a testdata-relative name to its loader import path.
+func fixturePath(rel string) string {
+	return "zmail/internal/lint/testdata/" + rel
+}
+
+// loadFixture loads testdata/<rel> as its canonical fixture import
+// path.
+func loadFixture(t *testing.T, rel string) *Package {
+	t.Helper()
+	l := sharedLoader(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", rel), fixturePath(rel))
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", rel, err)
+	}
+	return pkg
+}
+
+// wantMarkers scans a fixture package's files for //want markers.
+// Returned keys are "file:line:pass".
+func wantMarkers(t *testing.T, pkg *Package) map[string]bool {
+	t.Helper()
+	want := make(map[string]bool)
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		fh, err := os.Open(name)
+		if err != nil {
+			t.Fatalf("open %s: %v", name, err)
+		}
+		sc := bufio.NewScanner(fh)
+		for line := 1; sc.Scan(); line++ {
+			text := sc.Text()
+			idx := strings.Index(text, "//want ")
+			if idx < 0 {
+				continue
+			}
+			for _, pass := range strings.Fields(text[idx+len("//want "):]) {
+				want[markerKey(name, line, pass)] = true
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatalf("scan %s: %v", name, err)
+		}
+		fh.Close()
+	}
+	return want
+}
+
+func markerKey(file string, line int, pass string) string {
+	return filepath.Base(file) + ":" + itoa(line) + ":" + pass
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// checkFixture runs the passes over one fixture and compares findings
+// against the //want markers, both directions.
+func checkFixture(t *testing.T, rel string, passes []Pass, cfg Config) {
+	t.Helper()
+	pkg := loadFixture(t, rel)
+	want := wantMarkers(t, pkg)
+	got := make(map[string]bool)
+	for _, d := range Run([]*Package{pkg}, passes, cfg) {
+		key := markerKey(d.Pos.Filename, d.Pos.Line, d.Pass)
+		if got[key] {
+			t.Errorf("duplicate diagnostic at %s: %s", key, d.Msg)
+		}
+		got[key] = true
+		if !want[key] {
+			t.Errorf("unexpected diagnostic %s (%s)", key, d.Msg)
+		}
+	}
+	for key := range want {
+		if !got[key] {
+			t.Errorf("missing expected diagnostic %s", key)
+		}
+	}
+}
+
+// fixtureCfg scopes the path-gated passes to a fixture package.
+func fixtureCfg(rel string) Config {
+	cfg := DefaultConfig()
+	cfg.DeterminismPkgs = []string{fixturePath(rel)}
+	cfg.LockOrderPkgs = []string{fixturePath(rel)}
+	return cfg
+}
+
+func TestDetRandFixtures(t *testing.T) {
+	passes := []Pass{DetRand()}
+	for _, c := range []string{"detrand/bad", "detrand/clean", "detrand/suppressed", "detrand/unsuppressed"} {
+		t.Run(c, func(t *testing.T) { checkFixture(t, c, passes, fixtureCfg(c)) })
+	}
+}
+
+func TestLockOrderFixtures(t *testing.T) {
+	passes := []Pass{LockOrder()}
+	for _, c := range []string{"lockorder/bad", "lockorder/clean"} {
+		t.Run(c, func(t *testing.T) { checkFixture(t, c, passes, fixtureCfg(c)) })
+	}
+}
+
+func TestLedgerGuardFixtures(t *testing.T) {
+	passes := []Pass{LedgerGuard()}
+	// The owning package must load first so the intruder's import
+	// resolves; it is also its own clean fixture.
+	checkFixture(t, "ledgerguard/owner", passes, DefaultConfig())
+	checkFixture(t, "ledgerguard/intruder", passes, DefaultConfig())
+}
+
+func TestErrDropFixtures(t *testing.T) {
+	passes := []Pass{ErrDrop()}
+	for _, c := range []string{"errdrop/bad", "errdrop/clean"} {
+		t.Run(c, func(t *testing.T) { checkFixture(t, c, passes, DefaultConfig()) })
+	}
+}
+
+// TestMalformedDirectives asserts directive hygiene: a typo'd pass name
+// or missing reason is itself a finding and does not silence anything.
+func TestMalformedDirectives(t *testing.T) {
+	rel := "zlint/malformed"
+	pkg := loadFixture(t, rel)
+	diags := Run([]*Package{pkg}, []Pass{DetRand()}, fixtureCfg(rel))
+
+	var zlintCount, detrandCount int
+	for _, d := range diags {
+		switch d.Pass {
+		case "zlint":
+			zlintCount++
+		case "detrand":
+			detrandCount++
+		}
+	}
+	if zlintCount != 2 {
+		t.Errorf("got %d zlint directive findings, want 2 (unknown pass + missing reason): %v", zlintCount, diags)
+	}
+	if detrandCount != 2 {
+		t.Errorf("got %d detrand findings, want 2 (malformed directives must not suppress): %v", detrandCount, diags)
+	}
+}
+
+// TestSuppressionDeletionFails is the acceptance check in miniature:
+// the suppressed fixture is clean, and its directive-stripped twin
+// (same code, comments deleted) fails.
+func TestSuppressionDeletionFails(t *testing.T) {
+	passes := []Pass{DetRand()}
+
+	sup := loadFixture(t, "detrand/suppressed")
+	if diags := Run([]*Package{sup}, passes, fixtureCfg("detrand/suppressed")); len(diags) != 0 {
+		t.Errorf("suppressed fixture should be clean, got %v", diags)
+	}
+
+	unsup := loadFixture(t, "detrand/unsuppressed")
+	diags := Run([]*Package{unsup}, passes, fixtureCfg("detrand/unsuppressed"))
+	if len(diags) != 2 {
+		t.Errorf("unsuppressed twin should fail with 2 findings, got %v", diags)
+	}
+}
+
+// TestWholeTreeClean is `make lint` as a test: every pass over every
+// package of the module, with the project policy, must come back
+// empty. A regression that reintroduces a wall-clock read on a seeded
+// path (or deletes a load-bearing suppression) fails here.
+func TestWholeTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is slow; run without -short")
+	}
+	// A fresh loader: the shared one accumulates fixture registrations
+	// from other tests, which must not leak into the module sweep.
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; the module walk is broken", len(pkgs))
+	}
+	for _, d := range Run(pkgs, Passes(), DefaultConfig()) {
+		t.Errorf("unsuppressed finding: %s", d)
+	}
+}
+
+// TestDefaultConfigCoversRoadmapPackages pins the policy: the packages
+// the golden/determinism gates depend on stay scoped.
+func TestDefaultConfigCoversRoadmapPackages(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, p := range []string{
+		"zmail/internal/sim", "zmail/internal/chaos", "zmail/internal/experiments",
+		"zmail/internal/economy", "zmail/cmd/zsim",
+	} {
+		if !pathMatches(p, cfg.DeterminismPkgs) {
+			t.Errorf("determinism policy must cover %s", p)
+		}
+	}
+	if !pathMatches("zmail/internal/isp", cfg.LockOrderPkgs) {
+		t.Errorf("lock-order policy must cover internal/isp")
+	}
+	for _, p := range []string{"zmail/internal/persist", "zmail/internal/wire", "zmail/internal/crypto"} {
+		if !pathMatches(p, cfg.ErrDropPkgs) {
+			t.Errorf("errdrop policy must cover %s", p)
+		}
+	}
+	// Subpackage and non-prefix behavior.
+	if !pathMatches("zmail/internal/sim/sub", cfg.DeterminismPkgs) {
+		t.Errorf("prefix match must cover subpackages")
+	}
+	if pathMatches("zmail/internal/simnet", cfg.DeterminismPkgs) {
+		t.Errorf("zmail/internal/simnet must NOT match the zmail/internal/sim prefix")
+	}
+}

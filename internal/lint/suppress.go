@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// ignorePrefix is the suppression directive marker. Syntax:
+//
+//	//zlint:ignore <pass>[,<pass>...] <reason>
+//
+// The directive silences the named passes on its own line and on the
+// line directly below it, so it works both as a trailing comment and as
+// a comment line above the finding. The reason is mandatory.
+const ignorePrefix = "zlint:ignore"
+
+// suppression is one parsed directive.
+type suppression struct {
+	passes map[string]bool
+	line   int
+	file   string
+}
+
+// suppressionSet indexes directives by file and line.
+type suppressionSet struct {
+	byFileLine map[string][]suppression // key file; entries carry line
+}
+
+// covers reports whether d is silenced by a directive on its line or
+// the line above.
+func (s suppressionSet) covers(d Diagnostic) bool {
+	for _, sup := range s.byFileLine[d.Pos.Filename] {
+		if sup.line != d.Pos.Line && sup.line != d.Pos.Line-1 {
+			continue
+		}
+		if sup.passes[d.Pass] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectSuppressions parses every //zlint:ignore directive in the
+// package. Malformed directives — missing pass list, unknown pass name,
+// or missing reason — are themselves diagnostics (pass "zlint"), so a
+// typo cannot silently disable enforcement.
+func collectSuppressions(pkg *Package, validPasses map[string]bool) (suppressionSet, []Diagnostic) {
+	set := suppressionSet{byFileLine: make(map[string][]suppression)}
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := directiveText(c)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					bad = append(bad, Diagnostic{Pos: pos, Pass: "zlint",
+						Msg: "malformed //zlint:ignore: want \"//zlint:ignore <pass> <reason>\""})
+					continue
+				}
+				passes := make(map[string]bool)
+				unknown := ""
+				for _, name := range strings.Split(fields[0], ",") {
+					if !validPasses[name] {
+						unknown = name
+						break
+					}
+					passes[name] = true
+				}
+				if unknown != "" {
+					bad = append(bad, Diagnostic{Pos: pos, Pass: "zlint",
+						Msg: fmt.Sprintf("unknown pass %q in //zlint:ignore", unknown)})
+					continue
+				}
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{Pos: pos, Pass: "zlint",
+						Msg: "//zlint:ignore needs a reason: the suppression is the documentation"})
+					continue
+				}
+				set.byFileLine[pos.Filename] = append(set.byFileLine[pos.Filename],
+					suppression{passes: passes, line: pos.Line, file: pos.Filename})
+			}
+		}
+	}
+	return set, bad
+}
+
+// directiveText extracts the payload after //zlint:ignore, or ok=false
+// for ordinary comments.
+func directiveText(c *ast.Comment) (string, bool) {
+	text := strings.TrimPrefix(c.Text, "//")
+	text = strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(text, ignorePrefix)
+	if !ok {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
+}

@@ -1,0 +1,36 @@
+// Package bad is a detrand fixture: every determinism hazard the pass
+// must catch. Lines carrying a `want` marker are expected findings.
+package bad
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock on a simulation path.
+func Stamp() time.Time {
+	return time.Now() //want detrand
+}
+
+// Age also reads the wall clock, through time.Since.
+func Age(t time.Time) time.Duration {
+	return time.Since(t) //want detrand
+}
+
+// Roll draws from the process-global rand source.
+func Roll() int {
+	return rand.Intn(6) //want detrand
+}
+
+// Mix shuffles with the global source.
+func Mix(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) //want detrand
+}
+
+// Report prints map contents in hash order.
+func Report(counts map[string]int) {
+	for name, n := range counts { //want detrand
+		fmt.Printf("%s: %d\n", name, n)
+	}
+}

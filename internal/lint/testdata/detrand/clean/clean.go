@@ -1,0 +1,54 @@
+// Package clean is the detrand negative fixture: the sanctioned ways
+// to do time, randomness, and map traversal on a seeded path. The pass
+// must report nothing here.
+package clean
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Clock is the injected-time idiom (see internal/clock).
+type Clock interface {
+	Now() time.Time
+}
+
+// Stamp uses the injected clock, not the wall clock.
+func Stamp(c Clock) time.Time {
+	return c.Now()
+}
+
+// Roll draws from a seeded, locally-owned generator.
+func Roll(rng *rand.Rand) int {
+	return rng.Intn(6)
+}
+
+// NewRNG builds the seeded generator; the constructors themselves are
+// deterministic and allowed.
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Report sorts keys before printing, so output order is stable.
+func Report(counts map[string]int) {
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("%s: %d\n", name, counts[name])
+	}
+}
+
+// Sum accumulates commutatively over a map; order cannot matter, so
+// iterating directly is fine.
+func Sum(counts map[string]int) int {
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total
+}

@@ -1,0 +1,18 @@
+// Package suppressed is the suppression-honored fixture: the same
+// wall-clock read as the bad fixture, silenced by a //zlint:ignore
+// directive with a reason. The pass must report nothing.
+package suppressed
+
+import "time"
+
+// Deadline bounds a live-network wait; the duration never feeds
+// simulator output.
+func Deadline() time.Time {
+	//zlint:ignore detrand live-socket wait bound, never feeds seeded output
+	return time.Now().Add(5 * time.Second)
+}
+
+// Trailing demonstrates the same-line form of the directive.
+func Trailing() time.Time {
+	return time.Now() //zlint:ignore detrand same live-socket bound, trailing form
+}

@@ -1,0 +1,17 @@
+// Package unsuppressed is the suppression-deleted twin of the
+// suppressed fixture: identical code with the //zlint:ignore directives
+// removed. The findings must come back — this is the fixture-level
+// proof that deleting a suppression makes `make lint` fail.
+package unsuppressed
+
+import "time"
+
+// Deadline is Deadline from the suppressed fixture, minus the directive.
+func Deadline() time.Time {
+	return time.Now().Add(5 * time.Second) //want detrand
+}
+
+// Trailing is Trailing from the suppressed fixture, minus the directive.
+func Trailing() time.Time {
+	return time.Now() //want detrand
+}

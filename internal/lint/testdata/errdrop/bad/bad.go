@@ -1,0 +1,52 @@
+// Package bad is the errdrop positive fixture: every way the tree
+// could silently discard an error from the persistence, wire, or
+// crypto layers.
+package bad
+
+import (
+	"io"
+
+	"zmail/internal/crypto"
+	"zmail/internal/persist"
+	"zmail/internal/wire"
+)
+
+// Checkpoint drops the save error: the durable ledger silently stops
+// being durable.
+func Checkpoint(path string, v any) {
+	_ = persist.SaveJSON(path, v) //want errdrop
+}
+
+// Restore drops the load error as a bare statement.
+func Restore(path string, v any) {
+	persist.LoadJSON(path, v) //want errdrop
+}
+
+// Transmit drops the codec error from a method call.
+func Transmit(w io.Writer, env *wire.Envelope) {
+	wire.WriteEnvelope(w, env) //want errdrop
+}
+
+// Decode blanks the error half of a two-result call.
+func Decode(r io.Reader) *wire.Envelope {
+	env, _ := wire.ReadEnvelope(r) //want errdrop
+	return env
+}
+
+// SealAndForget drops a sealer error through an interface method.
+func SealAndForget(s crypto.Sealer, payload []byte) []byte {
+	sealed, _ := s.Seal(payload) //want errdrop
+	return sealed
+}
+
+// DeferredDrop discards by defer.
+func DeferredDrop(path string, v any) {
+	defer persist.SaveJSON(path, v) //want errdrop
+}
+
+// NonceLeak drops the nonce-source error, silently disabling replay
+// protection.
+func NonceLeak(src *crypto.Source) crypto.Nonce {
+	n, _ := src.Next() //want errdrop
+	return n
+}

@@ -1,0 +1,38 @@
+// Package clean is the errdrop negative fixture: the same guarded APIs
+// with their errors handled, plus non-error calls that must not be
+// flagged. The pass must report nothing.
+package clean
+
+import (
+	"fmt"
+	"io"
+
+	"zmail/internal/persist"
+	"zmail/internal/wire"
+)
+
+// Checkpoint propagates the save error.
+func Checkpoint(path string, v any) error {
+	if err := persist.SaveJSON(path, v); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Transmit handles the codec error inline.
+func Transmit(w io.Writer, env *wire.Envelope) error {
+	return wire.WriteEnvelope(w, env)
+}
+
+// Encode calls a guarded-package API with no error result; a bare
+// statement is fine.
+func Encode(env *wire.Envelope) []byte {
+	env.MarshalBinary()
+	return env.MarshalBinary()
+}
+
+// Blanking non-error results is fine as long as the error is kept.
+func Decode(r io.Reader) error {
+	_, err := wire.ReadEnvelope(r)
+	return err
+}

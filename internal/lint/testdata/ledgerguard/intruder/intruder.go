@@ -1,0 +1,37 @@
+// Package intruder is the ledgerguard positive fixture: cross-package
+// writes to ledger fields, which mint or burn e-pennies with no journal
+// entry and no counterparty. Every write form the pass covers is here.
+package intruder
+
+import "zmail/internal/lint/testdata/ledgerguard/owner"
+
+// Mint writes a foreign ledger field directly.
+func Mint(a *owner.Account) {
+	a.Balance = 1_000_000 //want ledgerguard
+}
+
+// Skim op-assigns a foreign ledger field.
+func Skim(a *owner.Account) {
+	a.Balance -= 1 //want ledgerguard
+}
+
+// Bump increments a foreign ledger field.
+func Bump(a *owner.Account) {
+	a.Avail++ //want ledgerguard
+}
+
+// Forge writes one element of a foreign credit array.
+func Forge(a *owner.Account) {
+	a.Credit[0] = 7 //want ledgerguard
+}
+
+// Read-only access and method calls are fine: no findings below.
+func Audit(a *owner.Account) int64 {
+	a.Deposit(5)
+	return a.Balance + a.Avail
+}
+
+// Construction is initialization, not mutation: no finding.
+func Fresh() *owner.Account {
+	return &owner.Account{Name: "new", Balance: 10, Avail: 3}
+}

@@ -1,0 +1,29 @@
+// Package owner is the ledgerguard owning-package fixture: it declares
+// ledger-bearing types and mutates them through its own methods, which
+// is exactly what the pass permits. No findings here.
+package owner
+
+// Account is a miniature of the exported ledger snapshot types
+// (isp.UserState and friends).
+type Account struct {
+	Name    string
+	Balance int64
+	Credit  []int64
+	Avail   int64
+}
+
+// Deposit mutates through the owning package: allowed.
+func (a *Account) Deposit(n int64) {
+	a.Balance += n
+}
+
+// SetAvail is the sanctioned pool mutator.
+func (a *Account) SetAvail(n int64) {
+	a.Avail = n
+}
+
+// AddCredit adjusts one credit entry; in-package element writes are
+// the method set doing its job.
+func (a *Account) AddCredit(peer int, delta int64) {
+	a.Credit[peer] += delta
+}

@@ -1,0 +1,24 @@
+// Package malformed is the directive-hygiene fixture: suppression
+// comments that are typo'd or missing their reason must themselves be
+// findings, so a bad directive can never silently disable enforcement.
+//
+// The zlint-pass expectations for this file are asserted explicitly in
+// the test (not with want markers, since trailing text on a directive
+// line would parse as its reason).
+package malformed
+
+import "time"
+
+// BadPassName carries a directive naming a pass that does not exist;
+// the typo is reported and the underlying finding is NOT silenced.
+func BadPassName() time.Time {
+	//zlint:ignore detrnd wall clock is fine here
+	return time.Now() //want detrand
+}
+
+// MissingReason names a real pass but gives no justification; also
+// reported, also not silenced.
+func MissingReason() time.Time {
+	//zlint:ignore detrand
+	return time.Now() //want detrand
+}
