@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench determinism chaos fuzz-smoke golden lint check all
+.PHONY: build test race bench determinism chaos fuzz-smoke golden lint lint-fixtures check all
 
 all: build test
 
@@ -57,10 +57,18 @@ golden:
 	$(GO) run ./cmd/zsim > zsim_output.txt
 
 # Project-specific static analysis (cmd/zlint): determinism, lock
-# order, ledger encapsulation, dropped persistence/crypto errors.
-# Exits nonzero on any unsuppressed finding.
+# order, ledger encapsulation, dropped persistence/crypto errors, plus
+# the flow tier (e-penny conservation, nonce replay-taint, spec/wire
+# binding). Exits nonzero on any unsuppressed finding.
 lint:
 	$(GO) run ./cmd/zlint
 
+# Analyzer self-test: sweep the fixture corpus with every pass and pin
+# the total finding count. A pass that goes blind (or noisy) changes
+# the count and fails here; re-pin after intentional corpus changes.
+LINT_FIXTURE_FINDINGS = 51
+lint-fixtures:
+	$(GO) run ./cmd/zlint -testdata internal/lint/testdata -expect $(LINT_FIXTURE_FINDINGS)
+
 # Full pre-merge sweep.
-check: test race lint chaos fuzz-smoke determinism
+check: test race lint lint-fixtures chaos fuzz-smoke determinism

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -45,15 +46,71 @@ func TestUnknownPassIsUsageError(t *testing.T) {
 	}
 }
 
-// TestListPasses pins the four-pass contract.
+// TestListPasses pins the seven-pass contract.
 func TestListPasses(t *testing.T) {
 	var stdout, stderr strings.Builder
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-list exited %d", code)
 	}
-	for _, name := range []string{"detrand", "lockorder", "ledgerguard", "errdrop"} {
+	for _, name := range []string{"detrand", "lockorder", "ledgerguard", "errdrop", "moneyflow", "nonceflow", "specbind"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing pass %s:\n%s", name, stdout.String())
 		}
+	}
+}
+
+// TestUnknownFormatIsUsageError pins exit code 2 for a bad -format.
+func TestUnknownFormatIsUsageError(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-format", "xml"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown format exited %d, want 2", code)
+	}
+}
+
+// TestTestdataSweep runs the self-test mode over one fixture cluster
+// and checks the JSON and github output shapes plus the -expect pin.
+func TestTestdataSweep(t *testing.T) {
+	const dir = "../../internal/lint/testdata/specbind"
+
+	// The specbind cluster carries exactly 4 findings (3 drift classes
+	// in bad + 1 in the unsuppressed twin); -expect holds it there.
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-testdata", dir, "-expect", "4", "-format", "json"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("specbind sweep exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 JSON findings, got %d:\n%s", len(lines), stdout.String())
+	}
+	for _, line := range lines {
+		var f struct {
+			File string `json:"file"`
+			Line int    `json:"line"`
+			Pass string `json:"pass"`
+			Msg  string `json:"msg"`
+		}
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("finding is not one JSON object per line: %v\n%s", err, line)
+		}
+		if f.Pass != "specbind" || f.File == "" || f.Line == 0 || f.Msg == "" {
+			t.Errorf("JSON finding incomplete: %+v", f)
+		}
+	}
+
+	// A wrong pin must fail the run.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-testdata", dir, "-expect", "3"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("wrong -expect pin exited %d, want 1", code)
+	}
+
+	// github format emits workflow-command annotations.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-testdata", dir, "-format", "github"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("github-format sweep exited %d", code)
+	}
+	if !strings.Contains(stdout.String(), "::error file=") || !strings.Contains(stdout.String(), ",line=") {
+		t.Errorf("github format should emit ::error annotations, got:\n%s", stdout.String())
 	}
 }

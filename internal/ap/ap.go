@@ -24,6 +24,7 @@ package ap
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 )
 
 // Message is a typed value in a channel.
@@ -129,6 +130,27 @@ func (s *System) NewProcess(name string) *Process {
 // AddInvariant registers a global invariant.
 func (s *System) AddInvariant(name string, hold func() bool) {
 	s.invariants = append(s.invariants, Invariant{Name: name, Hold: hold})
+}
+
+// ReceiveKinds enumerates the message kinds some process is registered
+// to receive, sorted and deduplicated. It is the runtime half of the
+// specbind static check: the spec's receive vocabulary read off the
+// live action set instead of the source text.
+func (s *System) ReceiveKinds() []string {
+	seen := make(map[string]bool)
+	for _, p := range s.procs {
+		for _, a := range p.actions {
+			if a.kind == guardReceive && a.msg != "" {
+				seen[a.msg] = true
+			}
+		}
+	}
+	kinds := make([]string, 0, len(seen))
+	for k := range seen {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
 }
 
 // SetTrace installs a step hook (nil clears).

@@ -239,3 +239,24 @@ func TestSchedulerDeterminism(t *testing.T) {
 		}
 	}
 }
+
+func TestReceiveKinds(t *testing.T) {
+	s := NewSystem(1)
+	p := s.NewProcess("p")
+	q := s.NewProcess("q")
+	p.AddReceive("r1", "", "buy", func(string, any) {})
+	p.AddReceive("r2", "q", "sell", func(string, any) {})
+	q.AddReceive("r3", "", "buy", func(string, any) {}) // dup across procs
+	p.AddAction("a", func() bool { return false }, func() {})
+
+	got := s.ReceiveKinds()
+	want := []string{"buy", "sell"}
+	if len(got) != len(want) {
+		t.Fatalf("ReceiveKinds() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ReceiveKinds() = %v, want %v (sorted, deduped)", got, want)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses a function body for CFG construction. buildCFG is
+// purely syntactic, so unresolved identifiers are fine.
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f() error {\n" + body + "\n}\n"
+	f, err := parser.ParseFile(token.NewFileSet(), "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// reachableFrom collects the block indices reachable from entry.
+func reachableFrom(g *cfg) map[*cfgBlock]bool {
+	seen := make(map[*cfgBlock]bool)
+	var visit func(*cfgBlock)
+	visit = func(b *cfgBlock) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.succs {
+			visit(s)
+		}
+	}
+	visit(g.entry)
+	return seen
+}
+
+func TestCFGLinear(t *testing.T) {
+	g := buildCFG(parseBody(t, "x := 1\nx++\nreturn nil"))
+	if len(g.blocks) != 2 {
+		t.Fatalf("linear body: want 2 blocks (entry+exit), got %d", len(g.blocks))
+	}
+	if len(g.entry.nodes) != 3 {
+		t.Errorf("entry should carry all 3 statements, has %d", len(g.entry.nodes))
+	}
+	if len(g.entry.succs) != 1 || g.entry.succs[0] != g.exit {
+		t.Errorf("entry must flow straight to exit")
+	}
+}
+
+func TestCFGIfElse(t *testing.T) {
+	g := buildCFG(parseBody(t, "if c {\n a()\n} else {\n b()\n}\nreturn nil"))
+	// entry(cond) → then|else → join → exit.
+	if len(g.entry.succs) != 2 {
+		t.Fatalf("condition block should have 2 successors, has %d", len(g.entry.succs))
+	}
+	if !reachableFrom(g)[g.exit] {
+		t.Errorf("exit must be reachable")
+	}
+}
+
+// TestCFGErrGates pins the err-branch gating that moneyflow's call
+// summaries rely on: both arms of `if err != nil`, including a
+// materialized implicit else, carry opposite gates on the same var.
+func TestCFGErrGates(t *testing.T) {
+	g := buildCFG(parseBody(t, "if err != nil {\n return err\n}\nreturn nil"))
+	var gated []*cfgBlock
+	for _, b := range g.blocks {
+		if b.gated {
+			gated = append(gated, b)
+		}
+	}
+	if len(gated) != 2 {
+		t.Fatalf("want 2 gated blocks (then + implicit else), got %d", len(gated))
+	}
+	if gated[0].gateVar != "err" || gated[1].gateVar != "err" {
+		t.Errorf("gates must bind the checked variable, got %q/%q", gated[0].gateVar, gated[1].gateVar)
+	}
+	if gated[0].wantErr == gated[1].wantErr {
+		t.Errorf("the two arms must carry opposite err outcomes")
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	g := buildCFG(parseBody(t, "for i := 0; i < n; i++ {\n a()\n}\nreturn nil"))
+	// The head must be a join point: loop entry plus the back edge.
+	var head *cfgBlock
+	for _, b := range g.blocks {
+		if b.npred >= 2 {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatalf("for loop must produce a back edge (a block with 2+ preds)")
+	}
+	if !reachableFrom(g)[g.exit] {
+		t.Errorf("loop exit must be reachable via the condition")
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	g := buildCFG(parseBody(t, "panic(\"boom\")\nx := 1\n_ = x\nreturn nil"))
+	if len(g.entry.nodes) != 1 {
+		t.Errorf("statements after panic are unreachable and must not be recorded; entry has %d nodes", len(g.entry.nodes))
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := buildCFG(parseBody(t, "switch x {\ncase 1:\n a()\n fallthrough\ncase 2:\n b()\n}\nreturn nil"))
+	// The case-1 block must have an edge into the case-2 block: find a
+	// non-head block whose successor also holds case expressions.
+	found := false
+	for _, b := range g.blocks {
+		if b == g.entry {
+			continue
+		}
+		for _, s := range b.succs {
+			if len(s.nodes) > 0 && s.npred >= 2 { // case 2: entered from head and fallthrough
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("fallthrough edge from case 1 into case 2 not built")
+	}
+}
+
+func TestErrCheckCond(t *testing.T) {
+	cases := []struct {
+		expr          string
+		name          string
+		trueIsErr, ok bool
+	}{
+		{"err != nil", "err", true, true},
+		{"nil != err", "err", true, true},
+		{"err == nil", "err", false, true},
+		{"(err) != nil", "err", true, true},
+		{"x > 0", "", false, false},
+		{"f() != nil", "", false, false},
+		{"a != b", "", false, false},
+	}
+	for _, c := range cases {
+		e, err := parser.ParseExpr(c.expr)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.expr, err)
+		}
+		name, trueIsErr, ok := errCheckCond(e)
+		if name != c.name || trueIsErr != c.trueIsErr || ok != c.ok {
+			t.Errorf("errCheckCond(%q) = (%q, %v, %v), want (%q, %v, %v)",
+				c.expr, name, trueIsErr, ok, c.name, c.trueIsErr, c.ok)
+		}
+	}
+}
+
+// TestForwardFlowJoin drives the dataflow engine with a may-analysis
+// ("was x assigned?") over a branch: the join of a true arm and an
+// untouched arm must be true.
+func TestForwardFlowJoin(t *testing.T) {
+	g := buildCFG(parseBody(t, "if c {\n x = 1\n}\nreturn nil"))
+	lat := flowLattice[bool]{
+		transfer: func(s bool, n ast.Node) bool {
+			if _, ok := n.(*ast.AssignStmt); ok {
+				return true
+			}
+			return s
+		},
+		join:  func(a, b bool) bool { return a || b },
+		equal: func(a, b bool) bool { return a == b },
+	}
+	in := forwardFlow(g, false, lat)
+	got, ok := in[g.exit]
+	if !ok || !got {
+		t.Errorf("exit in-state = (%v, %v); the assignment on one arm must survive the join", got, ok)
+	}
+}
+
+// TestForwardFlowGate pins gate application: an err-gated branch sees
+// the gated state, and the post-join state merges both arms.
+func TestForwardFlowGate(t *testing.T) {
+	g := buildCFG(parseBody(t, "if err != nil {\n a()\n} else {\n b()\n}\nreturn nil"))
+	lat := flowLattice[string]{
+		transfer: func(s string, n ast.Node) string { return s },
+		join: func(a, b string) string {
+			if a == b {
+				return a
+			}
+			return "both"
+		},
+		equal: func(a, b string) bool { return a == b },
+		gate: func(s, v string, wantErr bool) string {
+			if wantErr {
+				return "err:" + v
+			}
+			return "ok:" + v
+		},
+	}
+	in := forwardFlow(g, "start", lat)
+	seenErr, seenOK := false, false
+	for b, s := range in {
+		if !b.gated {
+			continue
+		}
+		switch s {
+		case "err:err":
+			seenErr = true
+		case "ok:err":
+			seenOK = true
+		}
+	}
+	if !seenErr || !seenOK {
+		t.Errorf("gated blocks must see gated states (err=%v ok=%v)", seenErr, seenOK)
+	}
+	if s := in[g.exit]; s != "both" {
+		t.Errorf("exit must join both gated arms, got %q", s)
+	}
+}

@@ -5,7 +5,7 @@
 // a violation is a build failure instead of a chaos-harness bisect.
 //
 // The analyzer is stdlib-only (go/parser, go/ast, go/types with the
-// source importer); go.mod stays dependency-free. Four passes run over
+// source importer); go.mod stays dependency-free. Seven passes run over
 // every package in the module:
 //
 //   - detrand: wall-clock reads, global math/rand draws, and map
@@ -18,7 +18,16 @@
 //     account) may only be written by their owning package;
 //   - errdrop: errors returned by internal/persist, internal/wire and
 //     internal/crypto APIs must not be discarded — silent failure there
-//     breaks crash recovery and replay protection.
+//     breaks crash recovery and replay protection;
+//   - moneyflow: CFG dataflow proving e-penny conservation — every
+//     ledger debit pairs with an equal credit on every path, with
+//     mint/burn allowed only at the blessed bank-exchange functions;
+//   - nonceflow: replay-protection taint — outbound bank requests carry
+//     crypto.Source nonces, inbound handlers replay-check before any
+//     ledger mutation on every path;
+//   - specbind: the AP spec's message kinds, the wire codec's Kind
+//     constants, and the registered Go handlers must enumerate
+//     consistently (module-level; drift is a finding on both sides).
 //
 // A finding that is intentional is silenced in place with
 //
@@ -49,11 +58,15 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Pass, d.Msg)
 }
 
-// A Pass inspects one type-checked package and reports findings.
+// A Pass inspects type-checked packages and reports findings. Run
+// analyzes one package at a time; RunModule sees every loaded package
+// at once (specbind needs the spec, wire and handler packages side by
+// side). A pass sets exactly one of the two.
 type Pass struct {
-	Name string
-	Doc  string
-	Run  func(u *Unit) []Diagnostic
+	Name      string
+	Doc       string
+	Run       func(u *Unit) []Diagnostic
+	RunModule func(units []*Unit) []Diagnostic
 }
 
 // Unit is the per-package input handed to a pass.
@@ -88,6 +101,30 @@ type Config struct {
 	// LedgerFields are field names (case-insensitive) that only the
 	// owning package may mutate.
 	LedgerFields []string
+
+	// MoneyflowPkgs are import-path prefixes where moneyflow applies:
+	// everywhere the e-penny economy is implemented or modeled.
+	MoneyflowPkgs []string
+	// MoneyFields are the conserved e-penny fields. Deliberately a
+	// subset of LedgerFields: `account` is real pennies, the open
+	// boundary where value enters and leaves the e-penny economy, so it
+	// is excluded from conservation but still replay-protected.
+	MoneyFields []string
+	// MintFuncs ("importpath:FuncName" or "importpath:action-label" for
+	// AP closures) are the sanctioned mint/burn points — the bank
+	// exchange paths where e-pennies are created against real pennies.
+	MintFuncs []string
+
+	// NonceflowPkgs are import-path prefixes where nonceflow applies.
+	NonceflowPkgs []string
+	// NonceSourceFuncs ("importpath.FuncName") produce fresh nonces.
+	NonceSourceFuncs []string
+	// NonceRequestTypes ("importpath.TypeName") are the outbound bank
+	// request messages that must carry a sourced nonce.
+	NonceRequestTypes []string
+
+	// SpecBind scopes the spec/wire/handler drift check.
+	SpecBind SpecBindConfig
 }
 
 // DefaultConfig is the project policy enforced by `make lint`.
@@ -109,12 +146,84 @@ func DefaultConfig() Config {
 			"zmail/internal/crypto",
 		},
 		LedgerFields: []string{"balance", "credit", "avail", "account"},
+		MoneyflowPkgs: []string{
+			"zmail/internal/isp",
+			"zmail/internal/bank",
+			"zmail/internal/ap/zmailspec",
+			"zmail/internal/money",
+		},
+		MoneyFields: []string{"balance", "credit", "avail"},
+		MintFuncs: []string{
+			// ISP side of the bank exchange: buyreply mints pool
+			// e-pennies against the bank account, the sell tick burns
+			// them into escrow.
+			"zmail/internal/isp:tick",
+			"zmail/internal/isp:handleBank",
+			// The AP model's equivalents, registered as closures.
+			"zmail/internal/ap/zmailspec:rcv-buyreply",
+			"zmail/internal/ap/zmailspec:bank-sell",
+			"zmail/internal/ap/zmailspec:rcv-sellreply",
+			// The rate conversion between pennies and e-pennies.
+			"zmail/internal/money:FromPennies",
+		},
+		NonceflowPkgs: []string{
+			"zmail/internal/isp",
+			"zmail/internal/bank",
+			"zmail/internal/ap/zmailspec",
+			"zmail/internal/core",
+		},
+		NonceSourceFuncs: []string{
+			"zmail/internal/crypto.Next",
+			"zmail/internal/ap/zmailspec.nnc",
+		},
+		NonceRequestTypes: []string{
+			"zmail/internal/wire.Buy",
+			"zmail/internal/wire.Sell",
+			"zmail/internal/ap/zmailspec.buyMsg",
+			"zmail/internal/ap/zmailspec.sellMsg",
+		},
+		SpecBind: SpecBindConfig{
+			SpecPkgs:     []string{"zmail/internal/ap/zmailspec"},
+			WirePkgs:     []string{"zmail/internal/wire"},
+			HandlerPkgs:  []string{"zmail/internal/bank", "zmail/internal/isp", "zmail/internal/core"},
+			KindTypeName: "Kind",
+			// email travels the SMTP data plane, resume is documented
+			// deviation 3 (freeze recovery) — neither has a bank-link
+			// codec. hello is the transport bootstrap below the AP model.
+			SpecOnly: []string{"email", "resume"},
+			WireOnly: []string{"hello"},
+		},
 	}
+}
+
+// FixtureConfig is DefaultConfig with every path-scoped pass also
+// pointed at one fixture package. It is shared by the fixture tests and
+// `zlint -testdata`, so both harnesses see identical findings. The
+// fixture package may bless a mint function named "blessedMint", use a
+// local "newNonce" as nonce source, and use a local "req" type as the
+// outbound request message.
+func FixtureConfig(fixturePkg string) Config {
+	cfg := DefaultConfig()
+	cfg.DeterminismPkgs = append(cfg.DeterminismPkgs, fixturePkg)
+	cfg.LockOrderPkgs = append(cfg.LockOrderPkgs, fixturePkg)
+	cfg.MoneyflowPkgs = append(cfg.MoneyflowPkgs, fixturePkg)
+	cfg.NonceflowPkgs = append(cfg.NonceflowPkgs, fixturePkg)
+	cfg.MintFuncs = append(cfg.MintFuncs, fixturePkg+":blessedMint")
+	cfg.NonceSourceFuncs = append(cfg.NonceSourceFuncs, fixturePkg+".newNonce")
+	cfg.NonceRequestTypes = append(cfg.NonceRequestTypes, fixturePkg+".req")
+	cfg.SpecBind.SpecPkgs = []string{fixturePkg}
+	cfg.SpecBind.WirePkgs = []string{fixturePkg}
+	cfg.SpecBind.HandlerPkgs = []string{fixturePkg}
+	// The project allowlists name real kinds; against a fixture package
+	// they would all read as stale.
+	cfg.SpecBind.SpecOnly = nil
+	cfg.SpecBind.WireOnly = nil
+	return cfg
 }
 
 // Passes returns the full pass set, in reporting order.
 func Passes() []Pass {
-	return []Pass{DetRand(), LockOrder(), LedgerGuard(), ErrDrop()}
+	return []Pass{DetRand(), LockOrder(), LedgerGuard(), ErrDrop(), MoneyFlow(), NonceFlow(), SpecBind()}
 }
 
 // PassNames lists the valid pass names (used to validate suppression
@@ -150,17 +259,33 @@ func Run(pkgs []*Package, passes []Pass, cfg Config) []Diagnostic {
 	for _, name := range PassNames() {
 		valid[name] = true
 	}
+	// Suppressions merge across packages up front: module-level passes
+	// report positions in any loaded package.
+	merged := suppressionSet{byFileLine: make(map[string][]suppression)}
+	units := make([]*Unit, 0, len(pkgs))
 	for _, pkg := range pkgs {
-		u := &Unit{Pkg: pkg, Cfg: cfg}
+		units = append(units, &Unit{Pkg: pkg, Cfg: cfg})
 		sup, bad := collectSuppressions(pkg, valid)
 		out = append(out, bad...)
-		for _, p := range passes {
-			for _, d := range p.Run(u) {
-				if sup.covers(d) {
-					continue
-				}
-				out = append(out, d)
+		for file, sups := range sup.byFileLine {
+			merged.byFileLine[file] = append(merged.byFileLine[file], sups...)
+		}
+	}
+	for _, p := range passes {
+		var diags []Diagnostic
+		if p.Run != nil {
+			for _, u := range units {
+				diags = append(diags, p.Run(u)...)
 			}
+		}
+		if p.RunModule != nil {
+			diags = append(diags, p.RunModule(units)...)
+		}
+		for _, d := range diags {
+			if merged.covers(d) {
+				continue
+			}
+			out = append(out, d)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

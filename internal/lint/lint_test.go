@@ -124,12 +124,11 @@ func checkFixture(t *testing.T, rel string, passes []Pass, cfg Config) {
 	}
 }
 
-// fixtureCfg scopes the path-gated passes to a fixture package.
+// fixtureCfg scopes the path-gated passes to a fixture package. It is
+// the exported FixtureConfig, so the tests and `zlint -testdata` run
+// with identical policy.
 func fixtureCfg(rel string) Config {
-	cfg := DefaultConfig()
-	cfg.DeterminismPkgs = []string{fixturePath(rel)}
-	cfg.LockOrderPkgs = []string{fixturePath(rel)}
-	return cfg
+	return FixtureConfig(fixturePath(rel))
 }
 
 func TestDetRandFixtures(t *testing.T) {
@@ -159,6 +158,71 @@ func TestErrDropFixtures(t *testing.T) {
 	for _, c := range []string{"errdrop/bad", "errdrop/clean"} {
 		t.Run(c, func(t *testing.T) { checkFixture(t, c, passes, DefaultConfig()) })
 	}
+}
+
+func TestMoneyFlowFixtures(t *testing.T) {
+	passes := []Pass{MoneyFlow()}
+	for _, c := range []string{"moneyflow/bad", "moneyflow/clean", "moneyflow/suppressed", "moneyflow/unsuppressed"} {
+		t.Run(c, func(t *testing.T) { checkFixture(t, c, passes, fixtureCfg(c)) })
+	}
+}
+
+func TestNonceFlowFixtures(t *testing.T) {
+	passes := []Pass{NonceFlow()}
+	for _, c := range []string{"nonceflow/bad", "nonceflow/clean", "nonceflow/suppressed", "nonceflow/unsuppressed"} {
+		t.Run(c, func(t *testing.T) { checkFixture(t, c, passes, fixtureCfg(c)) })
+	}
+}
+
+func TestSpecBindFixtures(t *testing.T) {
+	passes := []Pass{SpecBind()}
+	for _, c := range []string{"specbind/clean", "specbind/bad", "specbind/suppressed", "specbind/unsuppressed"} {
+		t.Run(c, func(t *testing.T) { checkFixture(t, c, passes, fixtureCfg(c)) })
+	}
+}
+
+// TestSpecBindAllowlists covers the allowlist arms FixtureConfig nils
+// out: entries silence their drift class, and entries naming kinds that
+// no longer exist are themselves findings.
+func TestSpecBindAllowlists(t *testing.T) {
+	passes := []Pass{SpecBind()}
+
+	// The bad fixture's drift, fully allowlisted, leaves only ghost's
+	// missing handler.
+	rel := "specbind/bad"
+	cfg := fixtureCfg(rel)
+	cfg.SpecBind.SpecOnly = []string{"phantom"}
+	cfg.SpecBind.WireOnly = []string{"orphan"}
+	pkg := loadFixture(t, rel)
+	diags := Run([]*Package{pkg}, passes, cfg)
+	if len(diags) != 1 || !strings.Contains(diags[0].Msg, "no registered handler") {
+		t.Errorf("allowlisted bad fixture: want exactly the ghost handler finding, got %v", diags)
+	}
+
+	// A stale entry on the clean fixture is a finding anchored at the
+	// package clause.
+	rel = "specbind/clean"
+	cfg = fixtureCfg(rel)
+	cfg.SpecBind.SpecOnly = []string{"vanished"}
+	cfg.SpecBind.WireOnly = []string{"gone"}
+	pkg = loadFixture(t, rel)
+	diags = Run([]*Package{pkg}, passes, cfg)
+	if len(diags) != 2 {
+		t.Fatalf("stale allowlist entries: want 2 findings, got %v", diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Msg, "stale") {
+			t.Errorf("want stale-allowlist finding, got %s", d)
+		}
+	}
+}
+
+// TestCommaDirectiveFixture pins the comma form end to end: one
+// directive silences two passes on one line, and the stripped twin in
+// the same package proves both passes do fire there.
+func TestCommaDirectiveFixture(t *testing.T) {
+	rel := "zlint/comma"
+	checkFixture(t, rel, []Pass{DetRand(), MoneyFlow()}, fixtureCfg(rel))
 }
 
 // TestMalformedDirectives asserts directive hygiene: a typo'd pass name
@@ -200,6 +264,20 @@ func TestSuppressionDeletionFails(t *testing.T) {
 	diags := Run([]*Package{unsup}, passes, fixtureCfg("detrand/unsuppressed"))
 	if len(diags) != 2 {
 		t.Errorf("unsuppressed twin should fail with 2 findings, got %v", diags)
+	}
+
+	// The flow passes have the same pairs; each twin must fail with
+	// exactly one finding where its suppressed sibling is clean.
+	for rel, pass := range map[string]Pass{
+		"moneyflow/unsuppressed": MoneyFlow(),
+		"nonceflow/unsuppressed": NonceFlow(),
+		"specbind/unsuppressed":  SpecBind(),
+	} {
+		pkg := loadFixture(t, rel)
+		diags := Run([]*Package{pkg}, []Pass{pass}, fixtureCfg(rel))
+		if len(diags) != 1 {
+			t.Errorf("%s: stripped twin should fail with 1 finding, got %v", rel, diags)
+		}
 	}
 }
 
@@ -248,6 +326,17 @@ func TestDefaultConfigCoversRoadmapPackages(t *testing.T) {
 		if !pathMatches(p, cfg.ErrDropPkgs) {
 			t.Errorf("errdrop policy must cover %s", p)
 		}
+	}
+	for _, p := range []string{"zmail/internal/isp", "zmail/internal/bank", "zmail/internal/ap/zmailspec"} {
+		if !pathMatches(p, cfg.MoneyflowPkgs) {
+			t.Errorf("moneyflow policy must cover %s", p)
+		}
+		if !pathMatches(p, cfg.NonceflowPkgs) {
+			t.Errorf("nonceflow policy must cover %s", p)
+		}
+	}
+	if len(cfg.SpecBind.SpecPkgs) == 0 || len(cfg.SpecBind.WirePkgs) == 0 || len(cfg.SpecBind.HandlerPkgs) == 0 {
+		t.Errorf("specbind policy must name spec, wire and handler packages: %+v", cfg.SpecBind)
 	}
 	// Subpackage and non-prefix behavior.
 	if !pathMatches("zmail/internal/sim/sub", cfg.DeterminismPkgs) {

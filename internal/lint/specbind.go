@@ -1,0 +1,273 @@
+package lint
+
+// specbind: drift detection between the three representations of the
+// protocol message vocabulary. The AP spec (internal/ap/zmailspec)
+// names message kinds as strings in Send/AddReceive registrations; the
+// wire codec (internal/wire) enumerates Kind constants; the running
+// system switches on those constants in its handlers
+// (internal/bank, internal/isp, internal/core). The paper's claim that
+// the implementation refines the Abstract Protocol only holds while the
+// three vocabularies agree, so any drift is a finding with the
+// positions of the side that exists:
+//
+//   - a spec kind with no wire.Kind codec (unless allowlisted SpecOnly —
+//     e.g. "email", which travels the SMTP data plane, not the bank
+//     link);
+//   - a wire kind never sent or received in the spec (unless WireOnly —
+//     e.g. "hello", the transport bootstrap below the AP model);
+//   - a wire kind no handler package ever matches in a switch case or
+//     ==/!= comparison;
+//   - a stale allowlist entry naming a kind that no longer exists.
+//
+// This is a module-level pass (Pass.RunModule): it needs the spec, wire
+// and handler packages side by side, which no per-package Run can see.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SpecBindConfig scopes the specbind pass. Empty path lists disable it.
+type SpecBindConfig struct {
+	// SpecPkgs hold the AP model (Send/AddReceive registrations with
+	// string message kinds).
+	SpecPkgs []string
+	// WirePkgs declare the codec Kind constants.
+	WirePkgs []string
+	// HandlerPkgs must consume every wire kind in a switch or comparison.
+	HandlerPkgs []string
+	// KindTypeName is the codec enum type name (default "Kind").
+	KindTypeName string
+	// SpecOnly are spec kinds with no wire codec, by design.
+	SpecOnly []string
+	// WireOnly are wire kinds below the AP model, by design.
+	WireOnly []string
+}
+
+// SpecBind returns the spec/wire/handler binding pass.
+func SpecBind() Pass {
+	return Pass{
+		Name:      "specbind",
+		Doc:       "AP spec message kinds, wire codec kinds, and Go handlers must enumerate consistently",
+		RunModule: runSpecBind,
+	}
+}
+
+// kindSite is where a protocol kind is declared or used.
+type kindSite struct {
+	pos token.Position
+}
+
+func runSpecBind(units []*Unit) []Diagnostic {
+	if len(units) == 0 {
+		return nil
+	}
+	cfg := units[0].Cfg.SpecBind
+	kindType := cfg.KindTypeName
+	if kindType == "" {
+		kindType = "Kind"
+	}
+
+	wireKinds := map[string]kindSite{} // proto name → const decl site
+	specKinds := map[string]kindSite{} // proto name → first Send/AddReceive site
+	handled := map[string]bool{}       // proto name → matched in a handler
+	var wireAnchor, specAnchor token.Position
+	var haveWirePkg, haveSpecPkg bool
+
+	for _, u := range units {
+		path := u.Pkg.ImportPath
+		if pathMatches(path, cfg.WirePkgs) {
+			haveWirePkg = true
+			if p, ok := packageAnchor(u); ok && (wireAnchor.Filename == "" || less(p, wireAnchor)) {
+				wireAnchor = p
+			}
+			collectWireKinds(u, kindType, wireKinds)
+		}
+		if pathMatches(path, cfg.SpecPkgs) {
+			haveSpecPkg = true
+			if p, ok := packageAnchor(u); ok && (specAnchor.Filename == "" || less(p, specAnchor)) {
+				specAnchor = p
+			}
+			collectSpecKinds(u, specKinds)
+		}
+		if pathMatches(path, cfg.HandlerPkgs) {
+			collectHandledKinds(u, kindType, cfg.WirePkgs, handled)
+		}
+	}
+
+	// Nothing enumerable on either side: the pass has no subject (this
+	// is what keeps specbind quiet on unrelated fixture packages).
+	if len(wireKinds) == 0 && len(specKinds) == 0 {
+		return nil
+	}
+
+	var out []Diagnostic
+	add := func(pos token.Position, format string, args ...any) {
+		out = append(out, Diagnostic{Pos: pos, Pass: "specbind", Msg: fmt.Sprintf(format, args...)})
+	}
+
+	for _, k := range sortedKeys(specKinds) {
+		if _, ok := wireKinds[k]; ok || inStringList(k, cfg.SpecOnly) {
+			continue
+		}
+		add(specKinds[k].pos, "spec message kind %q has no wire.Kind codec (wire defines: %s); add the codec or allowlist it in SpecBindConfig.SpecOnly", k, strings.Join(sortedKeys(wireKinds), ", "))
+	}
+	for _, k := range sortedKeys(wireKinds) {
+		if _, ok := specKinds[k]; !ok && !inStringList(k, cfg.WireOnly) {
+			add(wireKinds[k].pos, "wire kind %q is never sent or received in the AP spec (spec kinds: %s); model it or allowlist it in SpecBindConfig.WireOnly", k, strings.Join(sortedKeys(specKinds), ", "))
+		}
+		if !handled[k] {
+			add(wireKinds[k].pos, "wire kind %q has no registered handler: no package in %v matches it in a switch case or ==/!= comparison", k, cfg.HandlerPkgs)
+		}
+	}
+	if haveSpecPkg {
+		for _, k := range cfg.SpecOnly {
+			if _, ok := specKinds[k]; !ok {
+				add(specAnchor, "stale SpecBindConfig.SpecOnly entry %q: no spec action sends or receives it", k)
+			}
+		}
+	}
+	if haveWirePkg {
+		for _, k := range cfg.WireOnly {
+			if _, ok := wireKinds[k]; !ok {
+				add(wireAnchor, "stale SpecBindConfig.WireOnly entry %q: the wire package defines no such kind", k)
+			}
+		}
+	}
+	return out
+}
+
+func less(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	return a.Line < b.Line
+}
+
+// packageAnchor is the position findings without a natural source line
+// (stale allowlist entries) attach to: the package clause.
+func packageAnchor(u *Unit) (token.Position, bool) {
+	best := token.Position{}
+	for _, f := range u.Pkg.Files {
+		p := u.Pkg.Fset.Position(f.Package)
+		if best.Filename == "" || less(p, best) {
+			best = p
+		}
+	}
+	return best, best.Filename != ""
+}
+
+// collectWireKinds gathers the Kind constants: `KindBuy Kind = ...` →
+// proto name "buy".
+func collectWireKinds(u *Unit, kindType string, out map[string]kindSite) {
+	for id, obj := range u.Pkg.Info.Defs {
+		c, ok := obj.(*types.Const)
+		if !ok {
+			continue
+		}
+		named := namedTypeOf(c.Type())
+		if named == nil || named.Obj().Name() != kindType || named.Obj().Pkg() == nil ||
+			named.Obj().Pkg().Path() != u.Pkg.ImportPath {
+			continue
+		}
+		name := c.Name()
+		if !strings.HasPrefix(name, "Kind") || name == kindType {
+			continue
+		}
+		proto := strings.ToLower(strings.TrimPrefix(name, "Kind"))
+		pos := u.Pkg.Fset.Position(id.Pos())
+		if prev, ok := out[proto]; !ok || less(pos, prev.pos) {
+			out[proto] = kindSite{pos: pos}
+		}
+	}
+}
+
+// collectSpecKinds gathers the message kinds the AP model registers:
+// the third argument of Send(src, dst, kind, ...) and
+// AddReceive(name, from, kind, ...) calls, when it is a string literal.
+func collectSpecKinds(u *Unit, out map[string]kindSite) {
+	for _, f := range u.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Send" && sel.Sel.Name != "AddReceive") || len(call.Args) < 3 {
+				return true
+			}
+			lit, ok := call.Args[2].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			kind, err := strconv.Unquote(lit.Value)
+			if err != nil || kind == "" {
+				return true
+			}
+			pos := u.Pkg.Fset.Position(lit.Pos())
+			if prev, ok := out[kind]; !ok || less(pos, prev.pos) {
+				out[kind] = kindSite{pos: pos}
+			}
+			return true
+		})
+	}
+}
+
+// collectHandledKinds records every wire Kind constant a handler
+// package matches in a switch case or an ==/!= comparison. (The hello
+// bootstrap is consumed via `env.Kind == wire.KindHello`, so bare
+// comparisons count as handling, not just case clauses.)
+func collectHandledKinds(u *Unit, kindType string, wirePkgs []string, out map[string]bool) {
+	record := func(e ast.Expr) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			if sel, isSel := ast.Unparen(e).(*ast.SelectorExpr); isSel {
+				id = sel.Sel
+			} else {
+				return
+			}
+		}
+		c, ok := u.Pkg.Info.Uses[id].(*types.Const)
+		if !ok {
+			return
+		}
+		named := namedTypeOf(c.Type())
+		if named == nil || named.Obj().Name() != kindType || named.Obj().Pkg() == nil ||
+			!pathMatches(named.Obj().Pkg().Path(), wirePkgs) {
+			return
+		}
+		if strings.HasPrefix(c.Name(), "Kind") && c.Name() != kindType {
+			out[strings.ToLower(strings.TrimPrefix(c.Name(), "Kind"))] = true
+		}
+	}
+	for _, f := range u.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CaseClause:
+				for _, e := range n.List {
+					record(e)
+				}
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					record(n.X)
+					record(n.Y)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func sortedKeys(m map[string]kindSite) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

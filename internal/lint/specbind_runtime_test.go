@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"zmail/internal/ap/zmailspec"
+	"zmail/internal/wire"
+)
+
+// TestSpecWireKindsAgreeAtRuntime is the runtime twin of the specbind
+// static pass: build the live AP spec, enumerate the kinds its
+// processes actually register to receive, enumerate the codec's Kind
+// constants, and require the two vocabularies to coincide modulo the
+// same allowlists the static pass uses. The static pass reads source;
+// this reads the running registration state — drift that fools one
+// (e.g. a kind registered through a helper the AST scan misses) still
+// trips the other.
+func TestSpecWireKindsAgreeAtRuntime(t *testing.T) {
+	cfg := DefaultConfig().SpecBind
+
+	spec := zmailspec.New(zmailspec.Config{})
+	specKinds := make(map[string]bool)
+	for _, k := range spec.Sys.ReceiveKinds() {
+		specKinds[k] = true
+	}
+	wireKinds := make(map[string]bool)
+	for _, k := range wire.Kinds() {
+		wireKinds[k.String()] = true
+	}
+
+	for _, k := range cfg.SpecOnly {
+		if !specKinds[k] {
+			t.Errorf("SpecBindConfig.SpecOnly entry %q is stale: the live spec never receives it", k)
+		}
+		delete(specKinds, k)
+	}
+	for _, k := range cfg.WireOnly {
+		if !wireKinds[k] {
+			t.Errorf("SpecBindConfig.WireOnly entry %q is stale: the codec defines no such kind", k)
+		}
+		delete(wireKinds, k)
+	}
+
+	got, want := setKeys(specKinds), setKeys(wireKinds)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("spec receive kinds %v != wire codec kinds %v (modulo allowlists)", got, want)
+	}
+}
+
+func setKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,64 @@
+// Package bad is a moneyflow fixture: e-penny flows that break
+// conservation. Lines carrying a `want` marker are expected findings.
+package bad
+
+import "sync/atomic"
+
+type ledger struct {
+	balance []int64
+	credit  []int64
+	avail   int64
+}
+
+// Mint credits a balance out of thin air: no matching debit anywhere.
+func Mint(l *ledger, u int) {
+	l.balance[u]++ //want moneyflow
+}
+
+// BurnOnError debits up front; the failure path escapes before the
+// credit lands, so one exit carries a net -1.
+func BurnOnError(l *ledger, u int, fail bool) bool {
+	l.avail-- //want moneyflow
+	if fail {
+		return false
+	}
+	l.balance[u]++
+	return true
+}
+
+// take is the helper half of an interprocedural leak: it only debits.
+// It has a caller, so the finding surfaces at the root (Skim), anchored
+// here at the debit.
+func take(l *ledger, u int) {
+	l.balance[u]-- //want moneyflow
+}
+
+// Skim calls take and never credits the amount anywhere.
+func Skim(l *ledger, u int) {
+	take(l, u)
+}
+
+// DrainLoop debits once per iteration with no paired credit, so the
+// net delta grows without bound across the loop.
+func DrainLoop(l *ledger, n int) {
+	for i := 0; i < n; i++ {
+		l.avail-- //want moneyflow
+	}
+}
+
+// Register hands a leaking closure to an action registry; the closure
+// is analyzed as its own root under the action label.
+func Register(l *ledger, reg func(name string, fn func())) {
+	reg("spend", func() {
+		l.avail-- //want moneyflow
+	})
+}
+
+type striped struct {
+	credit []atomic.Int64
+}
+
+// Pump mints through the atomic credit stripes.
+func Pump(s *striped, i int) {
+	s.credit[i].Add(1) //want moneyflow
+}

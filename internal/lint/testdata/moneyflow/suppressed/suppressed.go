@@ -1,0 +1,13 @@
+// Package suppressed shows the sanctioned escape hatch: an intentional
+// mint silenced in place, with the reason as documentation.
+package suppressed
+
+type ledger struct {
+	avail int64
+}
+
+// Seed installs the opening float.
+func Seed(l *ledger) {
+	//zlint:ignore moneyflow opening float is minted once at world creation, before conservation starts
+	l.avail += 1000
+}

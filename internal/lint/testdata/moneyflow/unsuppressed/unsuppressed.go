@@ -1,0 +1,12 @@
+// Package unsuppressed is the directive-stripped twin of the
+// suppressed fixture: same code, comment deleted, finding back.
+package unsuppressed
+
+type ledger struct {
+	avail int64
+}
+
+// Seed installs the opening float.
+func Seed(l *ledger) {
+	l.avail += 1000 //want moneyflow
+}

@@ -1,0 +1,84 @@
+// Package bad is a nonceflow fixture: replay-protection failures on
+// both sides of the bank link. `req` is the fixture's outbound request
+// type and `newNonce` its blessed nonce source (see FixtureConfig).
+package bad
+
+type req struct {
+	Value int64
+	Nonce uint64
+}
+
+var counter uint64
+
+func newNonce() uint64 {
+	counter++
+	return counter
+}
+
+// SendFixed hardcodes the nonce: every copy of this request replays.
+func SendFixed(v int64) req {
+	return req{Value: v, Nonce: 42} //want nonceflow
+}
+
+// SendBare omits the nonce field entirely.
+func SendBare(v int64) req {
+	return req{Value: v} //want nonceflow
+}
+
+// SendStale recycles a caller-supplied value that never traces back to
+// the nonce source.
+func SendStale(v int64, old uint64) req {
+	return req{Value: v, Nonce: old} //want nonceflow
+}
+
+type ledger struct {
+	account int64
+}
+
+type msg struct {
+	Nonce uint64
+	Val   int64
+}
+
+// Handle mutates the ledger before the replay check runs: the damage
+// is done by the time the duplicate is noticed.
+func Handle(l *ledger, data any, seen map[uint64]bool) {
+	m := data.(msg)
+	l.account += m.Val //want nonceflow
+	if seen[m.Nonce] {
+		return
+	}
+	seen[m.Nonce] = true
+}
+
+// HandleHalf replay-checks on one branch only; the fast path reaches
+// the mutation unguarded.
+func HandleHalf(l *ledger, data any, seen map[uint64]bool, fast bool) {
+	m := data.(msg)
+	if !fast {
+		if seen[m.Nonce] {
+			return
+		}
+	}
+	l.account += m.Val //want nonceflow
+}
+
+type seqMsg struct {
+	Seq uint64
+	Val int64
+}
+
+func (m *seqMsg) UnmarshalBinary(b []byte) error {
+	m.Seq = uint64(len(b))
+	return nil
+}
+
+// Apply decodes a sequence-numbered message and mutates without ever
+// consulting the sequence.
+func Apply(l *ledger, b []byte) {
+	var m seqMsg
+	if err := m.UnmarshalBinary(b); err != nil {
+		return
+	}
+	l.account += m.Val //want nonceflow
+}

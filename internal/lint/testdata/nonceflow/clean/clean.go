@@ -1,0 +1,56 @@
+// Package clean is the nonceflow negative fixture: fresh nonces on
+// every outbound request, replay checks ahead of every mutation.
+package clean
+
+type req struct {
+	Value int64
+	Nonce uint64
+}
+
+var counter uint64
+
+func newNonce() uint64 {
+	counter++
+	return counter
+}
+
+// Send threads a fresh nonce through a local before the literal.
+func Send(v int64) req {
+	n := newNonce()
+	return req{Value: v, Nonce: n}
+}
+
+// SendDirect draws the nonce in the literal itself.
+func SendDirect(v int64) req {
+	return req{Value: v, Nonce: newNonce()}
+}
+
+type ledger struct {
+	account int64
+}
+
+type msg struct {
+	Nonce uint64
+	Val   int64
+}
+
+// Handle replay-checks before touching the ledger on every path.
+func Handle(l *ledger, data any, seen map[uint64]bool) {
+	m := data.(msg)
+	if seen[m.Nonce] {
+		return
+	}
+	seen[m.Nonce] = true
+	l.account += m.Val
+}
+
+type plain struct {
+	Val int64
+}
+
+// Absorb decodes a message with no replay field at all; nothing to
+// check, so the mutation is fine.
+func Absorb(l *ledger, data any) {
+	p := data.(plain)
+	l.account += p.Val
+}

@@ -1,0 +1,19 @@
+// Package suppressed silences an intentional replay in place: the
+// test harness replays on purpose and asserts idempotence elsewhere.
+package suppressed
+
+type ledger struct {
+	account int64
+}
+
+type msg struct {
+	Nonce uint64
+	Val   int64
+}
+
+// Replay applies a message without a replay check, on purpose.
+func Replay(l *ledger, data any) {
+	m := data.(msg)
+	//zlint:ignore nonceflow harness replays deliberately; the auditor asserts the apply is idempotent
+	l.account += m.Val
+}

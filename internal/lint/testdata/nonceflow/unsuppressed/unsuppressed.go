@@ -1,0 +1,18 @@
+// Package unsuppressed is the directive-stripped twin of the
+// suppressed fixture: same replay, comment deleted, finding back.
+package unsuppressed
+
+type ledger struct {
+	account int64
+}
+
+type msg struct {
+	Nonce uint64
+	Val   int64
+}
+
+// Replay applies a message without a replay check.
+func Replay(l *ledger, data any) {
+	m := data.(msg)
+	l.account += m.Val //want nonceflow
+}

@@ -1,0 +1,34 @@
+// Package bad is the specbind drift fixture: each of the three finding
+// classes appears exactly once, on the line of the side that exists.
+package bad
+
+// Kind is the wire codec enum.
+type Kind uint8
+
+const (
+	KindPing   Kind = iota + 1
+	KindOrphan      //want specbind
+	KindGhost       //want specbind
+)
+
+type sys struct{}
+
+func (sys) Send(src, dst, kind string, body func()) {}
+
+// register sends ping and ghost, plus a phantom kind the codec never
+// defines; orphan is never modeled at all.
+func register(s sys) {
+	s.Send("a", "b", "ping", nil)
+	s.Send("a", "b", "ghost", nil)
+	s.Send("a", "b", "phantom", nil) //want specbind
+}
+
+// handle consumes ping and orphan but forgets ghost, so ghost's only
+// finding is the missing handler and orphan's the missing spec entry.
+func handle(k Kind) bool {
+	switch k {
+	case KindPing, KindOrphan:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,37 @@
+// Package clean is the specbind negative fixture: the spec strings,
+// the wire Kind constants, and the handler matches all enumerate the
+// same vocabulary, so the pass must stay silent. Under FixtureConfig
+// this one package plays all three roles.
+package clean
+
+// Kind is the wire codec enum.
+type Kind uint8
+
+const (
+	KindPing Kind = iota + 1
+	KindPong
+)
+
+type sys struct{}
+
+func (sys) Send(src, dst, kind string, body func())             {}
+func (sys) AddReceive(name, from, kind string, body func()) int { return 0 }
+
+// register is the spec side: every kind the model sends or receives.
+func register(s sys) {
+	s.Send("a", "b", "ping", nil)
+	_ = s.AddReceive("rcv-pong", "b", "pong", nil)
+}
+
+// handle is the handler side: a case clause and a bare comparison both
+// count as consuming a kind.
+func handle(k Kind) string {
+	switch k {
+	case KindPing:
+		return "ping"
+	}
+	if k == KindPong {
+		return "pong"
+	}
+	return ""
+}

@@ -1,0 +1,30 @@
+// Package suppressed silences a deliberate spec gap in place: a
+// transport-internal wire kind the AP model never sees.
+package suppressed
+
+// Kind is the wire codec enum.
+type Kind uint8
+
+const (
+	KindPing Kind = iota + 1
+	//zlint:ignore specbind probe is a transport-internal liveness kind, below the AP model
+	KindProbe
+)
+
+type sys struct{}
+
+func (sys) Send(src, dst, kind string, body func()) {}
+
+func register(s sys) {
+	s.Send("a", "b", "ping", nil)
+}
+
+// handle consumes both kinds, so the only drift is probe's missing
+// spec entry — which the directive above accepts.
+func handle(k Kind) bool {
+	switch k {
+	case KindPing, KindProbe:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,27 @@
+// Package unsuppressed is the directive-stripped twin of the
+// suppressed fixture: same drift, comment deleted, finding back.
+package unsuppressed
+
+// Kind is the wire codec enum.
+type Kind uint8
+
+const (
+	KindPing  Kind = iota + 1
+	KindProbe      //want specbind
+)
+
+type sys struct{}
+
+func (sys) Send(src, dst, kind string, body func()) {}
+
+func register(s sys) {
+	s.Send("a", "b", "ping", nil)
+}
+
+func handle(k Kind) bool {
+	switch k {
+	case KindPing, KindProbe:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,23 @@
+// Package comma exercises the comma form of the suppression
+// directive: one line silencing findings from several passes at once,
+// including the flow passes added after the directive syntax shipped.
+package comma
+
+import "time"
+
+type pot struct {
+	avail int64
+}
+
+// Jitter burns e-pennies proportional to the wall clock: a detrand and
+// a moneyflow finding on the same line, silenced by one directive.
+func Jitter(p *pot) {
+	//zlint:ignore detrand,moneyflow one directive, two passes: clock-funded burn is this fixture's point
+	p.avail -= time.Now().UnixNano()
+}
+
+// Raw is the in-package stripped twin: without the directive both
+// passes must fire on the line.
+func Raw(p *pot) {
+	p.avail -= time.Now().UnixNano() //want detrand moneyflow
+}

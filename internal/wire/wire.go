@@ -63,6 +63,14 @@ func (k Kind) String() string {
 	}
 }
 
+// Kinds enumerates every defined message kind, in declaration order.
+// Keep in sync with the const block above; wire_test pins completeness
+// against String(), and the specbind runtime twin compares this
+// enumeration against the AP spec's receive vocabulary.
+func Kinds() []Kind {
+	return []Kind{KindBuy, KindBuyReply, KindSell, KindSellReply, KindRequest, KindReply, KindHello}
+}
+
 // Errors returned by decoders.
 var (
 	ErrShortMessage = errors.New("wire: message truncated")

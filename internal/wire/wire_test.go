@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"io"
 	"reflect"
 	"testing"
@@ -261,5 +262,29 @@ func TestReadEnvelopeNeverPanics(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestKindsComplete pins Kinds() against String(): every enumerated
+// kind has a proper name, and no named kind is missing from the
+// enumeration. Adding a const without extending Kinds() fails here.
+func TestKindsComplete(t *testing.T) {
+	enumerated := make(map[Kind]bool)
+	for _, k := range Kinds() {
+		if enumerated[k] {
+			t.Errorf("Kinds() lists %v twice", k)
+		}
+		enumerated[k] = true
+		if k.String() == fmt.Sprintf("wire.Kind(%d)", uint8(k)) {
+			t.Errorf("Kinds() lists %v but String() does not name it", k)
+		}
+	}
+	// Scan the whole uint8 space: any kind String() names must be
+	// enumerated.
+	for i := 0; i <= 0xFF; i++ {
+		k := Kind(i)
+		if k.String() != fmt.Sprintf("wire.Kind(%d)", i) && !enumerated[k] {
+			t.Errorf("String() names %v but Kinds() omits it", k)
+		}
 	}
 }
