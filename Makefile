@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench determinism chaos fuzz-smoke golden lint lint-fixtures check all
+.PHONY: build test race bench determinism chaos fuzz-smoke golden lint lint-fixtures obsv check all
 
 all: build test
 
@@ -70,5 +70,10 @@ LINT_FIXTURE_FINDINGS = 51
 lint-fixtures:
 	$(GO) run ./cmd/zlint -testdata internal/lint/testdata -expect $(LINT_FIXTURE_FINDINGS)
 
+# Observability smoke: boot a zmaild on ephemeral ports with the admin
+# telemetry listener, scrape /metrics, and parse the exposition.
+obsv:
+	$(GO) test -run TestObsvSmoke -v ./cmd/zmaild/
+
 # Full pre-merge sweep.
-check: test race lint lint-fixtures chaos fuzz-smoke determinism
+check: test race lint lint-fixtures chaos fuzz-smoke determinism obsv

@@ -12,6 +12,9 @@
 //
 // For local experiments, -insecure replaces all sealed boxes with
 // plaintext (the protocol logic, nonces and audits still run).
+//
+// Pass -metrics 127.0.0.1:7071 to serve the admin telemetry listener:
+// /metrics (Prometheus text), /healthz, /tracez, and /debug/pprof.
 package main
 
 import (
@@ -26,10 +29,14 @@ import (
 	"time"
 
 	"zmail/internal/bank"
+	"zmail/internal/clock"
 	"zmail/internal/core"
 	"zmail/internal/crypto"
+	"zmail/internal/metrics"
 	"zmail/internal/money"
+	"zmail/internal/obsv"
 	"zmail/internal/persist"
+	"zmail/internal/trace"
 )
 
 // enrollFlag collects repeated -enroll index=pubkeyfile flags.
@@ -68,6 +75,7 @@ func run(args []string) error {
 		auditEvery = fs.Duration("audit-every", 0, "run credit audits on this interval (0 = manual only)")
 		insecure   = fs.Bool("insecure", false, "use plaintext sealers (local experiments only)")
 		stateFile  = fs.String("state", "", "durable ledger file; loaded at start, saved after audits and on shutdown")
+		metricsAd  = fs.String("metrics", "", "admin telemetry listen address (loopback only!), e.g. 127.0.0.1:7071")
 	)
 	fs.Var(enrollments, "enroll", "index=pubkeyfile; repeatable, one per compliant ISP")
 	if err := fs.Parse(args); err != nil {
@@ -98,15 +106,28 @@ func run(args []string) error {
 	logf := func(format string, a ...any) {
 		fmt.Fprintf(os.Stderr, "zbank: "+format+"\n", a...)
 	}
+	ring := trace.NewRing(4096)
 	bk, srv, err := core.StartBank(bank.Config{
 		NumISPs:        *isps,
 		InitialAccount: money.Penny(*funds),
 		OwnSealer:      ownSealer,
+		Tracer:         trace.New("bank", -1, clock.System(), ring),
 	}, *listen, logf)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
+
+	if *metricsAd != "" {
+		reg := metrics.NewRegistry()
+		reg.Register(bk)
+		admin, err := obsv.Start(*metricsAd, obsv.Config{Registry: reg, Ring: ring})
+		if err != nil {
+			return err
+		}
+		defer admin.Close()
+		logf("metrics on http://%s/metrics", admin.Addr())
+	}
 
 	for idx, file := range enrollments {
 		var sealer crypto.Sealer

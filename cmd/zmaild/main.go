@@ -14,6 +14,9 @@
 // Users are local:accountPennies:balanceEPennies:dailyLimit. Delivered
 // mail is printed to stdout; pass -maildir to store messages as files
 // instead.
+//
+// Pass -metrics 127.0.0.1:7070 to serve the admin telemetry listener:
+// /metrics (Prometheus text), /healthz, /tracez, and /debug/pprof.
 package main
 
 import (
@@ -29,13 +32,22 @@ import (
 	"syscall"
 	"time"
 
+	"zmail/internal/clock"
 	"zmail/internal/core"
 	"zmail/internal/crypto"
 	"zmail/internal/isp"
 	"zmail/internal/mail"
+	"zmail/internal/metrics"
 	"zmail/internal/money"
+	"zmail/internal/obsv"
 	"zmail/internal/persist"
+	"zmail/internal/trace"
 )
+
+// traceRingSpans is how many recent spans the daemon retains for
+// /tracez. At one paid delivery ≈ three spans this is a few minutes of
+// history on a busy ISP, in ~300 KB.
+const traceRingSpans = 4096
 
 type stringList []string
 
@@ -53,7 +65,76 @@ func main() {
 	}
 }
 
+// daemon is one booted zmaild instance: the protocol node plus its
+// telemetry surface and shutdown hooks, in the order Close runs them.
+type daemon struct {
+	node      *core.Node
+	admin     *obsv.Server // nil unless -metrics was given
+	reg       *metrics.Registry
+	ring      *trace.Ring
+	domains   []string
+	bankAddr  string
+	delivered atomic.Int64
+	logf      func(format string, a ...any)
+	stopCkpt  func() // no-op when checkpoints are off
+	saveState func() // no-op when -state is off
+}
+
+// Close shuts the daemon down: stop the checkpoint timer, take a final
+// state snapshot, then close the listeners.
+func (d *daemon) Close() {
+	d.stopCkpt()
+	d.saveState()
+	if d.admin != nil {
+		_ = d.admin.Close()
+	}
+	d.node.Close()
+}
+
 func run(args []string) error {
+	d, err := boot(args)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	d.logf("SMTP on %s; federation %v; bank %s", d.node.Addr(), d.domains, d.bankAddr)
+	if a := d.node.AdminAddr(); a != nil {
+		d.logf("admin console on %s", a)
+	}
+	if d.admin != nil {
+		d.logf("metrics on http://%s/metrics", d.admin.Addr())
+	}
+
+	// Daily reset of sent counters at local midnight.
+	midnight := make(chan struct{}, 1)
+	go func() {
+		for {
+			now := time.Now()
+			next := time.Date(now.Year(), now.Month(), now.Day(), 0, 0, 0, 0, now.Location()).AddDate(0, 0, 1)
+			time.Sleep(time.Until(next))
+			midnight <- struct{}{}
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	for {
+		select {
+		case <-midnight:
+			d.node.Engine().EndOfDay()
+			d.logf("daily send counters reset")
+		case <-stop:
+			d.logf("shutting down (%d messages delivered)", d.delivered.Load())
+			return nil
+		}
+	}
+}
+
+// boot parses flags, builds the node with its tracer and metrics
+// registry, restores state, registers users, and starts the checkpoint
+// timer and admin telemetry listener. The caller owns Close.
+func boot(args []string) (*daemon, error) {
 	fs := flag.NewFlagSet("zmaild", flag.ContinueOnError)
 	var users, peers stringList
 	var (
@@ -73,19 +154,20 @@ func run(args []string) error {
 		policy    = fs.String("policy", "accept", "unpaid-mail policy: accept|tag|reject")
 		maildir   = fs.String("maildir", "", "store delivered mail under this directory instead of stdout")
 		admin     = fs.String("admin", "", "operator console listen address (loopback only!), e.g. 127.0.0.1:7025")
+		metricsAd = fs.String("metrics", "", "admin telemetry listen address (loopback only!), e.g. 127.0.0.1:7070")
 		stateFile = fs.String("state", "", "durable ledger file; loaded at start, saved on shutdown and every 5m")
 	)
 	fs.Var(&users, "user", "local:accountPennies:balanceEPennies:dailyLimit; repeatable")
 	fs.Var(&peers, "peer", "index=host:port of a peer ISP; repeatable")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return nil, err
 	}
 	if *index < 0 || *domainCSV == "" {
-		return fmt.Errorf("-index and -domains are required")
+		return nil, fmt.Errorf("-index and -domains are required")
 	}
 	domains := strings.Split(*domainCSV, ",")
 	if *index >= len(domains) {
-		return fmt.Errorf("index %d outside %d domains", *index, len(domains))
+		return nil, fmt.Errorf("index %d outside %d domains", *index, len(domains))
 	}
 
 	var compliantArr []bool
@@ -94,7 +176,7 @@ func run(args []string) error {
 			compliantArr = append(compliantArr, strings.TrimSpace(tok) == "1")
 		}
 		if len(compliantArr) != len(domains) {
-			return fmt.Errorf("-compliant has %d entries for %d domains", len(compliantArr), len(domains))
+			return nil, fmt.Errorf("-compliant has %d entries for %d domains", len(compliantArr), len(domains))
 		}
 	}
 
@@ -105,24 +187,24 @@ func run(args []string) error {
 	case *keyFile != "" && *bankPub != "":
 		keyData, err := os.ReadFile(*keyFile)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		box, err := crypto.LoadPrivatePEM(keyData)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		ownSealer = box
 		pubData, err := os.ReadFile(*bankPub)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		bankBox, err := crypto.LoadPublicPEM(pubData)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		bankSealer = bankBox
 	default:
-		return fmt.Errorf("provide -key and -bankpub, or -insecure")
+		return nil, fmt.Errorf("provide -key and -bankpub, or -insecure")
 	}
 
 	var pol isp.NonCompliantPolicy
@@ -134,44 +216,56 @@ func run(args []string) error {
 	case "reject":
 		pol = isp.RejectUnpaid
 	default:
-		return fmt.Errorf("unknown -policy %q", *policy)
+		return nil, fmt.Errorf("unknown -policy %q", *policy)
 	}
 
 	peerMap := make(map[int]string)
 	for _, p := range peers {
 		idx, addr, ok := strings.Cut(p, "=")
 		if !ok {
-			return fmt.Errorf("bad -peer %q", p)
+			return nil, fmt.Errorf("bad -peer %q", p)
 		}
 		i, err := strconv.Atoi(idx)
 		if err != nil {
-			return fmt.Errorf("bad -peer index %q", idx)
+			return nil, fmt.Errorf("bad -peer index %q", idx)
 		}
 		peerMap[i] = addr
 	}
 
-	logf := func(format string, a ...any) {
+	d := &daemon{
+		domains:   domains,
+		bankAddr:  *bankAddr,
+		stopCkpt:  func() {},
+		saveState: func() {},
+	}
+	d.logf = func(format string, a ...any) {
 		fmt.Fprintf(os.Stderr, "zmaild[%s]: "+format+"\n",
 			append([]any{domains[*index]}, a...)...)
 	}
 
-	var delivered atomic.Int64
 	mailbox := func(user string, msg *mail.Message) {
-		n := delivered.Add(1)
+		n := d.delivered.Add(1)
 		if *maildir != "" {
 			dir := filepath.Join(*maildir, user)
 			if err := os.MkdirAll(dir, 0o755); err != nil {
-				logf("maildir: %v", err)
+				d.logf("maildir: %v", err)
 				return
 			}
 			name := filepath.Join(dir, fmt.Sprintf("%d.eml", n))
 			if err := os.WriteFile(name, []byte(msg.Encode()), 0o644); err != nil {
-				logf("maildir: %v", err)
+				d.logf("maildir: %v", err)
 			}
 			return
 		}
 		fmt.Printf("DELIVER %s@%s  from=%v subject=%q\n", user, domains[*index], msg.From, msg.Subject())
 	}
+
+	// One clock drives the engine, the tracer, and the checkpoint timer;
+	// one ring retains recent spans for /tracez.
+	clk := clock.System()
+	d.ring = trace.NewRing(traceRingSpans)
+	d.reg = metrics.NewRegistry()
+	tracer := trace.New(domains[*index], *index, clk, d.ring)
 
 	node, err := core.NewNode(core.NodeConfig{
 		Engine: isp.Config{
@@ -186,49 +280,54 @@ func run(args []string) error {
 			Policy:         pol,
 			BankSealer:     bankSealer,
 			OwnSealer:      ownSealer,
+			Clock:          clk,
+			Tracer:         tracer,
 		},
 		ListenAddr: *listen,
 		BankAddr:   *bankAddr,
 		Peers:      peerMap,
 		AdminAddr:  *admin,
 		Mailbox:    mailbox,
-		Logf:       logf,
+		Logf:       d.logf,
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	defer node.Close()
+	d.node = node
+	d.reg.Register(node.Engine())
 
 	if *stateFile != "" {
 		switch err := node.LoadState(*stateFile); {
 		case err == nil:
-			logf("restored ledger from %s (%d users)", *stateFile, len(node.Engine().ExportState().Users))
+			d.logf("restored ledger from %s (%d users)", *stateFile, len(node.Engine().ExportState().Users))
 		case errors.Is(err, persist.ErrNotExist):
-			logf("no prior state at %s; starting fresh", *stateFile)
+			d.logf("no prior state at %s; starting fresh", *stateFile)
 		default:
-			return fmt.Errorf("restore %s: %w", *stateFile, err)
+			d.Close()
+			return nil, fmt.Errorf("restore %s: %w", *stateFile, err)
 		}
+		d.saveState = func() {
+			if err := node.SaveState(*stateFile); err != nil {
+				d.logf("save state: %v", err)
+			}
+		}
+		d.stopCkpt = persist.StartCheckpoints(clk, node, *stateFile, 5*time.Minute, func(err error) {
+			d.logf("checkpoint: %v", err)
+		})
 	}
-	saveState := func() {
-		if *stateFile == "" {
-			return
-		}
-		if err := node.SaveState(*stateFile); err != nil {
-			logf("save state: %v", err)
-		}
-	}
-	defer saveState()
 
 	for _, u := range users {
 		parts := strings.Split(u, ":")
 		if len(parts) != 4 {
-			return fmt.Errorf("bad -user %q (want local:account:balance:limit)", u)
+			d.Close()
+			return nil, fmt.Errorf("bad -user %q (want local:account:balance:limit)", u)
 		}
 		account, err1 := strconv.ParseInt(parts[1], 10, 64)
 		balance, err2 := strconv.ParseInt(parts[2], 10, 64)
 		lim, err3 := strconv.ParseInt(parts[3], 10, 64)
 		if err1 != nil || err2 != nil || err3 != nil {
-			return fmt.Errorf("bad -user %q", u)
+			d.Close()
+			return nil, fmt.Errorf("bad -user %q", u)
 		}
 		err := node.Engine().RegisterUser(parts[0], money.Penny(account), money.EPenny(balance), lim)
 		switch {
@@ -236,44 +335,20 @@ func run(args []string) error {
 			// Already present in the restored ledger; the ledger wins.
 			continue
 		case err != nil:
-			return err
+			d.Close()
+			return nil, err
 		}
-		logf("registered user %s (account %v, balance %v, limit %d)",
+		d.logf("registered user %s (account %v, balance %v, limit %d)",
 			parts[0], money.Penny(account), money.EPenny(balance), lim)
 	}
 
-	logf("SMTP on %s; federation %v; bank %s", node.Addr(), domains, *bankAddr)
-	if a := node.AdminAddr(); a != nil {
-		logf("admin console on %s", a)
-	}
-
-	// Daily reset of sent counters at local midnight.
-	midnight := make(chan struct{}, 1)
-	go func() {
-		for {
-			now := time.Now()
-			next := time.Date(now.Year(), now.Month(), now.Day(), 0, 0, 0, 0, now.Location()).AddDate(0, 0, 1)
-			time.Sleep(time.Until(next))
-			midnight <- struct{}{}
+	if *metricsAd != "" {
+		srv, err := obsv.Start(*metricsAd, obsv.Config{Registry: d.reg, Ring: d.ring})
+		if err != nil {
+			d.Close()
+			return nil, err
 		}
-	}()
-
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	if *stateFile != "" {
-		stopCkpt := node.StartCheckpoints(*stateFile, 5*time.Minute, func(err error) {
-			logf("checkpoint: %v", err)
-		})
-		defer stopCkpt()
+		d.admin = srv
 	}
-	for {
-		select {
-		case <-midnight:
-			node.Engine().EndOfDay()
-			logf("daily send counters reset")
-		case <-stop:
-			logf("shutting down (%d messages delivered)", delivered.Load())
-			return nil
-		}
-	}
+	return d, nil
 }

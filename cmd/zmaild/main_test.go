@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
 
 func TestZmaildFlagValidation(t *testing.T) {
 	if err := run([]string{"-insecure"}); err == nil {
@@ -39,6 +45,77 @@ func TestZmaildFlagValidation(t *testing.T) {
 		"-user", "alice:10", // wrong arity
 	}); err == nil {
 		t.Error("malformed -user accepted")
+	}
+}
+
+// TestObsvSmoke boots a full daemon on ephemeral ports, scrapes the
+// admin telemetry listener, and sanity-parses the exposition. This is
+// the `make obsv` smoke target.
+func TestObsvSmoke(t *testing.T) {
+	d, err := boot([]string{
+		"-index", "0", "-domains", "one.example", "-insecure",
+		"-listen", "127.0.0.1:0", "-metrics", "127.0.0.1:0",
+		"-user", "alice:1000:50:200",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.admin == nil {
+		t.Fatal("boot with -metrics left admin listener nil")
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + d.admin.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics Content-Type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	// Parse every non-comment line as `name{labels} value` and check the
+	// engine's collected families are present.
+	var series int
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, rest, ok := strings.Cut(line, " ")
+		if !ok || name == "" || rest == "" {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		series++
+	}
+	if series == 0 {
+		t.Fatalf("no series in exposition:\n%s", body)
+	}
+	for _, want := range []string{
+		`zmail_isp_pool_avail{isp="one.example"}`,
+		`zmail_isp_submitted_total{isp="one.example"}`,
+		`zmail_isp_submit_seconds_count{isp="one.example"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %s:\n%s", want, body)
+		}
+	}
+
+	resp, err = client.Get("http://" + d.admin.Addr().String() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status %d", resp.StatusCode)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 
 	"zmail/internal/crypto"
 	"zmail/internal/money"
+	"zmail/internal/trace"
 	"zmail/internal/wire"
 )
 
@@ -46,6 +47,10 @@ type Config struct {
 	// SettleRate is real pennies per e-penny for settlement; zero
 	// selects the nominal 1:1 rate.
 	SettleRate money.Penny
+	// Tracer records mint/burn/audit spans (nil disables tracing).
+	// Buy and sell spans join the requesting ISP's flow via the
+	// envelope trace; audit rounds get a bank-minted flow of their own.
+	Tracer *trace.Tracer
 }
 
 // Errors reported by the bank.
@@ -102,10 +107,11 @@ type Bank struct {
 
 	// Snapshot round state (§4.4): verify[i][g] holds credit[i] as
 	// reported by isp[g]; total counts outstanding replies.
-	verify    [][]int64
-	replied   []bool
-	total     int
-	gathering bool
+	verify     [][]int64
+	replied    []bool
+	total      int
+	gathering  bool
+	roundTrace trace.ID // flow ID of the in-progress audit round
 
 	violations    []Violation
 	lastTransfers []Transfer
@@ -270,6 +276,8 @@ func (b *Bank) handleLocked(env *wire.Envelope) error {
 		return fmt.Errorf("%w: %d", ErrUnknownISP, g)
 	}
 
+	tid := trace.ID(env.Trace)
+
 	switch env.Kind {
 	case wire.KindBuy:
 		var m wire.Buy
@@ -286,14 +294,17 @@ func (b *Bank) handleLocked(env *wire.Envelope) error {
 			b.account[g] -= money.Penny(m.Value)
 			b.stats.Minted += m.Value
 			b.stats.BuysAccepted++
+			b.cfg.Tracer.Record(tid, "mint", m.Value, "accepted")
 		} else {
 			b.stats.BuysDenied++
+			b.cfg.Tracer.Record(tid, "mint", 0, "denied")
 		}
 		reply, err := b.sealTo(g, wire.KindBuyReply,
 			(&wire.BuyReply{Nonce: m.Nonce, Accepted: accepted}).MarshalBinary())
 		if err != nil {
 			return err
 		}
+		reply.Trace = env.Trace
 		b.emitq = append(b.emitq, func() { b.cfg.Transport.SendISP(g, reply) })
 		return nil
 
@@ -313,11 +324,13 @@ func (b *Bank) handleLocked(env *wire.Envelope) error {
 		b.account[g] += money.Penny(m.Value)
 		b.stats.Burned += m.Value
 		b.stats.Sells++
+		b.cfg.Tracer.Record(tid, "burn", -m.Value, "accepted")
 		reply, err := b.sealTo(g, wire.KindSellReply,
 			(&wire.SellReply{Nonce: m.Nonce}).MarshalBinary())
 		if err != nil {
 			return err
 		}
+		reply.Trace = env.Trace
 		b.emitq = append(b.emitq, func() { b.cfg.Transport.SendISP(g, reply) })
 		return nil
 
@@ -330,6 +343,7 @@ func (b *Bank) handleLocked(env *wire.Envelope) error {
 			return ErrReplay
 		}
 		b.replied[g] = true
+		b.cfg.Tracer.Record(b.roundTrace, "report", 0, "received")
 		for i := 0; i < b.cfg.NumISPs && i < len(m.Credits); i++ {
 			b.verify[i][g] = m.Credits[i]
 		}
@@ -363,6 +377,8 @@ func (b *Bank) startSnapshotLocked() error {
 	for i := range b.replied {
 		b.replied[i] = false
 	}
+	b.roundTrace = b.cfg.Tracer.Next()
+	b.cfg.Tracer.Record(b.roundTrace, "audit", 0, "start")
 	body := (&wire.Request{Seq: b.seq}).MarshalBinary()
 	for i := 0; i < b.cfg.NumISPs; i++ {
 		if !b.compliant[i] {
@@ -373,6 +389,7 @@ func (b *Bank) startSnapshotLocked() error {
 			b.gathering = false
 			return err
 		}
+		env.Trace = uint64(b.roundTrace)
 		b.total++
 		idx := i
 		b.emitq = append(b.emitq, func() { b.cfg.Transport.SendISP(idx, env) })
@@ -409,6 +426,7 @@ func (b *Bank) AbortRound() error {
 	b.total = 0
 	b.seq++
 	b.stats.RoundsAborted++
+	b.cfg.Tracer.Record(b.roundTrace, "audit", 0, "aborted")
 	for i := range b.verify {
 		for j := range b.verify[i] {
 			b.verify[i][j] = 0
@@ -464,4 +482,7 @@ func (b *Bank) verifyLocked() {
 	b.seq++
 	b.gathering = false
 	b.stats.Rounds++
+	// The span's amount is the round's credit-matrix sum: zero over a
+	// lossless closed period, the count of in-flight losses otherwise.
+	b.cfg.Tracer.Record(b.roundTrace, "audit", b.lastRoundSum, "verified")
 }

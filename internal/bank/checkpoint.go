@@ -2,9 +2,12 @@ package bank
 
 import "zmail/internal/persist"
 
+var _ persist.Checkpointer = (*Bank)(nil)
+
 // SaveState atomically persists the durable ledger to path. The bank
 // has no injected clock, so periodic checkpointing is the caller's job
-// (cmd/zbank runs a ticker; the simulator checkpoints at crash points).
+// — persist.StartCheckpoints with the caller's clock (cmd/zbank), or
+// explicit saves at crash points (the chaos harness).
 func (b *Bank) SaveState(path string) error {
 	return persist.SaveJSON(path, b.ExportState())
 }

@@ -1,0 +1,48 @@
+package bank
+
+import (
+	"strconv"
+
+	"zmail/internal/metrics"
+	"zmail/internal/money"
+)
+
+// Pull-based telemetry: the bank implements metrics.Collector so a
+// scrape registry reads the live counters at scrape time. Account
+// balances carry an isp="<index>" label; everything else is a single
+// federation-wide series.
+
+var _ metrics.Collector = (*Bank)(nil)
+
+// Collect implements metrics.Collector: mint/burn volume, audit-round
+// progress, settlement totals, and every compliant ISP's real-money
+// account balance.
+func (b *Bank) Collect(r *metrics.Registry) {
+	st := b.Stats()
+	g := func(name string, v float64) { r.Gauge(name).Set(v) }
+	g("zmail_bank_buys_accepted_total", float64(st.BuysAccepted))
+	g("zmail_bank_buys_denied_total", float64(st.BuysDenied))
+	g("zmail_bank_sells_total", float64(st.Sells))
+	g("zmail_bank_minted_total", float64(st.Minted))
+	g("zmail_bank_burned_total", float64(st.Burned))
+	g("zmail_bank_outstanding", float64(st.Minted-st.Burned))
+	g("zmail_bank_replays_total", float64(st.Replays))
+	g("zmail_bank_rounds_total", float64(st.Rounds))
+	g("zmail_bank_rounds_aborted_total", float64(st.RoundsAborted))
+	g("zmail_bank_control_msgs_total", float64(st.ControlMsgs))
+	g("zmail_bank_violations_total", float64(st.ViolationsAll))
+	g("zmail_bank_settled_pennies_total", float64(st.SettledPennies))
+	g("zmail_bank_settlement_transfers_total", float64(st.SettlementTransfers))
+	g("zmail_bank_settlement_shortfalls_total", float64(st.SettlementShortfalls))
+
+	b.mu.Lock()
+	accounts := append([]money.Penny(nil), b.account...)
+	compliant := append([]bool(nil), b.compliant...)
+	b.mu.Unlock()
+	for i, acct := range accounts {
+		if !compliant[i] {
+			continue
+		}
+		r.Gauge("zmail_bank_account_pennies", "isp", strconv.Itoa(i)).Set(float64(acct))
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"zmail/internal/money"
+	"zmail/internal/trace"
 	"zmail/internal/wire"
 )
 
@@ -59,7 +60,9 @@ func (e *Engine) tick(em *emitQueue) error {
 			e.canBuy = true
 			return fmt.Errorf("isp: seal buy: %w", err)
 		}
-		env := &wire.Envelope{Kind: wire.KindBuy, From: int32(e.cfg.Index), Payload: sealed}
+		e.buyTrace = e.tracer.Next()
+		e.tracer.Record(e.buyTrace, "buy", int64(e.buyVal), "request")
+		env := &wire.Envelope{Kind: wire.KindBuy, From: int32(e.cfg.Index), Trace: uint64(e.buyTrace), Payload: sealed}
 		em.add(func() { e.cfg.Transport.SendBank(env) })
 	}
 
@@ -81,6 +84,7 @@ func (e *Engine) tick(em *emitQueue) error {
 		mid := e.cfg.MinAvail + (e.cfg.MaxAvail-e.cfg.MinAvail)/2
 		e.sellVal = e.avail - mid
 		e.avail -= e.sellVal
+		e.sellAt = e.cfg.Clock.Now()
 		body := (&wire.Sell{Value: int64(e.sellVal), Nonce: uint64(nonce)}).MarshalBinary()
 		sealed, err := e.cfg.BankSealer.Seal(body)
 		if err != nil {
@@ -88,7 +92,9 @@ func (e *Engine) tick(em *emitQueue) error {
 			e.canSell = true
 			return fmt.Errorf("isp: seal sell: %w", err)
 		}
-		env := &wire.Envelope{Kind: wire.KindSell, From: int32(e.cfg.Index), Payload: sealed}
+		e.sellTrace = e.tracer.Next()
+		e.tracer.Record(e.sellTrace, "sell", -int64(e.sellVal), "escrow")
+		env := &wire.Envelope{Kind: wire.KindSell, From: int32(e.cfg.Index), Trace: uint64(e.sellTrace), Payload: sealed}
 		em.add(func() { e.cfg.Transport.SendBank(env) })
 	}
 	return nil
@@ -126,8 +132,12 @@ func (e *Engine) handleBank(em *emitQueue, env *wire.Envelope) error {
 			return ErrStaleReply
 		}
 		e.canBuy = true
+		e.lat.bankRTT.Observe(e.cfg.Clock.Now().Sub(e.buyAt))
 		if br.Accepted {
 			e.avail += e.buyVal
+			e.tracer.Record(e.buyTrace, "restock", int64(e.buyVal), "accepted")
+		} else {
+			e.tracer.Record(e.buyTrace, "restock", 0, "denied")
 		}
 		return nil
 
@@ -144,6 +154,8 @@ func (e *Engine) handleBank(em *emitQueue, env *wire.Envelope) error {
 		// The sold amount was escrowed at send time; the reply only
 		// closes the exchange.
 		e.canSell = true
+		e.lat.bankRTT.Observe(e.cfg.Clock.Now().Sub(e.sellAt))
+		e.tracer.Record(e.sellTrace, "restock", 0, "sold")
 		return nil
 
 	case wire.KindRequest:
@@ -166,7 +178,7 @@ func (e *Engine) handleBank(em *emitQueue, env *wire.Envelope) error {
 		if rq.Seq < seq || e.frozen {
 			return ErrStaleReply // replayed snapshot request (§4.4)
 		}
-		e.beginFreezeLocked(em, rq.Seq)
+		e.beginFreezeLocked(em, rq.Seq, trace.ID(env.Trace))
 		return nil
 
 	default:
@@ -175,18 +187,21 @@ func (e *Engine) handleBank(em *emitQueue, env *wire.Envelope) error {
 }
 
 // beginFreezeLocked starts the §4.4 snapshot: stop sending, arm the
-// quiet-period timer. Call with freezeMu held for write.
-func (e *Engine) beginFreezeLocked(em *emitQueue, seq uint64) {
+// quiet-period timer. Call with freezeMu held for write. tid is the
+// bank's round flow ID (zero when locally forced), carried through to
+// the report so one trace covers request → freeze → report.
+func (e *Engine) beginFreezeLocked(em *emitQueue, seq uint64, tid trace.ID) {
 	if e.frozen {
 		return
 	}
 	e.frozen = true
+	e.tracer.Record(tid, "snapshot", 0, "freeze")
 	em.add(func() {
 		// finishFreeze drains the buffered outbox in a loop, so its net
 		// delta is per-send × queue length — unbounded to the analysis.
 		// Each drained send conserves individually via submit.
 		//zlint:ignore moneyflow outbox drain repeats submit, whose per-send conservation is checked on its own
-		e.cfg.Clock.AfterFunc(e.cfg.FreezeDuration, func() { e.finishFreeze(seq) })
+		e.cfg.Clock.AfterFunc(e.cfg.FreezeDuration, func() { e.finishFreeze(seq, tid) })
 	})
 }
 
@@ -194,7 +209,7 @@ func (e *Engine) beginFreezeLocked(em *emitQueue, seq uint64) {
 // array, reset it for the new billing period, thaw, and drain the
 // buffered outbox. Holding freezeMu for write excludes every sender
 // and receiver, so the report is an exact cut of the credit state.
-func (e *Engine) finishFreeze(seq uint64) {
+func (e *Engine) finishFreeze(seq uint64, tid trace.ID) {
 	e.freezeMu.Lock()
 	if !e.frozen {
 		e.freezeMu.Unlock()
@@ -216,7 +231,8 @@ func (e *Engine) finishFreeze(seq uint64) {
 	if e.cfg.BankSealer != nil {
 		sealed, err := e.cfg.BankSealer.Seal(report.MarshalBinary())
 		if err == nil {
-			env := &wire.Envelope{Kind: wire.KindReply, From: int32(e.cfg.Index), Payload: sealed}
+			env := &wire.Envelope{Kind: wire.KindReply, From: int32(e.cfg.Index), Trace: uint64(tid), Payload: sealed}
+			e.tracer.Record(tid, "report", 0, "sent")
 			e.cfg.Transport.SendBank(env)
 		}
 		// A seal failure only skips the report; next round retries.
@@ -240,7 +256,7 @@ func (e *Engine) ForceSnapshot() {
 	e.mu.Lock()
 	seq := e.seq
 	e.mu.Unlock()
-	e.beginFreezeLocked(&em, seq)
+	e.beginFreezeLocked(&em, seq, e.tracer.Next())
 	e.freezeMu.Unlock()
 	em.run()
 }

@@ -1,18 +1,15 @@
 package isp
 
 import (
-	"sync"
-	"time"
-
-	"zmail/internal/clock"
 	"zmail/internal/persist"
 )
 
 // Checkpointing: the durable-ledger half of crash recovery. SaveState /
 // LoadState move ExportState/RestoreState through internal/persist's
-// atomic file protocol; StartCheckpoints does it periodically on the
-// engine's injected clock, so the same code path runs under the real
-// daemon and the deterministic simulator.
+// atomic file protocol, satisfying persist.Checkpointer; periodic
+// saving is persist.StartCheckpoints(e.Clock(), e, ...).
+
+var _ persist.Checkpointer = (*Engine)(nil)
 
 // SaveState atomically persists the durable ledger to path.
 func (e *Engine) SaveState(path string) error {
@@ -28,39 +25,4 @@ func (e *Engine) LoadState(path string) error {
 		return err
 	}
 	return e.RestoreState(&st)
-}
-
-// StartCheckpoints saves the ledger to path every interval, on the
-// engine's clock. onErr (optional) observes save failures; a failed
-// save never stops the schedule. The returned stop function cancels
-// future checkpoints; it does not interrupt one already running.
-func (e *Engine) StartCheckpoints(path string, interval time.Duration, onErr func(error)) (stop func()) {
-	var (
-		mu      sync.Mutex
-		timer   clock.Timer
-		stopped bool
-	)
-	var arm func()
-	arm = func() {
-		mu.Lock()
-		defer mu.Unlock()
-		if stopped {
-			return
-		}
-		timer = e.cfg.Clock.AfterFunc(interval, func() {
-			if err := e.SaveState(path); err != nil && onErr != nil {
-				onErr(err)
-			}
-			arm()
-		})
-	}
-	arm()
-	return func() {
-		mu.Lock()
-		defer mu.Unlock()
-		stopped = true
-		if timer != nil {
-			timer.Stop()
-		}
-	}
 }

@@ -47,7 +47,9 @@ import (
 	"zmail/internal/clock"
 	"zmail/internal/crypto"
 	"zmail/internal/mail"
+	"zmail/internal/metrics"
 	"zmail/internal/money"
+	"zmail/internal/trace"
 	"zmail/internal/wire"
 )
 
@@ -203,6 +205,12 @@ type Config struct {
 	// Nonces generates replay-protection nonces; nil selects a fresh
 	// crypto source.
 	Nonces *crypto.Source
+
+	// Tracer, when non-nil, mints flow IDs at submission and records a
+	// span for every e-penny movement the engine performs (charge,
+	// transfer, credit, buy, sell, restock — see internal/trace). Nil
+	// disables tracing at the cost of one nil check per site.
+	Tracer *trace.Tracer
 }
 
 // Errors reported by the engine.
@@ -315,11 +323,32 @@ type engineStats struct {
 	restockRetries atomic.Int64
 }
 
+// engineLatencies are the engine-owned hot-path latency histograms.
+// The engine observes into them directly; Collect registers the same
+// pointers with the scrape registry, so repeated scrapes never
+// double-count.
+type engineLatencies struct {
+	submit     *metrics.LatencyHist // Submit, end to end
+	receive    *metrics.LatencyHist // ReceiveRemote, end to end
+	bankRTT    *metrics.LatencyHist // buy/sell issue → reply
+	stripeWait *metrics.LatencyHist // contended stripe-lock waits
+}
+
+func newEngineLatencies() engineLatencies {
+	return engineLatencies{
+		submit:     metrics.NewLatencyHist(),
+		receive:    metrics.NewLatencyHist(),
+		bankRTT:    metrics.NewLatencyHist(),
+		stripeWait: metrics.NewLatencyHist(),
+	}
+}
+
 // Engine is one compliant ISP's protocol state machine.
 type Engine struct {
 	cfg    Config
 	nonces *crypto.Source
 	msgIDs *mail.MessageIDCounter
+	tracer *trace.Tracer
 
 	// Hot state: user-account stripes, per-peer credit atomics, stats.
 	stripes    []accountStripe
@@ -329,6 +358,7 @@ type Engine struct {
 	cheat      atomic.Bool
 	stats      engineStats
 	contention contentionCounters
+	lat        engineLatencies
 
 	// freezeMu gates the hot path against §4.4 snapshot transitions;
 	// see the package comment for the lock ordering.
@@ -337,17 +367,20 @@ type Engine struct {
 
 	// mu guards the cold state: pool level, bank trade handshakes and
 	// the frozen outbox.
-	mu      sync.Mutex
-	avail   money.EPenny
-	outbox  []*mail.Message
-	seq     uint64
-	canBuy  bool
-	canSell bool
-	ns1     crypto.Nonce // pending buy nonce
-	ns2     crypto.Nonce // pending sell nonce
-	buyVal  money.EPenny
-	sellVal money.EPenny
-	buyAt   time.Time // when the pending buy was issued (RestockRetry)
+	mu        sync.Mutex
+	avail     money.EPenny
+	outbox    []*mail.Message
+	seq       uint64
+	canBuy    bool
+	canSell   bool
+	ns1       crypto.Nonce // pending buy nonce
+	ns2       crypto.Nonce // pending sell nonce
+	buyVal    money.EPenny
+	sellVal   money.EPenny
+	buyAt     time.Time // when the pending buy was issued (RestockRetry)
+	sellAt    time.Time // when the pending sell was issued (RTT metric)
+	buyTrace  trace.ID  // flow ID of the pending buy exchange
+	sellTrace trace.ID  // flow ID of the pending sell exchange
 }
 
 // New validates cfg and builds an engine.
@@ -399,12 +432,14 @@ func New(cfg Config) (*Engine, error) {
 	e := &Engine{
 		cfg:     cfg,
 		nonces:  nonces,
+		tracer:  cfg.Tracer,
 		stripes: make([]accountStripe, cfg.Stripes),
 		credit:  make([]atomic.Int64, cfg.Directory.Len()),
 		avail:   cfg.InitialAvail,
 		canBuy:  true,
 		canSell: true,
 		msgIDs:  mail.NewMessageIDCounter(cfg.Domain),
+		lat:     newEngineLatencies(),
 	}
 	e.stripeMask = uint32(cfg.Stripes - 1)
 	for i := range e.stripes {
@@ -420,6 +455,11 @@ func (e *Engine) Index() int { return e.cfg.Index }
 
 // Domain returns this ISP's mail domain.
 func (e *Engine) Domain() string { return e.cfg.Domain }
+
+// Clock returns the engine's injected clock, so callers can schedule
+// work (persist.StartCheckpoints, say) on the same timeline the engine
+// runs on.
+func (e *Engine) Clock() clock.Clock { return e.cfg.Clock }
 
 // Stripes reports the configured stripe count.
 func (e *Engine) Stripes() int { return len(e.stripes) }

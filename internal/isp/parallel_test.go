@@ -172,8 +172,9 @@ func TestParallelConservationAntisymmetry(t *testing.T) {
 }
 
 // TestContentionObservability checks the refactor's observability
-// contract: stripe hits are counted, and PublishMetrics exposes the
-// counters through the metrics registry.
+// contract: stripe hits are counted, and the engine's Collector
+// implementation exposes them through the metrics registry at gather
+// time.
 func TestContentionObservability(t *testing.T) {
 	clk := clock.NewVirtual(time.Unix(1_100_000_000, 0))
 	engines, _ := newLoopbackFederation(t, clk, 4, nil)
@@ -198,9 +199,15 @@ func TestContentionObservability(t *testing.T) {
 	}
 
 	reg := metrics.NewRegistry()
-	e.PublishMetrics(reg, "isp0")
+	reg.Register(e)
+	reg.Gather()
 	snap := reg.Snapshot()
-	for _, want := range []string{"isp0.stripe_hits", "isp0.lock_contended", "isp0.stripe_skew"} {
+	label := fmt.Sprintf("{isp=%q}", testDomains[0])
+	for _, want := range []string{
+		"zmail_isp_stripe_hits_total" + label,
+		"zmail_isp_stripe_contended_total" + label,
+		"zmail_isp_submitted_total" + label,
+	} {
 		if !strings.Contains(snap, want) {
 			t.Errorf("metric %q missing from snapshot:\n%s", want, snap)
 		}

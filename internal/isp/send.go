@@ -5,6 +5,7 @@ import (
 
 	"zmail/internal/mail"
 	"zmail/internal/money"
+	"zmail/internal/trace"
 )
 
 // Submit accepts a message from a local user (the SMTP submission path)
@@ -17,10 +18,28 @@ import (
 // stripes proceed fully in parallel, and the per-peer credit update is
 // a lock-free atomic add.
 func (e *Engine) Submit(msg *mail.Message) (SendOutcome, error) {
+	start := e.cfg.Clock.Now()
 	var em emitQueue
 	outcome, err := e.submit(&em, msg, false)
+	e.lat.submit.Observe(e.cfg.Clock.Now().Sub(start))
 	em.run()
 	return outcome, err
+}
+
+// traceFor resolves the flow ID a message travels under: an existing
+// X-Zmail-Trace header wins (the message entered the system elsewhere —
+// a thawed buffer entry, a mailing-list ack chaining to the list
+// message's flow), otherwise a fresh ID is minted and stamped. With no
+// tracer configured the message stays untraced and unstamped.
+func (e *Engine) traceFor(msg *mail.Message) trace.ID {
+	if tid, ok := trace.ParseID(msg.Header(mail.HeaderTrace)); ok {
+		return tid
+	}
+	tid := e.tracer.Next()
+	if !tid.IsZero() {
+		msg.SetHeader(mail.HeaderTrace, tid.String())
+	}
+	return tid
 }
 
 func (e *Engine) submit(em *emitQueue, msg *mail.Message, thawing bool) (SendOutcome, error) {
@@ -32,6 +51,9 @@ func (e *Engine) submit(em *emitQueue, msg *mail.Message, thawing bool) (SendOut
 	if msg.ID() == "" {
 		msg.SetHeader(mail.HeaderMsgID, e.msgIDs.Next())
 	}
+	// Mint (or adopt) the flow ID before any branch, so even buffered
+	// mail carries its ID into the thaw-time charge.
+	tid := e.traceFor(msg)
 
 	e.freezeMu.RLock()
 	defer e.freezeMu.RUnlock()
@@ -54,6 +76,7 @@ func (e *Engine) submit(em *emitQueue, msg *mail.Message, thawing bool) (SendOut
 		e.outbox = append(e.outbox, msg)
 		e.mu.Unlock()
 		e.stats.buffered.Add(1)
+		e.tracer.Record(tid, "buffer", 0, "frozen")
 		return SentBuffered, nil
 	}
 
@@ -77,6 +100,7 @@ func (e *Engine) submit(em *emitQueue, msg *mail.Message, thawing bool) (SendOut
 		}
 		if err := e.charge(em, sender, isAck); err != nil {
 			unlockTwoStripes(ss, rs)
+			e.tracer.Record(tid, "charge", 0, "rejected")
 			return 0, err
 		}
 		recipient.balance++
@@ -87,6 +111,8 @@ func (e *Engine) submit(em *emitQueue, msg *mail.Message, thawing bool) (SendOut
 		e.journalUser(sender, kind, msg.To.String(), -1, 0, msg.ID())
 		e.journalUser(recipient, EntryReceived, msg.From.String(), +1, 0, msg.ID())
 		unlockTwoStripes(ss, rs)
+		e.tracer.Record(tid, "charge", -1, "local")
+		e.tracer.Record(tid, "credit", +1, "local")
 		e.deliver(em, msg.To.Local, msg)
 		return SentLocal, nil
 	}
@@ -102,6 +128,7 @@ func (e *Engine) submit(em *emitQueue, msg *mail.Message, thawing bool) (SendOut
 		}
 		if err := e.charge(em, sender, isAck); err != nil {
 			ss.mu.Unlock()
+			e.tracer.Record(tid, "charge", 0, "rejected")
 			return 0, err
 		}
 		kind := EntrySent
@@ -114,6 +141,7 @@ func (e *Engine) submit(em *emitQueue, msg *mail.Message, thawing bool) (SendOut
 			e.credit[toIndex].Add(1)
 		}
 		e.stats.sentPaid.Add(1)
+		e.tracer.Record(tid, "charge", -1, "paid")
 		em.add(func() { e.cfg.Transport.SendMail(toIndex, msg.To.Domain, msg) })
 		return SentPaid, nil
 	}
@@ -128,6 +156,7 @@ func (e *Engine) submit(em *emitQueue, msg *mail.Message, thawing bool) (SendOut
 		return 0, fmt.Errorf("%w: %q", ErrUnknownUser, msg.From.Local)
 	}
 	e.stats.sentUnpaid.Add(1)
+	e.tracer.Record(tid, "send", 0, "unpaid")
 	idx := toIndex
 	if !known {
 		idx = -1
@@ -219,6 +248,12 @@ func (e *Engine) generateAck(local string, listMsg *mail.Message) {
 	if id := listMsg.ID(); id != "" {
 		ack.SetHeader(mail.HeaderAckFor, id)
 	}
+	// The ack continues the list message's flow: copying the trace
+	// header chains the whole §5 round trip — distribute, deliver, ack,
+	// refund — under the distributor's original ID.
+	if t := listMsg.Header(mail.HeaderTrace); t != "" {
+		ack.SetHeader(mail.HeaderTrace, t)
+	}
 	e.stats.acksGenerated.Add(1)
 	// Submit via the normal path: the ack pays one e-penny (the one the
 	// list message just delivered) back toward the distributor.
@@ -243,8 +278,10 @@ func (e *Engine) generateAck(local string, listMsg *mail.Message) {
 // during a snapshot freeze (the §4.4 quiet period exists precisely so
 // in-flight mail drains and gets counted before the report).
 func (e *Engine) ReceiveRemote(fromDomain string, msg *mail.Message) error {
+	start := e.cfg.Clock.Now()
 	var em emitQueue
 	err := e.receiveRemote(&em, fromDomain, msg)
+	e.lat.receive.Observe(e.cfg.Clock.Now().Sub(start))
 	em.run()
 	return err
 }
@@ -256,6 +293,10 @@ func (e *Engine) receiveRemote(em *emitQueue, fromDomain string, msg *mail.Messa
 
 	e.freezeMu.RLock()
 	defer e.freezeMu.RUnlock()
+
+	// Adopt the sender's flow ID; foreign mail has no header and stays
+	// untraced (zero ID spans are recorded but unlinked).
+	tid, _ := trace.ParseID(msg.Header(mail.HeaderTrace))
 
 	rs := e.stripeFor(msg.To.Local)
 	fromIndex, fromCompliant, known := e.cfg.Directory.Lookup(fromDomain)
@@ -272,6 +313,8 @@ func (e *Engine) receiveRemote(em *emitQueue, fromDomain string, msg *mail.Messa
 		rs.mu.Unlock()
 		e.credit[fromIndex].Add(-1)
 		e.stats.receivedPaid.Add(1)
+		e.tracer.Record(tid, "transfer", -1, "paid")
+		e.tracer.Record(tid, "credit", +1, "delivered")
 		e.deliver(em, msg.To.Local, msg)
 		return nil
 	}
@@ -287,16 +330,19 @@ func (e *Engine) receiveRemote(em *emitQueue, fromDomain string, msg *mail.Messa
 	switch e.cfg.Policy {
 	case RejectUnpaid:
 		e.stats.discarded.Add(1)
+		e.tracer.Record(tid, "receive", 0, "discarded")
 		return nil
 	case FilterUnpaid:
 		if e.cfg.Filter != nil && !e.cfg.Filter(msg) {
 			e.stats.discarded.Add(1)
+			e.tracer.Record(tid, "receive", 0, "discarded")
 			return nil
 		}
 	case TagUnpaid:
 		msg.SetHeader(HeaderUnpaid, "yes")
 	}
 	e.stats.deliveredLocal.Add(1)
+	e.tracer.Record(tid, "receive", 0, "delivered")
 	local := msg.To.Local
 	em.add(func() { e.cfg.Transport.DeliverLocal(local, msg) })
 	return nil

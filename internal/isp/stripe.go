@@ -71,8 +71,10 @@ func (e *Engine) lockStripe(s *accountStripe) {
 	}
 	start := time.Now()
 	s.mu.Lock()
+	wait := time.Since(start)
 	e.contention.contended.Add(1)
-	e.contention.lockWaitNanos.Add(time.Since(start).Nanoseconds())
+	e.contention.lockWaitNanos.Add(wait.Nanoseconds())
+	e.lat.stripeWait.Observe(wait)
 }
 
 // lockTwoStripes acquires two stripes in ascending index order (the
@@ -127,6 +129,10 @@ func (e *Engine) Contention() ContentionStats {
 // counters into a metrics registry under the given prefix (e.g.
 // "isp0"). Gauges are used throughout because the engine counters are
 // the source of truth and each publish is a fresh snapshot.
+//
+// Deprecated: PublishMetrics is the old push-style API. Register the
+// engine with metrics.Registry.Register instead; Collect publishes the
+// same state (and more) with proper labels at scrape time.
 func (e *Engine) PublishMetrics(r *metrics.Registry, prefix string) {
 	st := e.Stats()
 	r.Gauge(prefix + ".submitted").Set(float64(st.Submitted))

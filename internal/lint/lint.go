@@ -135,6 +135,9 @@ func DefaultConfig() Config {
 			"zmail/internal/chaos",
 			"zmail/internal/experiments",
 			"zmail/internal/economy",
+			"zmail/internal/trace",
+			"zmail/internal/metrics",
+			"zmail/internal/obsv",
 			"zmail/cmd/zsim",
 		},
 		LockOrderPkgs: []string{

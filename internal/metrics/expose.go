@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteProm renders every metric in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` line per family, then its sample
+// lines. Counters and gauges render directly; sample-storing Histograms
+// render as summaries (quantile series plus _sum/_count); LatencyHists
+// render as native histograms (cumulative le buckets, _sum in seconds,
+// _count). Families and series are emitted in sorted order so repeated
+// scrapes of unchanged state are byte-identical.
+//
+// WriteProm only renders: when collectors are registered, call Gather
+// first so the scrape sees fresh values.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.RLock()
+	counters := copyMap(r.counters)
+	gauges := copyMap(r.gauges)
+	hists := copyMap(r.histograms)
+	lats := copyMap(r.latencies)
+	r.mu.RUnlock()
+
+	type family struct {
+		typ  string
+		rows []string
+	}
+	fams := make(map[string]*family)
+	add := func(name, typ string, rows ...string) {
+		f, ok := fams[name]
+		if !ok {
+			f = &family{typ: typ}
+			fams[name] = f
+		}
+		f.rows = append(f.rows, rows...)
+	}
+
+	for _, key := range sortedKeys(counters) {
+		name, labels := splitKey(key)
+		name = sanitizeName(name)
+		add(name, "counter",
+			name+wrapLabels(labels)+" "+strconv.FormatInt(counters[key].Value(), 10))
+	}
+	for _, key := range sortedKeys(gauges) {
+		name, labels := splitKey(key)
+		name = sanitizeName(name)
+		add(name, "gauge",
+			name+wrapLabels(labels)+" "+fmtFloat(gauges[key].Value()))
+	}
+	for _, key := range sortedKeys(hists) {
+		name, labels := splitKey(key)
+		name = sanitizeName(name)
+		h := hists[key]
+		n := h.Count()
+		rows := make([]string, 0, 5)
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			rows = append(rows,
+				name+"{"+withLabel(labels, "quantile", fmtFloat(q))+"} "+fmtFloat(h.Quantile(q)))
+		}
+		rows = append(rows,
+			name+"_sum"+wrapLabels(labels)+" "+fmtFloat(h.Mean()*float64(n)),
+			name+"_count"+wrapLabels(labels)+" "+strconv.Itoa(n))
+		add(name, "summary", rows...)
+	}
+	for _, key := range sortedKeys(lats) {
+		name, labels := splitKey(key)
+		name = sanitizeName(name)
+		h := lats[key]
+		cum := h.Cumulative()
+		rows := make([]string, 0, len(cum)+3)
+		for i, b := range latencyBounds {
+			rows = append(rows,
+				name+"_bucket{"+withLabel(labels, "le", fmtFloat(b))+"} "+strconv.FormatUint(cum[i], 10))
+		}
+		rows = append(rows,
+			name+"_bucket{"+withLabel(labels, "le", "+Inf")+"} "+strconv.FormatUint(h.Count(), 10),
+			name+"_sum"+wrapLabels(labels)+" "+fmtFloat(h.Sum().Seconds()),
+			name+"_count"+wrapLabels(labels)+" "+strconv.FormatUint(h.Count(), 10))
+		add(name, "histogram", rows...)
+	}
+
+	for _, name := range sortedKeys(fams) {
+		f := fams[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.typ); err != nil {
+			return err
+		}
+		for _, row := range f.rows {
+			if _, err := io.WriteString(w, row+"\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func copyMap[V any](m map[string]V) map[string]V {
+	out := make(map[string]V, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// splitKey separates a storage key into its base name and the label
+// body (without braces), inverting Key.
+func splitKey(key string) (name, labels string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i], strings.TrimSuffix(key[i+1:], "}")
+	}
+	return key, ""
+}
+
+// wrapLabels re-braces a label body ("" stays "").
+func wrapLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// withLabel appends one more pair to a label body.
+func withLabel(labels, k, v string) string {
+	pair := k + `="` + v + `"`
+	if labels == "" {
+		return pair
+	}
+	return labels + "," + pair
+}
+
+// sanitizeName maps a metric name into the Prometheus name alphabet
+// [a-zA-Z0-9_:], replacing anything else (the registry's historical
+// dotted names, say) with '_'.
+func sanitizeName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

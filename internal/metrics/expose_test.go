@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestKeyLabelOrderInsensitive(t *testing.T) {
+	a := Key("m", "isp", "isp0.example", "op", "submit")
+	b := Key("m", "op", "submit", "isp", "isp0.example")
+	if a != b {
+		t.Fatalf("label order minted distinct keys: %q vs %q", a, b)
+	}
+	if want := `m{isp="isp0.example",op="submit"}`; a != want {
+		t.Fatalf("Key = %q, want %q", a, want)
+	}
+	if got := Key("m"); got != "m" {
+		t.Fatalf("unlabeled Key = %q", got)
+	}
+}
+
+func TestKeyEscapesValues(t *testing.T) {
+	got := Key("m", "k", "a\"b\\c\nd")
+	if want := `m{k="a\"b\\c\nd"}`; got != want {
+		t.Fatalf("Key = %q, want %q", got, want)
+	}
+}
+
+func TestLabeledSeriesAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits", "isp", "a").Add(1)
+	r.Counter("hits", "isp", "b").Add(2)
+	if got := r.Counter("hits", "isp", "a").Value(); got != 1 {
+		t.Fatalf("series a = %d, want 1", got)
+	}
+	if got := r.Counter("hits", "isp", "b").Value(); got != 2 {
+		t.Fatalf("series b = %d, want 2", got)
+	}
+}
+
+func TestLatencyHist(t *testing.T) {
+	h := NewLatencyHist()
+	h.Observe(60 * time.Microsecond) // second bucket (125µs)
+	h.Observe(40 * time.Microsecond) // first bucket (50µs)
+	h.Observe(-time.Second)          // clamps to zero, first bucket
+	h.Observe(time.Hour)             // beyond all bounds: +Inf only
+	if got := h.Count(); got != 4 {
+		t.Fatalf("Count = %d, want 4", got)
+	}
+	cum := h.Cumulative()
+	if cum[0] != 2 {
+		t.Fatalf("cumulative[0] = %d, want 2", cum[0])
+	}
+	if cum[1] != 3 {
+		t.Fatalf("cumulative[1] = %d, want 3", cum[1])
+	}
+	if last := cum[len(cum)-1]; last != 3 {
+		t.Fatalf("cumulative[last] = %d, want 3 (hour-long sample is +Inf only)", last)
+	}
+	if got := h.Sum(); got != time.Hour+100*time.Microsecond {
+		t.Fatalf("Sum = %v", got)
+	}
+}
+
+func TestCollectorRunsOnGather(t *testing.T) {
+	r := NewRegistry()
+	calls := 0
+	r.Register(CollectorFunc(func(reg *Registry) {
+		calls++
+		reg.Gauge("pool").Set(float64(100 * calls))
+	}))
+	r.Gather()
+	r.Gather()
+	if calls != 2 {
+		t.Fatalf("collector ran %d times, want 2", calls)
+	}
+	if got := r.Gauge("pool").Value(); got != 200 {
+		t.Fatalf("pool = %g, want the latest collected value 200", got)
+	}
+}
+
+func TestSetLatencyDoesNotDoubleCount(t *testing.T) {
+	r := NewRegistry()
+	h := NewLatencyHist()
+	h.Observe(time.Millisecond)
+	r.SetLatency("rtt", h, "isp", "a")
+	r.SetLatency("rtt", h, "isp", "a") // re-register, same pointer
+	if got := r.Latency("rtt", "isp", "a").Count(); got != 1 {
+		t.Fatalf("Count = %d after double registration, want 1", got)
+	}
+}
+
+// TestWritePromGolden pins the exposition format byte-for-byte: sorted
+// families, TYPE lines, label merging, cumulative le buckets, and
+// counter/gauge/summary rendering. A format drift breaks every scraper,
+// so it must show up here, not in production.
+func TestWritePromGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zmail_submit_total", "isp", "isp0.example").Add(3)
+	r.Counter("zmail_submit_total", "isp", "isp1.example").Add(5)
+	r.Gauge("zmail.pool.avail").Set(950) // dotted name: sanitized
+	h := r.Histogram("zmail_queue_depth")
+	for _, v := range []float64{1, 2, 3, 4} {
+		h.Observe(v)
+	}
+	lat := NewLatencyHist()
+	lat.Observe(40 * time.Microsecond)
+	lat.Observe(100 * time.Microsecond)
+	r.SetLatency("zmail_submit_seconds", lat, "isp", "isp0.example")
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# TYPE zmail_pool_avail gauge`,
+		`zmail_pool_avail 950`,
+		`# TYPE zmail_queue_depth summary`,
+		`zmail_queue_depth{quantile="0.5"} 2`,
+		`zmail_queue_depth{quantile="0.9"} 4`,
+		`zmail_queue_depth{quantile="0.99"} 4`,
+		`zmail_queue_depth_sum 10`,
+		`zmail_queue_depth_count 4`,
+		`# TYPE zmail_submit_seconds histogram`,
+		`zmail_submit_seconds_bucket{isp="isp0.example",le="5e-05"} 1`,
+		`zmail_submit_seconds_bucket{isp="isp0.example",le="0.000125"} 2`,
+		`zmail_submit_seconds_bucket{isp="isp0.example",le="0.0003125"} 2`,
+		`zmail_submit_seconds_bucket{isp="isp0.example",le="0.00078125"} 2`,
+		`zmail_submit_seconds_bucket{isp="isp0.example",le="0.001953125"} 2`,
+		`zmail_submit_seconds_bucket{isp="isp0.example",le="0.0048828125"} 2`,
+		`zmail_submit_seconds_bucket{isp="isp0.example",le="0.01220703125"} 2`,
+		`zmail_submit_seconds_bucket{isp="isp0.example",le="0.030517578125"} 2`,
+		`zmail_submit_seconds_bucket{isp="isp0.example",le="0.0762939453125"} 2`,
+		`zmail_submit_seconds_bucket{isp="isp0.example",le="0.19073486328125"} 2`,
+		`zmail_submit_seconds_bucket{isp="isp0.example",le="0.476837158203125"} 2`,
+		`zmail_submit_seconds_bucket{isp="isp0.example",le="1.1920928955078125"} 2`,
+		`zmail_submit_seconds_bucket{isp="isp0.example",le="2.9802322387695312"} 2`,
+		`zmail_submit_seconds_bucket{isp="isp0.example",le="+Inf"} 2`,
+		`zmail_submit_seconds_sum{isp="isp0.example"} 0.00014`,
+		`zmail_submit_seconds_count{isp="isp0.example"} 2`,
+		`# TYPE zmail_submit_total counter`,
+		`zmail_submit_total{isp="isp0.example"} 3`,
+		`zmail_submit_total{isp="isp1.example"} 5`,
+	}, "\n") + "\n"
+	if got := b.String(); got != want {
+		t.Fatalf("exposition drift.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWritePromStable: two renders of unchanged state are identical.
+func TestWritePromStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a", "x", "1").Inc()
+	r.Counter("a", "x", "2").Inc()
+	r.Gauge("b").Set(1)
+	r.Latency("c").Observe(time.Millisecond)
+	var one, two strings.Builder
+	if err := r.WriteProm(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteProm(&two); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != two.String() {
+		t.Fatalf("renders differ:\n%s\nvs\n%s", one.String(), two.String())
+	}
+}

@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBounds are the fixed bucket upper bounds of a LatencyHist, in
+// seconds: 50µs growing by 2.5× per bucket up to ~3s, which brackets
+// everything from an uncontended stripe lock to a bank round trip over
+// a slow link. Fixed bounds keep Observe allocation-free and make
+// scrapes from different processes directly comparable.
+var latencyBounds = func() []float64 {
+	b := make([]float64, 13)
+	v := 50e-6
+	for i := range b {
+		b[i] = v
+		v *= 2.5
+	}
+	return b
+}()
+
+// LatencyBounds returns a copy of the fixed bucket upper bounds, in
+// seconds.
+func LatencyBounds() []float64 {
+	return append([]float64(nil), latencyBounds...)
+}
+
+// LatencyHist is a fixed-bucket histogram of durations built for
+// protocol hot paths: Observe is one bucket search plus three atomic
+// adds, no locks, no allocation, no sample retention. Rendered by
+// WriteProm as a Prometheus histogram (cumulative le buckets, _sum in
+// seconds, _count).
+type LatencyHist struct {
+	buckets []atomic.Uint64 // buckets[i] counts observations <= latencyBounds[i]
+	count   atomic.Uint64
+	sumNano atomic.Int64
+}
+
+// NewLatencyHist creates an empty latency histogram.
+func NewLatencyHist() *LatencyHist {
+	return &LatencyHist{buckets: make([]atomic.Uint64, len(latencyBounds))}
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *LatencyHist) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s := d.Seconds()
+	if i := sort.SearchFloat64s(latencyBounds, s); i < len(h.buckets) {
+		h.buckets[i].Add(1)
+	}
+	h.count.Add(1)
+	h.sumNano.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *LatencyHist) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total observed duration.
+func (h *LatencyHist) Sum() time.Duration { return time.Duration(h.sumNano.Load()) }
+
+// Cumulative returns the per-bound cumulative counts: Cumulative()[i]
+// is the number of observations <= LatencyBounds()[i]. Observations
+// above the last bound appear only in Count().
+func (h *LatencyHist) Cumulative() []uint64 {
+	out := make([]uint64, len(h.buckets))
+	var run uint64
+	for i := range h.buckets {
+		run += h.buckets[i].Load()
+		out[i] = run
+	}
+	return out
+}

@@ -1,6 +1,14 @@
 // Package metrics provides lightweight counters, gauges and histograms
-// for the Zmail simulation harness, plus plain-text table rendering
-// used by the experiment drivers to print their report rows.
+// for the Zmail daemons and simulation harness, plus plain-text table
+// rendering used by the experiment drivers to print their report rows.
+//
+// Metrics live in a Registry, keyed by name plus optional label pairs
+// ("submit_total", `submit_total{isp="isp0.example"}`). Components that
+// own their measurement state implement Collector and register
+// themselves; Registry.Gather invokes every collector so a scrape sees
+// fresh values without any background push loop. WriteProm renders the
+// whole registry in the Prometheus text exposition format for the
+// daemons' /metrics endpoint.
 package metrics
 
 import (
@@ -22,6 +30,8 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	latencies  map[string]*LatencyHist
+	collectors []Collector
 }
 
 // NewRegistry creates an empty registry.
@@ -30,62 +40,183 @@ func NewRegistry() *Registry {
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
+		latencies:  make(map[string]*LatencyHist),
 	}
 }
 
-// Counter returns (creating if needed) the counter with the given name.
-func (r *Registry) Counter(name string) *Counter {
+// Collector is implemented by components that own their own measurement
+// state (engines, the bank, the simulator world). Collect is called at
+// scrape time — Registry.Gather — and should write current values into
+// the registry; nothing pushes between scrapes.
+type Collector interface {
+	Collect(r *Registry)
+}
+
+// CollectorFunc adapts a function to the Collector interface.
+type CollectorFunc func(r *Registry)
+
+// Collect calls f(r).
+func (f CollectorFunc) Collect(r *Registry) { f(r) }
+
+// Register adds a collector to be invoked on every Gather. Collectors
+// run in registration order.
+func (r *Registry) Register(c Collector) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, c)
+	r.mu.Unlock()
+}
+
+// Gather invokes every registered collector, refreshing the registry's
+// values. Call before Snapshot or WriteProm when collectors are in use.
+func (r *Registry) Gather() {
 	r.mu.RLock()
-	c, ok := r.counters[name]
+	cs := append([]Collector(nil), r.collectors...)
+	r.mu.RUnlock()
+	for _, c := range cs {
+		c.Collect(r)
+	}
+}
+
+// Key renders the storage key for a metric name plus label pairs:
+// name alone with no labels, otherwise name{k1="v1",k2="v2"} with the
+// pairs sorted by key so label order at the call site never mints a
+// second series. labels alternate key, value; a trailing odd key gets
+// an empty value. Values are escaped the way the Prometheus text format
+// requires, so the stored key is exposition-ready as-is.
+func Key(name string, labels ...string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, (len(labels)+1)/2)
+	for i := 0; i < len(labels); i += 2 {
+		p := kv{k: labels[i]}
+		if i+1 < len(labels) {
+			p.v = escapeLabelValue(labels[i+1])
+		}
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(p.v)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabelValue(v string) string { return labelEscaper.Replace(v) }
+
+// Counter returns (creating if needed) the counter with the given name
+// and label pairs.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	key := Key(name, labels...)
+	r.mu.RLock()
+	c, ok := r.counters[key]
 	r.mu.RUnlock()
 	if ok {
 		return c
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if c, ok := r.counters[name]; ok {
+	if c, ok := r.counters[key]; ok {
 		return c
 	}
 	c = &Counter{}
-	r.counters[name] = c
+	r.counters[key] = c
 	return c
 }
 
-// Gauge returns (creating if needed) the gauge with the given name.
-func (r *Registry) Gauge(name string) *Gauge {
+// Gauge returns (creating if needed) the gauge with the given name and
+// label pairs.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	key := Key(name, labels...)
 	r.mu.RLock()
-	g, ok := r.gauges[name]
+	g, ok := r.gauges[key]
 	r.mu.RUnlock()
 	if ok {
 		return g
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if g, ok := r.gauges[name]; ok {
+	if g, ok := r.gauges[key]; ok {
 		return g
 	}
 	g = &Gauge{}
-	r.gauges[name] = g
+	r.gauges[key] = g
 	return g
 }
 
 // Histogram returns (creating if needed) the histogram with the given
-// name.
-func (r *Registry) Histogram(name string) *Histogram {
+// name and label pairs.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	key := Key(name, labels...)
 	r.mu.RLock()
-	h, ok := r.histograms[name]
+	h, ok := r.histograms[key]
 	r.mu.RUnlock()
 	if ok {
 		return h
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if h, ok := r.histograms[name]; ok {
+	if h, ok := r.histograms[key]; ok {
 		return h
 	}
 	h = &Histogram{}
-	r.histograms[name] = h
+	r.histograms[key] = h
 	return h
+}
+
+// Latency returns (creating if needed) the latency histogram with the
+// given name and label pairs.
+func (r *Registry) Latency(name string, labels ...string) *LatencyHist {
+	key := Key(name, labels...)
+	r.mu.RLock()
+	h, ok := r.latencies[key]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.latencies[key]; ok {
+		return h
+	}
+	h = NewLatencyHist()
+	r.latencies[key] = h
+	return h
+}
+
+// SetLatency registers an externally owned latency histogram under the
+// given name and labels. Engines observe into histograms they own on
+// the hot path; their Collect registers the same pointer here, so
+// repeated Gathers re-register rather than double-count.
+func (r *Registry) SetLatency(name string, h *LatencyHist, labels ...string) {
+	key := Key(name, labels...)
+	r.mu.Lock()
+	r.latencies[key] = h
+	r.mu.Unlock()
+}
+
+// sortedKeys returns a map's keys in sorted order, so the renderers can
+// iterate deterministically (and stay clean under the detrand lint).
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Snapshot returns a sorted, human-readable dump of every metric.
@@ -93,14 +224,18 @@ func (r *Registry) Snapshot() string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	var lines []string
-	for name, c := range r.counters {
-		lines = append(lines, fmt.Sprintf("%s = %d", name, c.Value()))
+	for _, name := range sortedKeys(r.counters) {
+		lines = append(lines, fmt.Sprintf("%s = %d", name, r.counters[name].Value()))
 	}
-	for name, g := range r.gauges {
-		lines = append(lines, fmt.Sprintf("%s = %g", name, g.Value()))
+	for _, name := range sortedKeys(r.gauges) {
+		lines = append(lines, fmt.Sprintf("%s = %g", name, r.gauges[name].Value()))
 	}
-	for name, h := range r.histograms {
-		lines = append(lines, fmt.Sprintf("%s = %s", name, h.Summary()))
+	for _, name := range sortedKeys(r.histograms) {
+		lines = append(lines, fmt.Sprintf("%s = %s", name, r.histograms[name].Summary()))
+	}
+	for _, name := range sortedKeys(r.latencies) {
+		h := r.latencies[name]
+		lines = append(lines, fmt.Sprintf("%s = n=%d sum=%s", name, h.Count(), h.Sum()))
 	}
 	sort.Strings(lines)
 	return strings.Join(lines, "\n")

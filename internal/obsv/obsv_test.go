@@ -1,0 +1,123 @@
+package obsv
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"zmail/internal/metrics"
+	"zmail/internal/trace"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("zmail_test_total", "isp", "isp0.example").Add(7)
+	reg.Register(metrics.CollectorFunc(func(r *metrics.Registry) {
+		r.Gauge("zmail_collected").Set(42)
+	}))
+	ring := trace.NewRing(8)
+	tr := trace.New("isp0.example", 0, nil, ring)
+	id := tr.Next()
+	tr.Record(id, "charge", -1, "paid")
+
+	healthy := true
+	srv := httptest.NewServer(Handler(Config{
+		Registry: reg,
+		Ring:     ring,
+		Health: func() error {
+			if !healthy {
+				return errors.New("bank link down")
+			}
+			return nil
+		},
+	}))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, `zmail_test_total{isp="isp0.example"} 7`) {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if !strings.Contains(body, "zmail_collected 42") {
+		t.Fatalf("/metrics did not gather collectors:\n%s", body)
+	}
+
+	code, body = get(t, srv, "/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	healthy = false
+	code, body = get(t, srv, "/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "bank link down") {
+		t.Fatalf("unhealthy /healthz = %d %q", code, body)
+	}
+
+	code, body = get(t, srv, "/tracez")
+	if code != http.StatusOK {
+		t.Fatalf("/tracez status %d", code)
+	}
+	if !strings.Contains(body, "charge") || !strings.Contains(body, "isp0.example") {
+		t.Fatalf("/tracez missing span:\n%s", body)
+	}
+
+	code, _ = get(t, srv, "/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+func TestNilConfigDegradesGracefully(t *testing.T) {
+	srv := httptest.NewServer(Handler(Config{}))
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/healthz", "/tracez"} {
+		if code, _ := get(t, srv, path); code != http.StatusOK {
+			t.Fatalf("%s status %d with nil config", path, code)
+		}
+	}
+}
+
+func TestStartServesAndCloses(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Gauge("up").Set(1)
+	s, err := Start("127.0.0.1:0", Config{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + s.Addr().String() + "/metrics"
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "up 1") {
+		t.Fatalf("scrape missing gauge:\n%s", body)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Get(url); err == nil {
+		t.Fatal("scrape succeeded after Close")
+	}
+}

@@ -269,6 +269,7 @@ func (w *World) RestartBank() error {
 		Transport:      tr,
 		OwnSealer:      w.bankBox,
 		SettleOnVerify: w.Cfg.Settle,
+		Tracer:         w.bankTracer,
 	})
 	if err != nil {
 		return err

@@ -23,8 +23,10 @@ import (
 	"zmail/internal/crypto"
 	"zmail/internal/isp"
 	"zmail/internal/mail"
+	"zmail/internal/metrics"
 	"zmail/internal/money"
 	"zmail/internal/simnet"
+	"zmail/internal/trace"
 	"zmail/internal/wire"
 )
 
@@ -162,6 +164,10 @@ type World struct {
 	Bank  *bank.Bank
 	// Engines[i] is nil for non-compliant ISPs.
 	Engines []*isp.Engine
+	// Trace records every span from every party, queryable by flow ID.
+	// Tracing is always on: the tracers run off the virtual clock and
+	// plain counters, so seeded output is unchanged by it.
+	Trace *trace.Recorder
 
 	mu       sync.Mutex
 	inboxes  map[string][]*mail.Message // key "user@domain"
@@ -171,12 +177,16 @@ type World struct {
 
 	initialE int64
 
-	// Key material and per-node transports are retained so a crashed
-	// node can be rebuilt with the same identity (see chaos.go).
-	bankBox   crypto.Sealer
-	ispBoxes  []crypto.Sealer
-	ispTrans  []*ispTransport
-	bankTrans *bankTransport
+	// Key material, per-node transports, and tracers are retained so a
+	// crashed node can be rebuilt with the same identity (see chaos.go).
+	// Reusing the tracer across incarnations keeps minted flow IDs
+	// unique for the whole run.
+	bankBox    crypto.Sealer
+	ispBoxes   []crypto.Sealer
+	ispTrans   []*ispTransport
+	bankTrans  *bankTransport
+	tracers    []*trace.Tracer
+	bankTracer *trace.Tracer
 
 	// Chaos bookkeeping (chaos.go): which nodes are down, each down
 	// ISP's durable e-penny total (the disk survives the process), the
@@ -308,6 +318,12 @@ func NewWorld(cfg Config) (*World, error) {
 
 	w.bankBox = bankBox
 	w.ispBoxes = ispBoxes
+	w.Trace = trace.NewRecorder()
+	w.bankTracer = trace.New("bank", -1, w.Clock, w.Trace)
+	w.tracers = make([]*trace.Tracer, cfg.NumISPs)
+	for i := range w.tracers {
+		w.tracers[i] = trace.New(cfg.Domains[i], i, w.Clock, w.Trace)
+	}
 	w.ispTrans = make([]*ispTransport, cfg.NumISPs)
 	w.ispDown = make([]bool, cfg.NumISPs)
 	w.downTotal = make([]int64, cfg.NumISPs)
@@ -324,6 +340,7 @@ func NewWorld(cfg Config) (*World, error) {
 		Transport:      w.bankTrans,
 		OwnSealer:      bankBox,
 		SettleOnVerify: cfg.Settle,
+		Tracer:         w.bankTracer,
 	})
 	if err != nil {
 		return nil, err
@@ -383,6 +400,7 @@ func (w *World) buildEngine(i int) (*isp.Engine, error) {
 		Filter:         w.Cfg.Filter,
 		BankSealer:     w.bankBox.PublicOnly(),
 		OwnSealer:      w.ispBoxes[i],
+		Tracer:         w.tracers[i],
 	})
 	if err != nil {
 		return nil, err
@@ -653,4 +671,18 @@ func (w *World) Rand() *rand.Rand { return w.rng }
 // UserAddr builds "u<n>@<domain i>".
 func (w *World) UserAddr(ispIdx, userIdx int) string {
 	return fmt.Sprintf("u%d@%s", userIdx, w.Cfg.Domains[ispIdx])
+}
+
+var _ metrics.Collector = (*World)(nil)
+
+// Collect implements metrics.Collector for the whole federation: every
+// live compliant engine plus the bank publish into r, so one registry
+// (and one /metrics scrape, under the harness) covers the world.
+func (w *World) Collect(r *metrics.Registry) {
+	for _, e := range w.Engines {
+		if e != nil {
+			e.Collect(r)
+		}
+	}
+	w.Bank.Collect(r)
 }

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"zmail/internal/clock"
+)
+
+func TestIDRoundTrip(t *testing.T) {
+	tr := New("isp0.example", 3, nil, nil)
+	id := tr.Next()
+	if id.IsZero() {
+		t.Fatal("minted ID is zero")
+	}
+	if id.Origin() != 3 {
+		t.Fatalf("Origin() = %d, want 3", id.Origin())
+	}
+	got, ok := ParseID(id.String())
+	if !ok || got != id {
+		t.Fatalf("ParseID(%q) = %v, %v; want %v, true", id.String(), got, ok, id)
+	}
+}
+
+func TestParseIDRejectsGarbage(t *testing.T) {
+	for _, s := range []string{"", "zzzz", "0", "00000000000000000", "-1", "12 34"} {
+		if id, ok := ParseID(s); ok {
+			t.Errorf("ParseID(%q) accepted as %v", s, id)
+		}
+	}
+}
+
+func TestBankOrigin(t *testing.T) {
+	tr := New("bank", -1, nil, nil)
+	if got := tr.Next().Origin(); got != OriginBank {
+		t.Fatalf("bank origin = %#x, want %#x", got, OriginBank)
+	}
+}
+
+func TestMintedIDsAreSequentialAndDistinct(t *testing.T) {
+	tr := New("p", 1, nil, nil)
+	seen := make(map[ID]bool)
+	for i := 0; i < 1000; i++ {
+		id := tr.Next()
+		if seen[id] {
+			t.Fatalf("duplicate ID %v", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if id := tr.Next(); !id.IsZero() {
+		t.Fatalf("nil tracer minted %v", id)
+	}
+	tr.Record(0, "charge", -1, "paid") // must not panic
+	if tr.Party() != "" {
+		t.Fatal("nil tracer has a party")
+	}
+}
+
+func TestTracerRecordsWithClock(t *testing.T) {
+	start := time.Unix(1_100_000_000, 0)
+	clk := clock.NewVirtual(start)
+	rec := NewRecorder()
+	tr := New("isp0.example", 0, clk, rec)
+	id := tr.Next()
+	tr.Record(id, "charge", -1, "paid")
+	clk.Advance(time.Second)
+	tr.Record(id, "credit", +1, "delivered")
+
+	spans := rec.ByTrace(id)
+	if len(spans) != 2 {
+		t.Fatalf("ByTrace: %d spans, want 2", len(spans))
+	}
+	if !spans[0].At.Equal(start) || !spans[1].At.Equal(start.Add(time.Second)) {
+		t.Fatalf("timestamps %v, %v not from the injected clock", spans[0].At, spans[1].At)
+	}
+	if spans[0].Op != "charge" || spans[0].Amount != -1 || spans[1].Op != "credit" {
+		t.Fatalf("span content wrong: %+v", spans)
+	}
+}
+
+func TestRecorderByTraceFilters(t *testing.T) {
+	rec := NewRecorder()
+	tr := New("p", 0, nil, rec)
+	a, b := tr.Next(), tr.Next()
+	tr.Record(a, "charge", -1, "paid")
+	tr.Record(b, "charge", -1, "paid")
+	tr.Record(a, "credit", +1, "delivered")
+	if got := len(rec.ByTrace(a)); got != 2 {
+		t.Fatalf("ByTrace(a) = %d spans, want 2", got)
+	}
+	if got := len(rec.ByTrace(b)); got != 1 {
+		t.Fatalf("ByTrace(b) = %d spans, want 1", got)
+	}
+	if rec.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", rec.Len())
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	r := NewRing(3)
+	tr := New("p", 0, nil, r)
+	for i := int64(1); i <= 5; i++ {
+		tr.Record(ID(i), "op", i, "ok")
+	}
+	got := r.Recent(0)
+	if len(got) != 3 {
+		t.Fatalf("Recent(0) = %d spans, want 3", len(got))
+	}
+	for i, want := range []ID{3, 4, 5} {
+		if got[i].Trace != want {
+			t.Fatalf("Recent[%d].Trace = %v, want %v (oldest-first order)", i, got[i].Trace, want)
+		}
+	}
+	if r.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", r.Total())
+	}
+	if last := r.Recent(1); len(last) != 1 || last[0].Trace != 5 {
+		t.Fatalf("Recent(1) = %+v, want the newest span", last)
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := NewRing(10)
+	r.Record(Span{Trace: 1})
+	r.Record(Span{Trace: 2})
+	got := r.Recent(0)
+	if len(got) != 2 || got[0].Trace != 1 || got[1].Trace != 2 {
+		t.Fatalf("partial ring Recent = %+v", got)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	// Two identical traced runs over virtual clocks must produce
+	// identical span streams — the property the zsim golden test
+	// depends on.
+	run := func() []Span {
+		clk := clock.NewVirtual(time.Unix(0, 0))
+		rec := NewRecorder()
+		tr := New("isp0.example", 0, clk, rec)
+		for i := 0; i < 50; i++ {
+			id := tr.Next()
+			tr.Record(id, "charge", -1, "paid")
+			clk.Advance(time.Millisecond)
+			tr.Record(id, "credit", +1, "delivered")
+		}
+		return rec.Spans()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("span counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("span %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

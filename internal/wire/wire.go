@@ -11,9 +11,10 @@
 //	reply(x)      ISP → bank   the ISP's credit array
 //
 // Bodies are fixed little-endian binary; each travels inside an
-// Envelope that carries the message kind, the sender's ISP index, and
-// the (usually sealed) payload. Envelopes are length-prefix framed so
-// they can be streamed over TCP.
+// Envelope that carries the message kind, the sender's ISP index, an
+// optional trace ID (internal/trace), and the (usually sealed)
+// payload. Envelopes are length-prefix framed so they can be streamed
+// over TCP.
 package wire
 
 import (
@@ -84,27 +85,37 @@ const MaxEnvelopeSize = 1 << 20
 
 const envelopeMagic = 0x5A4D // "ZM"
 
+// EnvelopeHeaderSize is the fixed prefix of a marshaled envelope:
+// magic (2) + kind (1) + from (4) + trace (8).
+const EnvelopeHeaderSize = 15
+
 // Envelope frames one sealed message body.
 type Envelope struct {
 	Kind    Kind
 	From    int32 // sender's ISP index; -1 when sent by the bank
 	Payload []byte
+	// Trace is the optional internal/trace flow ID this message belongs
+	// to (zero = untraced). It travels in the clear, outside the sealed
+	// payload: it carries no value and replies echo it so both ends of a
+	// bank exchange record spans under one ID.
+	Trace uint64
 }
 
 // MarshalBinary encodes the envelope (without the stream length
 // prefix).
 func (e *Envelope) MarshalBinary() []byte {
-	out := make([]byte, 7+len(e.Payload))
+	out := make([]byte, EnvelopeHeaderSize+len(e.Payload))
 	binary.LittleEndian.PutUint16(out[0:2], envelopeMagic)
 	out[2] = byte(e.Kind)
 	binary.LittleEndian.PutUint32(out[3:7], uint32(e.From))
-	copy(out[7:], e.Payload)
+	binary.LittleEndian.PutUint64(out[7:15], e.Trace)
+	copy(out[EnvelopeHeaderSize:], e.Payload)
 	return out
 }
 
 // UnmarshalBinary decodes an envelope produced by MarshalBinary.
 func (e *Envelope) UnmarshalBinary(data []byte) error {
-	if len(data) < 7 {
+	if len(data) < EnvelopeHeaderSize {
 		return ErrShortMessage
 	}
 	if binary.LittleEndian.Uint16(data[0:2]) != envelopeMagic {
@@ -112,7 +123,8 @@ func (e *Envelope) UnmarshalBinary(data []byte) error {
 	}
 	e.Kind = Kind(data[2])
 	e.From = int32(binary.LittleEndian.Uint32(data[3:7]))
-	e.Payload = append([]byte(nil), data[7:]...)
+	e.Trace = binary.LittleEndian.Uint64(data[7:15])
+	e.Payload = append([]byte(nil), data[EnvelopeHeaderSize:]...)
 	return nil
 }
 

@@ -119,13 +119,14 @@ func TestCreditReportLengthLie(t *testing.T) {
 }
 
 func TestEnvelopeRoundTrip(t *testing.T) {
-	f := func(kind uint8, from int32, payload []byte) bool {
-		in := Envelope{Kind: Kind(kind), From: from, Payload: payload}
+	f := func(kind uint8, from int32, trace uint64, payload []byte) bool {
+		in := Envelope{Kind: Kind(kind), From: from, Trace: trace, Payload: payload}
 		var out Envelope
 		if err := out.UnmarshalBinary(in.MarshalBinary()); err != nil {
 			return false
 		}
-		return out.Kind == in.Kind && out.From == in.From && bytes.Equal(out.Payload, in.Payload)
+		return out.Kind == in.Kind && out.From == in.From && out.Trace == in.Trace &&
+			bytes.Equal(out.Payload, in.Payload)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -215,7 +216,7 @@ func TestEnvelopePayloadCopied(t *testing.T) {
 	if err := out.UnmarshalBinary(raw); err != nil {
 		t.Fatal(err)
 	}
-	raw[7] = 'X'
+	raw[EnvelopeHeaderSize] = 'X'
 	if !reflect.DeepEqual(out.Payload, []byte("abc")) {
 		t.Fatal("unmarshaled payload aliases the input buffer")
 	}

@@ -17,6 +17,10 @@
 //   - anti-spam baselines: Bayes, Blacklist, Whitelist, Hashcash,
 //     ChallengeResponse, Shred;
 //   - mailing lists: Distributor;
+//   - observability: Tracer/TraceRing/TraceRecorder (per-message span
+//     chains), MetricsRegistry with pull-based Collectors and
+//     Prometheus text exposition, ObsvServer (the daemons' admin
+//     listener), and the Checkpointer persistence contract;
 //   - the paper's formal AP specification and runtime (SpecNew);
 //   - the experiment suite: RunExperiment / RunAllExperiments.
 //
@@ -46,9 +50,12 @@ import (
 	"zmail/internal/maillist"
 	"zmail/internal/metrics"
 	"zmail/internal/money"
+	"zmail/internal/obsv"
+	"zmail/internal/persist"
 	"zmail/internal/sim"
 	"zmail/internal/simnet"
 	"zmail/internal/smtp"
+	"zmail/internal/trace"
 	"zmail/internal/wire"
 )
 
@@ -389,6 +396,82 @@ type (
 	WireEnvelope = wire.Envelope
 	// WireKind discriminates control messages.
 	WireKind = wire.Kind
+)
+
+// Observability: message tracing, pull-based metrics, and the admin
+// telemetry listener.
+//
+// A Tracer follows e-penny movements across the federation. Mint one
+// per party, hand it to the engine or bank config, and every charge,
+// transfer, credit, mint, and refund lands in the sink as a Span under
+// the flow ID stamped on the message (X-Zmail-Trace) or control
+// envelope:
+//
+//	ring := zmail.NewTraceRing(4096)
+//	tracer := zmail.NewTracer("isp0.example", 0, zmail.SystemClock(), ring)
+//	eng, _ := zmail.NewISP(zmail.ISPConfig{ /* ... */ Tracer: tracer})
+//
+// Metrics are pull-based: anything implementing MetricsCollector (an
+// ISP engine, a Bank, a sim World) registers with a MetricsRegistry,
+// which invokes Collect at scrape time:
+//
+//	reg := zmail.NewMetricsRegistry()
+//	reg.Register(eng)
+//	srv, _ := zmail.StartObsvServer("127.0.0.1:7070",
+//		zmail.ObsvConfig{Registry: reg, Ring: ring})
+//
+// and /metrics, /healthz, /tracez, /debug/pprof are live. A sim World
+// traces unconditionally: query World.Trace by flow ID after a run to
+// audit any message's complete charge→transfer→credit chain.
+type (
+	// TraceID identifies one traced flow (zero = untraced).
+	TraceID = trace.ID
+	// TraceSpan is one recorded step of a traced flow.
+	TraceSpan = trace.Span
+	// TraceSink receives spans (Ring and Recorder implement it).
+	TraceSink = trace.Sink
+	// TraceRing retains the most recent spans (daemons, /tracez).
+	TraceRing = trace.Ring
+	// TraceRecorder retains every span (simulation, chaos audits).
+	TraceRecorder = trace.Recorder
+	// Tracer mints flow IDs and records spans for one party.
+	Tracer = trace.Tracer
+	// MetricsRegistry stores labeled counters/gauges/histograms and
+	// renders Prometheus text exposition.
+	MetricsRegistry = metrics.Registry
+	// MetricsCollector is the pull-based publication contract.
+	MetricsCollector = metrics.Collector
+	// MetricsCollectorFunc adapts a function to MetricsCollector.
+	MetricsCollectorFunc = metrics.CollectorFunc
+	// LatencyHistogram is a fixed-bound histogram for hot-path timings.
+	LatencyHistogram = metrics.LatencyHist
+	// ObsvServer is the daemons' admin telemetry listener.
+	ObsvServer = obsv.Server
+	// ObsvConfig wires an ObsvServer to registry, trace ring, health.
+	ObsvConfig = obsv.Config
+	// Checkpointer is the durable-state contract shared by ISP, Bank,
+	// and Node (SaveState/LoadState).
+	Checkpointer = persist.Checkpointer
+)
+
+// Observability constructors.
+var (
+	// NewTracer builds a tracer for one party.
+	NewTracer = trace.New
+	// ParseTraceID inverts TraceID.String (mail-header form).
+	ParseTraceID = trace.ParseID
+	// NewTraceRing creates a fixed-capacity span ring.
+	NewTraceRing = trace.NewRing
+	// NewTraceRecorder creates an append-everything span sink.
+	NewTraceRecorder = trace.NewRecorder
+	// NewMetricsRegistry creates an empty registry.
+	NewMetricsRegistry = metrics.NewRegistry
+	// NewLatencyHistogram creates a latency histogram.
+	NewLatencyHistogram = metrics.NewLatencyHist
+	// StartObsvServer binds an address and serves the admin endpoints.
+	StartObsvServer = obsv.Start
+	// StartCheckpoints periodically saves a Checkpointer to a path.
+	StartCheckpoints = persist.StartCheckpoints
 )
 
 // Experiments.
