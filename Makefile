@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench determinism chaos fuzz-smoke golden lint lint-fixtures obsv check all
+.PHONY: build test race bench bench-record determinism chaos fuzz-smoke golden lint lint-fixtures obsv wal check all
 
 all: build test
 
@@ -30,6 +30,16 @@ race:
 bench:
 	$(GO) test -run xxx -bench 'EngineSend|WorldStep|ISPSubmit|ISPReceive' -benchmem .
 	$(GO) test -run xxx -bench 'BuyHandling' -benchmem ./internal/bank/
+
+# Record the hot-path and checkpoint/replay benchmarks as BENCH_6.json
+# (ns/op, B/op, allocs/op, plus the derived WAL-vs-JSON checkpoint
+# speedup, which must stay >= 10x).
+bench-record:
+	{ $(GO) test -run xxx -bench 'EngineSend|WorldStep|ISPSubmit|ISPReceive' -benchmem . && \
+	  $(GO) test -run xxx -bench 'BuyHandling' -benchmem ./internal/bank/ && \
+	  $(GO) test -run xxx -bench 'WALCheckpoint|WALReplay' -benchmem ./internal/isp/ ; } \
+		| $(GO) run ./cmd/benchjson -out BENCH_6.json
+	cat BENCH_6.json
 
 # Seeded experiment output must be bit-identical run to run.
 determinism:
@@ -75,5 +85,11 @@ lint-fixtures:
 obsv:
 	$(GO) test -run TestObsvSmoke -v ./cmd/zmaild/
 
+# WAL durability gate: the crash-debris tables (torn tail, truncated
+# length prefix, corrupt checksum, snapshot/truncate crash window,
+# duplicate segment replay) plus the seeded replay-equivalence check.
+wal:
+	$(GO) test -run 'WAL' ./internal/persist/ ./internal/isp/ ./internal/bank/ ./internal/sim/ -v
+
 # Full pre-merge sweep.
-check: test race lint lint-fixtures chaos fuzz-smoke determinism obsv
+check: test race lint lint-fixtures chaos fuzz-smoke determinism obsv wal

@@ -1,0 +1,131 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// stable JSON record (see `make bench-record`, which writes
+// BENCH_6.json). Only the standard library is used; the parser accepts
+// the textual benchmark lines emitted by the testing package:
+//
+//	BenchmarkName-8   	     100	  11234 ns/op	  512 B/op	  7 allocs/op
+//
+// The trailing -N GOMAXPROCS suffix is stripped so records are
+// comparable across machines. When both WAL checkpoint benchmarks are
+// present, a derived speedup ratio (whole-state JSON ns/op over WAL
+// ns/op) is included — the PR-6 acceptance number.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+}
+
+type record struct {
+	GeneratedBy string             `json:"generatedBy"`
+	Benchmarks  []benchResult      `json:"benchmarks"`
+	Derived     map[string]float64 `json:"derived,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string) error {
+	rec := record{GeneratedBy: "make bench-record"}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			rec.Benchmarks = append(rec.Benchmarks, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(rec.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+	if ratio, ok := checkpointSpeedup(rec.Benchmarks); ok {
+		rec.Derived = map[string]float64{"walCheckpointSpeedupVsJSON": ratio}
+	}
+	data, err := json.MarshalIndent(&rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+// parseLine extracts one benchmark result; non-benchmark lines (build
+// banners, PASS/ok trailers) report ok=false.
+func parseLine(line string) (benchResult, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return benchResult{}, false
+	}
+	name := strings.TrimPrefix(f[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	r := benchResult{Name: name, Iterations: iters}
+	// The remainder is value/unit pairs.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return benchResult{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		}
+	}
+	if r.NsPerOp == 0 {
+		return benchResult{}, false
+	}
+	return r, true
+}
+
+// checkpointSpeedup derives the PR-6 acceptance ratio when both 100k
+// checkpoint benchmarks are present.
+func checkpointSpeedup(bs []benchResult) (float64, bool) {
+	var jsonNs, walNs float64
+	for _, b := range bs {
+		switch b.Name {
+		case "WALCheckpointJSON100k":
+			jsonNs = b.NsPerOp
+		case "WALCheckpointWAL100k":
+			walNs = b.NsPerOp
+		}
+	}
+	if jsonNs == 0 || walNs == 0 {
+		return 0, false
+	}
+	return jsonNs / walNs, true
+}

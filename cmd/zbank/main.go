@@ -75,6 +75,7 @@ func run(args []string) error {
 		auditEvery = fs.Duration("audit-every", 0, "run credit audits on this interval (0 = manual only)")
 		insecure   = fs.Bool("insecure", false, "use plaintext sealers (local experiments only)")
 		stateFile  = fs.String("state", "", "durable ledger file; loaded at start, saved after audits and on shutdown")
+		walDir     = fs.String("wal", "", "write-ahead-log directory; every mutation is logged and boot replays the log (excludes -state)")
 		metricsAd  = fs.String("metrics", "", "admin telemetry listen address (loopback only!), e.g. 127.0.0.1:7071")
 	)
 	fs.Var(enrollments, "enroll", "index=pubkeyfile; repeatable, one per compliant ISP")
@@ -157,6 +158,27 @@ func run(args []string) error {
 			}
 		}
 	}
+	if *walDir != "" && *stateFile != "" {
+		return fmt.Errorf("-wal and -state are mutually exclusive")
+	}
+	if *walDir != "" {
+		if persist.HasWAL(*walDir) {
+			if err := bk.RecoverWAL(*walDir); err != nil {
+				return fmt.Errorf("recover %s: %w", *walDir, err)
+			}
+			logf("recovered ledger from WAL %s", *walDir)
+		} else {
+			if err := bk.AttachWAL(*walDir); err != nil {
+				return fmt.Errorf("init %s: %w", *walDir, err)
+			}
+			logf("write-ahead log initialized at %s", *walDir)
+		}
+		defer func() {
+			if err := bk.CloseWAL(); err != nil {
+				logf("close wal: %v", err)
+			}
+		}()
+	}
 	if *stateFile != "" {
 		switch err := bk.LoadState(*stateFile); {
 		case err == nil:
@@ -168,7 +190,9 @@ func run(args []string) error {
 		}
 	}
 	saveState := func() {
-		if *stateFile == "" {
+		// With a WAL attached SaveState ignores its path and fsyncs the
+		// log (compacting past the snapshot threshold).
+		if *stateFile == "" && *walDir == "" {
 			return
 		}
 		if err := bk.SaveState(*stateFile); err != nil {

@@ -156,6 +156,7 @@ func boot(args []string) (*daemon, error) {
 		admin     = fs.String("admin", "", "operator console listen address (loopback only!), e.g. 127.0.0.1:7025")
 		metricsAd = fs.String("metrics", "", "admin telemetry listen address (loopback only!), e.g. 127.0.0.1:7070")
 		stateFile = fs.String("state", "", "durable ledger file; loaded at start, saved on shutdown and every 5m")
+		walDir    = fs.String("wal", "", "write-ahead-log directory; every mutation is logged and boot replays the log (excludes -state)")
 	)
 	fs.Var(&users, "user", "local:accountPennies:balanceEPennies:dailyLimit; repeatable")
 	fs.Var(&peers, "peer", "index=host:port of a peer ISP; repeatable")
@@ -295,6 +296,38 @@ func boot(args []string) (*daemon, error) {
 	}
 	d.node = node
 	d.reg.Register(node.Engine())
+
+	if *walDir != "" && *stateFile != "" {
+		d.Close()
+		return nil, fmt.Errorf("-wal and -state are mutually exclusive")
+	}
+	if *walDir != "" {
+		eng := node.Engine()
+		if persist.HasWAL(*walDir) {
+			if err := eng.RecoverWAL(*walDir); err != nil {
+				d.Close()
+				return nil, fmt.Errorf("recover %s: %w", *walDir, err)
+			}
+			d.logf("recovered ledger from WAL %s (%d users)", *walDir, len(eng.ExportState().Users))
+		} else {
+			if err := eng.AttachWAL(*walDir); err != nil {
+				d.Close()
+				return nil, fmt.Errorf("init %s: %w", *walDir, err)
+			}
+			d.logf("write-ahead log initialized at %s", *walDir)
+		}
+		d.saveState = func() {
+			if err := eng.CloseWAL(); err != nil {
+				d.logf("close wal: %v", err)
+			}
+		}
+		// With a WAL attached SaveState ignores its path: the periodic
+		// checkpoint fsyncs the log, compacting when it outgrows the
+		// snapshot threshold.
+		d.stopCkpt = persist.StartCheckpoints(clk, node, "", 5*time.Minute, func(err error) {
+			d.logf("checkpoint: %v", err)
+		})
+	}
 
 	if *stateFile != "" {
 		switch err := node.LoadState(*stateFile); {

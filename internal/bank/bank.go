@@ -17,6 +17,7 @@ import (
 
 	"zmail/internal/crypto"
 	"zmail/internal/money"
+	"zmail/internal/persist"
 	"zmail/internal/trace"
 	"zmail/internal/wire"
 )
@@ -118,6 +119,11 @@ type Bank struct {
 	lastRoundSum  int64
 	stats         Stats
 
+	// wal, when attached, receives one record per durable mutation
+	// (wal.go); walErrs counts appends that failed.
+	wal     *persist.WAL
+	walErrs int64
+
 	emitq []func()
 }
 
@@ -199,6 +205,7 @@ func (b *Bank) Deposit(index int, amount money.Penny) error {
 		return errors.New("bank: deposit must be positive")
 	}
 	b.account[index] += amount
+	b.walDeposit(index, int64(amount))
 	return nil
 }
 
@@ -299,6 +306,7 @@ func (b *Bank) handleLocked(env *wire.Envelope) error {
 			b.stats.BuysDenied++
 			b.cfg.Tracer.Record(tid, "mint", 0, "denied")
 		}
+		b.walBuy(m.Nonce, g, m.Value, accepted)
 		reply, err := b.sealTo(g, wire.KindBuyReply,
 			(&wire.BuyReply{Nonce: m.Nonce, Accepted: accepted}).MarshalBinary())
 		if err != nil {
@@ -319,11 +327,15 @@ func (b *Bank) handleLocked(env *wire.Envelope) error {
 		}
 		b.seenNonces[m.Nonce] = true
 		if m.Value <= 0 {
+			// The nonce memory above is durable replay protection even
+			// though the sell itself is rejected.
+			b.walNonce(m.Nonce)
 			return errors.New("bank: sell of non-positive value")
 		}
 		b.account[g] += money.Penny(m.Value)
 		b.stats.Burned += m.Value
 		b.stats.Sells++
+		b.walSell(m.Nonce, g, m.Value)
 		b.cfg.Tracer.Record(tid, "burn", -m.Value, "accepted")
 		reply, err := b.sealTo(g, wire.KindSellReply,
 			(&wire.SellReply{Nonce: m.Nonce}).MarshalBinary())
@@ -425,6 +437,7 @@ func (b *Bank) AbortRound() error {
 	b.gathering = false
 	b.total = 0
 	b.seq++
+	b.walSeq(b.seq)
 	b.stats.RoundsAborted++
 	b.cfg.Tracer.Record(b.roundTrace, "audit", 0, "aborted")
 	for i := range b.verify {
@@ -449,6 +462,7 @@ func (b *Bank) LastRoundCreditSum() int64 {
 // verifyLocked is the §4.4 pairwise sweep; call with mu held.
 func (b *Bank) verifyLocked() {
 	n := b.cfg.NumISPs
+	prevViolations := len(b.violations)
 	b.lastRoundSum = 0
 	for i := range b.verify {
 		for _, v := range b.verify[i] {
@@ -480,6 +494,7 @@ func (b *Bank) verifyLocked() {
 		}
 	}
 	b.seq++
+	b.walRound(b.seq, b.violations[prevViolations:])
 	b.gathering = false
 	b.stats.Rounds++
 	// The span's amount is the round's credit-matrix sum: zero over a

@@ -4,11 +4,23 @@ import "zmail/internal/persist"
 
 var _ persist.Checkpointer = (*Bank)(nil)
 
-// SaveState atomically persists the durable ledger to path. The bank
-// has no injected clock, so periodic checkpointing is the caller's job
-// — persist.StartCheckpoints with the caller's clock (cmd/zbank), or
-// explicit saves at crash points (the chaos harness).
+// SaveState persists the durable ledger. WAL-backed: fsync the
+// mutation log (path is ignored — the WAL directory was fixed at
+// attach), compacting first when the live log has outgrown
+// bankWALCompactThreshold. Otherwise: whole-state JSON to path. The
+// bank has no injected clock, so periodic checkpointing is the
+// caller's job — persist.StartCheckpoints with the caller's clock
+// (cmd/zbank), or explicit saves at crash points (the chaos harness).
 func (b *Bank) SaveState(path string) error {
+	b.mu.Lock()
+	w := b.wal
+	b.mu.Unlock()
+	if w != nil {
+		if w.SizeSinceSnapshot() >= bankWALCompactThreshold {
+			return b.compactWAL(w)
+		}
+		return w.Sync()
+	}
 	return persist.SaveJSON(path, b.ExportState())
 }
 

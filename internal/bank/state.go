@@ -33,6 +33,13 @@ type BankState struct {
 func (b *Bank) ExportState() *BankState {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	return b.exportStateLocked()
+}
+
+// exportStateLocked is ExportState's body, split out so WAL attach and
+// compaction (wal.go) can cut a snapshot at a point they also mark —
+// call with mu held.
+func (b *Bank) exportStateLocked() *BankState {
 	seq := b.seq
 	if b.gathering {
 		// The in-flight round has consumed this seq: ISPs that already

@@ -50,6 +50,7 @@ func (e *Engine) tick(em *emitQueue) error {
 		if err != nil {
 			return fmt.Errorf("isp: buy nonce: %w", err)
 		}
+		e.walNonce(e.nonces.Counter())
 		e.canBuy = false
 		e.ns1 = nonce
 		e.buyVal = e.cfg.RestockAmount
@@ -74,6 +75,7 @@ func (e *Engine) tick(em *emitQueue) error {
 		if err != nil {
 			return fmt.Errorf("isp: sell nonce: %w", err)
 		}
+		e.walNonce(e.nonces.Counter())
 		e.canSell = false
 		e.ns2 = nonce
 		// Sell down to the midpoint of the operating band. The sold
@@ -84,11 +86,13 @@ func (e *Engine) tick(em *emitQueue) error {
 		mid := e.cfg.MinAvail + (e.cfg.MaxAvail-e.cfg.MinAvail)/2
 		e.sellVal = e.avail - mid
 		e.avail -= e.sellVal
+		e.walPoolAdd(-int64(e.sellVal))
 		e.sellAt = e.cfg.Clock.Now()
 		body := (&wire.Sell{Value: int64(e.sellVal), Nonce: uint64(nonce)}).MarshalBinary()
 		sealed, err := e.cfg.BankSealer.Seal(body)
 		if err != nil {
 			e.avail += e.sellVal
+			e.walPoolAdd(int64(e.sellVal))
 			e.canSell = true
 			return fmt.Errorf("isp: seal sell: %w", err)
 		}
@@ -135,6 +139,7 @@ func (e *Engine) handleBank(em *emitQueue, env *wire.Envelope) error {
 		e.lat.bankRTT.Observe(e.cfg.Clock.Now().Sub(e.buyAt))
 		if br.Accepted {
 			e.avail += e.buyVal
+			e.walPoolAdd(int64(e.buyVal))
 			e.tracer.Record(e.buyTrace, "restock", int64(e.buyVal), "accepted")
 		} else {
 			e.tracer.Record(e.buyTrace, "restock", 0, "denied")
@@ -226,6 +231,10 @@ func (e *Engine) finishFreeze(seq uint64, tid trace.ID) {
 	outbox := e.outbox
 	e.outbox = nil
 	e.mu.Unlock()
+	// Logged under the freeze write lock, which excludes every credit
+	// delta: the meta segment's file order is the real zero-vs-delta
+	// order.
+	e.walCreditZero(seq + 1)
 	e.freezeMu.Unlock()
 
 	if e.cfg.BankSealer != nil {

@@ -4,15 +4,29 @@ import (
 	"zmail/internal/persist"
 )
 
-// Checkpointing: the durable-ledger half of crash recovery. SaveState /
-// LoadState move ExportState/RestoreState through internal/persist's
-// atomic file protocol, satisfying persist.Checkpointer; periodic
-// saving is persist.StartCheckpoints(e.Clock(), e, ...).
+// Checkpointing: the durable-ledger half of crash recovery, satisfying
+// persist.Checkpointer; periodic saving is
+// persist.StartCheckpoints(e.Clock(), e, ...).
+//
+// With a WAL attached (AttachWAL/RecoverWAL, see wal.go) a checkpoint
+// is O(mutations since the last one): every ledger change already
+// appended a record, so SaveState only fsyncs the segments — or, past
+// a size threshold, compacts the log into a fresh snapshot. Without a
+// WAL the PR-2 whole-state JSON path survives as the debug exporter.
 
 var _ persist.Checkpointer = (*Engine)(nil)
 
-// SaveState atomically persists the durable ledger to path.
+// SaveState persists the durable ledger. WAL-backed: fsync the
+// mutation log (path is ignored — the WAL directory was fixed at
+// attach), compacting first when the live log has outgrown
+// walCompactThreshold. Otherwise: whole-state JSON to path.
 func (e *Engine) SaveState(path string) error {
+	if w := e.wal.Load(); w != nil {
+		if w.SizeSinceSnapshot() >= walCompactThreshold {
+			return e.compactWAL(w)
+		}
+		return w.Sync()
+	}
 	return persist.SaveJSON(path, e.ExportState())
 }
 

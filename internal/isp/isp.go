@@ -49,6 +49,7 @@ import (
 	"zmail/internal/mail"
 	"zmail/internal/metrics"
 	"zmail/internal/money"
+	"zmail/internal/persist"
 	"zmail/internal/trace"
 	"zmail/internal/wire"
 )
@@ -360,6 +361,14 @@ type Engine struct {
 	contention contentionCounters
 	lat        engineLatencies
 
+	// wal, when non-nil, receives a mutation record for every durable
+	// ledger change (see wal.go). An atomic pointer so hot-path hooks
+	// pay one load when no WAL is attached, and so a dead incarnation's
+	// stragglers (a pending freeze timer) no-op after CloseWAL swaps it
+	// out. walErrs counts records that failed to reach the log.
+	wal     atomic.Pointer[persist.WAL]
+	walErrs atomic.Int64
+
 	// freezeMu gates the hot path against §4.4 snapshot transitions;
 	// see the package comment for the lock ordering.
 	freezeMu sync.RWMutex
@@ -508,7 +517,9 @@ func (e *Engine) RegisterUser(name string, account money.Penny, balance money.EP
 	// initialization rather than a tracked ledger delta.
 	//zlint:ignore moneyflow the debited e-pennies land in the new user's starting balance one line down
 	e.avail -= balance
-	s.users[name] = &user{name: name, account: account, balance: balance, limit: limit}
+	u := &user{name: name, account: account, balance: balance, limit: limit}
+	s.users[name] = u
+	e.walUserPut(s.idx, u, -int64(balance))
 	return nil
 }
 
@@ -553,6 +564,7 @@ func (e *Engine) SetLimit(name string, limit int64) error {
 		return fmt.Errorf("%w: %q", ErrUnknownUser, name)
 	}
 	u.limit = limit
+	e.walUserPut(s.idx, u, 0)
 	return nil
 }
 
@@ -642,6 +654,7 @@ func (e *Engine) EndOfDay() {
 			u.sent = 0
 			u.warnedToday = false
 		}
+		e.walDayReset(s.idx)
 		s.mu.Unlock()
 	}
 }

@@ -93,10 +93,12 @@ func (e Entry) String() string {
 // journalDepth is the per-user ring size; old entries roll off.
 const journalDepth = 256
 
-// journalUser appends an entry to a user's ring. The caller holds the
-// user's stripe lock; the sequence number is drawn from an engine-wide
-// atomic so entries across stripes still order globally.
-func (e *Engine) journalUser(u *user, kind EntryKind, counterparty string, epennies, pennies int64, msgID string) {
+// journalUser appends an entry to a user's ring and returns it (the
+// WAL hooks log the identical entry, so replay reconstructs the ring
+// byte-for-byte). The caller holds the user's stripe lock; the
+// sequence number is drawn from an engine-wide atomic so entries
+// across stripes still order globally.
+func (e *Engine) journalUser(u *user, kind EntryKind, counterparty string, epennies, pennies int64, msgID string) Entry {
 	entry := Entry{
 		Seq:          e.journalSeq.Add(1),
 		Time:         e.cfg.Clock.Now(),
@@ -110,6 +112,7 @@ func (e *Engine) journalUser(u *user, kind EntryKind, counterparty string, epenn
 	if len(u.journal) > journalDepth {
 		u.journal = u.journal[len(u.journal)-journalDepth:]
 	}
+	return entry
 }
 
 // Statement returns a copy of the user's recent journal, oldest first.

@@ -108,8 +108,14 @@ func (e *Engine) submit(em *emitQueue, msg *mail.Message, thawing bool) (SendOut
 		if isAck {
 			kind = EntryAckSent
 		}
-		e.journalUser(sender, kind, msg.To.String(), -1, 0, msg.ID())
-		e.journalUser(recipient, EntryReceived, msg.From.String(), +1, 0, msg.ID())
+		sentDelta := int64(1)
+		if isAck {
+			sentDelta = 0
+		}
+		se := e.journalUser(sender, kind, msg.To.String(), -1, 0, msg.ID())
+		re := e.journalUser(recipient, EntryReceived, msg.From.String(), +1, 0, msg.ID())
+		e.walSend(ss.idx, sender.name, -1, sentDelta, se)
+		e.walSend(rs.idx, recipient.name, +1, 0, re)
 		unlockTwoStripes(ss, rs)
 		e.tracer.Record(tid, "charge", -1, "local")
 		e.tracer.Record(tid, "credit", +1, "local")
@@ -135,10 +141,16 @@ func (e *Engine) submit(em *emitQueue, msg *mail.Message, thawing bool) (SendOut
 		if isAck {
 			kind = EntryAckSent
 		}
-		e.journalUser(sender, kind, msg.To.String(), -1, 0, msg.ID())
+		sentDelta := int64(1)
+		if isAck {
+			sentDelta = 0
+		}
+		se := e.journalUser(sender, kind, msg.To.String(), -1, 0, msg.ID())
+		e.walSend(ss.idx, sender.name, -1, sentDelta, se)
 		ss.mu.Unlock()
 		if !e.cheat.Load() {
 			e.credit[toIndex].Add(1)
+			e.walCreditAdd(toIndex, 1)
 		}
 		e.stats.sentPaid.Add(1)
 		e.tracer.Record(tid, "charge", -1, "paid")
@@ -182,6 +194,7 @@ func (e *Engine) charge(em *emitQueue, sender *user, isAck bool) error {
 		e.stats.limitRejects.Add(1)
 		if !sender.warnedToday {
 			sender.warnedToday = true
+			e.walWarn(sender.name)
 			e.stats.zombieWarnings.Add(1)
 			e.queueZombieWarning(em, sender.name, sender.limit)
 		}
@@ -309,9 +322,11 @@ func (e *Engine) receiveRemote(em *emitQueue, fromDomain string, msg *mail.Messa
 			return fmt.Errorf("%w: %q", ErrUnknownUser, msg.To.Local)
 		}
 		recipient.balance++
-		e.journalUser(recipient, EntryReceived, msg.From.String(), +1, 0, msg.ID())
+		re := e.journalUser(recipient, EntryReceived, msg.From.String(), +1, 0, msg.ID())
+		e.walSend(rs.idx, recipient.name, +1, 0, re)
 		rs.mu.Unlock()
 		e.credit[fromIndex].Add(-1)
+		e.walCreditAdd(fromIndex, -1)
 		e.stats.receivedPaid.Add(1)
 		e.tracer.Record(tid, "transfer", -1, "paid")
 		e.tracer.Record(tid, "credit", +1, "delivered")
@@ -378,7 +393,8 @@ func (e *Engine) BuyEPennies(name string, x int64) error {
 	e.mu.Unlock()
 	u.account -= money.Penny(x)
 	u.balance += money.EPenny(x)
-	e.journalUser(u, EntryBuy, "", +x, -x, "")
+	en := e.journalUser(u, EntryBuy, "", +x, -x, "")
+	e.walTrade(s.idx, u.name, -x, +x, -x, en)
 	return nil
 }
 
@@ -405,7 +421,8 @@ func (e *Engine) SellEPennies(name string, x int64) error {
 	e.mu.Lock()
 	e.avail += money.EPenny(x)
 	e.mu.Unlock()
-	e.journalUser(u, EntrySell, "", -x, +x, "")
+	en := e.journalUser(u, EntrySell, "", -x, +x, "")
+	e.walTrade(s.idx, u.name, +x, -x, +x, en)
 	return nil
 }
 
@@ -423,6 +440,7 @@ func (e *Engine) Deposit(name string, amount money.Penny) error {
 	}
 	u.account += amount
 	e.journalUser(u, EntryDeposit, "", 0, int64(amount), "")
+	e.walUserPut(s.idx, u, 0)
 	return nil
 }
 
@@ -443,5 +461,6 @@ func (e *Engine) Withdraw(name string, amount money.Penny) error {
 	}
 	u.account -= amount
 	e.journalUser(u, EntryWithdraw, "", 0, -int64(amount), "")
+	e.walUserPut(s.idx, u, 0)
 	return nil
 }

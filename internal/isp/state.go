@@ -47,13 +47,13 @@ type UserState struct {
 
 // EngineState is the engine's durable snapshot.
 type EngineState struct {
-	Version    int         `json:"version"`
-	Domain     string      `json:"domain"`
-	Index      int         `json:"index"`
-	Avail      int64       `json:"avail"`
-	Seq        uint64      `json:"seq"`
-	Credit     []int64     `json:"credit"`
-	JournalSeq int64       `json:"journalSeq"`
+	Version    int     `json:"version"`
+	Domain     string  `json:"domain"`
+	Index      int     `json:"index"`
+	Avail      int64   `json:"avail"`
+	Seq        uint64  `json:"seq"`
+	Credit     []int64 `json:"credit"`
+	JournalSeq int64   `json:"journalSeq"`
 	// NonceCounter is the monotonic half of the nonce source, persisted
 	// so a restarted engine never reuses a pre-crash nonce.
 	NonceCounter uint32      `json:"nonceCounter,omitempty"`
@@ -80,17 +80,28 @@ func (st *EngineState) Total() int64 {
 // a busy daemon; users are listed sorted by name so identical ledgers
 // serialize identically.
 func (e *Engine) ExportState() *EngineState {
+	return e.exportState(nil)
+}
+
+// exportState is ExportState with a hook: onCut, when non-nil, runs at
+// the scalar cut — freeze write lock and cold mutex both held — which
+// is where WAL compaction captures its mark (wal.go): every mutation
+// not yet reflected here will log with a higher LSN.
+func (e *Engine) exportState(onCut func()) *EngineState {
 	e.freezeMu.Lock()
 	defer e.freezeMu.Unlock()
 	e.mu.Lock()
 	st := &EngineState{
-		Version:    EngineStateVersion,
-		Domain:     e.cfg.Domain,
-		Index:      e.cfg.Index,
-		Avail:      int64(e.avail),
+		Version:      EngineStateVersion,
+		Domain:       e.cfg.Domain,
+		Index:        e.cfg.Index,
+		Avail:        int64(e.avail),
 		Seq:          e.seq,
 		JournalSeq:   e.journalSeq.Load(),
 		NonceCounter: e.nonces.Counter(),
+	}
+	if onCut != nil {
+		onCut()
 	}
 	e.mu.Unlock()
 	st.Credit = make([]int64, len(e.credit))

@@ -4,8 +4,6 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
-
-	"zmail/internal/metrics"
 )
 
 // DefaultStripes is the default user-account stripe count. Sixteen
@@ -123,38 +121,4 @@ func (e *Engine) Contention() ContentionStats {
 		out.StripeHits[i] = e.contention.stripeHits[i].Load()
 	}
 	return out
-}
-
-// PublishMetrics copies the engine's throughput and contention
-// counters into a metrics registry under the given prefix (e.g.
-// "isp0"). Gauges are used throughout because the engine counters are
-// the source of truth and each publish is a fresh snapshot.
-//
-// Deprecated: PublishMetrics is the old push-style API. Register the
-// engine with metrics.Registry.Register instead; Collect publishes the
-// same state (and more) with proper labels at scrape time.
-func (e *Engine) PublishMetrics(r *metrics.Registry, prefix string) {
-	st := e.Stats()
-	r.Gauge(prefix + ".submitted").Set(float64(st.Submitted))
-	r.Gauge(prefix + ".sent_paid").Set(float64(st.SentPaid))
-	r.Gauge(prefix + ".sent_unpaid").Set(float64(st.SentUnpaid))
-	r.Gauge(prefix + ".received_paid").Set(float64(st.ReceivedPaid))
-	r.Gauge(prefix + ".delivered_local").Set(float64(st.DeliveredLocal))
-	c := e.Contention()
-	r.Gauge(prefix + ".lock_contended").Set(float64(c.Contended))
-	r.Gauge(prefix + ".lock_wait_ns").Set(float64(c.LockWait.Nanoseconds()))
-	var hits, maxHits int64
-	for _, h := range c.StripeHits {
-		hits += h
-		if h > maxHits {
-			maxHits = h
-		}
-	}
-	r.Gauge(prefix + ".stripe_hits").Set(float64(hits))
-	if hits > 0 {
-		// 1.0 = perfectly flat; stripes × busiest/total grows as load
-		// concentrates on few stripes.
-		skew := float64(maxHits) * float64(len(c.StripeHits)) / float64(hits)
-		r.Gauge(prefix + ".stripe_skew").Set(skew)
-	}
 }

@@ -1,0 +1,434 @@
+// Write-ahead log: append-only segment files of checksummed binary
+// mutation records, plus a JSON snapshot that bounds replay. The
+// framing mirrors internal/wire's discipline — little-endian, length
+// prefix first, hard size cap — but adds a CRC and an LSN per record
+// because log files, unlike sockets, survive crashes half-written.
+//
+// Layout of a WAL directory:
+//
+//	snapshot.json   walSnapshot{Version, Mark, State} via SaveJSON
+//	seg000.wal …    one segment per logical stripe
+//
+// Segment file format:
+//
+//	header:  magic u16 | version u8 | pad u8 | segment index u32
+//	record:  length u32 | crc32 u32 | lsn u64 | payload
+//
+// The length counts crc+lsn+payload (so 12 + len(payload)); the CRC is
+// IEEE over lsn||payload. LSNs come from one global counter and are
+// assigned under the segment mutex, so within a segment file order is
+// LSN order — replay relies on that to drop duplicated tails.
+//
+// Recovery contract: records with lsn <= snapshot mark are covered by
+// the snapshot and skipped; within a segment, records whose LSN does
+// not increase are duplicates and skipped; the first record with a bad
+// length or checksum ends the segment (torn tail) and the file is
+// truncated back to the last good boundary.
+package persist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// Errors returned by the WAL layer.
+var (
+	ErrWALExists  = errors.New("persist: wal directory already initialized")
+	ErrWALClosed  = errors.New("persist: wal is closed")
+	ErrRecordSize = errors.New("persist: wal record exceeds size limit")
+)
+
+// MaxWALRecordSize bounds one record's payload, mirroring
+// wire.MaxEnvelopeSize: state mutations are small; anything larger is
+// corruption.
+const MaxWALRecordSize = 1 << 20
+
+const (
+	walMagic       = 0x5A57 // "WZ"
+	walVersion     = 1
+	segHeaderSize  = 8
+	recHeaderSize  = 12 // crc u32 + lsn u64, counted by the length prefix
+	snapshotFile   = "snapshot.json"
+	walSnapVersion = 1
+)
+
+// walSnapshot is the on-disk snapshot envelope: the application state
+// as opaque JSON plus the mark — the highest LSN whose effects the
+// snapshot already includes.
+type walSnapshot struct {
+	Version int             `json:"version"`
+	Mark    uint64          `json:"mark"`
+	State   json.RawMessage `json:"state"`
+}
+
+// segment is one append-only log file with its own mutex so stripes
+// append without contending on each other.
+type segment struct {
+	mu      sync.Mutex
+	f       *os.File
+	err     error  // sticky: first write failure poisons the segment
+	size    int64  // current file size including header
+	lastLSN uint64 // highest LSN written or replayed in this segment
+}
+
+// WAL is a directory of per-stripe segment files plus a snapshot.
+// Append is write-through to the kernel (survives process crash, the
+// failure model of the chaos harness); Sync/WriteSnapshot/Close fsync
+// for storage durability.
+type WAL struct {
+	dir    string
+	lsn    atomic.Uint64
+	mark   atomic.Uint64
+	segs   []*segment
+	closed atomic.Bool
+}
+
+func segPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("seg%03d.wal", i))
+}
+
+// HasWAL reports whether dir holds an initialized WAL (its snapshot
+// file exists), so boot code can choose CreateWAL vs RecoverWAL.
+func HasWAL(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, snapshotFile))
+	return err == nil
+}
+
+// CreateWAL initializes dir as a fresh WAL: an initial snapshot of
+// state at mark 0 and numSegments empty segment files. It refuses to
+// clobber an existing WAL.
+func CreateWAL(dir string, numSegments int, state any) (*WAL, error) {
+	if numSegments <= 0 {
+		return nil, fmt.Errorf("persist: wal needs at least one segment, got %d", numSegments)
+	}
+	if HasWAL(dir) {
+		return nil, fmt.Errorf("%w: %s", ErrWALExists, dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: wal mkdir: %w", err)
+	}
+	w := &WAL{dir: dir, segs: make([]*segment, numSegments)}
+	if err := w.writeSnapshotFile(state, 0); err != nil {
+		return nil, err
+	}
+	for i := range w.segs {
+		seg, err := createSegment(dir, i)
+		if err != nil {
+			w.closeSegments()
+			return nil, err
+		}
+		w.segs[i] = seg
+	}
+	return w, nil
+}
+
+// RecoverWAL opens an existing WAL: it loads the snapshot into
+// statePtr, then replays every surviving record through apply in
+// per-segment file order. Records already covered by the snapshot
+// (lsn <= mark) and duplicated records (non-increasing LSN within a
+// segment) are skipped; a torn or corrupt tail ends its segment and is
+// truncated away. Missing segment files are recreated empty, so a
+// crash between CreateWAL's snapshot and its segment creation heals.
+func RecoverWAL(dir string, numSegments int, statePtr any, apply func(seg int, payload []byte) error) (*WAL, error) {
+	if numSegments <= 0 {
+		return nil, fmt.Errorf("persist: wal needs at least one segment, got %d", numSegments)
+	}
+	var snap walSnapshot
+	if err := LoadJSON(filepath.Join(dir, snapshotFile), &snap); err != nil {
+		return nil, err
+	}
+	if snap.Version != walSnapVersion {
+		return nil, fmt.Errorf("persist: wal snapshot version %d, want %d", snap.Version, walSnapVersion)
+	}
+	if err := json.Unmarshal(snap.State, statePtr); err != nil {
+		return nil, fmt.Errorf("persist: wal snapshot state: %w", err)
+	}
+	w := &WAL{dir: dir, segs: make([]*segment, numSegments)}
+	w.mark.Store(snap.Mark)
+	maxLSN := snap.Mark
+	for i := range w.segs {
+		seg, err := recoverSegment(dir, i, snap.Mark, apply)
+		if err != nil {
+			w.closeSegments()
+			return nil, err
+		}
+		w.segs[i] = seg
+		if seg.lastLSN > maxLSN {
+			maxLSN = seg.lastLSN
+		}
+	}
+	w.lsn.Store(maxLSN)
+	return w, nil
+}
+
+// createSegment writes a fresh header-only segment file and fsyncs it.
+func createSegment(dir string, i int) (*segment, error) {
+	f, err := os.OpenFile(segPath(dir, i), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: wal segment %d: %w", i, err)
+	}
+	var hdr [segHeaderSize]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], walMagic)
+	hdr[2] = walVersion
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(i))
+	if _, err := f.Write(hdr[:]); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("persist: wal segment %d header: %w", i, err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("persist: wal segment %d sync: %w", i, err)
+	}
+	return &segment{f: f, size: segHeaderSize}, nil
+}
+
+// recoverSegment scans one segment file, applying surviving records,
+// and truncates any torn or corrupt tail so subsequent appends land on
+// a clean boundary.
+func recoverSegment(dir string, i int, mark uint64, apply func(seg int, payload []byte) error) (*segment, error) {
+	path := segPath(dir, i)
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if errors.Is(err, os.ErrNotExist) {
+		return createSegment(dir, i)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("persist: wal segment %d: %w", i, err)
+	}
+	var hdr [segHeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		// A header-truncated segment cannot hold records; rebuild it.
+		_ = f.Close()
+		return createSegment(dir, i)
+	}
+	if binary.LittleEndian.Uint16(hdr[0:2]) != walMagic {
+		_ = f.Close()
+		return nil, fmt.Errorf("persist: wal segment %d: bad magic", i)
+	}
+	if hdr[2] != walVersion {
+		_ = f.Close()
+		return nil, fmt.Errorf("persist: wal segment %d: version %d, want %d", i, hdr[2], walVersion)
+	}
+	if got := int(binary.LittleEndian.Uint32(hdr[4:8])); got != i {
+		_ = f.Close()
+		return nil, fmt.Errorf("persist: wal segment %d: header claims index %d", i, got)
+	}
+
+	seg := &segment{f: f, size: segHeaderSize}
+	good := int64(segHeaderSize) // end of the last intact record
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(f, lenBuf[:]); err != nil {
+			break // clean EOF or truncated length prefix: tail ends here
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if n < recHeaderSize || n > recHeaderSize+MaxWALRecordSize {
+			break // garbage length: treat as torn tail
+		}
+		rec := make([]byte, n)
+		if _, err := io.ReadFull(f, rec); err != nil {
+			break // record body cut short
+		}
+		sum := binary.LittleEndian.Uint32(rec[0:4])
+		if crc32.ChecksumIEEE(rec[4:]) != sum {
+			break // first bad checksum ends the segment
+		}
+		lsn := binary.LittleEndian.Uint64(rec[4:12])
+		good += 4 + int64(n)
+		if lsn <= mark || lsn <= seg.lastLSN {
+			// Covered by the snapshot, or a duplicated tail (same
+			// segment replayed twice): skip but keep scanning.
+			if lsn > seg.lastLSN {
+				seg.lastLSN = lsn
+			}
+			continue
+		}
+		if err := apply(i, rec[recHeaderSize:]); err != nil {
+			_ = f.Close()
+			return nil, fmt.Errorf("persist: wal segment %d replay lsn %d: %w", i, lsn, err)
+		}
+		seg.lastLSN = lsn
+	}
+	if err := f.Truncate(good); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("persist: wal segment %d truncate: %w", i, err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("persist: wal segment %d seek: %w", i, err)
+	}
+	seg.size = good
+	return seg, nil
+}
+
+// Append writes one mutation record to segment seg. The LSN is drawn
+// under the segment mutex so file order within a segment is LSN order.
+// Write errors stick: once a segment fails, every later Append, Sync,
+// and Close on it reports the first failure.
+func (w *WAL) Append(seg int, payload []byte) error {
+	if w.closed.Load() {
+		return ErrWALClosed
+	}
+	if len(payload) > MaxWALRecordSize {
+		return fmt.Errorf("%w: %d bytes", ErrRecordSize, len(payload))
+	}
+	s := w.segs[seg]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	lsn := w.lsn.Add(1)
+	buf := make([]byte, 4+recHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(recHeaderSize+len(payload)))
+	binary.LittleEndian.PutUint64(buf[8:16], lsn)
+	copy(buf[16:], payload)
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(buf[8:]))
+	if _, err := s.f.Write(buf); err != nil {
+		s.err = fmt.Errorf("persist: wal append seg %d: %w", seg, err)
+		return s.err
+	}
+	s.size += int64(len(buf))
+	s.lastLSN = lsn
+	return nil
+}
+
+// Sync fsyncs every segment, surfacing the first error (including a
+// segment's sticky append failure).
+func (w *WAL) Sync() error {
+	if w.closed.Load() {
+		return ErrWALClosed
+	}
+	for i, s := range w.segs {
+		s.mu.Lock()
+		err := s.err
+		if err == nil {
+			if serr := s.f.Sync(); serr != nil {
+				s.err = fmt.Errorf("persist: wal sync seg %d: %w", i, serr)
+				err = s.err
+			}
+		}
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LSN reports the highest log sequence number assigned so far.
+func (w *WAL) LSN() uint64 { return w.lsn.Load() }
+
+// Mark reports the highest LSN covered by the current snapshot.
+func (w *WAL) Mark() uint64 { return w.mark.Load() }
+
+// SizeSinceSnapshot reports the live log volume: bytes of records
+// currently on disk across all segments. Compaction policies key off
+// this instead of record counts so large payloads count for more.
+func (w *WAL) SizeSinceSnapshot() int64 {
+	var total int64
+	for _, s := range w.segs {
+		s.mu.Lock()
+		total += s.size - segHeaderSize
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// WriteSnapshot compacts the log: it atomically replaces the snapshot
+// with state (declared to cover every record with lsn <= mark), then
+// truncates segments fully covered by the mark. A crash between the
+// two steps is safe — the new snapshot's mark makes the stale records
+// no-ops on replay.
+func (w *WAL) WriteSnapshot(state any, mark uint64) error {
+	if w.closed.Load() {
+		return ErrWALClosed
+	}
+	if err := w.writeSnapshotFile(state, mark); err != nil {
+		return err
+	}
+	w.mark.Store(mark)
+	for i, s := range w.segs {
+		s.mu.Lock()
+		if s.err != nil || s.lastLSN > mark {
+			s.mu.Unlock()
+			continue
+		}
+		if err := s.f.Truncate(segHeaderSize); err != nil {
+			s.err = fmt.Errorf("persist: wal compact seg %d: %w", i, err)
+			s.mu.Unlock()
+			return s.err
+		}
+		if _, err := s.f.Seek(segHeaderSize, io.SeekStart); err != nil {
+			s.err = fmt.Errorf("persist: wal compact seek seg %d: %w", i, err)
+			s.mu.Unlock()
+			return s.err
+		}
+		if err := s.f.Sync(); err != nil {
+			s.err = fmt.Errorf("persist: wal compact sync seg %d: %w", i, err)
+			s.mu.Unlock()
+			return s.err
+		}
+		s.size = segHeaderSize
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// writeSnapshotFile marshals state into the snapshot envelope and
+// saves it atomically (SaveJSON's temp+fsync+rename).
+func (w *WAL) writeSnapshotFile(state any, mark uint64) error {
+	raw, err := json.Marshal(state)
+	if err != nil {
+		return fmt.Errorf("persist: wal snapshot marshal: %w", err)
+	}
+	snap := walSnapshot{Version: walSnapVersion, Mark: mark, State: raw}
+	if err := SaveJSON(filepath.Join(w.dir, snapshotFile), &snap); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Close fsyncs and closes every segment. The first error — including
+// sticky append failures — is returned; the WAL is unusable after.
+func (w *WAL) Close() error {
+	if !w.closed.CompareAndSwap(false, true) {
+		return ErrWALClosed
+	}
+	var first error
+	for i, s := range w.segs {
+		s.mu.Lock()
+		if s.err != nil && first == nil {
+			first = s.err
+		}
+		if s.f != nil {
+			if err := s.f.Sync(); err != nil && first == nil {
+				first = fmt.Errorf("persist: wal close sync seg %d: %w", i, err)
+			}
+			if err := s.f.Close(); err != nil && first == nil {
+				first = fmt.Errorf("persist: wal close seg %d: %w", i, err)
+			}
+			s.f = nil
+		}
+		s.mu.Unlock()
+	}
+	return first
+}
+
+// closeSegments releases partially-initialized segments on a failed
+// CreateWAL/RecoverWAL; errors are irrelevant because the WAL was
+// never handed out.
+func (w *WAL) closeSegments() {
+	for _, s := range w.segs {
+		if s != nil && s.f != nil {
+			_ = s.f.Close()
+		}
+	}
+}

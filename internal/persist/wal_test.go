@@ -1,0 +1,232 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// walKV is the toy application state for WAL tests: a key→value map
+// snapshotted as JSON and mutated by "key=value" records (last write
+// wins, like a real ledger row).
+type walKV struct {
+	Vals map[string]string `json:"vals"`
+}
+
+func applyKV(st *walKV) func(seg int, payload []byte) error {
+	return func(seg int, payload []byte) error {
+		k, v, ok := splitKV(payload)
+		if !ok {
+			return fmt.Errorf("bad record %q", payload)
+		}
+		if st.Vals == nil {
+			st.Vals = make(map[string]string)
+		}
+		st.Vals[k] = v
+		return nil
+	}
+}
+
+func splitKV(p []byte) (k, v string, ok bool) {
+	for i, b := range p {
+		if b == '=' {
+			return string(p[:i]), string(p[i+1:]), true
+		}
+	}
+	return "", "", false
+}
+
+func kvRec(k, v string) []byte { return []byte(k + "=" + v) }
+
+func mustCreate(t *testing.T, dir string, segs int, st walKV) *WAL {
+	t.Helper()
+	w, err := CreateWAL(dir, segs, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func mustRecover(t *testing.T, dir string, segs int) (walKV, *WAL) {
+	t.Helper()
+	var st walKV
+	w, err := RecoverWAL(dir, segs, &st, applyKV(&st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, w
+}
+
+func TestWALCreateAppendRecover(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	w := mustCreate(t, dir, 3, walKV{Vals: map[string]string{"base": "1"}})
+	if !HasWAL(dir) {
+		t.Fatal("HasWAL false after CreateWAL")
+	}
+	if err := w.Append(0, kvRec("a", "1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(1, kvRec("b", "2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(0, kvRec("a", "3")); err != nil {
+		t.Fatal(err)
+	}
+	lsn := w.LSN()
+	if lsn != 3 {
+		t.Fatalf("LSN = %d, want 3", lsn)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, w2 := mustRecover(t, dir, 3)
+	defer func() {
+		if err := w2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	want := map[string]string{"base": "1", "a": "3", "b": "2"}
+	if len(st.Vals) != len(want) {
+		t.Fatalf("recovered %v, want %v", st.Vals, want)
+	}
+	for k, v := range want {
+		if st.Vals[k] != v {
+			t.Fatalf("recovered %v, want %v", st.Vals, want)
+		}
+	}
+	if w2.LSN() != lsn {
+		t.Fatalf("recovered LSN = %d, want %d", w2.LSN(), lsn)
+	}
+	// Appends must keep working after recovery.
+	if err := w2.Append(2, kvRec("c", "9")); err != nil {
+		t.Fatal(err)
+	}
+	if w2.LSN() != lsn+1 {
+		t.Fatalf("post-recovery LSN = %d, want %d", w2.LSN(), lsn+1)
+	}
+}
+
+func TestWALSnapshotCompaction(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	w := mustCreate(t, dir, 2, walKV{})
+	for i := 0; i < 10; i++ {
+		if err := w.Append(i%2, kvRec(fmt.Sprintf("k%d", i), "old")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := w.SizeSinceSnapshot()
+	if before <= 0 {
+		t.Fatalf("SizeSinceSnapshot = %d before compaction", before)
+	}
+	// Snapshot covering everything appended so far.
+	cover := walKV{Vals: map[string]string{"compacted": "yes"}}
+	if err := w.WriteSnapshot(cover, w.LSN()); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.SizeSinceSnapshot(); got != 0 {
+		t.Fatalf("SizeSinceSnapshot = %d after compaction, want 0", got)
+	}
+	if err := w.Append(0, kvRec("post", "1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, w2 := mustRecover(t, dir, 2)
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Pre-snapshot records are gone; snapshot state plus the one
+	// post-snapshot record survive.
+	if st.Vals["compacted"] != "yes" || st.Vals["post"] != "1" || len(st.Vals) != 2 {
+		t.Fatalf("recovered %v, want compacted=yes post=1 only", st.Vals)
+	}
+}
+
+func TestWALCompactionSkipsBusySegments(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	w := mustCreate(t, dir, 2, walKV{})
+	if err := w.Append(0, kvRec("a", "1")); err != nil {
+		t.Fatal(err)
+	}
+	mark := w.LSN()
+	// Segment 1 gains a record past the mark; compaction must leave it.
+	if err := w.Append(1, kvRec("b", "2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSnapshot(walKV{Vals: map[string]string{"a": "1"}}, mark); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, w2 := mustRecover(t, dir, 2)
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Vals["a"] != "1" || st.Vals["b"] != "2" || len(st.Vals) != 2 {
+		t.Fatalf("recovered %v, want a=1 b=2", st.Vals)
+	}
+}
+
+func TestWALCreateRefusesExisting(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	w := mustCreate(t, dir, 1, walKV{})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CreateWAL(dir, 1, walKV{}); !errors.Is(err, ErrWALExists) {
+		t.Fatalf("CreateWAL over existing = %v, want ErrWALExists", err)
+	}
+}
+
+func TestWALClosedAndOversize(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	w := mustCreate(t, dir, 1, walKV{})
+	big := make([]byte, MaxWALRecordSize+1)
+	if err := w.Append(0, big); !errors.Is(err, ErrRecordSize) {
+		t.Fatalf("oversize append = %v, want ErrRecordSize", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(0, kvRec("a", "1")); !errors.Is(err, ErrWALClosed) {
+		t.Fatalf("append after close = %v, want ErrWALClosed", err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrWALClosed) {
+		t.Fatalf("sync after close = %v, want ErrWALClosed", err)
+	}
+	if err := w.Close(); !errors.Is(err, ErrWALClosed) {
+		t.Fatalf("double close = %v, want ErrWALClosed", err)
+	}
+}
+
+func TestWALMissingSegmentRecreated(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	w := mustCreate(t, dir, 2, walKV{})
+	if err := w.Append(0, kvRec("a", "1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash window between CreateWAL's snapshot and segment creation:
+	// segment 1 vanishes.
+	if err := os.Remove(segPath(dir, 1)); err != nil {
+		t.Fatal(err)
+	}
+	st, w2 := mustRecover(t, dir, 2)
+	if st.Vals["a"] != "1" {
+		t.Fatalf("recovered %v, want a=1", st.Vals)
+	}
+	if err := w2.Append(1, kvRec("b", "2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -155,6 +155,69 @@ func (w *World) chaosStatePath(node simnet.NodeID) (string, error) {
 	return filepath.Join(dir, string(node)+".json"), nil
 }
 
+// chaosWALPath resolves a node's write-ahead-log directory.
+func (w *World) chaosWALPath(node simnet.NodeID) (string, error) {
+	dir, err := w.chaosStateDir()
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(dir, string(node)+".wal"), nil
+}
+
+// EnableWAL switches the world's crash persistence from whole-state
+// JSON to write-ahead logging: every running node gets a WAL under the
+// chaos state dir (isp<i>.wal, bank.wal) and logs each mutation as it
+// happens. CrashISP/CrashBank then close the node's log instead of
+// exporting JSON, and RestartISP/RestartBank boot through WAL replay.
+// Requires Config.ChaosDir; RunChaos (which owns a temp dir) enables
+// it automatically.
+func (w *World) EnableWAL() error {
+	for i, eng := range w.Engines {
+		if eng == nil || eng.WALAttached() {
+			continue
+		}
+		path, err := w.chaosWALPath(nodeISP(i))
+		if err != nil {
+			return err
+		}
+		if err := eng.AttachWAL(path); err != nil {
+			return err
+		}
+	}
+	if !w.bankDown && !w.Bank.WALAttached() {
+		path, err := w.chaosWALPath(nodeBank)
+		if err != nil {
+			return err
+		}
+		if err := w.Bank.AttachWAL(path); err != nil {
+			return err
+		}
+	}
+	w.walMode = true
+	return nil
+}
+
+// CloseWALs closes every live node's WAL and returns the world to JSON
+// checkpointing. The log directories stay on disk for inspection.
+func (w *World) CloseWALs() error {
+	var first error
+	for _, eng := range w.Engines {
+		if eng == nil {
+			continue
+		}
+		if err := eng.CloseWAL(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if w.Bank != nil {
+		if err := w.Bank.CloseWAL(); err != nil && first == nil {
+			first = err
+		}
+	}
+	w.walMode = false
+	return first
+}
+
 // ISPDown reports whether compliant ISP i is currently crashed.
 func (w *World) ISPDown(i int) bool { return w.ispDown[i] }
 
@@ -182,13 +245,23 @@ func (w *World) CrashISP(i int) error {
 	if i < 0 || i >= len(w.Engines) || w.Engines[i] == nil {
 		return fmt.Errorf("sim: isp[%d] is not a running compliant ISP", i)
 	}
-	path, err := w.chaosStatePath(nodeISP(i))
-	if err != nil {
-		return err
-	}
 	st := w.Engines[i].ExportState()
-	if err := persist.SaveJSON(path, st); err != nil {
-		return err
+	if w.walMode {
+		// The WAL already holds every mutation; closing it both flushes
+		// the log and — because CloseWAL detaches before closing —
+		// guarantees the dead incarnation's stragglers (a pending freeze
+		// timer, say) can never write into the next incarnation's log.
+		if err := w.Engines[i].CloseWAL(); err != nil {
+			return err
+		}
+	} else {
+		path, err := w.chaosStatePath(nodeISP(i))
+		if err != nil {
+			return err
+		}
+		if err := persist.SaveJSON(path, st); err != nil {
+			return err
+		}
 	}
 	if err := w.Net.Crash(nodeISP(i)); err != nil {
 		return err
@@ -206,16 +279,26 @@ func (w *World) RestartISP(i int) error {
 	if i < 0 || i >= len(w.Engines) || !w.ispDown[i] {
 		return fmt.Errorf("sim: isp[%d] is not down", i)
 	}
-	path, err := w.chaosStatePath(nodeISP(i))
-	if err != nil {
-		return err
-	}
 	eng, err := w.buildEngine(i)
 	if err != nil {
 		return err
 	}
-	if err := eng.LoadState(path); err != nil {
-		return fmt.Errorf("sim: restore isp[%d]: %w", i, err)
+	if w.walMode {
+		path, err := w.chaosWALPath(nodeISP(i))
+		if err != nil {
+			return err
+		}
+		if err := eng.RecoverWAL(path); err != nil {
+			return fmt.Errorf("sim: recover isp[%d]: %w", i, err)
+		}
+	} else {
+		path, err := w.chaosStatePath(nodeISP(i))
+		if err != nil {
+			return err
+		}
+		if err := eng.LoadState(path); err != nil {
+			return fmt.Errorf("sim: restore isp[%d]: %w", i, err)
+		}
 	}
 	if err := w.Net.Restart(nodeISP(i), w.ispHandler(eng)); err != nil {
 		return err
@@ -234,12 +317,18 @@ func (w *World) CrashBank() error {
 	if w.bankDown {
 		return errors.New("sim: bank is already down")
 	}
-	path, err := w.chaosStatePath(nodeBank)
-	if err != nil {
-		return err
-	}
-	if err := w.Bank.SaveState(path); err != nil {
-		return err
+	if w.walMode {
+		if err := w.Bank.CloseWAL(); err != nil {
+			return err
+		}
+	} else {
+		path, err := w.chaosStatePath(nodeBank)
+		if err != nil {
+			return err
+		}
+		if err := w.Bank.SaveState(path); err != nil {
+			return err
+		}
 	}
 	if err := w.Net.Crash(nodeBank); err != nil {
 		return err
@@ -256,10 +345,6 @@ func (w *World) CrashBank() error {
 func (w *World) RestartBank() error {
 	if !w.bankDown {
 		return errors.New("sim: bank is not down")
-	}
-	path, err := w.chaosStatePath(nodeBank)
-	if err != nil {
-		return err
 	}
 	tr := &bankTransport{w: w}
 	bk, err := bank.New(bank.Config{
@@ -282,8 +367,22 @@ func (w *World) RestartBank() error {
 			return err
 		}
 	}
-	if err := bk.LoadState(path); err != nil {
-		return fmt.Errorf("sim: restore bank: %w", err)
+	if w.walMode {
+		path, err := w.chaosWALPath(nodeBank)
+		if err != nil {
+			return err
+		}
+		if err := bk.RecoverWAL(path); err != nil {
+			return fmt.Errorf("sim: recover bank: %w", err)
+		}
+	} else {
+		path, err := w.chaosStatePath(nodeBank)
+		if err != nil {
+			return err
+		}
+		if err := bk.LoadState(path); err != nil {
+			return fmt.Errorf("sim: restore bank: %w", err)
+		}
 	}
 	if err := w.Net.Restart(nodeBank, w.bankHandler()); err != nil {
 		return err
@@ -336,7 +435,7 @@ func (w *World) applyChaosEvent(ev chaos.Event) error {
 // drain; it should skip ISPs reported down by ISPDown. The run is fully
 // deterministic: same world config, plan and workload — byte-identical
 // auditor report.
-func (w *World) RunChaos(aud *chaos.Auditor, workload func(step int)) error {
+func (w *World) RunChaos(aud *chaos.Auditor, workload func(step int)) (retErr error) {
 	plan := w.Cfg.Chaos
 	if plan == nil {
 		return errors.New("sim: Config.Chaos is nil")
@@ -355,6 +454,17 @@ func (w *World) RunChaos(aud *chaos.Auditor, workload func(step int)) error {
 			w.chaosDir = ""
 		}()
 	}
+	// Crash persistence runs through per-node WALs: crashes close the
+	// mutation log, restarts replay it (the JSON path stays available
+	// for worlds driving CrashISP/RestartISP directly).
+	if err := w.EnableWAL(); err != nil {
+		return err
+	}
+	defer func() {
+		if err := w.CloseWALs(); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
 	w.losses = &lossLedger{}
 	w.probes = &replayProbes{toBank: make(map[int]*wire.Envelope), toISP: make(map[int]*wire.Envelope)}
 	w.Net.SetTrace(w.chaosTrace)

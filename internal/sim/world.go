@@ -198,6 +198,10 @@ type World struct {
 	chaosDir  string
 	losses    *lossLedger
 	probes    *replayProbes
+	// walMode routes crash checkpoints through per-node WALs instead of
+	// whole-state JSON: crashes close the log, restarts replay it
+	// (EnableWAL in chaos.go).
+	walMode bool
 }
 
 func nodeISP(i int) simnet.NodeID { return simnet.NodeID(fmt.Sprintf("isp%d", i)) }
