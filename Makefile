@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-record determinism chaos fuzz-smoke golden lint lint-fixtures obsv wal check all
+.PHONY: build test race bench bench-record determinism chaos fuzz-smoke golden lint lint-fixtures obsv wal cluster check all
 
 all: build test
 
@@ -40,6 +40,13 @@ bench-record:
 	  $(GO) test -run xxx -bench 'WALCheckpoint|WALReplay' -benchmem ./internal/isp/ ; } \
 		| $(GO) run ./cmd/benchjson -out BENCH_6.json
 	cat BENCH_6.json
+	$(GO) run ./cmd/zload -isps 2 -regions 2 -users-per-isp 8 \
+		-rate 200 -duration 5s -workers 8 -zipf-s 1.2 \
+		-remote-frac 0.5 -list-frac 0.1 -list-size 4 -seed 1 \
+		-json /tmp/zload_report.json
+	{ $(GO) test -run xxx -bench 'EngineSend|ISPSubmit|ISPReceive' -benchmem . ; } \
+		| $(GO) run ./cmd/benchjson -cluster /tmp/zload_report.json -out BENCH_7.json
+	cat BENCH_7.json
 
 # Seeded experiment output must be bit-identical run to run.
 determinism:
@@ -91,5 +98,12 @@ obsv:
 wal:
 	$(GO) test -run 'WAL' ./internal/persist/ ./internal/isp/ ./internal/bank/ ./internal/sim/ -v
 
+# Real-TCP federation gate: boot 2 ISPs + a two-level zbank hierarchy
+# on loopback, run the end-to-end federation suite (paid + zombie mail,
+# conservation across every ledger, WAL restart recovery) and drive an
+# open-loop zload run against the live cluster — all under -race.
+cluster:
+	$(GO) test -race -v ./internal/cluster/ ./internal/load/ ./cmd/zload/
+
 # Full pre-merge sweep.
-check: test race lint lint-fixtures chaos fuzz-smoke determinism obsv wal
+check: test race lint lint-fixtures chaos fuzz-smoke determinism obsv wal cluster

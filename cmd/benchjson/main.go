@@ -9,6 +9,11 @@
 // comparable across machines. When both WAL checkpoint benchmarks are
 // present, a derived speedup ratio (whole-state JSON ns/op over WAL
 // ns/op) is included — the PR-6 acceptance number.
+//
+// -cluster embeds a cmd/zload JSON report verbatim under the "cluster"
+// key, so a single record carries both the microbenchmarks and the
+// real-TCP federation load numbers (the PR-7 acceptance data in
+// BENCH_7.json).
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -33,20 +39,22 @@ type record struct {
 	GeneratedBy string             `json:"generatedBy"`
 	Benchmarks  []benchResult      `json:"benchmarks"`
 	Derived     map[string]float64 `json:"derived,omitempty"`
+	Cluster     json.RawMessage    `json:"cluster,omitempty"`
 }
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	cluster := flag.String("cluster", "", "zload JSON report to embed under the cluster key")
 	flag.Parse()
-	if err := run(*out); err != nil {
+	if err := run(os.Stdin, *out, *cluster); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string) error {
+func run(in io.Reader, out, cluster string) error {
 	rec := record{GeneratedBy: "make bench-record"}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(in)
 	for sc.Scan() {
 		if r, ok := parseLine(sc.Text()); ok {
 			rec.Benchmarks = append(rec.Benchmarks, r)
@@ -57,6 +65,16 @@ func run(out string) error {
 	}
 	if len(rec.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark lines on stdin")
+	}
+	if cluster != "" {
+		raw, err := os.ReadFile(cluster)
+		if err != nil {
+			return fmt.Errorf("-cluster: %w", err)
+		}
+		if !json.Valid(raw) {
+			return fmt.Errorf("-cluster: %s is not valid JSON", cluster)
+		}
+		rec.Cluster = json.RawMessage(raw)
 	}
 	if ratio, ok := checkpointSpeedup(rec.Benchmarks); ok {
 		rec.Derived = map[string]float64{"walCheckpointSpeedupVsJSON": ratio}

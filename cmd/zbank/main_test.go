@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestZbankFlagValidation(t *testing.T) {
 	if err := run([]string{"-insecure"}); err == nil {
@@ -17,6 +20,65 @@ func TestZbankFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"-isps", "2", "-insecure", "-enroll", "x=file.pub"}); err == nil {
 		t.Error("non-numeric -enroll index accepted")
+	}
+}
+
+// TestZbankUsageFailures pins that configuration mistakes die before
+// any listener binds, with a usage-prefixed error (non-zero exit via
+// main).
+func TestZbankUsageFailures(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"wal and state together", []string{"-isps", "2", "-insecure",
+			"-wal", t.TempDir(), "-state", t.TempDir() + "/s.json"}},
+		{"listen without port", []string{"-isps", "2", "-insecure", "-listen", "nonsense"}},
+		{"metrics without port", []string{"-isps", "2", "-insecure", "-metrics", "127.0.0.1"}},
+		{"unknown role", []string{"-isps", "2", "-insecure", "-role", "branch"}},
+		{"leaf without serve/root", []string{"-isps", "2", "-insecure", "-role", "leaf"}},
+		{"leaf serve out of range", []string{"-isps", "2", "-insecure", "-role", "leaf",
+			"-serve", "0,7", "-root", "127.0.0.1:7900"}},
+		{"root without assign", []string{"-isps", "2", "-insecure", "-role", "root"}},
+		{"root assign arity", []string{"-isps", "4", "-insecure", "-role", "root",
+			"-assign", "0,1", "-listen", "127.0.0.1:0"}},
+		{"root with wal", []string{"-isps", "2", "-insecure", "-role", "root",
+			"-assign", "0,1", "-wal", t.TempDir()}},
+		{"central with leaf flags", []string{"-isps", "2", "-insecure", "-serve", "0"}},
+		{"missing key material", []string{"-isps", "2"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args)
+			if err == nil {
+				t.Fatal("bad invocation accepted")
+			}
+			if !strings.HasPrefix(err.Error(), "usage:") {
+				t.Fatalf("error %q does not carry a usage message", err)
+			}
+		})
+	}
+}
+
+// TestZbankMetricsBootFailure: a well-formed but unbindable metrics
+// address is a boot failure, not a usage error, and still exits
+// non-zero before the serve loop.
+func TestZbankMetricsBootFailure(t *testing.T) {
+	err := run([]string{"-isps", "2", "-insecure",
+		"-listen", "127.0.0.1:0", "-metrics", "203.0.113.1:0"})
+	if err == nil {
+		t.Fatal("unbindable -metrics address accepted")
+	}
+	if strings.HasPrefix(err.Error(), "usage:") {
+		t.Fatalf("bind failure %q misreported as a usage error", err)
+	}
+	err = run([]string{"-isps", "2", "-insecure", "-role", "root", "-assign", "0,1",
+		"-listen", "127.0.0.1:0", "-metrics", "203.0.113.1:0"})
+	if err == nil {
+		t.Fatal("root: unbindable -metrics address accepted")
+	}
+	if strings.HasPrefix(err.Error(), "usage:") {
+		t.Fatalf("root bind failure %q misreported as a usage error", err)
 	}
 }
 

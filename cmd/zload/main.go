@@ -1,0 +1,186 @@
+// Command zload is the open-loop SMTP load generator for Zmail
+// federations. It offers a configured arrival rate (decoupled from
+// server latency — a slow federation faces a backlog, not a politely
+// idling client), skews senders with a Zipf distribution, mixes in
+// multi-recipient mailing-list sends, and after the run scrapes the
+// daemons' /metrics endpoints to reconcile client-side counts against
+// server-side truth. The report is one JSON object on stdout (or
+// -json FILE), the shape cmd/benchjson folds into BENCH_*.json.
+//
+// Self-boot mode (the default) boots a complete in-process federation
+// over real TCP — N zmaild-equivalent nodes plus a two-level bank
+// hierarchy — and drives that:
+//
+//	zload -isps 2 -regions 2 -rate 500 -duration 10s -zipf-s 1.3
+//
+// External mode drives daemons you started yourself:
+//
+//	zload -targets 127.0.0.1:2525,127.0.0.1:2526 \
+//	      -domains alpha.example,beta.example \
+//	      -users alice,bob -users carol,dave \
+//	      -metrics 127.0.0.1:7070,127.0.0.1:7071 \
+//	      -rate 200 -duration 30s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"zmail/internal/cluster"
+	"zmail/internal/load"
+	"zmail/internal/money"
+)
+
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, " ") }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func usagef(format string, a ...any) error {
+	return fmt.Errorf("usage: "+format, a...)
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "zload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("zload", flag.ContinueOnError)
+	var userLists stringList
+	var (
+		targetsCSV = fs.String("targets", "", "comma-separated SMTP addresses of external daemons (default: self-boot a cluster)")
+		domainsCSV = fs.String("domains", "", "comma-separated mail domains matching -targets")
+		metricsCSV = fs.String("metrics", "", "comma-separated admin /metrics addresses to scrape after the run")
+
+		isps        = fs.Int("isps", 2, "self-boot: federation size")
+		regions     = fs.Int("regions", 2, "self-boot: bank regions (1 = central; >1 = leaves + root)")
+		usersPerISP = fs.Int("users-per-isp", 8, "self-boot: registered users per ISP")
+		balance     = fs.Int64("balance", 2000, "self-boot: per-user starting e-penny balance")
+		limit       = fs.Int64("limit", 1_000_000, "self-boot: per-user daily send limit")
+
+		rate       = fs.Float64("rate", 200, "offered load, messages/second (open loop)")
+		duration   = fs.Duration("duration", 5*time.Second, "how long to offer arrivals")
+		workers    = fs.Int("workers", 8, "persistent-connection worker pool size")
+		zipfS      = fs.Float64("zipf-s", 1.2, "sender skew (Zipf s > 1; ≤ 1 selects uniform senders)")
+		remoteFrac = fs.Float64("remote-frac", 0.5, "fraction of sends addressed to a different ISP")
+		listFrac   = fs.Float64("list-frac", 0.1, "fraction of sends with -list-size recipients")
+		listSize   = fs.Int("list-size", 4, "recipients per mailing-list send")
+		seed       = fs.Int64("seed", 1, "RNG seed for sender/recipient choices")
+		jsonOut    = fs.String("json", "-", "write the JSON report here (\"-\" = stdout)")
+		verbose    = fs.Bool("v", false, "log generator progress to stderr")
+	)
+	fs.Var(&userLists, "users", "comma-separated local users for one target, repeatable in -targets order")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return usagef("unexpected arguments %q", fs.Args())
+	}
+	if *rate <= 0 || *duration <= 0 {
+		return usagef("-rate and -duration must be positive")
+	}
+
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "zload: "+format+"\n", a...)
+		}
+	}
+
+	gen := load.GenConfig{
+		Rate:       *rate,
+		Duration:   *duration,
+		Workers:    *workers,
+		ZipfS:      *zipfS,
+		RemoteFrac: *remoteFrac,
+		ListFrac:   *listFrac,
+		ListSize:   *listSize,
+		Seed:       *seed,
+		Logf:       logf,
+	}
+
+	if *targetsCSV == "" {
+		// Self-boot: a real-TCP federation in this process.
+		if *domainsCSV != "" || len(userLists) > 0 || *metricsCSV != "" {
+			return usagef("-domains/-users/-metrics describe external targets; drop them or add -targets")
+		}
+		c, err := cluster.New(cluster.Config{
+			ISPs:           *isps,
+			Regions:        *regions,
+			UsersPerISP:    *usersPerISP,
+			InitialBalance: money.EPenny(*balance),
+			InitialAvail:   money.EPenny(*balance) * money.EPenny(*usersPerISP) * 2,
+			MaxAvail:       money.EPenny(*balance) * money.EPenny(*usersPerISP) * 20,
+			DailyLimit:     *limit,
+			Metrics:        true,
+			Logf:           logf,
+		})
+		if err != nil {
+			return fmt.Errorf("self-boot: %w", err)
+		}
+		defer c.Close()
+		for _, d := range c.ISPs() {
+			gen.Targets = append(gen.Targets, d.SMTPAddr())
+			gen.Domains = append(gen.Domains, d.Domain)
+			gen.Users = append(gen.Users, d.Users)
+		}
+		gen.MetricsAddrs = c.MetricsAddrs()
+		logf("self-booted %d ISPs in %d regions; scraping %d endpoints",
+			*isps, *regions, len(gen.MetricsAddrs))
+	} else {
+		gen.Targets = splitCSV(*targetsCSV)
+		gen.Domains = splitCSV(*domainsCSV)
+		for _, ul := range userLists {
+			gen.Users = append(gen.Users, splitCSV(ul))
+		}
+		if *metricsCSV != "" {
+			gen.MetricsAddrs = splitCSV(*metricsCSV)
+		}
+		if len(gen.Domains) != len(gen.Targets) || len(gen.Users) != len(gen.Targets) {
+			return usagef("%d -targets need %d -domains entries and %d repeated -users flags (got %d and %d)",
+				len(gen.Targets), len(gen.Targets), len(gen.Targets), len(gen.Domains), len(gen.Users))
+		}
+	}
+
+	rep, err := load.Run(gen)
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if *jsonOut == "-" {
+		_, err = stdout.Write(out)
+		return err
+	}
+	if err := os.WriteFile(*jsonOut, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "report written to %s (sent %d of %d offered, %.1f/s achieved)\n",
+		*jsonOut, rep.Sent, rep.Offered, rep.AchievedRate)
+	return nil
+}
+
+func splitCSV(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -55,6 +56,26 @@ func (s *stringList) String() string { return strings.Join(*s, ",") }
 
 func (s *stringList) Set(v string) error {
 	*s = append(*s, v)
+	return nil
+}
+
+// usagef marks a flag-validation failure: the daemon exits non-zero
+// before binding anything, and the error reads as a usage message.
+func usagef(format string, a ...any) error {
+	return fmt.Errorf("usage: "+format, a...)
+}
+
+// checkAddr rejects a listen/dial address that cannot even be split
+// into host and port, before any boot work happens. Bindability is
+// still the listener's problem — a well-formed but taken or
+// unroutable address fails later, at bind time.
+func checkAddr(flagName, addr string) error {
+	if addr == "" {
+		return nil
+	}
+	if _, _, err := net.SplitHostPort(addr); err != nil {
+		return usagef("bad %s address %q: %v", flagName, addr, err)
+	}
 	return nil
 }
 
@@ -163,12 +184,26 @@ func boot(args []string) (*daemon, error) {
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
+	// Every flag-level rejection happens here, before any listener
+	// binds or ledger loads: a misconfigured daemon must die with a
+	// usage message, not half-boot.
 	if *index < 0 || *domainCSV == "" {
-		return nil, fmt.Errorf("-index and -domains are required")
+		return nil, usagef("-index and -domains are required")
 	}
 	domains := strings.Split(*domainCSV, ",")
 	if *index >= len(domains) {
-		return nil, fmt.Errorf("index %d outside %d domains", *index, len(domains))
+		return nil, usagef("index %d outside %d domains", *index, len(domains))
+	}
+	if *walDir != "" && *stateFile != "" {
+		return nil, usagef("-wal and -state are mutually exclusive")
+	}
+	for _, a := range []struct{ name, addr string }{
+		{"-listen", *listen}, {"-bank", *bankAddr},
+		{"-admin", *admin}, {"-metrics", *metricsAd},
+	} {
+		if err := checkAddr(a.name, a.addr); err != nil {
+			return nil, err
+		}
 	}
 
 	var compliantArr []bool
@@ -177,7 +212,7 @@ func boot(args []string) (*daemon, error) {
 			compliantArr = append(compliantArr, strings.TrimSpace(tok) == "1")
 		}
 		if len(compliantArr) != len(domains) {
-			return nil, fmt.Errorf("-compliant has %d entries for %d domains", len(compliantArr), len(domains))
+			return nil, usagef("-compliant has %d entries for %d domains", len(compliantArr), len(domains))
 		}
 	}
 
@@ -205,7 +240,7 @@ func boot(args []string) (*daemon, error) {
 		}
 		bankSealer = bankBox
 	default:
-		return nil, fmt.Errorf("provide -key and -bankpub, or -insecure")
+		return nil, usagef("provide -key and -bankpub, or -insecure")
 	}
 
 	var pol isp.NonCompliantPolicy
@@ -217,18 +252,18 @@ func boot(args []string) (*daemon, error) {
 	case "reject":
 		pol = isp.RejectUnpaid
 	default:
-		return nil, fmt.Errorf("unknown -policy %q", *policy)
+		return nil, usagef("unknown -policy %q", *policy)
 	}
 
 	peerMap := make(map[int]string)
 	for _, p := range peers {
 		idx, addr, ok := strings.Cut(p, "=")
 		if !ok {
-			return nil, fmt.Errorf("bad -peer %q", p)
+			return nil, usagef("bad -peer %q", p)
 		}
 		i, err := strconv.Atoi(idx)
 		if err != nil {
-			return nil, fmt.Errorf("bad -peer index %q", idx)
+			return nil, usagef("bad -peer index %q", idx)
 		}
 		peerMap[i] = addr
 	}
@@ -297,10 +332,6 @@ func boot(args []string) (*daemon, error) {
 	d.node = node
 	d.reg.Register(node.Engine())
 
-	if *walDir != "" && *stateFile != "" {
-		d.Close()
-		return nil, fmt.Errorf("-wal and -state are mutually exclusive")
-	}
 	if *walDir != "" {
 		eng := node.Engine()
 		if persist.HasWAL(*walDir) {
@@ -353,14 +384,14 @@ func boot(args []string) (*daemon, error) {
 		parts := strings.Split(u, ":")
 		if len(parts) != 4 {
 			d.Close()
-			return nil, fmt.Errorf("bad -user %q (want local:account:balance:limit)", u)
+			return nil, usagef("bad -user %q (want local:account:balance:limit)", u)
 		}
 		account, err1 := strconv.ParseInt(parts[1], 10, 64)
 		balance, err2 := strconv.ParseInt(parts[2], 10, 64)
 		lim, err3 := strconv.ParseInt(parts[3], 10, 64)
 		if err1 != nil || err2 != nil || err3 != nil {
 			d.Close()
-			return nil, fmt.Errorf("bad -user %q", u)
+			return nil, usagef("bad -user %q", u)
 		}
 		err := node.Engine().RegisterUser(parts[0], money.Penny(account), money.EPenny(balance), lim)
 		switch {

@@ -48,6 +48,51 @@ func TestZmaildFlagValidation(t *testing.T) {
 	}
 }
 
+// TestZmaildUsageFailures pins that configuration mistakes die before
+// any listener binds, with a usage-prefixed message on stderr (the
+// process exits non-zero via main).
+func TestZmaildUsageFailures(t *testing.T) {
+	base := []string{"-index", "0", "-domains", "a.example", "-insecure", "-listen", "127.0.0.1:0"}
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"wal and state together", append(base, "-wal", t.TempDir(), "-state", t.TempDir()+"/s.json")},
+		{"listen without port", []string{"-index", "0", "-domains", "a.example", "-insecure", "-listen", "nonsense"}},
+		{"bank without port", append(base, "-bank", "bankhost")},
+		{"metrics without port", append(base, "-metrics", "127.0.0.1")},
+		{"missing key material", []string{"-index", "0", "-domains", "a.example"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args)
+			if err == nil {
+				t.Fatal("bad invocation accepted")
+			}
+			if !strings.HasPrefix(err.Error(), "usage:") {
+				t.Fatalf("error %q does not carry a usage message", err)
+			}
+		})
+	}
+}
+
+// TestZmaildMetricsBootFailure: a well-formed but unbindable metrics
+// address is a boot failure (non-zero exit), discovered before the
+// daemon enters its serve loop.
+func TestZmaildMetricsBootFailure(t *testing.T) {
+	err := run([]string{
+		"-index", "0", "-domains", "a.example", "-insecure",
+		"-listen", "127.0.0.1:0",
+		"-metrics", "203.0.113.1:0", // TEST-NET-3: never assigned locally
+	})
+	if err == nil {
+		t.Fatal("unbindable -metrics address accepted")
+	}
+	if strings.HasPrefix(err.Error(), "usage:") {
+		t.Fatalf("bind failure %q misreported as a usage error", err)
+	}
+}
+
 // TestObsvSmoke boots a full daemon on ephemeral ports, scrapes the
 // admin telemetry listener, and sanity-parses the exposition. This is
 // the `make obsv` smoke target.

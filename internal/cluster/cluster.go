@@ -1,0 +1,634 @@
+// Package cluster boots a complete Zmail federation over real TCP on
+// loopback: N ISP daemons (the same core.Node that cmd/zmaild runs,
+// with SMTP listeners, persistent bank links, tick loops, and optional
+// WAL durability and admin telemetry) in front of either one central
+// bank or the §5 two-level hierarchy — R leaf banks owning a region of
+// ISPs each, forwarding credit reports to a root aggregator that
+// verifies cross-region pairs.
+//
+// Every scale claim before this package rested on the in-process
+// simulator; cluster is the harness that re-stakes them on real
+// sockets. It exists for two callers: the end-to-end federation test
+// suite in this package (`make cluster`), and cmd/zload's self-boot
+// mode, which drives open-loop SMTP traffic against a cluster and
+// scrapes its /metrics endpoints.
+//
+// All listeners bind ephemeral loopback ports, so any number of
+// clusters coexist on one machine (CI included). Nothing here sleeps a
+// fixed amount: completion is always observed by polling daemon state
+// with a deadline (see WaitFor).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"zmail/internal/bank"
+	"zmail/internal/clock"
+	"zmail/internal/core"
+	"zmail/internal/crypto"
+	"zmail/internal/isp"
+	"zmail/internal/mail"
+	"zmail/internal/metrics"
+	"zmail/internal/money"
+	"zmail/internal/obsv"
+	"zmail/internal/persist"
+	"zmail/internal/trace"
+)
+
+// Config sizes and shapes a cluster. The zero value of most fields
+// selects a small, fast federation suitable for tests.
+type Config struct {
+	// ISPs is the federation size (default 2).
+	ISPs int
+	// UsersPerISP is how many users ("u000", "u001", …) each ISP
+	// registers (default 4).
+	UsersPerISP int
+	// Regions selects the bank topology: 0 or 1 boots one central
+	// bank; R > 1 boots R leaf banks (ISP i served by region i mod R)
+	// plus a root aggregator, all on their own TCP listeners.
+	Regions int
+
+	// InitialBalance is each user's starting e-penny balance
+	// (default 200).
+	InitialBalance money.EPenny
+	// InitialAccount is each user's real-penny account (default 1000).
+	InitialAccount money.Penny
+	// DailyLimit is the per-user daily send limit (default 50).
+	DailyLimit int64
+	// Funds is each ISP's real-penny account at its (leaf) bank
+	// (default 1,000,000).
+	Funds money.Penny
+
+	// MinAvail/MaxAvail/InitialAvail shape each ISP's e-penny pool
+	// (defaults 1000 / 100000 / 10000).
+	MinAvail, MaxAvail, InitialAvail money.EPenny
+
+	// FreezeDuration is the §4.4 snapshot quiet period (default
+	// 150ms — the paper's 10 minutes scaled to test time).
+	FreezeDuration time.Duration
+	// TickInterval is the pool-maintenance cadence (default 50ms).
+	TickInterval time.Duration
+
+	// WALDir, when set, gives every daemon a write-ahead log under
+	// WALDir/ispN and WALDir/bankR; RestartISP then proves recovery.
+	WALDir string
+	// Metrics starts an obsv admin listener (ephemeral loopback port)
+	// per daemon, the scrape surface for zload.
+	Metrics bool
+	// Logf receives daemon diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (cfg *Config) applyDefaults() {
+	if cfg.ISPs == 0 {
+		cfg.ISPs = 2
+	}
+	if cfg.UsersPerISP == 0 {
+		cfg.UsersPerISP = 4
+	}
+	if cfg.Regions == 0 {
+		cfg.Regions = 1
+	}
+	if cfg.InitialBalance == 0 {
+		cfg.InitialBalance = 200
+	}
+	if cfg.InitialAccount == 0 {
+		cfg.InitialAccount = 1000
+	}
+	if cfg.DailyLimit == 0 {
+		cfg.DailyLimit = 50
+	}
+	if cfg.Funds == 0 {
+		cfg.Funds = 1_000_000
+	}
+	if cfg.MinAvail == 0 {
+		cfg.MinAvail = 1000
+	}
+	if cfg.MaxAvail == 0 {
+		cfg.MaxAvail = 100_000
+	}
+	if cfg.InitialAvail == 0 {
+		cfg.InitialAvail = 10_000
+	}
+	if cfg.FreezeDuration == 0 {
+		cfg.FreezeDuration = 150 * time.Millisecond
+	}
+	if cfg.TickInterval == 0 {
+		cfg.TickInterval = 50 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+}
+
+// ISP is one booted ISP daemon plus its telemetry surface.
+type ISP struct {
+	Index  int
+	Domain string
+	Region int
+	Users  []string
+
+	node      *core.Node
+	reg       *metrics.Registry
+	ring      *trace.Ring
+	admin     *obsv.Server
+	walDir    string
+	delivered atomic.Int64
+}
+
+// SMTPAddr returns the daemon's bound SMTP address.
+func (i *ISP) SMTPAddr() string { return i.node.Addr().String() }
+
+// MetricsAddr returns the admin telemetry address, or "" when metrics
+// are disabled.
+func (i *ISP) MetricsAddr() string {
+	if i.admin == nil {
+		return ""
+	}
+	return i.admin.Addr().String()
+}
+
+// Engine exposes the daemon's protocol engine (ledger inspection in
+// tests; production callers scrape /metrics instead).
+func (i *ISP) Engine() *isp.Engine { return i.node.Engine() }
+
+// Delivered counts messages the daemon handed to local mailboxes over
+// its lifetime, surviving restarts (the counter lives in the harness,
+// not the node).
+func (i *ISP) Delivered() int64 { return i.delivered.Load() }
+
+// BankDaemon is one bank-level daemon: the single central bank, or one
+// leaf of the two-level hierarchy.
+type BankDaemon struct {
+	Region int
+	Bank   *bank.Bank
+
+	srv    *core.BankServer
+	reg    *metrics.Registry
+	admin  *obsv.Server
+	uplink *core.Uplink
+	walDir string
+}
+
+// Addr returns the daemon's bound bank-protocol address.
+func (b *BankDaemon) Addr() string { return b.srv.Addr().String() }
+
+// MetricsAddr returns the admin telemetry address, or "".
+func (b *BankDaemon) MetricsAddr() string {
+	if b.admin == nil {
+		return ""
+	}
+	return b.admin.Addr().String()
+}
+
+// Cluster is a running federation.
+type Cluster struct {
+	cfg     Config
+	Domains []string
+	assign  []int // isp index → region
+
+	isps  []*ISP
+	banks []*BankDaemon
+
+	root      *bank.Root
+	rootSrv   *core.BankServer
+	rootReg   *metrics.Registry
+	rootAdmin *obsv.Server
+
+	audits   int64 // rounds triggered via TriggerAudit
+	initialE int64 // federation e-penny total at boot
+}
+
+// New boots a cluster per cfg: banks first (root, then leaves, so
+// forwarding links have somewhere to go), then every ISP daemon, then
+// the peer mesh. On any error the partially booted cluster is torn
+// down.
+func New(cfg Config) (*Cluster, error) {
+	cfg.applyDefaults()
+	if cfg.Regions > cfg.ISPs {
+		return nil, fmt.Errorf("cluster: %d regions for %d ISPs", cfg.Regions, cfg.ISPs)
+	}
+	c := &Cluster{cfg: cfg}
+	for i := 0; i < cfg.ISPs; i++ {
+		c.Domains = append(c.Domains, fmt.Sprintf("isp%d.zmail.test", i))
+		c.assign = append(c.assign, i%cfg.Regions)
+	}
+	if err := c.boot(); err != nil {
+		_ = c.Close()
+		return nil, err
+	}
+	// The seeded pools and user balances predate the banks; everything
+	// minted or burned after this instant must reconcile against them.
+	c.initialE = c.TotalEPennies()
+	return c, nil
+}
+
+func (c *Cluster) boot() error {
+	cfg := c.cfg
+
+	// Root aggregator (two-level topology only).
+	if cfg.Regions > 1 {
+		root, err := bank.NewRoot(bank.RootConfig{
+			NumISPs:   cfg.ISPs,
+			Assign:    c.assign,
+			OwnSealer: crypto.Null{},
+		})
+		if err != nil {
+			return err
+		}
+		srv, err := core.StartBankHandler(root, "127.0.0.1:0", cfg.Logf)
+		if err != nil {
+			return err
+		}
+		c.root, c.rootSrv = root, srv
+		if cfg.Metrics {
+			c.rootReg = metrics.NewRegistry()
+			c.rootReg.Register(root)
+			admin, err := obsv.Start("127.0.0.1:0", obsv.Config{Registry: c.rootReg})
+			if err != nil {
+				return err
+			}
+			c.rootAdmin = admin
+		}
+		cfg.Logf("cluster: root bank on %s", srv.Addr())
+	}
+
+	// Leaf (or central) banks.
+	for r := 0; r < cfg.Regions; r++ {
+		bd, err := c.bootBank(r)
+		if err != nil {
+			return err
+		}
+		c.banks = append(c.banks, bd)
+	}
+
+	// ISP daemons, then the full peer mesh once every port is known.
+	for i := 0; i < cfg.ISPs; i++ {
+		node, err := c.bootISP(i)
+		if err != nil {
+			return err
+		}
+		c.isps = append(c.isps, node)
+	}
+	for i, a := range c.isps {
+		for j, b := range c.isps {
+			if i != j {
+				a.node.AddPeer(j, b.SMTPAddr())
+			}
+		}
+	}
+	return nil
+}
+
+// bootBank starts the bank daemon for one region. With a single
+// region it is the central bank; with several, a leaf that serves only
+// its region's ISPs and forwards their credit reports to the root.
+func (c *Cluster) bootBank(r int) (*BankDaemon, error) {
+	cfg := c.cfg
+	compliant := make([]bool, cfg.ISPs)
+	for i := 0; i < cfg.ISPs; i++ {
+		compliant[i] = c.assign[i] == r
+	}
+
+	bd := &BankDaemon{Region: r}
+	bk, srv, err := core.StartBank(bank.Config{
+		NumISPs:        cfg.ISPs,
+		Compliant:      compliant,
+		InitialAccount: cfg.Funds,
+		OwnSealer:      crypto.Null{},
+	}, "127.0.0.1:0", cfg.Logf)
+	if err != nil {
+		return bd, err
+	}
+	bd.Bank, bd.srv = bk, srv
+	for i := 0; i < cfg.ISPs; i++ {
+		if compliant[i] {
+			if err := bk.Enroll(i, crypto.Null{}); err != nil {
+				return bd, err
+			}
+		}
+	}
+	if c.rootSrv != nil {
+		bd.uplink = core.NewUplink(c.rootSrv.Addr().String(), r, cfg.Logf)
+		srv.SetForward(bd.uplink.Forward)
+	}
+	if cfg.WALDir != "" {
+		bd.walDir = filepath.Join(cfg.WALDir, fmt.Sprintf("bank%d", r))
+		if err := os.MkdirAll(bd.walDir, 0o755); err != nil {
+			return bd, err
+		}
+		if err := bk.AttachWAL(bd.walDir); err != nil {
+			return bd, err
+		}
+	}
+	if cfg.Metrics {
+		bd.reg = metrics.NewRegistry()
+		bd.reg.Register(bk)
+		admin, err := obsv.Start("127.0.0.1:0", obsv.Config{Registry: bd.reg})
+		if err != nil {
+			return bd, err
+		}
+		bd.admin = admin
+	}
+	cfg.Logf("cluster: bank[%d] on %s serving %v", r, srv.Addr(), regionMembers(c.assign, r))
+	return bd, nil
+}
+
+func regionMembers(assign []int, r int) []int {
+	var out []int
+	for i, a := range assign {
+		if a == r {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// bootISP builds and starts the daemon for federation index i,
+// recovering from its WAL when one exists (the restart path).
+func (c *Cluster) bootISP(i int) (*ISP, error) {
+	cfg := c.cfg
+	d := &ISP{Index: i, Domain: c.Domains[i], Region: c.assign[i]}
+	for u := 0; u < cfg.UsersPerISP; u++ {
+		d.Users = append(d.Users, fmt.Sprintf("u%03d", u))
+	}
+	return d, c.startISP(d)
+}
+
+// startISP boots (or reboots) the node behind d; d's identity fields
+// are already set.
+func (c *Cluster) startISP(d *ISP) error {
+	cfg := c.cfg
+	clk := clock.System()
+	d.reg = metrics.NewRegistry()
+	d.ring = trace.NewRing(1024)
+	tracer := trace.New(d.Domain, d.Index, clk, d.ring)
+
+	node, err := core.NewNode(core.NodeConfig{
+		Engine: isp.Config{
+			Index:          d.Index,
+			Domain:         d.Domain,
+			Directory:      isp.NewDirectory(c.Domains, nil),
+			MinAvail:       cfg.MinAvail,
+			MaxAvail:       cfg.MaxAvail,
+			InitialAvail:   cfg.InitialAvail,
+			DefaultLimit:   cfg.DailyLimit,
+			FreezeDuration: cfg.FreezeDuration,
+			Policy:         isp.AcceptUnpaid,
+			BankSealer:     crypto.Null{},
+			OwnSealer:      crypto.Null{},
+			Clock:          clk,
+			Tracer:         tracer,
+		},
+		ListenAddr:   "127.0.0.1:0",
+		BankAddr:     c.banks[c.assign[d.Index]].Addr(),
+		TickInterval: cfg.TickInterval,
+		Mailbox: func(user string, msg *mail.Message) {
+			d.delivered.Add(1)
+		},
+		Logf: func(format string, args ...any) {
+			cfg.Logf("isp[%d]: "+format, append([]any{d.Index}, args...)...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	d.node = node
+	d.reg.Register(node.Engine())
+
+	if cfg.WALDir != "" {
+		d.walDir = filepath.Join(cfg.WALDir, fmt.Sprintf("isp%d", d.Index))
+		if err := os.MkdirAll(d.walDir, 0o755); err != nil {
+			return err
+		}
+		eng := node.Engine()
+		if persist.HasWAL(d.walDir) {
+			if err := eng.RecoverWAL(d.walDir); err != nil {
+				return fmt.Errorf("cluster: recover isp[%d] wal: %w", d.Index, err)
+			}
+		} else if err := eng.AttachWAL(d.walDir); err != nil {
+			return fmt.Errorf("cluster: init isp[%d] wal: %w", d.Index, err)
+		}
+	}
+
+	for _, u := range d.Users {
+		err := node.Engine().RegisterUser(u, cfg.InitialAccount, cfg.InitialBalance, cfg.DailyLimit)
+		if err != nil && !errors.Is(err, isp.ErrDuplicateUser) {
+			return err
+		}
+	}
+
+	if cfg.Metrics {
+		admin, err := obsv.Start("127.0.0.1:0", obsv.Config{Registry: d.reg, Ring: d.ring})
+		if err != nil {
+			return err
+		}
+		d.admin = admin
+	}
+	cfg.Logf("cluster: isp[%d] %s smtp on %s", d.Index, d.Domain, d.SMTPAddr())
+	return nil
+}
+
+// ISP returns daemon i.
+func (c *Cluster) ISP(i int) *ISP { return c.isps[i] }
+
+// ISPs returns every ISP daemon.
+func (c *Cluster) ISPs() []*ISP { return c.isps }
+
+// Banks returns every bank-level daemon (one central, or R leaves).
+func (c *Cluster) Banks() []*BankDaemon { return c.banks }
+
+// Root returns the root aggregator, nil for the central topology.
+func (c *Cluster) Root() *bank.Root { return c.root }
+
+// MetricsAddrs lists every daemon's admin telemetry address (ISPs
+// first, then banks, then the root), the scrape set zload walks.
+func (c *Cluster) MetricsAddrs() []string {
+	var out []string
+	for _, d := range c.isps {
+		if a := d.MetricsAddr(); a != "" {
+			out = append(out, a)
+		}
+	}
+	for _, b := range c.banks {
+		if a := b.MetricsAddr(); a != "" {
+			out = append(out, a)
+		}
+	}
+	if c.rootAdmin != nil {
+		out = append(out, c.rootAdmin.Addr().String())
+	}
+	return out
+}
+
+// TriggerAudit starts one federation-wide §4.4 audit round: every
+// leaf (or the central bank) snapshots its ISPs. Completion is
+// observable via AuditComplete.
+func (c *Cluster) TriggerAudit() error {
+	for _, bd := range c.banks {
+		if err := bd.Bank.StartSnapshot(); err != nil {
+			return fmt.Errorf("cluster: bank[%d]: %w", bd.Region, err)
+		}
+	}
+	c.audits++
+	return nil
+}
+
+// AuditComplete reports whether every round triggered so far has fully
+// verified — at every leaf, and (two-level topology) at the root.
+func (c *Cluster) AuditComplete() bool {
+	for _, bd := range c.banks {
+		if !bd.Bank.RoundComplete() {
+			return false
+		}
+	}
+	if c.root != nil && c.root.RoundsVerified() < c.audits {
+		return false
+	}
+	return true
+}
+
+// Violations gathers every flagged pair across the bank tree:
+// intra-region pairs from the leaves, cross-region pairs from the
+// root.
+func (c *Cluster) Violations() []bank.Violation {
+	var out []bank.Violation
+	for _, bd := range c.banks {
+		out = append(out, bd.Bank.Violations()...)
+	}
+	if c.root != nil {
+		out = append(out, c.root.Violations()...)
+	}
+	return out
+}
+
+// TotalEPennies sums the conserved quantity over every ISP ledger:
+// user balances + pool + credit claims. Paired with Outstanding it is
+// the federation conservation check (experiment E1, now over TCP).
+func (c *Cluster) TotalEPennies() int64 {
+	var total int64
+	for _, d := range c.isps {
+		total += d.Engine().TotalEPennies()
+	}
+	return total
+}
+
+// Outstanding sums net minted e-pennies over every bank daemon.
+func (c *Cluster) Outstanding() int64 {
+	var total int64
+	for _, bd := range c.banks {
+		total += bd.Bank.Outstanding()
+	}
+	return total
+}
+
+// InitialEPennies returns the federation e-penny total at boot (the
+// seeded pools plus user balances, which predate the banks).
+func (c *Cluster) InitialEPennies() int64 { return c.initialE }
+
+// Conserved reports whether the ISP-side and bank-side tallies agree
+// right now: TotalEPennies == InitialEPennies + Outstanding, the same
+// invariant experiment E1 checks in-process. Transient disagreement is
+// normal while a buy or sell is in flight; callers poll it into
+// stability with WaitFor.
+func (c *Cluster) Conserved() bool {
+	return c.TotalEPennies() == c.initialE+c.Outstanding()
+}
+
+// RestartISP crash-stops daemon i (closing its WAL the way a clean
+// shutdown would; the WAL replay tests under internal/isp cover dirty
+// tails) and boots a fresh daemon from the same WAL directory on new
+// ephemeral ports, then re-wires the peer mesh. The restarted engine's
+// ledger must come back entirely from the log.
+func (c *Cluster) RestartISP(i int) error {
+	d := c.isps[i]
+	if d.admin != nil {
+		_ = d.admin.Close()
+		d.admin = nil
+	}
+	if d.walDir != "" {
+		if err := d.node.Engine().CloseWAL(); err != nil {
+			return fmt.Errorf("cluster: close isp[%d] wal: %w", i, err)
+		}
+	}
+	if err := d.node.Close(); err != nil {
+		return err
+	}
+	if err := c.startISP(d); err != nil {
+		return err
+	}
+	for j, other := range c.isps {
+		if j == i {
+			continue
+		}
+		other.node.AddPeer(i, d.SMTPAddr())
+		d.node.AddPeer(j, other.SMTPAddr())
+	}
+	return nil
+}
+
+// Close tears the whole federation down, ISPs first so their final
+// bank traffic still has a server to fail against quietly.
+func (c *Cluster) Close() error {
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, d := range c.isps {
+		if d == nil || d.node == nil {
+			continue
+		}
+		if d.admin != nil {
+			keep(d.admin.Close())
+		}
+		if d.walDir != "" {
+			keep(d.node.Engine().CloseWAL())
+		}
+		keep(d.node.Close())
+	}
+	for _, bd := range c.banks {
+		if bd == nil || bd.srv == nil {
+			continue
+		}
+		if bd.admin != nil {
+			keep(bd.admin.Close())
+		}
+		if bd.uplink != nil {
+			keep(bd.uplink.Close())
+		}
+		if bd.walDir != "" {
+			keep(bd.Bank.CloseWAL())
+		}
+		keep(bd.srv.Close())
+	}
+	if c.rootAdmin != nil {
+		keep(c.rootAdmin.Close())
+	}
+	if c.rootSrv != nil {
+		keep(c.rootSrv.Close())
+	}
+	return firstErr
+}
+
+// WaitFor polls cond every few milliseconds until it holds or the
+// deadline passes — the no-fixed-sleeps idiom every cluster test uses
+// (like experiment E12's live-TCP poll loops).
+func WaitFor(d time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(d)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -11,30 +11,51 @@ import (
 	"zmail/internal/wire"
 )
 
-// BankServer exposes a bank.Bank over TCP with the wire framing. Each
-// compliant ISP keeps one persistent connection; the server learns
-// which connection belongs to which ISP from the From field of the
-// first envelope it receives on it, and routes bank→ISP traffic back
-// over the same connection.
-type BankServer struct {
-	bank *bank.Bank
-	logf func(format string, args ...any)
-
-	mu     sync.Mutex
-	conns  map[int]net.Conn // ISP index → connection
-	ln     net.Listener
-	closed bool
-	wg     sync.WaitGroup
+// BankHandler consumes inbound bank-link envelopes. bank.Bank (a
+// central or leaf bank) and bank.Root (the top of the distributed
+// two-level hierarchy) both satisfy it, so the same TCP server fronts
+// every level of the bank tree.
+type BankHandler interface {
+	Handle(env *wire.Envelope) error
 }
 
-// NewBankServer wraps a configured bank. Set the bank's Transport to
-// the value returned by (*BankServer).Transport before constructing the
-// bank, or use StartBank for the one-step path.
-func NewBankServer(b *bank.Bank, logf func(string, ...any)) *BankServer {
+// BankServer exposes a BankHandler over TCP with the wire framing.
+// Each compliant ISP (or, for a root server, each leaf bank) keeps one
+// persistent connection; the server learns which connection belongs to
+// which ISP from the From field of the first envelope it receives on
+// it, and routes bank→ISP traffic back over the same connection.
+type BankServer struct {
+	bank BankHandler
+	logf func(format string, args ...any)
+
+	mu      sync.Mutex
+	conns   map[int]net.Conn // ISP index → connection
+	forward func(env *wire.Envelope)
+	ln      net.Listener
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// NewBankServer wraps a configured bank-level handler. For a
+// bank.Bank, set its Transport to the value returned by
+// (*BankServer).Transport before constructing the bank, or use
+// StartBank for the one-step path.
+func NewBankServer(b BankHandler, logf func(string, ...any)) *BankServer {
 	if logf == nil {
 		logf = log.Printf
 	}
 	return &BankServer{bank: b, logf: logf, conns: make(map[int]net.Conn)}
+}
+
+// SetForward installs a hook that receives a copy of every credit
+// report the server successfully handled. A leaf bank in the two-level
+// hierarchy forwards these to the root (typically via an Uplink), which
+// verifies the cross-region pairs the leaf cannot see. The hook runs on
+// the connection's read goroutine; keep it quick or hand off.
+func (s *BankServer) SetForward(fn func(env *wire.Envelope)) {
+	s.mu.Lock()
+	s.forward = fn
+	s.mu.Unlock()
 }
 
 // StartBank builds a bank whose transport routes through a new
@@ -52,6 +73,17 @@ func StartBank(cfg bank.Config, addr string, logf func(string, ...any)) (*bank.B
 		return nil, nil, err
 	}
 	return b, srv, nil
+}
+
+// StartBankHandler starts a BankServer for an already-constructed
+// handler (a leaf bank wired through NewBankServer's Transport, or a
+// root aggregator, which sends nothing and needs no transport).
+func StartBankHandler(h BankHandler, addr string, logf func(string, ...any)) (*BankServer, error) {
+	srv := NewBankServer(h, logf)
+	if err := srv.Listen(addr); err != nil {
+		return nil, err
+	}
+	return srv, nil
 }
 
 // Transport returns a bank.Transport that writes to the connection
@@ -157,6 +189,15 @@ func (s *BankServer) serveConn(conn net.Conn) {
 		}
 		if err := s.bank.Handle(env); err != nil {
 			s.logf("bankserver: handle %v from isp[%d]: %v", env.Kind, idx, err)
+			continue
+		}
+		if env.Kind == wire.KindReply {
+			s.mu.Lock()
+			fn := s.forward
+			s.mu.Unlock()
+			if fn != nil {
+				fn(env)
+			}
 		}
 	}
 	if registered >= 0 {

@@ -1,0 +1,401 @@
+package load
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zmail/internal/mail"
+	"zmail/internal/metrics"
+	"zmail/internal/smtp"
+)
+
+// GenConfig shapes one load run against a running federation.
+type GenConfig struct {
+	// Targets are the ISPs' SMTP addresses; Domains the matching mail
+	// domains (same order, same length).
+	Targets []string
+	Domains []string
+	// Users lists the registered local users per ISP (same order as
+	// Targets).
+	Users [][]string
+
+	// Rate is the offered load in messages per second. The generator
+	// is open-loop: arrivals are scheduled by a clock, not by response
+	// latency, so a slow server faces a growing backlog instead of a
+	// conveniently self-throttling client.
+	Rate float64
+	// Duration is how long arrivals are offered.
+	Duration time.Duration
+	// Workers is the persistent-connection pool size (default 8).
+	Workers int
+
+	// ZipfS skews sender popularity (s parameter of a Zipf
+	// distribution, > 1; anything ≤ 1 selects uniform senders). Real
+	// mail load is head-heavy, and the paper's economics bite exactly
+	// those heavy senders.
+	ZipfS float64
+	// RemoteFrac is the fraction of sends addressed to a different ISP
+	// (default 0.5); the rest are intra-ISP.
+	RemoteFrac float64
+	// ListFrac is the fraction of sends with ListSize recipients — the
+	// §4.2 mailing-list shape — instead of one (default 0, ListSize
+	// default 4).
+	ListFrac float64
+	ListSize int
+
+	// Seed makes sender/recipient choices reproducible.
+	Seed int64
+
+	// MetricsAddrs are admin listener addresses scraped once after the
+	// run to fold server-side truth into the report.
+	MetricsAddrs []string
+
+	// Logf receives progress diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (cfg *GenConfig) validate() error {
+	if len(cfg.Targets) == 0 {
+		return errors.New("load: no targets")
+	}
+	if len(cfg.Domains) != len(cfg.Targets) || len(cfg.Users) != len(cfg.Targets) {
+		return fmt.Errorf("load: %d targets need matching Domains (%d) and Users (%d)",
+			len(cfg.Targets), len(cfg.Domains), len(cfg.Users))
+	}
+	for i, u := range cfg.Users {
+		if len(u) == 0 {
+			return fmt.Errorf("load: target %d has no users", i)
+		}
+	}
+	if cfg.Rate <= 0 {
+		return errors.New("load: Rate must be positive")
+	}
+	if cfg.Duration <= 0 {
+		return errors.New("load: Duration must be positive")
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 8
+	}
+	if cfg.RemoteFrac == 0 {
+		cfg.RemoteFrac = 0.5
+	}
+	if cfg.ListSize == 0 {
+		cfg.ListSize = 4
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// LatencySummary is the client-observed submission latency (full SMTP
+// transaction: MAIL through the final 250), in milliseconds.
+type LatencySummary struct {
+	P50Ms   float64 `json:"p50_ms"`
+	P90Ms   float64 `json:"p90_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+	MeanMs  float64 `json:"mean_ms"`
+	Samples uint64  `json:"samples"`
+}
+
+// ServerTotals is what the post-run scrape of every /metrics endpoint
+// adds up to — the server-side ground truth the client-side counters
+// must reconcile against.
+type ServerTotals struct {
+	Endpoints      int     `json:"endpoints"`
+	Submitted      float64 `json:"submitted"`
+	DeliveredLocal float64 `json:"delivered_local"`
+	SentPaid       float64 `json:"sent_paid"`
+	ReceivedPaid   float64 `json:"received_paid"`
+	LimitRejects   float64 `json:"limit_rejects"`
+	BankRounds     float64 `json:"bank_rounds"`
+	RootViolations float64 `json:"root_violations"`
+}
+
+// Report is the machine-readable outcome of one run, the payload
+// cmd/benchjson folds into BENCH_7.json.
+type Report struct {
+	Targets      int     `json:"targets"`
+	Workers      int     `json:"workers"`
+	OfferedRate  float64 `json:"offered_rate"`
+	DurationSecs float64 `json:"duration_secs"`
+	ZipfS        float64 `json:"zipf_s"`
+	RemoteFrac   float64 `json:"remote_frac"`
+	ListFrac     float64 `json:"list_frac"`
+	ListSize     int     `json:"list_size"`
+	Seed         int64   `json:"seed"`
+
+	Offered      int64   `json:"offered"`       // arrivals scheduled by the clock
+	Sent         int64   `json:"sent"`          // transactions accepted (250)
+	Rejected     int64   `json:"rejected"`      // SMTP-level rejections (the economics saying no)
+	Errors       int64   `json:"errors"`        // transport failures
+	Dropped      int64   `json:"dropped"`       // arrivals shed because the backlog hit its cap
+	Recipients   int64   `json:"recipients"`    // recipients across accepted transactions
+	AchievedRate float64 `json:"achieved_rate"` // accepted per wall-clock second
+	ElapsedSecs  float64 `json:"elapsed_secs"`
+
+	Latency LatencySummary `json:"latency"`
+	Server  *ServerTotals  `json:"server,omitempty"`
+}
+
+// job is one scheduled arrival.
+type job struct{ n int64 }
+
+// Run offers cfg.Rate arrivals per second for cfg.Duration against the
+// target federation, then scrapes MetricsAddrs and assembles the
+// report. The worker pool holds one persistent SMTP connection per
+// (worker, target) pair, resynchronizing with RSET after a rejection
+// and redialing after a transport error.
+func Run(cfg GenConfig) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+
+	var sent, rejected, errs, dropped, recipients atomic.Int64
+	lat := metrics.NewLatencyHist()
+
+	// The backlog cap bounds memory when the servers fall behind the
+	// offered rate; shed arrivals are reported, never silently queued
+	// forever (an unbounded queue would turn open loop into closed).
+	backlog := cfg.Workers * 64
+	jobs := make(chan job, backlog)
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			runWorker(&cfg, w, jobs, lat, &sent, &rejected, &errs, &recipients)
+		}(w)
+	}
+
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	ticker := time.NewTicker(interval)
+	var offered int64
+	for now := range ticker.C {
+		if now.After(deadline) {
+			break
+		}
+		offered++
+		select {
+		case jobs <- job{n: offered}:
+		default:
+			dropped.Add(1)
+		}
+	}
+	ticker.Stop()
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{
+		Targets:      len(cfg.Targets),
+		Workers:      cfg.Workers,
+		OfferedRate:  cfg.Rate,
+		DurationSecs: cfg.Duration.Seconds(),
+		ZipfS:        cfg.ZipfS,
+		RemoteFrac:   cfg.RemoteFrac,
+		ListFrac:     cfg.ListFrac,
+		ListSize:     cfg.ListSize,
+		Seed:         cfg.Seed,
+		Offered:      offered,
+		Sent:         sent.Load(),
+		Rejected:     rejected.Load(),
+		Errors:       errs.Load(),
+		Dropped:      dropped.Load(),
+		Recipients:   recipients.Load(),
+		ElapsedSecs:  elapsed.Seconds(),
+	}
+	if elapsed > 0 {
+		rep.AchievedRate = float64(rep.Sent) / elapsed.Seconds()
+	}
+	rep.Latency = summarizeLatency(lat)
+	if len(cfg.MetricsAddrs) > 0 {
+		rep.Server = scrapeAll(&cfg)
+	}
+	cfg.Logf("load: offered %d sent %d rejected %d errors %d dropped %d in %.2fs (%.1f/s achieved)",
+		rep.Offered, rep.Sent, rep.Rejected, rep.Errors, rep.Dropped, rep.ElapsedSecs, rep.AchievedRate)
+	return rep, nil
+}
+
+// runWorker drains arrivals with a per-worker RNG (deterministic given
+// cfg.Seed) and per-target persistent connections.
+func runWorker(cfg *GenConfig, w int, jobs <-chan job, lat *metrics.LatencyHist,
+	sent, rejected, errs, recipients *atomic.Int64) {
+
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+	var zipf *rand.Zipf
+	maxUsers := 0
+	for _, u := range cfg.Users {
+		if len(u) > maxUsers {
+			maxUsers = len(u)
+		}
+	}
+	if cfg.ZipfS > 1 {
+		zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(maxUsers-1))
+	}
+	pickUser := func(ispIdx int) string {
+		users := cfg.Users[ispIdx]
+		if zipf != nil {
+			return users[int(zipf.Uint64())%len(users)]
+		}
+		return users[rng.Intn(len(users))]
+	}
+
+	conns := make([]*smtp.Client, len(cfg.Targets))
+	defer func() {
+		for _, c := range conns {
+			if c != nil {
+				_ = c.Quit()
+			}
+		}
+	}()
+	conn := func(i int) (*smtp.Client, error) {
+		if conns[i] != nil {
+			return conns[i], nil
+		}
+		c, err := smtp.Dial(cfg.Targets[i], 10*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Hello(fmt.Sprintf("zload-w%d.test", w)); err != nil {
+			_ = c.Close()
+			return nil, err
+		}
+		conns[i] = c
+		return c, nil
+	}
+	drop := func(i int) {
+		if conns[i] != nil {
+			_ = conns[i].Close()
+			conns[i] = nil
+		}
+	}
+
+	for j := range jobs {
+		src := rng.Intn(len(cfg.Targets))
+		dst := src
+		if len(cfg.Targets) > 1 && rng.Float64() < cfg.RemoteFrac {
+			dst = (src + 1 + rng.Intn(len(cfg.Targets)-1)) % len(cfg.Targets)
+		}
+		from := mail.Address{Local: pickUser(src), Domain: cfg.Domains[src]}
+		nRcpt := 1
+		if cfg.ListFrac > 0 && rng.Float64() < cfg.ListFrac {
+			nRcpt = cfg.ListSize
+		}
+		rcpts := make([]mail.Address, 0, nRcpt)
+		seen := map[string]bool{}
+		for len(rcpts) < nRcpt && len(seen) < len(cfg.Users[dst]) {
+			u := pickUser(dst)
+			if seen[u] {
+				continue
+			}
+			seen[u] = true
+			rcpts = append(rcpts, mail.Address{Local: u, Domain: cfg.Domains[dst]})
+		}
+		msg := mail.NewMessage(from, rcpts[0],
+			fmt.Sprintf("zload %d", j.n), "open-loop load generator message")
+
+		c, err := conn(src)
+		if err != nil {
+			errs.Add(1)
+			cfg.Logf("load: worker %d dial %s: %v", w, cfg.Targets[src], err)
+			continue
+		}
+		t0 := time.Now()
+		err = c.Send(from, rcpts, msg)
+		lat.Observe(time.Since(t0))
+		switch {
+		case err == nil:
+			sent.Add(1)
+			recipients.Add(int64(len(rcpts)))
+		case isProtocolError(err):
+			// The server said no (daily limit, balance, policy): the
+			// session is healthy, resynchronize and keep going.
+			rejected.Add(1)
+			if rerr := c.Reset(); rerr != nil {
+				drop(src)
+			}
+		default:
+			errs.Add(1)
+			drop(src)
+		}
+	}
+}
+
+func isProtocolError(err error) bool {
+	var pe *smtp.ProtocolError
+	return errors.As(err, &pe)
+}
+
+func summarizeLatency(lat *metrics.LatencyHist) LatencySummary {
+	h := &Histogram{
+		Bounds: metrics.LatencyBounds(),
+		Counts: lat.Cumulative(),
+		Sum:    lat.Sum().Seconds(),
+		Count:  lat.Count(),
+	}
+	s := LatencySummary{Samples: h.Count}
+	if h.Count == 0 {
+		return s
+	}
+	s.P50Ms = h.Quantile(0.5) * 1000
+	s.P90Ms = h.Quantile(0.9) * 1000
+	s.P99Ms = h.Quantile(0.99) * 1000
+	s.MeanMs = h.Sum / float64(h.Count) * 1000
+	return s
+}
+
+// scrapeAll GETs every /metrics endpoint, parses the exposition, and
+// sums the families the report cares about. Endpoints that fail to
+// scrape are skipped (and excluded from Endpoints).
+func scrapeAll(cfg *GenConfig) *ServerTotals {
+	totals := &ServerTotals{}
+	client := &http.Client{Timeout: 5 * time.Second}
+	for _, addr := range cfg.MetricsAddrs {
+		scrape, err := scrapeOne(client, addr)
+		if err != nil {
+			cfg.Logf("load: scrape %s: %v", addr, err)
+			continue
+		}
+		totals.Endpoints++
+		totals.Submitted += scrape.Sum("zmail_isp_submitted_total")
+		totals.DeliveredLocal += scrape.Sum("zmail_isp_delivered_local_total")
+		totals.SentPaid += scrape.Sum("zmail_isp_sent_paid_total")
+		totals.ReceivedPaid += scrape.Sum("zmail_isp_received_paid_total")
+		totals.LimitRejects += scrape.Sum("zmail_isp_limit_rejects_total")
+		totals.BankRounds += scrape.Sum("zmail_bank_rounds_total")
+		totals.RootViolations += scrape.Sum("zmail_root_violations_total")
+	}
+	return totals
+}
+
+func scrapeOne(client *http.Client, addr string) (*Scrape, error) {
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimSuffix(url, "/") + "/metrics"
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("status %d: %.100s", resp.StatusCode, body)
+	}
+	return ParseProm(resp.Body)
+}

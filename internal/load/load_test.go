@@ -1,0 +1,146 @@
+package load
+
+import (
+	"testing"
+	"time"
+
+	"zmail/internal/cluster"
+)
+
+// TestRunAgainstCluster drives a short open-loop run at a modest rate
+// against a real-TCP two-ISP federation and checks the whole loop:
+// arrivals offered on schedule, transactions accepted, client latency
+// recorded, and the post-run scrape reconciling against what the
+// daemons' own counters say happened.
+func TestRunAgainstCluster(t *testing.T) {
+	c, err := cluster.New(cluster.Config{
+		ISPs: 2, Regions: 1, UsersPerISP: 6, Metrics: true,
+		DailyLimit:     100_000, // the limit tests live in internal/cluster
+		InitialBalance: 1_000,   // funded from the pool at registration
+		InitialAvail:   20_000,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var targets, domains []string
+	var users [][]string
+	for _, d := range c.ISPs() {
+		targets = append(targets, d.SMTPAddr())
+		domains = append(domains, d.Domain)
+		users = append(users, d.Users)
+	}
+
+	const rate, secs = 150.0, 1.0
+	rep, err := Run(GenConfig{
+		Targets:      targets,
+		Domains:      domains,
+		Users:        users,
+		Rate:         rate,
+		Duration:     time.Duration(secs * float64(time.Second)),
+		Workers:      4,
+		ZipfS:        1.2,
+		RemoteFrac:   0.5,
+		ListFrac:     0.25,
+		ListSize:     3,
+		Seed:         42,
+		MetricsAddrs: c.MetricsAddrs(),
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Open loop means the clock, not the server, decides arrivals: a
+	// healthy local run must offer most of rate×duration and sustain
+	// it. The floor is deliberately loose for loaded CI workers.
+	if float64(rep.Offered) < 0.5*rate*secs {
+		t.Fatalf("offered only %d arrivals of ~%d scheduled", rep.Offered, int(rate*secs))
+	}
+	if rep.Sent < rep.Offered-rep.Dropped-rep.Errors-rep.Rejected {
+		t.Fatalf("accounting leak: offered=%d sent=%d rejected=%d errors=%d dropped=%d",
+			rep.Offered, rep.Sent, rep.Rejected, rep.Errors, rep.Dropped)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("transport errors against a healthy cluster: %d", rep.Errors)
+	}
+	if float64(rep.Sent) < 0.6*float64(rep.Offered) {
+		t.Fatalf("sustained only %d of %d offered", rep.Sent, rep.Offered)
+	}
+	if rep.Recipients < rep.Sent {
+		t.Fatalf("recipients %d < sent %d", rep.Recipients, rep.Sent)
+	}
+	if rep.Latency.Samples != uint64(rep.Sent+rep.Rejected) {
+		t.Fatalf("latency samples %d, want %d", rep.Latency.Samples, rep.Sent+rep.Rejected)
+	}
+	if rep.Latency.P50Ms <= 0 || rep.Latency.P99Ms < rep.Latency.P50Ms {
+		t.Fatalf("implausible latency summary %+v", rep.Latency)
+	}
+
+	// Server-side truth: 2 ISP + 1 bank endpoint scraped, and every
+	// accepted recipient was submitted at some daemon.
+	if rep.Server == nil || rep.Server.Endpoints != 3 {
+		t.Fatalf("scraped server totals = %+v, want 3 endpoints", rep.Server)
+	}
+	if rep.Server.Submitted < float64(rep.Recipients) {
+		t.Fatalf("server submitted %v < client recipients %d", rep.Server.Submitted, rep.Recipients)
+	}
+
+	// Deliveries (local + relayed) drain to the recipient count, and
+	// the federation still conserves e-pennies after the storm.
+	waitOK := cluster.WaitFor(15*time.Second, func() bool {
+		var delivered int64
+		for _, d := range c.ISPs() {
+			delivered += d.Delivered()
+		}
+		return delivered >= rep.Recipients && c.Conserved()
+	})
+	if !waitOK {
+		var delivered int64
+		for _, d := range c.ISPs() {
+			delivered += d.Delivered()
+		}
+		t.Fatalf("delivered %d of %d recipients, conserved=%v",
+			delivered, rep.Recipients, c.Conserved())
+	}
+}
+
+// TestGenConfigValidation pins the config errors and defaults.
+func TestGenConfigValidation(t *testing.T) {
+	base := func() GenConfig {
+		return GenConfig{
+			Targets:  []string{"127.0.0.1:1"},
+			Domains:  []string{"a.test"},
+			Users:    [][]string{{"u0"}},
+			Rate:     1,
+			Duration: time.Second,
+		}
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func(*GenConfig)
+	}{
+		{"no targets", func(c *GenConfig) { c.Targets = nil }},
+		{"mismatched domains", func(c *GenConfig) { c.Domains = nil }},
+		{"empty users", func(c *GenConfig) { c.Users = [][]string{{}} }},
+		{"zero rate", func(c *GenConfig) { c.Rate = 0 }},
+		{"zero duration", func(c *GenConfig) { c.Duration = 0 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base()
+			tc.mutate(&cfg)
+			if err := cfg.validate(); err == nil {
+				t.Fatal("validate accepted a bad config")
+			}
+		})
+	}
+	cfg := base()
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Workers != 8 || cfg.RemoteFrac != 0.5 || cfg.ListSize != 4 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}

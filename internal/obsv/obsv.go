@@ -32,6 +32,12 @@ type Config struct {
 	Ring *trace.Ring
 	// Health is consulted by /healthz; nil means always healthy.
 	Health func() error
+	// Addr is the listener's actually-bound address, reported by
+	// /healthz as an `addr=` line so harnesses that asked for an
+	// ephemeral port (":0") can confirm what they reached without
+	// re-parsing the daemon's boot log. Start fills it in; callers
+	// driving Handler directly may set it by hand.
+	Addr string
 }
 
 // Handler builds the admin mux for cfg. Exposed separately from Start
@@ -57,6 +63,9 @@ func Handler(cfg Config) http.Handler {
 			}
 		}
 		fmt.Fprintln(w, "ok")
+		if cfg.Addr != "" {
+			fmt.Fprintf(w, "addr=%s\n", cfg.Addr)
+		}
 	})
 	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -96,6 +105,7 @@ func Start(addr string, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obsv: listen %s: %w", addr, err)
 	}
+	cfg.Addr = ln.Addr().String()
 	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(cfg)}}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil

@@ -121,3 +121,36 @@ func TestStartServesAndCloses(t *testing.T) {
 		t.Fatal("scrape succeeded after Close")
 	}
 }
+
+// TestHealthzReportsBoundAddr: a daemon started on an ephemeral port
+// reports the actually-bound address in /healthz, so harnesses confirm
+// which listener they reached without re-parsing the boot log.
+func TestHealthzReportsBoundAddr(t *testing.T) {
+	s, err := Start("127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	bound := s.Addr().String()
+	if strings.HasSuffix(bound, ":0") {
+		t.Fatalf("Addr() still reports the requested port: %s", bound)
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + bound + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "addr="+bound) {
+		t.Fatalf("/healthz missing addr=%s:\n%s", bound, body)
+	}
+
+	// Driving the handler directly with no Addr configured keeps the
+	// plain "ok" body.
+	srv := httptest.NewServer(Handler(Config{}))
+	defer srv.Close()
+	if _, body := get(t, srv, "/healthz"); strings.Contains(body, "addr=") {
+		t.Fatalf("handler without Addr leaked an addr line: %q", body)
+	}
+}

@@ -153,6 +153,18 @@ func (c *Client) writeData(raw string) error {
 	return c.w.Flush()
 }
 
+// Reset aborts any in-progress transaction with RSET, returning the
+// session to the post-HELO state. Long-lived clients (the zload
+// generator's persistent connections) call it after a mid-transaction
+// rejection — a RCPT bounce, say — so the next Send starts clean.
+func (c *Client) Reset() error {
+	if err := c.cmd("RSET"); err != nil {
+		return err
+	}
+	_, err := c.expect(250)
+	return err
+}
+
 // Quit ends the session and closes the connection.
 func (c *Client) Quit() error {
 	if err := c.cmd("QUIT"); err != nil {

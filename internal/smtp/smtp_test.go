@@ -219,6 +219,41 @@ func TestMailRejection(t *testing.T) {
 	}
 }
 
+// TestClientResetRecovers: after a RCPT rejection mid-transaction, a
+// persistent client Resets and completes the next transaction on the
+// same connection — the recovery path zload's connection pool relies
+// on.
+func TestClientResetRecovers(t *testing.T) {
+	backend := &recordingBackend{rejectRcpt: "nobody"}
+	addr := startServer(t, backend)
+	c, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Hello("a.example"); err != nil {
+		t.Fatal(err)
+	}
+	from := mail.MustParseAddress("a@a.example")
+	bad := mail.MustParseAddress("nobody@test.example")
+	good := mail.MustParseAddress("b@test.example")
+	err = c.Send(from, []mail.Address{bad}, mail.NewMessage(from, bad, "s", "b"))
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want ProtocolError", err)
+	}
+	if err := c.Reset(); err != nil {
+		t.Fatalf("Reset after rejection: %v", err)
+	}
+	if err := c.Send(from, []mail.Address{good}, mail.NewMessage(from, good, "s2", "b2")); err != nil {
+		t.Fatalf("Send after Reset: %v", err)
+	}
+	if got := backend.received(); len(got) != 1 {
+		t.Fatalf("delivered %d messages, want 1", len(got))
+	}
+	_ = c.Quit()
+}
+
 // rawSession drives the protocol by hand to exercise error branches.
 type rawSession struct {
 	t    *testing.T
