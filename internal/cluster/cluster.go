@@ -162,6 +162,29 @@ func (i *ISP) Engine() *isp.Engine { return i.node.Engine() }
 // not the node).
 func (i *ISP) Delivered() int64 { return i.delivered.Load() }
 
+// Close tears this ISP daemon down: telemetry first, then the WAL so
+// the final ledger state is durable, then the node itself. Safe on a
+// partially booted daemon — whatever never started is skipped.
+func (i *ISP) Close() error {
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if i.admin != nil {
+		keep(i.admin.Close())
+		i.admin = nil
+	}
+	if i.node != nil {
+		if i.walDir != "" {
+			keep(i.node.Engine().CloseWAL())
+		}
+		keep(i.node.Close())
+	}
+	return firstErr
+}
+
 // BankDaemon is one bank-level daemon: the single central bank, or one
 // leaf of the two-level hierarchy.
 type BankDaemon struct {
@@ -184,6 +207,32 @@ func (b *BankDaemon) MetricsAddr() string {
 		return ""
 	}
 	return b.admin.Addr().String()
+}
+
+// Close tears this bank daemon down: telemetry, the root uplink, the
+// WAL, and finally the serving socket. Safe on a partially booted
+// daemon.
+func (b *BankDaemon) Close() error {
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if b.admin != nil {
+		keep(b.admin.Close())
+		b.admin = nil
+	}
+	if b.uplink != nil {
+		keep(b.uplink.Close())
+	}
+	if b.Bank != nil && b.walDir != "" {
+		keep(b.Bank.CloseWAL())
+	}
+	if b.srv != nil {
+		keep(b.srv.Close())
+	}
+	return firstErr
 }
 
 // Cluster is a running federation.
@@ -258,22 +307,25 @@ func (c *Cluster) boot() error {
 		cfg.Logf("cluster: root bank on %s", srv.Addr())
 	}
 
-	// Leaf (or central) banks.
+	// Leaf (or central) banks. Daemons are recorded before the error
+	// check: boot helpers return the partially built daemon alongside
+	// their error, so New's Close-on-failure can release whatever did
+	// start (listeners, WALs, tickers) instead of leaking it.
 	for r := 0; r < cfg.Regions; r++ {
 		bd, err := c.bootBank(r)
+		c.banks = append(c.banks, bd)
 		if err != nil {
 			return err
 		}
-		c.banks = append(c.banks, bd)
 	}
 
 	// ISP daemons, then the full peer mesh once every port is known.
 	for i := 0; i < cfg.ISPs; i++ {
 		node, err := c.bootISP(i)
+		c.isps = append(c.isps, node)
 		if err != nil {
 			return err
 		}
-		c.isps = append(c.isps, node)
 	}
 	for i, a := range c.isps {
 		for j, b := range c.isps {
@@ -547,17 +599,8 @@ func (c *Cluster) Conserved() bool {
 // ledger must come back entirely from the log.
 func (c *Cluster) RestartISP(i int) error {
 	d := c.isps[i]
-	if d.admin != nil {
-		_ = d.admin.Close()
-		d.admin = nil
-	}
-	if d.walDir != "" {
-		if err := d.node.Engine().CloseWAL(); err != nil {
-			return fmt.Errorf("cluster: close isp[%d] wal: %w", i, err)
-		}
-	}
-	if err := d.node.Close(); err != nil {
-		return err
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("cluster: stop isp[%d]: %w", i, err)
 	}
 	if err := c.startISP(d); err != nil {
 		return err
@@ -582,31 +625,14 @@ func (c *Cluster) Close() error {
 		}
 	}
 	for _, d := range c.isps {
-		if d == nil || d.node == nil {
-			continue
+		if d != nil {
+			keep(d.Close())
 		}
-		if d.admin != nil {
-			keep(d.admin.Close())
-		}
-		if d.walDir != "" {
-			keep(d.node.Engine().CloseWAL())
-		}
-		keep(d.node.Close())
 	}
 	for _, bd := range c.banks {
-		if bd == nil || bd.srv == nil {
-			continue
+		if bd != nil {
+			keep(bd.Close())
 		}
-		if bd.admin != nil {
-			keep(bd.admin.Close())
-		}
-		if bd.uplink != nil {
-			keep(bd.uplink.Close())
-		}
-		if bd.walDir != "" {
-			keep(bd.Bank.CloseWAL())
-		}
-		keep(bd.srv.Close())
 	}
 	if c.rootAdmin != nil {
 		keep(c.rootAdmin.Close())
