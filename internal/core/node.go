@@ -213,20 +213,28 @@ func (n *Node) tickLoop() {
 }
 
 // bankConn returns (dialing if needed) the persistent bank link and
-// ensures its reader goroutine is running.
+// ensures its reader goroutine is running. The dial and hello happen
+// outside n.mu — a slow or black-holed bank must not stall every
+// other node operation behind the mutex — so two callers may race to
+// dial; the loser's connection is closed and the winner's kept.
 func (n *Node) bankConn() (net.Conn, error) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if n.closed {
+		n.mu.Unlock()
 		return nil, net.ErrClosed
 	}
 	if n.bankTx != nil {
-		return n.bankTx, nil
+		conn := n.bankTx
+		n.mu.Unlock()
+		return conn, nil
 	}
-	if n.cfg.BankAddr == "" {
+	addr := n.cfg.BankAddr
+	n.mu.Unlock()
+	if addr == "" {
 		return nil, errors.New("core: no bank address configured")
 	}
-	conn, err := net.DialTimeout("tcp", n.cfg.BankAddr, 10*time.Second)
+
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
 	if err != nil {
 		return nil, fmt.Errorf("core: dial bank: %w", err)
 	}
@@ -237,8 +245,23 @@ func (n *Node) bankConn() (net.Conn, error) {
 		_ = conn.Close()
 		return nil, fmt.Errorf("core: bank hello: %w", err)
 	}
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		_ = conn.Close()
+		return nil, net.ErrClosed
+	}
+	if n.bankTx != nil {
+		// Lost the dial race; use the established link.
+		won := n.bankTx
+		n.mu.Unlock()
+		_ = conn.Close()
+		return won, nil
+	}
 	n.bankTx = conn
 	n.wg.Add(1)
+	n.mu.Unlock()
 	go func() {
 		defer n.wg.Done()
 		n.bankReadLoop(conn)
