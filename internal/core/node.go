@@ -129,7 +129,10 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	}()
 	if cfg.AdminAddr != "" {
 		if err := n.startAdmin(cfg.AdminAddr); err != nil {
-			_ = n.server.Close()
+			// Full teardown, not just the SMTP listener: the Serve and
+			// tick goroutines are already running and must be joined,
+			// or a bad AdminAddr leaks them plus the ticker.
+			_ = n.Close()
 			return nil, err
 		}
 	}
