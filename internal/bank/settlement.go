@@ -73,6 +73,7 @@ func (b *Bank) settleLocked(flagged map[[2]int]bool) []Transfer {
 		}
 	}
 	b.lastTransfers = transfers
+	b.walSettle(transfers)
 	return transfers
 }
 

@@ -23,6 +23,7 @@ const (
 	bankRecDeposit                 // out-of-band account funding
 	bankRecRound                   // audit round verified: seq advance + violations
 	bankRecSeq                     // audit round aborted: seq advance
+	bankRecSettle                  // verified round's real-money settlement transfers
 )
 
 // bankWALSegments: all bank mutations serialize under b.mu.
@@ -113,6 +114,25 @@ func (b *Bank) walRound(newSeq uint64, added []Violation) {
 		enc.U32(uint32(v.J))
 		enc.I64(v.CreditIJ)
 		enc.I64(v.CreditJI)
+	}
+	b.walAppend(enc.B)
+}
+
+// walSettle logs a verified round's settlement transfers: replay must
+// re-apply the real-money account moves, not just the seq advance, or
+// a crash between settlement and the next snapshot silently un-pays
+// every settled ISP. Call with mu held.
+func (b *Bank) walSettle(transfers []Transfer) {
+	if b.wal == nil || len(transfers) == 0 {
+		return
+	}
+	var enc persist.RecordEnc
+	enc.U8(bankRecSettle)
+	enc.U32(uint32(len(transfers)))
+	for _, t := range transfers {
+		enc.U32(uint32(t.From))
+		enc.U32(uint32(t.To))
+		enc.I64(int64(t.Amount))
 	}
 	b.walAppend(enc.B)
 }
@@ -255,6 +275,29 @@ func (r *bankReplay) apply(payload []byte) error {
 			return err
 		}
 		r.st.Seq = newSeq
+	case bankRecSettle:
+		n := int(d.U32())
+		if n < 0 || n > len(r.st.Accounts)*len(r.st.Accounts) {
+			return persist.ErrBadRecord
+		}
+		for i := 0; i < n; i++ {
+			from := int(d.U32())
+			to := int(d.U32())
+			amt := d.I64()
+			if err := d.Err(); err != nil {
+				return err
+			}
+			f, err := r.account(from)
+			if err != nil {
+				return err
+			}
+			t, err := r.account(to)
+			if err != nil {
+				return err
+			}
+			r.st.Accounts[f] -= amt
+			r.st.Accounts[t] += amt
+		}
 	default:
 		return fmt.Errorf("%w: kind %d", persist.ErrBadRecord, kind)
 	}

@@ -119,6 +119,58 @@ func TestWALBankRoundTrip(t *testing.T) {
 	}
 }
 
+// TestWALBankSettlementReplay: a crash after a settled audit round
+// must replay the real-money transfers, not just the seq advance —
+// otherwise recovery silently un-pays every settled ISP.
+func TestWALBankSettlementReplay(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	b1, _ := newSettlingBank(t, 2, 1000)
+	if err := b1.AttachWAL(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := b1.StartSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// isp0 net-sent 5 to isp1 → isp0 pays isp1 five pennies.
+	if err := b1.Handle(reportEnv(0, 0, []int64{0, 5})); err != nil {
+		t.Fatal(err)
+	}
+	if err := b1.Handle(reportEnv(1, 0, []int64{-5, 0})); err != nil {
+		t.Fatal(err)
+	}
+	if !b1.RoundComplete() {
+		t.Fatal("round incomplete")
+	}
+	a0, _ := b1.Account(0)
+	a1, _ := b1.Account(1)
+	if a0 != 995 || a1 != 1005 {
+		t.Fatalf("settled accounts = %v, %v", a0, a1)
+	}
+	want := bankJSON(t, b1)
+	if n := b1.WALErrors(); n != 0 {
+		t.Fatalf("%d wal append errors", n)
+	}
+	if err := b1.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	b2, _ := newSettlingBank(t, 2, 1000)
+	if err := b2.RecoverWAL(dir); err != nil {
+		t.Fatal(err)
+	}
+	if got := bankJSON(t, b2); !bytes.Equal(got, want) {
+		t.Fatalf("recovered state differs:\n got %s\nwant %s", got, want)
+	}
+	r0, _ := b2.Account(0)
+	r1, _ := b2.Account(1)
+	if r0 != a0 || r1 != a1 {
+		t.Fatalf("recovered accounts = %v, %v; want %v, %v", r0, r1, a0, a1)
+	}
+	if err := b2.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestWALBankCompaction: compaction mid-traffic loses nothing.
 func TestWALBankCompaction(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "wal")
