@@ -1,8 +1,8 @@
 // Command zlint runs zmail's project-specific static analysis over the
-// module: seven passes (detrand, lockorder, ledgerguard, errdrop,
-// moneyflow, nonceflow, specbind) that machine-check the invariants
-// the reproduction depends on. See internal/lint for what each pass
-// guards and why.
+// module: ten passes (detrand, lockorder, ledgerguard, errdrop,
+// moneyflow, nonceflow, specbind, walflow, lockscope, lifecycle) that
+// machine-check the invariants the reproduction depends on. See
+// internal/lint for what each pass guards and why.
 //
 // Usage:
 //

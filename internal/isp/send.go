@@ -348,6 +348,7 @@ func (e *Engine) receiveRemote(em *emitQueue, fromDomain string, msg *mail.Messa
 		e.tracer.Record(tid, "receive", 0, "discarded")
 		return nil
 	case FilterUnpaid:
+		//zlint:ignore lockscope the spam filter must classify before the delivery decision counts, and freezeMu is held in shared mode here — a freeze waits at worst one filter call, and filters are pure in-memory classifiers by contract (§2.1 unpaid-mail policy)
 		if e.cfg.Filter != nil && !e.cfg.Filter(msg) {
 			e.stats.discarded.Add(1)
 			e.tracer.Record(tid, "receive", 0, "discarded")

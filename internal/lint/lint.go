@@ -5,7 +5,7 @@
 // a violation is a build failure instead of a chaos-harness bisect.
 //
 // The analyzer is stdlib-only (go/parser, go/ast, go/types with the
-// source importer); go.mod stays dependency-free. Seven passes run over
+// source importer); go.mod stays dependency-free. Ten passes run over
 // every package in the module:
 //
 //   - detrand: wall-clock reads, global math/rand draws, and map
@@ -27,7 +27,21 @@
 //     ledger mutation on every path;
 //   - specbind: the AP spec's message kinds, the wire codec's Kind
 //     constants, and the registered Go handlers must enumerate
-//     consistently (module-level; drift is a finding on both sides).
+//     consistently (module-level; drift is a finding on both sides);
+//   - walflow: CFG dataflow proving WAL completeness — every mutation
+//     of WAL-logged durable state (user rows, the e-penny pool, credit
+//     arrays, nonce counters, bank accounts/seq) is paired with a WAL
+//     append on every non-error exit path, so a crash at any instant
+//     replays to the state the locks protected;
+//   - lockscope: held-set simulation across the federation packages —
+//     no network I/O, channel operation, or other blocking call may run
+//     under a held stripe, bank, or node mutex (the uplink mutex, whose
+//     job is serializing a connection, is config-allowed);
+//   - lifecycle: every spawned goroutine has a shutdown path (WaitGroup
+//     join, stop-channel select, or an allowlisted self-terminating
+//     call) and every acquired closeable resource (listeners, conns,
+//     tickers, WALs, obsv servers) is closed, returned, or handed to an
+//     owner that exposes Close/Stop on every path.
 //
 // A finding that is intentional is silenced in place with
 //
@@ -125,6 +139,47 @@ type Config struct {
 
 	// SpecBind scopes the spec/wire/handler drift check.
 	SpecBind SpecBindConfig
+
+	// WalflowPkgs are import-path prefixes where walflow applies: the
+	// packages whose durable state is WAL-backed.
+	WalflowPkgs []string
+	// WALFields are owner-qualified "Type.field" names (both parts
+	// case-insensitive) of WAL-logged durable state. Owner qualification
+	// keeps the exported snapshot structs (EngineState, BankState) and
+	// the replay folders out of scope — they rebuild state *from* the
+	// log, they do not originate mutations that need logging.
+	WALFields []string
+	// WALAppendFuncs ("importpath:FuncName") are the WAL append hooks.
+	// Any call to one clears the pending-mutation obligation on that
+	// path (coarse pairing: the hooks each log the full mutation batch
+	// their call site just performed).
+	WALAppendFuncs []string
+	// WALExemptFuncs ("importpath:FuncName") are blessed: constructors
+	// and recovery/restore paths whose mutations are (re)building state
+	// from a snapshot or the log itself.
+	WALExemptFuncs []string
+
+	// LockScopePkgs are import-path prefixes where lockscope applies.
+	LockScopePkgs []string
+	// LockScopeBlockingFuncs ("importpath.Name" or
+	// "importpath.Recv.Name") are known-blocking calls beyond the built
+	// in net-package detection: wire codec reads/writes, SMTP dials,
+	// transport callbacks, time.Sleep, WaitGroup.Wait.
+	LockScopeBlockingFuncs []string
+	// LockScopeAllowedLocks ("importpath.Type.field") are mutexes whose
+	// documented job is serializing blocking I/O (the core.Uplink link
+	// mutex); ops under only these locks are not findings.
+	LockScopeAllowedLocks []string
+
+	// LifecyclePkgs are import-path prefixes where lifecycle applies.
+	LifecyclePkgs []string
+	// LifecycleAcquireFuncs ("importpath.Name" or "importpath.Recv.Name")
+	// return closeable resources whose results the pass tracks.
+	LifecycleAcquireFuncs []string
+	// LifecycleGoAllowed ("importpath.Name" or "importpath.Recv.Name")
+	// are self-terminating calls a goroutine body may consist of without
+	// its own join/stop plumbing (http.Server.Serve ends at Close).
+	LifecycleGoAllowed []string
 }
 
 // DefaultConfig is the project policy enforced by `make lint`.
@@ -196,6 +251,84 @@ func DefaultConfig() Config {
 			SpecOnly: []string{"email", "resume"},
 			WireOnly: []string{"hello"},
 		},
+		WalflowPkgs: []string{
+			"zmail/internal/isp",
+			"zmail/internal/bank",
+		},
+		WALFields: []string{
+			// ISP durable state: per-user rows, the e-penny pool, the
+			// credit array, the audit sequence, and the nonce counter.
+			"user.account", "user.balance", "user.sent", "user.limit",
+			"user.warnedToday", "user.journal",
+			"Engine.avail", "Engine.credit", "Engine.seq", "Engine.nonces",
+			"accountStripe.users",
+			// Bank durable state: real-penny accounts, replay nonces, and
+			// the verification round sequence.
+			"Bank.account", "Bank.seenNonces", "Bank.seq",
+		},
+		WALAppendFuncs: []string{
+			"zmail/internal/isp:walUserPut", "zmail/internal/isp:walSend",
+			"zmail/internal/isp:walWarn", "zmail/internal/isp:walTrade",
+			"zmail/internal/isp:walPoolAdd", "zmail/internal/isp:walCreditAdd",
+			"zmail/internal/isp:walCreditZero", "zmail/internal/isp:walNonce",
+			"zmail/internal/isp:walDayReset",
+			"zmail/internal/bank:walBuy", "zmail/internal/bank:walSell",
+			"zmail/internal/bank:walNonce", "zmail/internal/bank:walDeposit",
+			"zmail/internal/bank:walRound", "zmail/internal/bank:walSeq",
+			"zmail/internal/bank:walSettle",
+		},
+		WALExemptFuncs: []string{
+			// Constructors build initial state the first snapshot covers;
+			// RestoreState *is* the replay target.
+			"zmail/internal/isp:New", "zmail/internal/isp:RestoreState",
+			"zmail/internal/bank:New", "zmail/internal/bank:RestoreState",
+		},
+		LockScopePkgs: []string{
+			"zmail/internal/isp",
+			"zmail/internal/bank",
+			"zmail/internal/core",
+			"zmail/internal/cluster",
+		},
+		LockScopeBlockingFuncs: []string{
+			"zmail/internal/wire.ReadEnvelope",
+			"zmail/internal/wire.WriteEnvelope",
+			"zmail/internal/smtp.SendMail",
+			"zmail/internal/smtp.Dial",
+			"zmail/internal/core.Uplink.Send",
+			// The ISP transport contract: callbacks fire after every lock
+			// is released (the emit-queue discipline).
+			"zmail/internal/isp.Transport.SendMail",
+			"zmail/internal/isp.Transport.SendBank",
+			"zmail/internal/isp.Transport.DeliverLocal",
+			"zmail/internal/isp.Transport.DeliverAck",
+			"time.Sleep",
+			"sync.WaitGroup.Wait",
+		},
+		LockScopeAllowedLocks: []string{
+			// The uplink mutex exists to serialize dial/write on one TCP
+			// link; blocking under it is the design.
+			"zmail/internal/core.Uplink.mu",
+		},
+		LifecyclePkgs: []string{
+			"zmail/internal/cluster",
+			"zmail/internal/core",
+			"zmail/internal/load",
+			"zmail/internal/obsv",
+		},
+		LifecycleAcquireFuncs: []string{
+			"net.Listen", "net.Dial", "net.DialTimeout",
+			"net.Listener.Accept", "net.TCPListener.Accept",
+			"time.NewTicker", "time.NewTimer",
+			"zmail/internal/smtp.Dial",
+			"zmail/internal/persist.CreateWAL", "zmail/internal/persist.RecoverWAL",
+			"zmail/internal/obsv.Start",
+			"zmail/internal/core.NewNode", "zmail/internal/core.NewUplink",
+			"zmail/internal/core.StartBank", "zmail/internal/core.StartBankHandler",
+		},
+		LifecycleGoAllowed: []string{
+			// Serve returns when the owner calls Close on the server.
+			"net/http.Server.Serve",
+		},
 	}
 }
 
@@ -221,12 +354,26 @@ func FixtureConfig(fixturePkg string) Config {
 	// they would all read as stale.
 	cfg.SpecBind.SpecOnly = nil
 	cfg.SpecBind.WireOnly = nil
+	// Durability/lifecycle tier conventions: fixtures log via a local
+	// "walAppend", restore via "blessedRestore", track "vault.stash" and
+	// "vault.tokens" as WAL fields (names chosen to dodge the money and
+	// ledger field lists), acquire via a local "open", and may park a
+	// goroutine in a self-terminating local "pump".
+	cfg.WalflowPkgs = append(cfg.WalflowPkgs, fixturePkg)
+	cfg.WALFields = append(cfg.WALFields, "vault.stash", "vault.tokens")
+	cfg.WALAppendFuncs = append(cfg.WALAppendFuncs, fixturePkg+":walAppend")
+	cfg.WALExemptFuncs = append(cfg.WALExemptFuncs, fixturePkg+":blessedRestore")
+	cfg.LockScopePkgs = append(cfg.LockScopePkgs, fixturePkg)
+	cfg.LockScopeBlockingFuncs = append(cfg.LockScopeBlockingFuncs, fixturePkg+".slowRPC")
+	cfg.LifecyclePkgs = append(cfg.LifecyclePkgs, fixturePkg)
+	cfg.LifecycleAcquireFuncs = append(cfg.LifecycleAcquireFuncs, fixturePkg+".open")
+	cfg.LifecycleGoAllowed = append(cfg.LifecycleGoAllowed, fixturePkg+".pump")
 	return cfg
 }
 
 // Passes returns the full pass set, in reporting order.
 func Passes() []Pass {
-	return []Pass{DetRand(), LockOrder(), LedgerGuard(), ErrDrop(), MoneyFlow(), NonceFlow(), SpecBind()}
+	return []Pass{DetRand(), LockOrder(), LedgerGuard(), ErrDrop(), MoneyFlow(), NonceFlow(), SpecBind(), WalFlow(), LockScope(), Lifecycle()}
 }
 
 // PassNames lists the valid pass names (used to validate suppression

@@ -181,6 +181,27 @@ func TestSpecBindFixtures(t *testing.T) {
 	}
 }
 
+func TestWalFlowFixtures(t *testing.T) {
+	passes := []Pass{WalFlow()}
+	for _, c := range []string{"walflow/bad", "walflow/clean", "walflow/suppressed", "walflow/unsuppressed"} {
+		t.Run(c, func(t *testing.T) { checkFixture(t, c, passes, fixtureCfg(c)) })
+	}
+}
+
+func TestLockScopeFixtures(t *testing.T) {
+	passes := []Pass{LockScope()}
+	for _, c := range []string{"lockscope/bad", "lockscope/clean", "lockscope/suppressed", "lockscope/unsuppressed"} {
+		t.Run(c, func(t *testing.T) { checkFixture(t, c, passes, fixtureCfg(c)) })
+	}
+}
+
+func TestLifecycleFixtures(t *testing.T) {
+	passes := []Pass{Lifecycle()}
+	for _, c := range []string{"lifecycle/bad", "lifecycle/clean", "lifecycle/suppressed", "lifecycle/unsuppressed"} {
+		t.Run(c, func(t *testing.T) { checkFixture(t, c, passes, fixtureCfg(c)) })
+	}
+}
+
 // TestSpecBindAllowlists covers the allowlist arms FixtureConfig nils
 // out: entries silence their drift class, and entries naming kinds that
 // no longer exist are themselves findings.
@@ -272,6 +293,9 @@ func TestSuppressionDeletionFails(t *testing.T) {
 		"moneyflow/unsuppressed": MoneyFlow(),
 		"nonceflow/unsuppressed": NonceFlow(),
 		"specbind/unsuppressed":  SpecBind(),
+		"walflow/unsuppressed":   WalFlow(),
+		"lockscope/unsuppressed": LockScope(),
+		"lifecycle/unsuppressed": Lifecycle(),
 	} {
 		pkg := loadFixture(t, rel)
 		diags := Run([]*Package{pkg}, []Pass{pass}, fixtureCfg(rel))
@@ -337,6 +361,21 @@ func TestDefaultConfigCoversRoadmapPackages(t *testing.T) {
 	}
 	if len(cfg.SpecBind.SpecPkgs) == 0 || len(cfg.SpecBind.WirePkgs) == 0 || len(cfg.SpecBind.HandlerPkgs) == 0 {
 		t.Errorf("specbind policy must name spec, wire and handler packages: %+v", cfg.SpecBind)
+	}
+	for _, p := range []string{"zmail/internal/isp", "zmail/internal/bank"} {
+		if !pathMatches(p, cfg.WalflowPkgs) {
+			t.Errorf("walflow policy must cover %s", p)
+		}
+	}
+	for _, p := range []string{"zmail/internal/core", "zmail/internal/cluster", "zmail/internal/bank", "zmail/internal/isp"} {
+		if !pathMatches(p, cfg.LockScopePkgs) {
+			t.Errorf("lockscope policy must cover %s", p)
+		}
+	}
+	for _, p := range []string{"zmail/internal/cluster", "zmail/internal/core", "zmail/internal/load", "zmail/internal/obsv"} {
+		if !pathMatches(p, cfg.LifecyclePkgs) {
+			t.Errorf("lifecycle policy must cover %s", p)
+		}
 	}
 	// Subpackage and non-prefix behavior.
 	if !pathMatches("zmail/internal/sim/sub", cfg.DeterminismPkgs) {

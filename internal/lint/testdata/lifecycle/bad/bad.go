@@ -1,0 +1,67 @@
+// Package bad is a lifecycle fixture: unstoppable goroutines and
+// leakable resources. Lines carrying a `want` marker are expected
+// findings.
+package bad
+
+import "errors"
+
+type res struct{}
+
+// Close releases the resource.
+func (r *res) Close() {}
+
+// open is the fixture's config-listed acquire hook
+// (Config.LifecycleAcquireFuncs).
+func open() (*res, error) { return &res{}, nil }
+
+// holder has no Close/Stop/Shutdown: absorbing a resource into it
+// orphans the resource.
+type holder struct {
+	r *res
+}
+
+// Orphan spawns a goroutine with no Done, no channel, no select:
+// nothing can ever stop or join it.
+func Orphan(work func()) {
+	go func() { //want lifecycle
+		work()
+	}()
+}
+
+// Leak acquires and exits through the mid-function error return
+// without closing — the classic early-error-return shape.
+func Leak(fail bool) error {
+	r, err := open() //want lifecycle
+	if err != nil {
+		return err
+	}
+	if fail {
+		return errors.New("nope")
+	}
+	r.Close()
+	return nil
+}
+
+// Absorb stores the resource in a field of an owner that cannot
+// release it.
+func Absorb() error {
+	r, err := open()
+	if err != nil {
+		return err
+	}
+	h := &holder{}
+	h.r = r //want lifecycle
+	_ = h
+	return nil
+}
+
+// AbsorbLit hands the resource to a composite literal of the same
+// closeless owner.
+func AbsorbLit() error {
+	r, err := open()
+	if err != nil {
+		return err
+	}
+	_ = &holder{r: r} //want lifecycle
+	return nil
+}

@@ -1,0 +1,94 @@
+// Package clean holds lifecycle-clean shapes: joinable goroutines and
+// resources closed on every path, returned, or handed to a closeable
+// owner.
+package clean
+
+import (
+	"errors"
+	"sync"
+)
+
+type res struct{}
+
+// Close releases the resource.
+func (r *res) Close() {}
+
+func open() (*res, error) { return &res{}, nil }
+
+// pump is the config-allowlisted self-terminating spawn target
+// (Config.LifecycleGoAllowed).
+func pump() {}
+
+// server owns a resource and a stop channel, and can release both.
+type server struct {
+	r    *res
+	done chan struct{}
+}
+
+// Close releases what the server owns.
+func (s *server) Close() {
+	if s.r != nil {
+		s.r.Close()
+	}
+	close(s.done)
+}
+
+// Looper parks on a stop channel: the owner can stop it.
+func Looper(stop chan struct{}, work func()) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// Waiter signals a WaitGroup so the owner can join it.
+func Waiter(wg *sync.WaitGroup, work func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// Allowed spawns the allowlisted self-terminating call directly.
+func Allowed() {
+	go pump()
+}
+
+// CloseOnEveryPath defers the release immediately after the acquire,
+// covering the later error exit too.
+func CloseOnEveryPath(fail bool) error {
+	r, err := open()
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	if fail {
+		return errors.New("nope")
+	}
+	return nil
+}
+
+// Handoff returns the resource: the caller owns it now.
+func Handoff() (*res, error) {
+	r, err := open()
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Owned stores the resource in a type that exposes Close.
+func Owned() (*server, error) {
+	r, err := open()
+	if err != nil {
+		return nil, err
+	}
+	return &server{r: r, done: make(chan struct{})}, nil
+}

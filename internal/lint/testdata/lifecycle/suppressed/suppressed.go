@@ -1,0 +1,13 @@
+// Package suppressed shows the sanctioned escape hatch: a deliberately
+// unstoppable goroutine silenced in place, with the reason recorded.
+package suppressed
+
+// Beacon runs for the life of the process by design.
+func Beacon(tick func()) {
+	//zlint:ignore lifecycle process-lifetime heartbeat: it dies with the process, there is no owner to join it
+	go func() {
+		for {
+			tick()
+		}
+	}()
+}

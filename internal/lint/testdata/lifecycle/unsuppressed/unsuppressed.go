@@ -1,0 +1,12 @@
+// Package unsuppressed is the directive-stripped twin of the
+// suppressed fixture: same code, comment deleted, finding back.
+package unsuppressed
+
+// Beacon runs for the life of the process by design.
+func Beacon(tick func()) {
+	go func() { //want lifecycle
+		for {
+			tick()
+		}
+	}()
+}

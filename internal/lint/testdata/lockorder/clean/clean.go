@@ -15,7 +15,7 @@ type engine struct {
 	mu       sync.Mutex
 	stripes  []demoStripe
 	frozen   bool
-	avail    int
+	balance  int
 }
 
 // Ordered walks the full hierarchy in the documented order, releasing
@@ -27,7 +27,7 @@ func (e *engine) Ordered(s *demoStripe) {
 	defer s.mu.Unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.avail++
+	e.balance++
 }
 
 // Sequential releases a higher rank before touching a lower one the
@@ -52,7 +52,7 @@ func (e *engine) Snapshot() int {
 	e.freezeMu.Lock()
 	defer e.freezeMu.Unlock()
 	e.mu.Lock()
-	total := e.avail
+	total := e.balance
 	e.mu.Unlock()
 	for i := range e.stripes {
 		s := &e.stripes[i]

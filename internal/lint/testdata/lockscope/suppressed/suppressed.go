@@ -1,0 +1,21 @@
+// Package suppressed shows the sanctioned escape hatch: a blocking
+// call deliberately kept inside the critical section, with the reason
+// recorded.
+package suppressed
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+}
+
+func slowRPC() {}
+
+// Handshake holds the lock across the call on purpose: the mutex
+// exists to serialize the handshake.
+func (b *box) Handshake() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//zlint:ignore lockscope the mutex exists to serialize this handshake; contenders are expected to queue behind it
+	slowRPC()
+}

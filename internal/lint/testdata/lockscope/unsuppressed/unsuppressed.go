@@ -1,0 +1,19 @@
+// Package unsuppressed is the directive-stripped twin of the
+// suppressed fixture: same code, comment deleted, finding back.
+package unsuppressed
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+}
+
+func slowRPC() {}
+
+// Handshake holds the lock across the call on purpose: the mutex
+// exists to serialize the handshake.
+func (b *box) Handshake() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	slowRPC() //want lockscope
+}

@@ -1,0 +1,71 @@
+// Package bad is a walflow fixture: durable mutations that can reach
+// a non-error exit without a WAL append. Lines carrying a `want`
+// marker are expected findings, anchored at the earliest unlogged
+// mutation of the offending path.
+package bad
+
+type vault struct {
+	stash  int64
+	tokens map[uint64]bool
+}
+
+// walAppend is the fixture's logging half; walflow trusts it by name
+// (Config.WALAppendFuncs), bodies are irrelevant.
+func (v *vault) walAppend() {}
+
+type user struct {
+	sent        int64
+	limit       int64
+	warnedToday int64
+	journal     []string
+}
+
+// Drop mutates and returns with no append anywhere.
+func Drop(v *vault) {
+	v.stash-- //want walflow
+}
+
+// EarlyOut logs the happy path but not the shortcut: the early return
+// exits with the mutation still pending.
+func EarlyOut(v *vault, skip bool) {
+	v.stash++ //want walflow
+	if skip {
+		return
+	}
+	v.walAppend()
+}
+
+// stow is the helper half of an interprocedural hole: it only mutates.
+// It has a caller, so the finding surfaces at the root (Stash),
+// anchored here at the mutation.
+func stow(v *vault, tok uint64) {
+	v.tokens[tok] = true //want walflow
+}
+
+// Stash calls stow and forgets to log.
+func Stash(v *vault, tok uint64) {
+	stow(v, tok)
+}
+
+// Fog toggles five WAL fields independently; the per-path fact set
+// explodes past the analyzer's bound and the sixth mutation widens the
+// state to "cannot prove".
+func Fog(v *vault, u *user, a, b, c, d, e bool) {
+	if a {
+		v.stash++
+	}
+	if b {
+		v.tokens[1] = true
+	}
+	if c {
+		u.sent++
+	}
+	if d {
+		u.limit++
+	}
+	if e {
+		u.journal = append(u.journal, "x")
+	}
+	u.warnedToday++ //want walflow
+	v.walAppend()
+}

@@ -1,0 +1,64 @@
+// Package clean holds walflow-clean durability shapes: every
+// non-error exit pairs its mutations with an append, error exits are
+// the rollback discipline's concern, and the replay side is blessed.
+package clean
+
+import "errors"
+
+type vault struct {
+	stash  int64
+	tokens map[uint64]bool
+}
+
+func (v *vault) walAppend() {}
+
+// Logged pairs the mutation with an append before returning.
+func Logged(v *vault) {
+	v.stash++
+	v.walAppend()
+}
+
+// ErrPath mutates then fails: the error exit carries pending state,
+// which is deliberately not a finding.
+func ErrPath(v *vault, bad bool) error {
+	v.stash++
+	if bad {
+		return errors.New("rejected")
+	}
+	v.walAppend()
+	return nil
+}
+
+// helper mutates; the root appends after the call, discharging the
+// callee's pending set through its summary.
+func helper(v *vault, tok uint64) {
+	v.tokens[tok] = true
+}
+
+// Batch logs once for the helper's whole batch.
+func Batch(v *vault, tok uint64) {
+	helper(v, tok)
+	v.walAppend()
+}
+
+// logsItself appends inside the callee; a caller's earlier mutation
+// rides the same record.
+func logsItself(v *vault) {
+	v.stash--
+	v.walAppend()
+}
+
+// Spend relies on the callee's append.
+func Spend(v *vault) {
+	v.stash++
+	logsItself(v)
+}
+
+// blessedRestore is the replay side: it rebuilds state *from* the log,
+// so it is exempt by name (Config.WALExemptFuncs).
+func blessedRestore(v *vault, toks []uint64) {
+	for _, t := range toks {
+		v.tokens[t] = true
+	}
+	v.stash = int64(len(toks))
+}

@@ -1,0 +1,14 @@
+// Package suppressed shows the sanctioned escape hatch: a deliberate
+// unlogged mutation silenced in place, with the reason recorded.
+package suppressed
+
+type vault struct {
+	stash int64
+}
+
+// Spill updates a derived quantity that recovery recomputes, so the
+// durability hole is intentional.
+func Spill(v *vault) {
+	//zlint:ignore walflow stash is a derived cache rebuilt from the log on recovery; logging it would double-count replay
+	v.stash++
+}

@@ -1,0 +1,13 @@
+// Package unsuppressed is the directive-stripped twin of the
+// suppressed fixture: same code, comment deleted, finding back.
+package unsuppressed
+
+type vault struct {
+	stash int64
+}
+
+// Spill updates a derived quantity that recovery recomputes, so the
+// durability hole is intentional.
+func Spill(v *vault) {
+	v.stash++ //want walflow
+}
