@@ -57,12 +57,17 @@ type Scrape struct {
 }
 
 // ParseProm parses a Prometheus text-format exposition. Unknown
-// comment lines (# HELP, # EOF) are skipped; malformed sample lines
-// are errors carrying the 1-based line number.
+// comment lines (# HELP, # EOF) are skipped; malformed sample lines,
+// conflicting TYPE redeclarations, and duplicate series (same name and
+// identical label set twice in one exposition) are errors carrying the
+// 1-based line number. Non-finite sample values (+Inf, -Inf, NaN) are
+// legal text-format values and parse through; the aggregation helpers
+// guard against them instead.
 func ParseProm(r io.Reader) (*Scrape, error) {
 	s := &Scrape{Families: make(map[string]*Family)}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	seen := make(map[string]int)
 	lineno := 0
 	for sc.Scan() {
 		lineno++
@@ -74,6 +79,9 @@ func ParseProm(r io.Reader) (*Scrape, error) {
 			fields := strings.Fields(line)
 			if len(fields) >= 4 && fields[1] == "TYPE" {
 				fam := s.family(fields[2])
+				if fam.Type != "untyped" && fam.Type != fields[3] {
+					return nil, fmt.Errorf("load: line %d: conflicting TYPE for %s: declared %s, redeclared %s", lineno, fields[2], fam.Type, fields[3])
+				}
 				fam.Type = fields[3]
 			}
 			continue
@@ -82,6 +90,11 @@ func ParseProm(r io.Reader) (*Scrape, error) {
 		if err != nil {
 			return nil, fmt.Errorf("load: line %d: %w", lineno, err)
 		}
+		key := sample.seriesKey()
+		if first, dup := seen[key]; dup {
+			return nil, fmt.Errorf("load: line %d: duplicate series %s (first seen on line %d)", lineno, key, first)
+		}
+		seen[key] = lineno
 		fam := s.family(familyOf(s, sample.Name))
 		fam.Samples = append(fam.Samples, sample)
 	}
@@ -89,6 +102,30 @@ func ParseProm(r io.Reader) (*Scrape, error) {
 		return nil, fmt.Errorf("load: read exposition: %w", err)
 	}
 	return s, nil
+}
+
+// seriesKey is the sample's identity within one exposition: the series
+// name plus its label set in sorted key order.
+func (s Sample) seriesKey() string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, s.Labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 func (s *Scrape) family(name string) *Family {
@@ -240,11 +277,13 @@ func (s *Scrape) Value(name string, want map[string]string) (float64, bool) {
 // Sum adds every plain sample of the family — the way zload folds one
 // counter over a multi-daemon scrape set where each daemon exposes its
 // own series. Histogram/summary companion series (_bucket and friends)
-// are excluded.
+// are excluded, and NaN samples are skipped: one daemon exposing a NaN
+// gauge must not poison the whole fold. Infinities propagate — an
+// infinite total is honest where a NaN one is meaningless.
 func (s *Scrape) Sum(name string) float64 {
 	var total float64
 	for _, sample := range s.samplesNamed(name) {
-		if sample.Name == name {
+		if sample.Name == name && !math.IsNaN(sample.Value) {
 			total += sample.Value
 		}
 	}
@@ -284,7 +323,7 @@ func (s *Scrape) Histogram(name string, want map[string]string) (*Histogram, boo
 				continue // redundant with _count
 			}
 			bound, err := strconv.ParseFloat(le, 64)
-			if err != nil {
+			if err != nil || !isCount(sample.Value) {
 				continue
 			}
 			buckets = append(buckets, bucket{bound, uint64(sample.Value)})
@@ -293,7 +332,7 @@ func (s *Scrape) Histogram(name string, want map[string]string) (*Histogram, boo
 				h.Sum = sample.Value
 			}
 		case name + "_count":
-			if sample.matches(want) {
+			if sample.matches(want) && isCount(sample.Value) {
 				h.Count = uint64(sample.Value)
 			}
 		}
@@ -307,6 +346,14 @@ func (s *Scrape) Histogram(name string, want map[string]string) (*Histogram, boo
 		h.Counts = append(h.Counts, b.count)
 	}
 	return h, true
+}
+
+// isCount reports whether v can be a cumulative count: finite and
+// non-negative. uint64(NaN) and uint64(±Inf) are platform-defined
+// garbage, so bucket and count series failing this are dropped rather
+// than converted.
+func isCount(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
 }
 
 // Quantile estimates the q-quantile (0 < q ≤ 1) from the cumulative

@@ -227,12 +227,120 @@ func TestParsePromErrors(t *testing.T) {
 	for _, tc := range []struct{ name, in, wantSub string }{
 		{"bad value", "# TYPE x counter\nx{a=\"b\"} pony\n", "line 2"},
 		{"bare name", "just_a_name\n", "line 1"},
+		{"duplicate bare series", "x 1\nx 2\n", "duplicate series x"},
+		{"duplicate labeled series", "x{a=\"1\",b=\"2\"} 1\nx{b=\"2\",a=\"1\"} 3\n", "line 2: duplicate series"},
+		{"conflicting TYPE", "# TYPE x counter\nx 1\n# TYPE x gauge\n", "line 3: conflicting TYPE for x"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			_, err := ParseProm(strings.NewReader(tc.in))
 			if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
 				t.Fatalf("ParseProm error = %v, want %q", err, tc.wantSub)
 			}
+		})
+	}
+}
+
+// TestParsePromNonFinite pins the +Inf/NaN policy: non-finite values
+// are legal exposition and parse through; Sum skips NaN but lets
+// infinities propagate; Histogram drops bucket/count series whose
+// values cannot be cumulative counts.
+func TestParsePromNonFinite(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		in    string
+		check func(t *testing.T, s *Scrape)
+	}{
+		{
+			name: "inf and nan parse through",
+			in:   "x{d=\"0\"} +Inf\nx{d=\"1\"} -Inf\nx{d=\"2\"} NaN\n",
+			check: func(t *testing.T, s *Scrape) {
+				for want, label := range map[string]string{"+Inf": "0", "-Inf": "1", "NaN": "2"} {
+					v, ok := s.Value("x", map[string]string{"d": label})
+					if !ok {
+						t.Fatalf("sample d=%s missing", label)
+					}
+					got := "NaN"
+					switch {
+					case math.IsInf(v, 1):
+						got = "+Inf"
+					case math.IsInf(v, -1):
+						got = "-Inf"
+					case !math.IsNaN(v):
+						got = "finite"
+					}
+					if got != want {
+						t.Errorf("d=%s parsed as %s, want %s", label, got, want)
+					}
+				}
+			},
+		},
+		{
+			name: "sum skips nan keeps inf",
+			in:   "x{d=\"0\"} 3\nx{d=\"1\"} NaN\nx{d=\"2\"} 4\n",
+			check: func(t *testing.T, s *Scrape) {
+				if got := s.Sum("x"); got != 7 {
+					t.Errorf("Sum with NaN series = %v, want 7", got)
+				}
+			},
+		},
+		{
+			name: "sum propagates inf",
+			in:   "x{d=\"0\"} 3\nx{d=\"1\"} +Inf\n",
+			check: func(t *testing.T, s *Scrape) {
+				if got := s.Sum("x"); !math.IsInf(got, 1) {
+					t.Errorf("Sum with +Inf series = %v, want +Inf", got)
+				}
+			},
+		},
+		{
+			name: "histogram drops non-count buckets",
+			in: "# TYPE h histogram\n" +
+				"h_bucket{le=\"1\"} 2\n" +
+				"h_bucket{le=\"2\"} NaN\n" +
+				"h_bucket{le=\"4\"} +Inf\n" +
+				"h_bucket{le=\"8\"} -3\n" +
+				"h_bucket{le=\"16\"} 5\n" +
+				"h_bucket{le=\"+Inf\"} 5\n" +
+				"h_sum 9\nh_count 5\n",
+			check: func(t *testing.T, s *Scrape) {
+				h, ok := s.Histogram("h", nil)
+				if !ok {
+					t.Fatal("histogram missing")
+				}
+				if len(h.Bounds) != 2 || h.Bounds[0] != 1 || h.Bounds[1] != 16 {
+					t.Errorf("Bounds = %v, want [1 16]", h.Bounds)
+				}
+				if len(h.Counts) != 2 || h.Counts[0] != 2 || h.Counts[1] != 5 {
+					t.Errorf("Counts = %v, want [2 5]", h.Counts)
+				}
+				if h.Count != 5 || h.Sum != 9 {
+					t.Errorf("Count/Sum = %d/%v, want 5/9", h.Count, h.Sum)
+				}
+			},
+		},
+		{
+			name: "histogram count rejects nan",
+			in: "# TYPE h histogram\n" +
+				"h_bucket{le=\"1\"} 2\n" +
+				"h_bucket{le=\"+Inf\"} 2\n" +
+				"h_sum NaN\nh_count NaN\n",
+			check: func(t *testing.T, s *Scrape) {
+				h, ok := s.Histogram("h", nil)
+				if !ok {
+					t.Fatal("histogram missing")
+				}
+				if h.Count != 0 {
+					t.Errorf("Count from NaN = %d, want 0 (dropped)", h.Count)
+				}
+			},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := ParseProm(strings.NewReader(tc.in))
+			if err != nil {
+				t.Fatalf("ParseProm: %v", err)
+			}
+			tc.check(t, s)
 		})
 	}
 }
