@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"zmail/internal/mail"
+	"zmail/internal/smtp"
+	"zmail/internal/wire"
+)
+
+// fakeRoot is a minimal uplink peer: it accepts connections and feeds
+// every envelope it reads into a channel, tagged with a connection
+// ordinal so tests can see redials.
+type fakeRoot struct {
+	ln    net.Listener
+	envs  chan *wire.Envelope
+	conns chan net.Conn
+}
+
+func startFakeRoot(t *testing.T, addr string) *fakeRoot {
+	t.Helper()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &fakeRoot{ln: ln, envs: make(chan *wire.Envelope, 64), conns: make(chan net.Conn, 8)}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			r.conns <- conn
+			go func(c net.Conn) {
+				for {
+					env, err := wire.ReadEnvelope(c)
+					if err != nil {
+						return
+					}
+					r.envs <- env
+				}
+			}(conn)
+		}
+	}()
+	return r
+}
+
+func (r *fakeRoot) next(t *testing.T, what string) *wire.Envelope {
+	t.Helper()
+	select {
+	case env := <-r.envs:
+		return env
+	case <-time.After(5 * time.Second):
+		t.Fatalf("timed out waiting for %s", what)
+		return nil
+	}
+}
+
+// reservedAddr grabs an ephemeral loopback port and releases it, so a
+// test can point an uplink at an address that is down now but can come
+// up later.
+func reservedAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr
+}
+
+// TestUplinkPeerDownAtFirstSend: the first Send fails when nothing
+// listens yet, and the uplink recovers on the next Send once the root
+// is up — hello first, then the payload envelope.
+func TestUplinkPeerDownAtFirstSend(t *testing.T) {
+	addr := reservedAddr(t)
+	u := NewUplink(addr, 3, quietLog)
+	defer u.Close()
+
+	env := &wire.Envelope{Kind: wire.KindReply, From: 3, Payload: []byte("r")}
+	if err := u.Send(env); err == nil {
+		t.Fatal("Send with the peer down should fail")
+	}
+
+	root := startFakeRoot(t, addr)
+	if err := u.Send(env); err != nil {
+		t.Fatalf("Send after the root came up: %v", err)
+	}
+	if hello := root.next(t, "hello"); hello.Kind != wire.KindHello || hello.From != 3 {
+		t.Fatalf("first envelope = %v from %d, want hello from 3", hello.Kind, hello.From)
+	}
+	if got := root.next(t, "reply"); got.Kind != wire.KindReply || string(got.Payload) != "r" {
+		t.Fatalf("second envelope = %v %q, want the reply", got.Kind, got.Payload)
+	}
+}
+
+// TestUplinkRedialsAfterDisconnect: the root drops the link mid-stream;
+// writes on the dead connection eventually error, and the next Send
+// lazily redials with a fresh hello.
+func TestUplinkRedialsAfterDisconnect(t *testing.T) {
+	root := startFakeRoot(t, "127.0.0.1:0")
+	u := NewUplink(root.ln.Addr().String(), 7, quietLog)
+	defer u.Close()
+
+	env := &wire.Envelope{Kind: wire.KindReply, From: 7}
+	if err := u.Send(env); err != nil {
+		t.Fatal(err)
+	}
+	root.next(t, "hello")
+	root.next(t, "reply")
+
+	first := <-root.conns
+	_ = first.Close()
+
+	// The first write after the peer closes can land in the kernel
+	// buffer; keep sending until the failure surfaces.
+	sawErr := false
+	for i := 0; i < 200; i++ {
+		if err := u.Send(env); err != nil {
+			sawErr = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !sawErr {
+		t.Fatal("writes on the dead link never failed")
+	}
+
+	if err := u.Send(env); err != nil {
+		t.Fatalf("redial after write failure: %v", err)
+	}
+	if hello := root.next(t, "hello after redial"); hello.Kind != wire.KindHello || hello.From != 7 {
+		t.Fatalf("redial announced %v from %d, want hello from 7", hello.Kind, hello.From)
+	}
+	select {
+	case <-root.conns:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no second connection after redial")
+	}
+}
+
+// TestBankServerForwardHookErrorPropagation: a forward hook whose
+// uplink is down must log the failure and leave the snapshot round
+// unharmed — the hook runs on the read goroutine and has nobody to
+// return an error to.
+func TestBankServerForwardHookErrorPropagation(t *testing.T) {
+	c := startCluster(t)
+
+	var mu sync.Mutex
+	var logs []string
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		logs = append(logs, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	u := NewUplink(reservedAddr(t), 0, logf)
+	defer u.Close()
+	c.srv.SetForward(u.Forward)
+
+	// The nodes dial the bank lazily; drive one paid delivery so both
+	// links register before the audit round starts.
+	_ = c.nodes[0].Engine().RegisterUser("alice", 0, 10, 100)
+	_ = c.nodes[1].Engine().RegisterUser("bob", 0, 10, 100)
+	alice := mail.MustParseAddress("alice@alpha.example")
+	bob := mail.MustParseAddress("bob@beta.example")
+	msg := mail.NewMessage(alice, bob, "s", "b")
+	if err := smtp.SendMail(c.nodes[0].Addr().String(), "alpha.example", alice,
+		[]mail.Address{bob}, msg, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "delivery", func() bool { return len(c.nodes[1].Inbox("bob")) == 1 })
+
+	waitFor(t, "snapshot start", func() bool { return c.bank.StartSnapshot() == nil })
+	waitFor(t, "snapshot round", c.bank.RoundComplete)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(logs) == 0 {
+		t.Fatal("failed forward was never logged")
+	}
+	for _, line := range logs {
+		if strings.Contains(line, "uplink forward") && strings.Contains(line, "reply") {
+			return
+		}
+	}
+	t.Fatalf("no forward-failure log line, got %q", logs)
+}
