@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-record determinism chaos fuzz-smoke golden lint lint-fixtures obsv wal cluster check all
+.PHONY: build test race bench bench-record bench-compare determinism chaos fuzz-smoke golden lint lint-fixtures obsv wal cluster check all
 
 all: build test
 
@@ -47,6 +47,17 @@ bench-record:
 	{ $(GO) test -run xxx -bench 'EngineSend|ISPSubmit|ISPReceive' -benchmem . ; } \
 		| $(GO) run ./cmd/benchjson -cluster /tmp/zload_report.json -out BENCH_7.json
 	cat BENCH_7.json
+
+# Perf-trajectory gate (ROADMAP "perf trajectory as a first-class
+# artifact"): the current bench record must hold the named hot paths
+# within 10% ns/op of its committed predecessor. Update BENCH_PREV and
+# BENCH_CURR when a PR records a new BENCH_<n>.json.
+BENCH_PREV = BENCH_6.json
+BENCH_CURR = BENCH_7.json
+BENCH_HOT  = ISPSubmitLocal,ISPSubmitPaidRemote,ISPReceiveRemote,EngineSend,EngineSendParallel
+bench-compare:
+	$(GO) run ./cmd/benchjson -old $(BENCH_PREV) -new $(BENCH_CURR) \
+		-hot $(BENCH_HOT) -max-regress 10
 
 # Seeded experiment output must be bit-identical run to run.
 determinism:
@@ -106,4 +117,4 @@ cluster:
 	$(GO) test -race -v ./internal/cluster/ ./internal/load/ ./cmd/zload/
 
 # Full pre-merge sweep.
-check: test race lint lint-fixtures chaos fuzz-smoke determinism obsv wal cluster
+check: test race lint lint-fixtures bench-compare chaos fuzz-smoke determinism obsv wal cluster

@@ -14,6 +14,13 @@
 // key, so a single record carries both the microbenchmarks and the
 // real-TCP federation load numbers (the PR-7 acceptance data in
 // BENCH_7.json).
+//
+// With -old and -new the command compares two records instead of
+// parsing stdin (`make bench-compare`): it prints the ns/op trajectory
+// for every benchmark the records share and exits nonzero when a
+// benchmark named in -hot regressed by more than -max-regress percent,
+// or is missing from either record — a gate that silently loses a hot
+// path has gone blind, which is itself a failure.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -45,8 +53,18 @@ type record struct {
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	cluster := flag.String("cluster", "", "zload JSON report to embed under the cluster key")
+	oldPath := flag.String("old", "", "previous bench record (compare mode)")
+	newPath := flag.String("new", "", "current bench record (compare mode)")
+	hot := flag.String("hot", "", "comma-separated benchmark names gated in compare mode")
+	maxRegress := flag.Float64("max-regress", 10, "max tolerated ns/op regression percent for -hot benchmarks")
 	flag.Parse()
-	if err := run(os.Stdin, *out, *cluster); err != nil {
+	var err error
+	if *oldPath != "" || *newPath != "" {
+		err = compare(os.Stdout, *oldPath, *newPath, *hot, *maxRegress)
+	} else {
+		err = run(os.Stdin, *out, *cluster)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
@@ -128,6 +146,83 @@ func parseLine(line string) (benchResult, bool) {
 		return benchResult{}, false
 	}
 	return r, true
+}
+
+// compare prints the ns/op trajectory between two bench records and
+// fails on hot-path regressions beyond maxRegress percent. Hot names
+// missing from either record fail too: a benchmark that vanished
+// cannot be proven non-regressed.
+func compare(w io.Writer, oldPath, newPath, hot string, maxRegress float64) error {
+	if oldPath == "" || newPath == "" {
+		return fmt.Errorf("compare mode needs both -old and -new")
+	}
+	oldRec, err := readRecord(oldPath)
+	if err != nil {
+		return err
+	}
+	newRec, err := readRecord(newPath)
+	if err != nil {
+		return err
+	}
+	oldNs := make(map[string]float64, len(oldRec.Benchmarks))
+	for _, b := range oldRec.Benchmarks {
+		oldNs[b.Name] = b.NsPerOp
+	}
+	hotSet := make(map[string]bool)
+	for _, name := range strings.Split(hot, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			hotSet[name] = true
+		}
+	}
+
+	fmt.Fprintf(w, "bench trajectory: %s -> %s (hot paths gate at +%g%% ns/op)\n", oldPath, newPath, maxRegress)
+	var failures []string
+	seen := make(map[string]bool)
+	for _, b := range newRec.Benchmarks {
+		seen[b.Name] = true
+		prev, ok := oldNs[b.Name]
+		if !ok {
+			fmt.Fprintf(w, "  %-28s %12s %10.0f ns/op   (new)\n", b.Name, "-", b.NsPerOp)
+			continue
+		}
+		delta := (b.NsPerOp - prev) / prev * 100
+		mark := " "
+		if hotSet[b.Name] {
+			mark = "*"
+			if delta > maxRegress {
+				failures = append(failures, fmt.Sprintf("%s regressed %.1f%% (%.0f -> %.0f ns/op)", b.Name, delta, prev, b.NsPerOp))
+			}
+		}
+		fmt.Fprintf(w, "%s %-28s %10.0f %10.0f ns/op  %+6.1f%%\n", mark, b.Name, prev, b.NsPerOp, delta)
+	}
+	for name := range hotSet {
+		if !seen[name] {
+			failures = append(failures, fmt.Sprintf("%s is named in -hot but absent from %s", name, newPath))
+		}
+		if _, ok := oldNs[name]; !ok {
+			failures = append(failures, fmt.Sprintf("%s is named in -hot but absent from %s", name, oldPath))
+		}
+	}
+	if len(failures) > 0 {
+		sort.Strings(failures)
+		return fmt.Errorf("perf gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+func readRecord(path string) (*record, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec record
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rec.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in record", path)
+	}
+	return &rec, nil
 }
 
 // checkpointSpeedup derives the PR-6 acceptance ratio when both 100k
