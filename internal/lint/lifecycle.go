@@ -65,7 +65,7 @@ func runLifecycle(u *Unit) []Diagnostic {
 	if !pathMatches(u.Pkg.ImportPath, u.Cfg.LifecyclePkgs) {
 		return nil
 	}
-	units, byFunc := collectFlowUnits(u)
+	units, byFunc, _ := u.flowInfo()
 	a := &lcAnalyzer{
 		u:       u,
 		byFunc:  byFunc,
@@ -256,7 +256,7 @@ func lcGate(s *lcState, errVar string, wantErr bool) *lcState {
 }
 
 func (a *lcAnalyzer) checkResources(fu *flowUnit) {
-	g := buildCFG(fu.body)
+	g := a.u.cfgOf(fu.body)
 	lat := flowLattice[*lcState]{
 		transfer: func(s *lcState, n ast.Node) *lcState { return a.transfer(s, n) },
 		join:     lcJoin,

@@ -5,8 +5,8 @@
 // a violation is a build failure instead of a chaos-harness bisect.
 //
 // The analyzer is stdlib-only (go/parser, go/ast, go/types with the
-// source importer); go.mod stays dependency-free. Ten passes run over
-// every package in the module:
+// source importer); go.mod stays dependency-free. Eleven passes run
+// over every package in the module:
 //
 //   - detrand: wall-clock reads, global math/rand draws, and map
 //     iteration feeding output inside determinism-critical packages
@@ -41,7 +41,14 @@
 //     join, stop-channel select, or an allowlisted self-terminating
 //     call) and every acquired closeable resource (listeners, conns,
 //     tickers, WALs, obsv servers) is closed, returned, or handed to an
-//     owner that exposes Close/Stop on every path.
+//     owner that exposes Close/Stop on every path;
+//   - guardflow: Eraser-style lockset dataflow — every access to a
+//     declared shared field (Config.GuardedFields) happens with its
+//     guard provably held on every path, with transitive call
+//     summaries ("callee requires guard G"); fields touched via
+//     sync/atomic are never also accessed plainly; and variables
+//     captured into go bodies are guarded, channel-transferred,
+//     per-iteration, or explicitly blessed.
 //
 // A finding that is intentional is silenced in place with
 //
@@ -55,7 +62,9 @@ package lint
 
 import (
 	"fmt"
+	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 	"strings"
 )
@@ -83,10 +92,19 @@ type Pass struct {
 	RunModule func(units []*Unit) []Diagnostic
 }
 
-// Unit is the per-package input handed to a pass.
+// Unit is the per-package input handed to a pass. Besides the package
+// and policy it memoizes the artifacts every flow-sensitive pass needs
+// — the flow-unit enumeration and per-body CFGs — so one Run builds
+// them once instead of once per pass (the module itself is likewise
+// loaded and type-checked once per invocation, in Loader).
 type Unit struct {
 	Pkg *Package
 	Cfg Config
+
+	flowUnits  []*flowUnit
+	flowByFunc map[*types.Func]*flowUnit
+	flowByBody map[*ast.BlockStmt]*flowUnit
+	cfgs       map[*ast.BlockStmt]*cfg
 }
 
 // diag is the helper passes use to report at a token.Pos.
@@ -170,6 +188,30 @@ type Config struct {
 	// documented job is serializing blocking I/O (the core.Uplink link
 	// mutex); ops under only these locks are not findings.
 	LockScopeAllowedLocks []string
+
+	// GuardflowPkgs are import-path prefixes where guardflow applies:
+	// every package whose structs are mutated from more than one
+	// goroutine.
+	GuardflowPkgs []string
+	// GuardedFields maps each shared field, as
+	// "importpath.Owner.field", to the guards that protect it, each
+	// "importpath.Owner.lockfield". Listing several guards means any
+	// one of them satisfies an access (the freeze write side dominates
+	// the whole engine, for example). A guard suffixed ":W" is
+	// satisfied only when write-held — for RWMutex-guarded fields
+	// where the read side merely observes. Guard identity is by lock
+	// *type and field*, not instance: the discipline "hold some
+	// accountStripe.mu" is what stripe striping makes checkable.
+	GuardedFields map[string][]string
+	// GuardExemptFuncs ("importpath:FuncName") are blessed
+	// single-threaded paths: constructors and restore/replay code that
+	// touch state before (or while frozen such that) no other
+	// goroutine can see it.
+	GuardExemptFuncs []string
+	// GuardCaptureAllowed ("importpath:FuncName.var") are variables
+	// blessed for capture into a go body despite being written on both
+	// sides of the spawn.
+	GuardCaptureAllowed []string
 
 	// LifecyclePkgs are import-path prefixes where lifecycle applies.
 	LifecyclePkgs []string
@@ -309,6 +351,104 @@ func DefaultConfig() Config {
 			// link; blocking under it is the design.
 			"zmail/internal/core.Uplink.mu",
 		},
+		GuardflowPkgs: []string{
+			"zmail/internal/isp",
+			"zmail/internal/bank",
+			"zmail/internal/core",
+			"zmail/internal/cluster",
+		},
+		GuardedFields: map[string][]string{
+			// ISP hot state: stripe maps and user rows live under the
+			// owning stripe's mutex; the freeze write side stops the
+			// world (snapshot/restore), so it satisfies any access too.
+			"zmail/internal/isp.accountStripe.users": {"zmail/internal/isp.accountStripe.mu", "zmail/internal/isp.Engine.freezeMu:W"},
+			"zmail/internal/isp.user.account":        {"zmail/internal/isp.accountStripe.mu", "zmail/internal/isp.Engine.freezeMu:W"},
+			"zmail/internal/isp.user.balance":        {"zmail/internal/isp.accountStripe.mu", "zmail/internal/isp.Engine.freezeMu:W"},
+			"zmail/internal/isp.user.sent":           {"zmail/internal/isp.accountStripe.mu", "zmail/internal/isp.Engine.freezeMu:W"},
+			"zmail/internal/isp.user.limit":          {"zmail/internal/isp.accountStripe.mu", "zmail/internal/isp.Engine.freezeMu:W"},
+			"zmail/internal/isp.user.warnedToday":    {"zmail/internal/isp.accountStripe.mu", "zmail/internal/isp.Engine.freezeMu:W"},
+			"zmail/internal/isp.user.journal":        {"zmail/internal/isp.accountStripe.mu", "zmail/internal/isp.Engine.freezeMu:W"},
+			// ISP cold state under Engine.mu.
+			"zmail/internal/isp.Engine.avail":     {"zmail/internal/isp.Engine.mu", "zmail/internal/isp.Engine.freezeMu:W"},
+			"zmail/internal/isp.Engine.outbox":    {"zmail/internal/isp.Engine.mu", "zmail/internal/isp.Engine.freezeMu:W"},
+			"zmail/internal/isp.Engine.seq":       {"zmail/internal/isp.Engine.mu", "zmail/internal/isp.Engine.freezeMu:W"},
+			"zmail/internal/isp.Engine.canBuy":    {"zmail/internal/isp.Engine.mu", "zmail/internal/isp.Engine.freezeMu:W"},
+			"zmail/internal/isp.Engine.canSell":   {"zmail/internal/isp.Engine.mu", "zmail/internal/isp.Engine.freezeMu:W"},
+			"zmail/internal/isp.Engine.ns1":       {"zmail/internal/isp.Engine.mu", "zmail/internal/isp.Engine.freezeMu:W"},
+			"zmail/internal/isp.Engine.ns2":       {"zmail/internal/isp.Engine.mu", "zmail/internal/isp.Engine.freezeMu:W"},
+			"zmail/internal/isp.Engine.buyVal":    {"zmail/internal/isp.Engine.mu", "zmail/internal/isp.Engine.freezeMu:W"},
+			"zmail/internal/isp.Engine.sellVal":   {"zmail/internal/isp.Engine.mu", "zmail/internal/isp.Engine.freezeMu:W"},
+			"zmail/internal/isp.Engine.buyAt":     {"zmail/internal/isp.Engine.mu", "zmail/internal/isp.Engine.freezeMu:W"},
+			"zmail/internal/isp.Engine.sellAt":    {"zmail/internal/isp.Engine.mu", "zmail/internal/isp.Engine.freezeMu:W"},
+			"zmail/internal/isp.Engine.buyTrace":  {"zmail/internal/isp.Engine.mu", "zmail/internal/isp.Engine.freezeMu:W"},
+			"zmail/internal/isp.Engine.sellTrace": {"zmail/internal/isp.Engine.mu", "zmail/internal/isp.Engine.freezeMu:W"},
+			// The freeze flag itself: the write side flips it, the read
+			// side observes it.
+			"zmail/internal/isp.Engine.frozen": {"zmail/internal/isp.Engine.freezeMu"},
+			// Bank: everything mutable lives under Bank.mu.
+			"zmail/internal/bank.Bank.account":       {"zmail/internal/bank.Bank.mu"},
+			"zmail/internal/bank.Bank.compliant":     {"zmail/internal/bank.Bank.mu"},
+			"zmail/internal/bank.Bank.ispSealers":    {"zmail/internal/bank.Bank.mu"},
+			"zmail/internal/bank.Bank.seenNonces":    {"zmail/internal/bank.Bank.mu"},
+			"zmail/internal/bank.Bank.seq":           {"zmail/internal/bank.Bank.mu"},
+			"zmail/internal/bank.Bank.verify":        {"zmail/internal/bank.Bank.mu"},
+			"zmail/internal/bank.Bank.replied":       {"zmail/internal/bank.Bank.mu"},
+			"zmail/internal/bank.Bank.total":         {"zmail/internal/bank.Bank.mu"},
+			"zmail/internal/bank.Bank.gathering":     {"zmail/internal/bank.Bank.mu"},
+			"zmail/internal/bank.Bank.roundTrace":    {"zmail/internal/bank.Bank.mu"},
+			"zmail/internal/bank.Bank.violations":    {"zmail/internal/bank.Bank.mu"},
+			"zmail/internal/bank.Bank.lastTransfers": {"zmail/internal/bank.Bank.mu"},
+			"zmail/internal/bank.Bank.lastRoundSum":  {"zmail/internal/bank.Bank.mu"},
+			"zmail/internal/bank.Bank.stats":         {"zmail/internal/bank.Bank.mu"},
+			"zmail/internal/bank.Bank.wal":           {"zmail/internal/bank.Bank.mu"},
+			"zmail/internal/bank.Bank.walErrs":       {"zmail/internal/bank.Bank.mu"},
+			"zmail/internal/bank.Bank.emitq":         {"zmail/internal/bank.Bank.mu"},
+			// Hierarchy state, including the per-region structs it owns
+			// (regions are internal organs of one bank: Hierarchy.mu
+			// covers them cross-object).
+			"zmail/internal/bank.Hierarchy.assign":      {"zmail/internal/bank.Hierarchy.mu"},
+			"zmail/internal/bank.Hierarchy.regions":     {"zmail/internal/bank.Hierarchy.mu"},
+			"zmail/internal/bank.Hierarchy.compliant":   {"zmail/internal/bank.Hierarchy.mu"},
+			"zmail/internal/bank.Hierarchy.ispSealers":  {"zmail/internal/bank.Hierarchy.mu"},
+			"zmail/internal/bank.Hierarchy.seq":         {"zmail/internal/bank.Hierarchy.mu"},
+			"zmail/internal/bank.Hierarchy.gathering":   {"zmail/internal/bank.Hierarchy.mu"},
+			"zmail/internal/bank.Hierarchy.regionsLeft": {"zmail/internal/bank.Hierarchy.mu"},
+			"zmail/internal/bank.Hierarchy.violations":  {"zmail/internal/bank.Hierarchy.mu"},
+			"zmail/internal/bank.Hierarchy.stats":       {"zmail/internal/bank.Hierarchy.mu"},
+			"zmail/internal/bank.Hierarchy.emitq":       {"zmail/internal/bank.Hierarchy.mu"},
+			"zmail/internal/bank.region.isps":           {"zmail/internal/bank.Hierarchy.mu"},
+			"zmail/internal/bank.region.account":        {"zmail/internal/bank.Hierarchy.mu"},
+			"zmail/internal/bank.region.seenNonces":     {"zmail/internal/bank.Hierarchy.mu"},
+			"zmail/internal/bank.region.minted":         {"zmail/internal/bank.Hierarchy.mu"},
+			"zmail/internal/bank.region.burned":         {"zmail/internal/bank.Hierarchy.mu"},
+			"zmail/internal/bank.region.reports":        {"zmail/internal/bank.Hierarchy.mu"},
+			"zmail/internal/bank.region.pending":        {"zmail/internal/bank.Hierarchy.mu"},
+			"zmail/internal/bank.Root.rounds":           {"zmail/internal/bank.Root.mu"},
+			"zmail/internal/bank.Root.violations":       {"zmail/internal/bank.Root.mu"},
+			"zmail/internal/bank.Root.stats":            {"zmail/internal/bank.Root.mu"},
+			// Core daemons.
+			"zmail/internal/core.BankServer.conns":   {"zmail/internal/core.BankServer.mu"},
+			"zmail/internal/core.BankServer.forward": {"zmail/internal/core.BankServer.mu"},
+			"zmail/internal/core.BankServer.ln":      {"zmail/internal/core.BankServer.mu"},
+			"zmail/internal/core.BankServer.closed":  {"zmail/internal/core.BankServer.mu"},
+			"zmail/internal/core.Node.inboxes":       {"zmail/internal/core.Node.mu"},
+			"zmail/internal/core.Node.peers":         {"zmail/internal/core.Node.mu"},
+			"zmail/internal/core.Node.bankTx":        {"zmail/internal/core.Node.mu"},
+			"zmail/internal/core.Node.adminLn":       {"zmail/internal/core.Node.mu"},
+			"zmail/internal/core.Node.closed":        {"zmail/internal/core.Node.mu"},
+			"zmail/internal/core.Uplink.conn":        {"zmail/internal/core.Uplink.mu"},
+			"zmail/internal/core.Uplink.closed":      {"zmail/internal/core.Uplink.mu"},
+		},
+		GuardExemptFuncs: []string{
+			// Constructors publish the object only on return;
+			// restore/replay paths run before the daemon is shared (the
+			// engine's run under the freeze write lock, which the
+			// dataflow also proves where it is taken locally).
+			"zmail/internal/isp:New", "zmail/internal/isp:RestoreState",
+			"zmail/internal/bank:New", "zmail/internal/bank:RestoreState",
+			"zmail/internal/bank:NewHierarchy", "zmail/internal/bank:NewRoot",
+		},
+		GuardCaptureAllowed: nil,
 		LifecyclePkgs: []string{
 			"zmail/internal/cluster",
 			"zmail/internal/core",
@@ -365,6 +505,14 @@ func FixtureConfig(fixturePkg string) Config {
 	cfg.WALExemptFuncs = append(cfg.WALExemptFuncs, fixturePkg+":blessedRestore")
 	cfg.LockScopePkgs = append(cfg.LockScopePkgs, fixturePkg)
 	cfg.LockScopeBlockingFuncs = append(cfg.LockScopeBlockingFuncs, fixturePkg+".slowRPC")
+	// Lockset tier: fixtures guard "vault.coins" with a plain mutex and
+	// "vault.open" with an RWMutex, bless "blessedInit" as a
+	// single-threaded path and "relay"'s captured counter.
+	cfg.GuardflowPkgs = append(cfg.GuardflowPkgs, fixturePkg)
+	cfg.GuardedFields[fixturePkg+".vault.coins"] = []string{fixturePkg + ".vault.mu"}
+	cfg.GuardedFields[fixturePkg+".vault.open"] = []string{fixturePkg + ".vault.gate"}
+	cfg.GuardExemptFuncs = append(cfg.GuardExemptFuncs, fixturePkg+":blessedInit")
+	cfg.GuardCaptureAllowed = append(cfg.GuardCaptureAllowed, fixturePkg+":Relay.blessed")
 	cfg.LifecyclePkgs = append(cfg.LifecyclePkgs, fixturePkg)
 	cfg.LifecycleAcquireFuncs = append(cfg.LifecycleAcquireFuncs, fixturePkg+".open")
 	cfg.LifecycleGoAllowed = append(cfg.LifecycleGoAllowed, fixturePkg+".pump")
@@ -373,7 +521,7 @@ func FixtureConfig(fixturePkg string) Config {
 
 // Passes returns the full pass set, in reporting order.
 func Passes() []Pass {
-	return []Pass{DetRand(), LockOrder(), LedgerGuard(), ErrDrop(), MoneyFlow(), NonceFlow(), SpecBind(), WalFlow(), LockScope(), Lifecycle()}
+	return []Pass{DetRand(), LockOrder(), LedgerGuard(), ErrDrop(), MoneyFlow(), NonceFlow(), SpecBind(), WalFlow(), LockScope(), Lifecycle(), GuardFlow()}
 }
 
 // PassNames lists the valid pass names (used to validate suppression

@@ -60,7 +60,7 @@ func runLockScope(u *Unit) []Diagnostic {
 		u:        u,
 		mayBlock: map[*types.Func]string{},
 	}
-	_, w.byFunc = collectFlowUnits(u)
+	_, w.byFunc, _ = u.flowInfo()
 	w.computeMayBlock()
 	for _, f := range u.Pkg.Files {
 		for _, decl := range f.Decls {

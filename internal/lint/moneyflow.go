@@ -312,7 +312,7 @@ func runMoneyFlow(u *Unit) []Diagnostic {
 	if !pathMatches(u.Pkg.ImportPath, u.Cfg.MoneyflowPkgs) {
 		return nil
 	}
-	units, byFunc := collectFlowUnits(u)
+	units, byFunc, _ := u.flowInfo()
 	a := &mwAnalyzer{
 		u:       u,
 		byFunc:  byFunc,
@@ -401,7 +401,7 @@ func (a *mwAnalyzer) resultOf(fu *flowUnit) *mwResult {
 }
 
 func (a *mwAnalyzer) analyze(fu *flowUnit) *mwResult {
-	g := buildCFG(fu.body)
+	g := a.u.cfgOf(fu.body)
 	lat := flowLattice[*moneyState]{
 		transfer: func(s *moneyState, n ast.Node) *moneyState { return a.transfer(s, n) },
 		join:     mwJoin,

@@ -79,7 +79,7 @@ func runNonceFlow(u *Unit) []Diagnostic {
 	if !pathMatches(u.Pkg.ImportPath, u.Cfg.NonceflowPkgs) {
 		return nil
 	}
-	units, byFunc := collectFlowUnits(u)
+	units, byFunc, _ := u.flowInfo()
 	a := &nfAnalyzer{u: u, byFunc: byFunc}
 	a.computeMutates(units)
 
@@ -339,7 +339,7 @@ func (a *nfAnalyzer) checkInbound(fu *flowUnit, report func(token.Pos, string, .
 		return
 	}
 
-	g := buildCFG(fu.body)
+	g := a.u.cfgOf(fu.body)
 	lat := flowLattice[nonceState]{
 		transfer: func(s nonceState, n ast.Node) nonceState { return a.nfTransfer(s, n, nil) },
 		join:     nfJoin,

@@ -252,7 +252,7 @@ func runWalFlow(u *Unit) []Diagnostic {
 	if !pathMatches(u.Pkg.ImportPath, u.Cfg.WalflowPkgs) {
 		return nil
 	}
-	units, byFunc := collectFlowUnits(u)
+	units, byFunc, _ := u.flowInfo()
 	a := &wfAnalyzer{
 		u:       u,
 		byFunc:  byFunc,
@@ -345,7 +345,7 @@ func (a *wfAnalyzer) resultOf(fu *flowUnit) *wfResult {
 }
 
 func (a *wfAnalyzer) analyze(fu *flowUnit) *wfResult {
-	g := buildCFG(fu.body)
+	g := a.u.cfgOf(fu.body)
 	lat := flowLattice[*wfState]{
 		transfer: func(s *wfState, n ast.Node) *wfState { return a.transfer(s, n) },
 		join:     wfJoin,
