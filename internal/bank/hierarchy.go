@@ -182,7 +182,11 @@ func (h *Hierarchy) Account(index int) (money.Penny, error) {
 }
 
 // Region reports which regional bank serves an ISP.
-func (h *Hierarchy) Region(index int) int { return h.assign[index] }
+func (h *Hierarchy) Region(index int) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.assign[index]
+}
 
 // Stats returns the per-level work counters.
 func (h *Hierarchy) Stats() HierarchyStats {

@@ -2,6 +2,7 @@ package bank
 
 import (
 	"errors"
+	"sync"
 	"testing"
 
 	"zmail/internal/crypto"
@@ -314,4 +315,45 @@ func TestHierarchyRestoreValidation(t *testing.T) {
 	if err := h.RestoreState(&bad); err == nil {
 		t.Error("misassigned account accepted")
 	}
+}
+
+// TestHierarchyRegionConcurrentWithRounds pins the guardflow fix:
+// Region used to read h.assign without h.mu, an unsynchronized read
+// racing every locked path. Hammer it against concurrent audit rounds
+// under -race (make race / make cluster).
+func TestHierarchyRegionConcurrentWithRounds(t *testing.T) {
+	h, _ := newHierarchy(t, 6, 3, nil)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := 0; i < 6; i++ {
+					if r := h.Region(i); r < 0 || r >= 3 {
+						t.Errorf("Region(%d) = %d out of range", i, r)
+						return
+					}
+				}
+			}
+		}()
+	}
+	if err := h.StartSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 200; round++ {
+		if _, err := h.Account(round % 6); err != nil {
+			t.Fatal(err)
+		}
+		_ = h.Stats()
+		_ = h.Outstanding()
+	}
+	close(stop)
+	wg.Wait()
 }
