@@ -202,6 +202,13 @@ func TestLifecycleFixtures(t *testing.T) {
 	}
 }
 
+func TestGuardFlowFixtures(t *testing.T) {
+	passes := []Pass{GuardFlow()}
+	for _, c := range []string{"guardflow/bad", "guardflow/clean", "guardflow/suppressed", "guardflow/unsuppressed", "guardflow/runtime"} {
+		t.Run(c, func(t *testing.T) { checkFixture(t, c, passes, fixtureCfg(c)) })
+	}
+}
+
 // TestSpecBindAllowlists covers the allowlist arms FixtureConfig nils
 // out: entries silence their drift class, and entries naming kinds that
 // no longer exist are themselves findings.
@@ -296,6 +303,7 @@ func TestSuppressionDeletionFails(t *testing.T) {
 		"walflow/unsuppressed":   WalFlow(),
 		"lockscope/unsuppressed": LockScope(),
 		"lifecycle/unsuppressed": Lifecycle(),
+		"guardflow/unsuppressed": GuardFlow(),
 	} {
 		pkg := loadFixture(t, rel)
 		diags := Run([]*Package{pkg}, []Pass{pass}, fixtureCfg(rel))
@@ -376,6 +384,14 @@ func TestDefaultConfigCoversRoadmapPackages(t *testing.T) {
 		if !pathMatches(p, cfg.LifecyclePkgs) {
 			t.Errorf("lifecycle policy must cover %s", p)
 		}
+	}
+	for _, p := range []string{"zmail/internal/isp", "zmail/internal/bank", "zmail/internal/core", "zmail/internal/cluster"} {
+		if !pathMatches(p, cfg.GuardflowPkgs) {
+			t.Errorf("guardflow policy must cover %s", p)
+		}
+	}
+	if len(cfg.GuardedFields) == 0 {
+		t.Errorf("guardflow policy must declare guarded fields")
 	}
 	// Subpackage and non-prefix behavior.
 	if !pathMatches("zmail/internal/sim/sub", cfg.DeterminismPkgs) {

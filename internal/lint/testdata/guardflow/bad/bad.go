@@ -1,0 +1,150 @@
+// Package bad is a guardflow fixture: every shape of guard-discipline
+// violation the lockset pass proves. The fixture policy guards
+// vault.coins with vault.mu and vault.open with the vault.gate RWMutex
+// (see FixtureConfig). Lines carrying a `want` marker are expected
+// findings.
+package bad
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// vault is the fixture's shared object: coins under the plain mutex,
+// open under the RWMutex.
+type vault struct {
+	mu    sync.Mutex
+	gate  sync.RWMutex
+	coins int
+	open  bool
+}
+
+// Deposit writes the guarded field with no lock at all.
+func (v *vault) Deposit(n int) {
+	v.coins += n //want guardflow
+}
+
+// Peek reads the guarded field with no lock at all.
+func (v *vault) Peek() int {
+	return v.coins //want guardflow
+}
+
+// Hasty releases the lock one statement too early: after the explicit
+// Unlock the guard is provably gone, so no caller can save the access.
+func (v *vault) Hasty() {
+	v.mu.Lock()
+	v.coins++
+	v.mu.Unlock()
+	v.coins-- //want guardflow
+}
+
+// Toggle writes under the read side: an RLock admits other readers, so
+// the write needs the write-held gate.
+func (v *vault) Toggle() {
+	v.gate.RLock()
+	defer v.gate.RUnlock()
+	v.open = true //want guardflow
+}
+
+// WrongLock holds the RWMutex while touching the field the plain mutex
+// guards.
+func (v *vault) WrongLock() {
+	v.gate.Lock()
+	defer v.gate.Unlock()
+	v.coins++ //want guardflow
+}
+
+// Maybe acquires only on one branch: the path join drops the guard, so
+// the access is unprotected on some schedule.
+func (v *vault) Maybe(b bool) {
+	if b {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+	}
+	v.coins++ //want guardflow
+}
+
+// addLocked expects its caller to hold the mutex. It is unexported and
+// only ever called, so its obligation propagates to the call sites.
+func (v *vault) addLocked(n int) {
+	v.coins += n
+}
+
+// Careless calls the lock-expecting helper without the lock: the
+// transitive summary surfaces the callee's obligation here.
+func (v *vault) Careless(n int) {
+	v.addLocked(n) //want guardflow
+}
+
+// Spawn holds the mutex across the go statement, but the goroutine runs
+// on its own schedule: the spawner's lockset does not transfer.
+func (v *vault) Spawn(wg *sync.WaitGroup) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v.coins++ //want guardflow
+	}()
+}
+
+// SpawnCall reaches the lock-expecting helper from a goroutine body,
+// where no lock can be inherited.
+func (v *vault) SpawnCall(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v.addLocked(2) //want guardflow
+	}()
+}
+
+// meter mixes atomic and plain access: hits joins the old-style atomic
+// discipline in Bump, gauge is a typed atomic.
+type meter struct {
+	hits  int64
+	gauge atomic.Int64
+}
+
+// Bump is the sanctioned old-style atomic site that puts hits under the
+// atomic discipline.
+func (m *meter) Bump() {
+	atomic.AddInt64(&m.hits, 1)
+}
+
+// Mix reads the atomically-updated field plainly: the read races with
+// every Bump.
+func (m *meter) Mix() int64 {
+	return m.hits //want guardflow
+}
+
+// Alias leaks the typed atomic outside its method API.
+func (m *meter) Alias() *atomic.Int64 {
+	return &m.gauge //want guardflow
+}
+
+// Fan captures a plain counter in every iteration's goroutine: all of
+// them increment the same word.
+func Fan(wg *sync.WaitGroup) int {
+	total := 0
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total++ //want guardflow
+		}()
+	}
+	return total
+}
+
+// Publish writes the captured variable after the spawn: the goroutine
+// may read either value.
+func Publish(wg *sync.WaitGroup) {
+	msg := "start"
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = msg //want guardflow
+	}()
+	msg = "shutdown"
+	_ = msg
+}

@@ -1,0 +1,137 @@
+// Package clean holds guard-discipline shapes the lockset pass must
+// accept: correctly locked access, read/write sides used properly,
+// constructor freshness, blessed single-threaded paths, obligations
+// discharged by locked callers, method-only atomics, and every
+// sanctioned capture shape.
+package clean
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// vault guards coins with mu and open with the gate RWMutex, per the
+// fixture policy.
+type vault struct {
+	mu    sync.Mutex
+	gate  sync.RWMutex
+	coins int
+	open  bool
+}
+
+// Deposit holds the declared guard across the write.
+func (v *vault) Deposit(n int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.coins += n
+}
+
+// Peek holds the declared guard across the read.
+func (v *vault) Peek() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.coins
+}
+
+// Open reads under the read side: sufficient for a read.
+func (v *vault) Open() bool {
+	v.gate.RLock()
+	defer v.gate.RUnlock()
+	return v.open
+}
+
+// SetOpen writes under the write side.
+func (v *vault) SetOpen(o bool) {
+	v.gate.Lock()
+	defer v.gate.Unlock()
+	v.open = o
+}
+
+// NewVault is the constructor idiom: the local is freshly built from a
+// composite literal, so it is not yet shared and needs no guard.
+func NewVault(n int) *vault {
+	v := &vault{}
+	v.coins = n
+	v.open = true
+	return v
+}
+
+// blessedInit is named in Config.GuardExemptFuncs: a provably
+// single-threaded restore path.
+func blessedInit(v *vault, n int) {
+	v.coins = n
+	v.open = false
+}
+
+// add expects the caller to hold the mutex; its obligation is
+// discharged at every call site below.
+func (v *vault) add(n int) {
+	v.coins += n
+}
+
+// AddTwice holds the lock across both helper calls: the callee's
+// requirement is met here and nothing propagates further.
+func (v *vault) AddTwice(n int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.add(n)
+	v.add(n)
+}
+
+// meter uses its atomics only through the atomic API.
+type meter struct {
+	hits  int64
+	gauge atomic.Int64
+}
+
+// Bump and Count keep hits under the old-style discipline everywhere.
+func (m *meter) Bump() {
+	atomic.AddInt64(&m.hits, 1)
+}
+
+// Count reads hits through the same API that writes it.
+func (m *meter) Count() int64 {
+	return atomic.LoadInt64(&m.hits)
+}
+
+// Gauge drives the typed atomic through its methods only.
+func (m *meter) Gauge(n int64) int64 {
+	m.gauge.Store(n)
+	m.gauge.Add(1)
+	return m.gauge.Load()
+}
+
+// Collect captures only sanctioned state: a channel, the WaitGroup, and
+// a per-iteration loop variable.
+func Collect(wg *sync.WaitGroup, out chan<- int) {
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out <- i
+		}()
+	}
+}
+
+// Shared captures a pointer to the guarded struct — the struct carries
+// its own discipline — and accesses it correctly inside the body.
+func Shared(wg *sync.WaitGroup, v *vault) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v.Deposit(1)
+	}()
+}
+
+// Relay captures a counter written inside the goroutine body, blessed
+// by name in Config.GuardCaptureAllowed: the spawner provably never
+// touches it again before the join.
+func Relay(wg *sync.WaitGroup) {
+	blessed := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		blessed++
+	}()
+	wg.Wait()
+}

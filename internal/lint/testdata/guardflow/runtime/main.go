@@ -1,0 +1,45 @@
+// The runtime twin of the guardflow bad fixture: the same
+// unguarded-counter shape the static pass flags (Deposit writing
+// vault.coins without vault.mu, racing a locked reader), built as a
+// real program so the race detector can confirm the flagged schedule
+// exists. Run via `go run -race` by TestGuardflowBadShapeRacesAtRuntime.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+type vault struct {
+	mu    sync.Mutex
+	coins int
+}
+
+func main() {
+	v := &vault{}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 1000; i++ {
+				v.coins++ //want guardflow
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < 1000; i++ {
+			v.mu.Lock()
+			_ = v.coins
+			v.mu.Unlock()
+		}
+	}()
+	close(start)
+	wg.Wait()
+	fmt.Println(v.coins)
+}

@@ -1,0 +1,26 @@
+// Package suppressed shows the sanctioned escape hatch: a guarded read
+// deliberately taken without the lock, with the reason recorded.
+package suppressed
+
+import "sync"
+
+// vault guards coins with mu, per the fixture policy.
+type vault struct {
+	mu    sync.Mutex
+	coins int
+}
+
+// Lent keeps the suppressed sibling honest: without at least one locked
+// access the mutex would be dead weight.
+func (v *vault) Lent(n int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.coins += n
+}
+
+// Skim reads racily on purpose: the value feeds a monitoring gauge
+// where a stale read is acceptable.
+func (v *vault) Skim() int {
+	//zlint:ignore guardflow monitoring-only read; a torn or stale value is tolerated by the gauge consumer
+	return v.coins
+}

@@ -1,0 +1,24 @@
+// Package unsuppressed is the directive-stripped twin of the
+// suppressed fixture: identical code, no directives, so the finding
+// must fire.
+package unsuppressed
+
+import "sync"
+
+// vault guards coins with mu, per the fixture policy.
+type vault struct {
+	mu    sync.Mutex
+	coins int
+}
+
+// Lent keeps the twin aligned with its suppressed sibling.
+func (v *vault) Lent(n int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.coins += n
+}
+
+// Skim reads racily with no directive: this must be a finding.
+func (v *vault) Skim() int {
+	return v.coins //want guardflow
+}
