@@ -1,13 +1,14 @@
 // Command zlint runs zmail's project-specific static analysis over the
-// module: ten passes (detrand, lockorder, ledgerguard, errdrop,
-// moneyflow, nonceflow, specbind, walflow, lockscope, lifecycle) that
-// machine-check the invariants the reproduction depends on. See
-// internal/lint for what each pass guards and why.
+// module: eleven passes (detrand, lockorder, ledgerguard, errdrop,
+// moneyflow, nonceflow, specbind, walflow, lockscope, lifecycle,
+// guardflow) that machine-check the invariants the reproduction
+// depends on. See internal/lint for what each pass guards and why.
 //
 // Usage:
 //
 //	zlint                  # analyze the whole module, exit 1 on findings
-//	zlint -passes detrand,errdrop
+//	zlint -pass detrand,errdrop
+//	zlint -v               # package count, pass set, per-pass wall time
 //	zlint -list            # show the passes and their one-line docs
 //	zlint -format github   # emit GitHub Actions ::error annotations
 //	zlint -format json     # one JSON object per finding, one per line
@@ -34,6 +35,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"zmail/internal/lint"
 )
@@ -47,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		passNames = fs.String("passes", "", "comma-separated subset of passes to run (default: all)")
+		passAlias = fs.String("pass", "", "alias for -passes")
 		root      = fs.String("root", ".", "directory inside the module to analyze")
 		list      = fs.Bool("list", false, "list available passes and exit")
 		verbose   = fs.Bool("v", false, "report package count and pass set")
@@ -62,6 +65,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	default:
 		fmt.Fprintf(stderr, "zlint: unknown -format %q (want text, json, or github)\n", *format)
 		return 2
+	}
+	if *passAlias != "" {
+		if *passNames != "" && *passNames != *passAlias {
+			fmt.Fprintf(stderr, "zlint: -pass %q and -passes %q disagree; give one\n", *passAlias, *passNames)
+			return 2
+		}
+		*passNames = *passAlias
 	}
 
 	all := lint.Passes()
@@ -111,7 +121,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "zlint: %d packages, passes: %s\n", len(pkgs), strings.Join(names, ","))
 	}
 
-	diags := lint.Run(pkgs, passes, lint.DefaultConfig())
+	diags, timings := lint.RunTimed(pkgs, passes, lint.DefaultConfig())
+	if *verbose {
+		for _, pt := range timings {
+			fmt.Fprintf(stderr, "zlint: %-12s %v\n", pt.Name, pt.Elapsed.Round(time.Millisecond))
+		}
+	}
 	for _, d := range diags {
 		emit(stdout, *format, d)
 	}

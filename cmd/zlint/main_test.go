@@ -46,6 +46,56 @@ func TestUnknownPassIsUsageError(t *testing.T) {
 	}
 }
 
+// TestPassAliasValidation pins the -pass alias to the -passes usage
+// convention: an unknown name is exit 2, and contradictory spellings
+// of the same flag are exit 2 rather than a silent pick.
+func TestPassAliasValidation(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-pass", "nosuchpass"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-pass with unknown name exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "nosuchpass") {
+		t.Errorf("usage error should name the bad pass, got: %s", stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-pass", "detrand", "-passes", "errdrop"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("disagreeing -pass/-passes exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "disagree") {
+		t.Errorf("usage error should say the flags disagree, got: %s", stderr.String())
+	}
+
+	// Agreeing spellings are not an error; the empty fixture sweep
+	// below proves the alias actually filters (a non-guardflow pass
+	// over the guardflow corpus would add findings).
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-pass", "guardflow", "-passes", "guardflow", "-testdata", "../../internal/lint/testdata/guardflow/clean", "-expect", "0"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("agreeing -pass/-passes exited %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+}
+
+// TestVerboseTimings pins the -v per-pass wall-time report over a
+// small fixture-free invocation path (the testdata sweep shares the
+// flag parsing but not the timing report, so use the module path with
+// a single cheap pass scope: the fixture dir keeps it fast).
+func TestVerboseTimings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is slow; run without -short")
+	}
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-v", "-pass", "errdrop,guardflow"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("verbose run exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	for _, name := range []string{"errdrop", "guardflow"} {
+		if !strings.Contains(stderr.String(), "zlint: "+name) {
+			t.Errorf("-v output missing wall time for %s:\n%s", name, stderr.String())
+		}
+	}
+}
+
 // TestListPasses pins the seven-pass contract.
 func TestListPasses(t *testing.T) {
 	var stdout, stderr strings.Builder
@@ -112,5 +162,20 @@ func TestTestdataSweep(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), "::error file=") || !strings.Contains(stdout.String(), ",line=") {
 		t.Errorf("github format should emit ::error annotations, got:\n%s", stdout.String())
+	}
+}
+
+// TestGuardflowGithubAnnotations confirms the lockset findings flow
+// through the CI annotation path like every other pass: the guardflow
+// bad corpus under -format github must emit ::error lines titled with
+// the pass name.
+func TestGuardflowGithubAnnotations(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-testdata", "../../internal/lint/testdata/guardflow/bad", "-format", "github", "-expect", "13"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("guardflow bad sweep exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "title=zlint guardflow::") {
+		t.Errorf("github format should title annotations with the pass, got:\n%s", stdout.String())
 	}
 }

@@ -67,6 +67,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // A Diagnostic is one finding from one pass.
@@ -545,10 +546,24 @@ func pathMatches(path string, prefixes []string) bool {
 	return false
 }
 
+// A PassTiming records one pass's wall-clock cost in a run, for the
+// CLI's verbose report. Shared work (loading, type-checking, the
+// flow-unit and CFG caches) lands in whichever pass touches it first.
+type PassTiming struct {
+	Name    string
+	Elapsed time.Duration
+}
+
 // Run executes the given passes over the packages, filters suppressed
 // findings, and appends diagnostics for malformed or unknown
 // suppression directives. Results are sorted by position.
 func Run(pkgs []*Package, passes []Pass, cfg Config) []Diagnostic {
+	diags, _ := RunTimed(pkgs, passes, cfg)
+	return diags
+}
+
+// RunTimed is Run plus per-pass wall time, in pass order.
+func RunTimed(pkgs []*Package, passes []Pass, cfg Config) ([]Diagnostic, []PassTiming) {
 	var out []Diagnostic
 	valid := make(map[string]bool)
 	for _, p := range passes {
@@ -569,7 +584,9 @@ func Run(pkgs []*Package, passes []Pass, cfg Config) []Diagnostic {
 			merged.byFileLine[file] = append(merged.byFileLine[file], sups...)
 		}
 	}
+	timings := make([]PassTiming, 0, len(passes))
 	for _, p := range passes {
+		start := time.Now()
 		var diags []Diagnostic
 		if p.Run != nil {
 			for _, u := range units {
@@ -579,6 +596,7 @@ func Run(pkgs []*Package, passes []Pass, cfg Config) []Diagnostic {
 		if p.RunModule != nil {
 			diags = append(diags, p.RunModule(units)...)
 		}
+		timings = append(timings, PassTiming{Name: p.Name, Elapsed: time.Since(start)})
 		for _, d := range diags {
 			if merged.covers(d) {
 				continue
@@ -596,5 +614,5 @@ func Run(pkgs []*Package, passes []Pass, cfg Config) []Diagnostic {
 		}
 		return out[i].Pass < out[j].Pass
 	})
-	return out
+	return out, timings
 }
