@@ -235,7 +235,11 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer admin.Close()
+		defer func() {
+			if err := admin.Close(); err != nil {
+				logf("metrics server close: %v", err)
+			}
+		}()
 		logf("metrics on http://%s/metrics", admin.Addr())
 	}
 
@@ -390,7 +394,11 @@ func runRoot(listen string, isps int, assignCSV, metricsAd string, ownSealer cry
 		if err != nil {
 			return err
 		}
-		defer admin.Close()
+		defer func() {
+			if err := admin.Close(); err != nil {
+				logf("metrics server close: %v", err)
+			}
+		}()
 		logf("metrics on http://%s/metrics", admin.Addr())
 	}
 	logf("root listening on %s for %d ISPs (regions %v)", srv.Addr(), isps, assign)

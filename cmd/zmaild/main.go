@@ -107,7 +107,9 @@ func (d *daemon) Close() {
 	d.stopCkpt()
 	d.saveState()
 	if d.admin != nil {
-		_ = d.admin.Close()
+		if err := d.admin.Close(); err != nil {
+			d.logf("metrics server close: %v", err)
+		}
 	}
 	d.node.Close()
 }

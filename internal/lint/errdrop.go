@@ -6,12 +6,15 @@ import (
 )
 
 // ErrDrop returns the discarded-error pass. The persistence layer
-// (atomic state files), the wire codec, and the crypto layer (sealed
-// boxes, nonce source) are exactly the APIs whose errors must never be
-// dropped: a swallowed SaveJSON error silently loses the durable
-// ledger, a swallowed UnmarshalBinary error silently desyncs a
-// handshake, a swallowed Seal/Next error silently disables replay
-// protection. The pass flags, anywhere in the tree:
+// (atomic state files), the wire codec, the crypto layer (sealed
+// boxes, nonce source), the load generator (ParseProm and the scrape
+// helpers), and the observability endpoints are exactly the APIs whose
+// errors must never be dropped: a swallowed SaveJSON error silently
+// loses the durable ledger, a swallowed UnmarshalBinary error silently
+// desyncs a handshake, a swallowed Seal/Next error silently disables
+// replay protection, and a swallowed ParseProm/scrape error silently
+// reports a load run against metrics that were never read. The pass
+// flags, anywhere in the tree:
 //
 //   - a call to one of those packages' functions or methods used as a
 //     bare statement (including `defer` and `go`) when it returns an

@@ -245,6 +245,8 @@ func DefaultConfig() Config {
 			"zmail/internal/persist",
 			"zmail/internal/wire",
 			"zmail/internal/crypto",
+			"zmail/internal/load",
+			"zmail/internal/obsv",
 		},
 		LedgerFields: []string{"balance", "credit", "avail", "account"},
 		MoneyflowPkgs: []string{
