@@ -28,36 +28,39 @@ race:
 
 # Ledger and control-plane benchmarks, serial vs parallel.
 bench:
-	$(GO) test -run xxx -bench 'EngineSend|WorldStep|ISPSubmit|ISPReceive' -benchmem .
-	$(GO) test -run xxx -bench 'BuyHandling' -benchmem ./internal/bank/
+	$(GO) test -run xxx -bench 'EngineSend|EngineSubmitAsync|WorldStep|ISPSubmit|ISPReceive' -benchmem .
+	$(GO) test -run xxx -bench 'BuyHandling|BankBatchOrder' -benchmem ./internal/bank/
 
-# Record the hot-path and checkpoint/replay benchmarks as BENCH_6.json
-# (ns/op, B/op, allocs/op, plus the derived WAL-vs-JSON checkpoint
-# speedup, which must stay >= 10x).
+# Record the hot-path, batching, and checkpoint/replay benchmarks plus
+# a real-TCP zload run as BENCH_10.json (ns/op, B/op, allocs/op, the
+# derived WAL-vs-JSON checkpoint speedup, which must stay >= 10x, and
+# the derived async-admission speedup, which must stay >= 2x).
 bench-record:
-	{ $(GO) test -run xxx -bench 'EngineSend|WorldStep|ISPSubmit|ISPReceive' -benchmem . && \
-	  $(GO) test -run xxx -bench 'BuyHandling' -benchmem ./internal/bank/ && \
-	  $(GO) test -run xxx -bench 'WALCheckpoint|WALReplay' -benchmem ./internal/isp/ ; } \
-		| $(GO) run ./cmd/benchjson -out BENCH_6.json
-	cat BENCH_6.json
 	$(GO) run ./cmd/zload -isps 2 -regions 2 -users-per-isp 8 \
 		-rate 200 -duration 5s -workers 8 -zipf-s 1.2 \
 		-remote-frac 0.5 -list-frac 0.1 -list-size 4 -seed 1 \
 		-json /tmp/zload_report.json
-	{ $(GO) test -run xxx -bench 'EngineSend|ISPSubmit|ISPReceive' -benchmem . ; } \
-		| $(GO) run ./cmd/benchjson -cluster /tmp/zload_report.json -out BENCH_7.json
-	cat BENCH_7.json
+	{ $(GO) test -run xxx -bench 'EngineSend|EngineSubmitAsync|WorldStep|ISPSubmit|ISPReceive' -benchmem . && \
+	  $(GO) test -run xxx -bench 'BuyHandling|BankBatchOrder' -benchmem ./internal/bank/ && \
+	  $(GO) test -run xxx -bench 'WALCheckpoint|WALReplay' -benchmem ./internal/isp/ ; } \
+		| $(GO) run ./cmd/benchjson -cluster /tmp/zload_report.json -out BENCH_10.json
+	cat BENCH_10.json
 
 # Perf-trajectory gate (ROADMAP "perf trajectory as a first-class
 # artifact"): the current bench record must hold the named hot paths
-# within 10% ns/op of its committed predecessor. Update BENCH_PREV and
+# within 10% ns/op of its committed predecessor, carry the hot paths
+# this PR introduced (BENCH_NEW_HOT may be absent from the predecessor),
+# and show the async admission path >= 2x cheaper than the synchronous
+# commit it replaced on the SMTP accept path. Update BENCH_PREV and
 # BENCH_CURR when a PR records a new BENCH_<n>.json.
-BENCH_PREV = BENCH_6.json
-BENCH_CURR = BENCH_7.json
-BENCH_HOT  = ISPSubmitLocal,ISPSubmitPaidRemote,ISPReceiveRemote,EngineSend,EngineSendParallel
+BENCH_PREV    = BENCH_7.json
+BENCH_CURR    = BENCH_10.json
+BENCH_HOT     = ISPSubmitLocal,ISPSubmitPaidRemote,ISPReceiveRemote,EngineSend,EngineSendParallel
+BENCH_NEW_HOT = EngineSubmitAsync,BankBatchOrder
 bench-compare:
 	$(GO) run ./cmd/benchjson -old $(BENCH_PREV) -new $(BENCH_CURR) \
-		-hot $(BENCH_HOT) -max-regress 10
+		-hot $(BENCH_HOT) -new-hot $(BENCH_NEW_HOT) \
+		-max-regress 10 -min-admission-speedup 2
 
 # Seeded experiment output must be bit-identical run to run.
 determinism:

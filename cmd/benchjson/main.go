@@ -8,7 +8,12 @@
 // The trailing -N GOMAXPROCS suffix is stripped so records are
 // comparable across machines. When both WAL checkpoint benchmarks are
 // present, a derived speedup ratio (whole-state JSON ns/op over WAL
-// ns/op) is included — the PR-6 acceptance number.
+// ns/op) is included — the PR-6 acceptance number. Likewise, when both
+// EngineSend and EngineSubmitAsync are present, the derived
+// admissionSpeedupVsSync ratio (synchronous commit ns/op over async
+// admission ns/op) records how far the mempool queue moved the SMTP
+// accept path off the ledger commit — the PR-10 acceptance number,
+// gated in compare mode by -min-admission-speedup.
 //
 // -cluster embeds a cmd/zload JSON report verbatim under the "cluster"
 // key, so a single record carries both the microbenchmarks and the
@@ -20,7 +25,10 @@
 // for every benchmark the records share and exits nonzero when a
 // benchmark named in -hot regressed by more than -max-regress percent,
 // or is missing from either record — a gate that silently loses a hot
-// path has gone blind, which is itself a failure.
+// path has gone blind, which is itself a failure. Names in -new-hot
+// must be present in the new record but are allowed to be absent from
+// the old one (they gate like -hot once both records carry them) — the
+// on-ramp for hot paths introduced by the current PR.
 package main
 
 import (
@@ -56,11 +64,13 @@ func main() {
 	oldPath := flag.String("old", "", "previous bench record (compare mode)")
 	newPath := flag.String("new", "", "current bench record (compare mode)")
 	hot := flag.String("hot", "", "comma-separated benchmark names gated in compare mode")
+	newHot := flag.String("new-hot", "", "hot benchmark names that may be absent from the -old record")
 	maxRegress := flag.Float64("max-regress", 10, "max tolerated ns/op regression percent for -hot benchmarks")
+	minAdmission := flag.Float64("min-admission-speedup", 0, "minimum derived admissionSpeedupVsSync the -new record must carry (0 disables)")
 	flag.Parse()
 	var err error
 	if *oldPath != "" || *newPath != "" {
-		err = compare(os.Stdout, *oldPath, *newPath, *hot, *maxRegress)
+		err = compare(os.Stdout, *oldPath, *newPath, *hot, *newHot, *maxRegress, *minAdmission)
 	} else {
 		err = run(os.Stdin, *out, *cluster)
 	}
@@ -94,8 +104,15 @@ func run(in io.Reader, out, cluster string) error {
 		}
 		rec.Cluster = json.RawMessage(raw)
 	}
+	rec.Derived = make(map[string]float64)
 	if ratio, ok := checkpointSpeedup(rec.Benchmarks); ok {
-		rec.Derived = map[string]float64{"walCheckpointSpeedupVsJSON": ratio}
+		rec.Derived["walCheckpointSpeedupVsJSON"] = ratio
+	}
+	if ratio, ok := admissionSpeedup(rec.Benchmarks); ok {
+		rec.Derived["admissionSpeedupVsSync"] = ratio
+	}
+	if len(rec.Derived) == 0 {
+		rec.Derived = nil
 	}
 	data, err := json.MarshalIndent(&rec, "", "  ")
 	if err != nil {
@@ -151,8 +168,11 @@ func parseLine(line string) (benchResult, bool) {
 // compare prints the ns/op trajectory between two bench records and
 // fails on hot-path regressions beyond maxRegress percent. Hot names
 // missing from either record fail too: a benchmark that vanished
-// cannot be proven non-regressed.
-func compare(w io.Writer, oldPath, newPath, hot string, maxRegress float64) error {
+// cannot be proven non-regressed. Names in newHot must exist in the
+// new record but may be absent from the old one (a hot path this PR
+// introduced); when minAdmission > 0 the new record must carry a
+// derived admissionSpeedupVsSync of at least that ratio.
+func compare(w io.Writer, oldPath, newPath, hot, newHot string, maxRegress, minAdmission float64) error {
 	if oldPath == "" || newPath == "" {
 		return fmt.Errorf("compare mode needs both -old and -new")
 	}
@@ -168,11 +188,19 @@ func compare(w io.Writer, oldPath, newPath, hot string, maxRegress float64) erro
 	for _, b := range oldRec.Benchmarks {
 		oldNs[b.Name] = b.NsPerOp
 	}
-	hotSet := make(map[string]bool)
-	for _, name := range strings.Split(hot, ",") {
-		if name = strings.TrimSpace(name); name != "" {
-			hotSet[name] = true
+	splitNames := func(list string, into map[string]bool) {
+		for _, name := range strings.Split(list, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				into[name] = true
+			}
 		}
+	}
+	hotSet := make(map[string]bool)
+	splitNames(hot, hotSet)
+	newHotSet := make(map[string]bool)
+	splitNames(newHot, newHotSet)
+	for name := range newHotSet {
+		hotSet[name] = true
 	}
 
 	fmt.Fprintf(w, "bench trajectory: %s -> %s (hot paths gate at +%g%% ns/op)\n", oldPath, newPath, maxRegress)
@@ -199,8 +227,19 @@ func compare(w io.Writer, oldPath, newPath, hot string, maxRegress float64) erro
 		if !seen[name] {
 			failures = append(failures, fmt.Sprintf("%s is named in -hot but absent from %s", name, newPath))
 		}
-		if _, ok := oldNs[name]; !ok {
+		if _, ok := oldNs[name]; !ok && !newHotSet[name] {
 			failures = append(failures, fmt.Sprintf("%s is named in -hot but absent from %s", name, oldPath))
+		}
+	}
+	if minAdmission > 0 {
+		ratio, ok := newRec.Derived["admissionSpeedupVsSync"]
+		switch {
+		case !ok:
+			failures = append(failures, fmt.Sprintf("admissionSpeedupVsSync is absent from %s (need >= %gx)", newPath, minAdmission))
+		case ratio < minAdmission:
+			failures = append(failures, fmt.Sprintf("admissionSpeedupVsSync %.2fx is below the %gx gate", ratio, minAdmission))
+		default:
+			fmt.Fprintf(w, "  admission speedup vs sync submit: %.2fx (gate >= %gx)\n", ratio, minAdmission)
 		}
 	}
 	if len(failures) > 0 {
@@ -241,4 +280,24 @@ func checkpointSpeedup(bs []benchResult) (float64, bool) {
 		return 0, false
 	}
 	return jsonNs / walNs, true
+}
+
+// admissionSpeedup derives the PR-10 acceptance ratio — how much
+// cheaper async admission (mempool enqueue) is than a synchronous
+// ledger commit on the SMTP accept path — when both benchmarks are
+// present.
+func admissionSpeedup(bs []benchResult) (float64, bool) {
+	var syncNs, asyncNs float64
+	for _, b := range bs {
+		switch b.Name {
+		case "EngineSend":
+			syncNs = b.NsPerOp
+		case "EngineSubmitAsync":
+			asyncNs = b.NsPerOp
+		}
+	}
+	if syncNs == 0 || asyncNs == 0 {
+		return 0, false
+	}
+	return syncNs / asyncNs, true
 }

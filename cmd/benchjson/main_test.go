@@ -10,6 +10,7 @@ import (
 
 const benchOutput = `goos: linux
 BenchmarkEngineSend-8   	 1000000	      1100 ns/op	     512 B/op	       7 allocs/op
+BenchmarkEngineSubmitAsync-8   	 4000000	       275 ns/op	     128 B/op	       3 allocs/op
 BenchmarkWALCheckpointJSON100k-8	      10	 120000000 ns/op
 BenchmarkWALCheckpointWAL100k-8 	    1000	   1000000 ns/op
 PASS
@@ -35,14 +36,17 @@ func TestRunEmbedsClusterReport(t *testing.T) {
 	if err := json.Unmarshal(raw, &rec); err != nil {
 		t.Fatalf("record is not valid JSON: %v\n%s", err, raw)
 	}
-	if len(rec.Benchmarks) != 3 {
-		t.Fatalf("parsed %d benchmarks, want 3", len(rec.Benchmarks))
+	if len(rec.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(rec.Benchmarks))
 	}
 	if rec.Benchmarks[0].Name != "EngineSend" {
 		t.Fatalf("GOMAXPROCS suffix not stripped: %q", rec.Benchmarks[0].Name)
 	}
 	if got := rec.Derived["walCheckpointSpeedupVsJSON"]; got != 120 {
-		t.Fatalf("derived speedup = %v, want 120", got)
+		t.Fatalf("derived checkpoint speedup = %v, want 120", got)
+	}
+	if got := rec.Derived["admissionSpeedupVsSync"]; got != 4 {
+		t.Fatalf("derived admission speedup = %v, want 4", got)
 	}
 	var embedded struct {
 		Offered      int64   `json:"offered"`
@@ -109,7 +113,7 @@ func TestCompareGate(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			newP := writeRecord(t, dir, "new.json", tc.newNs)
 			var buf strings.Builder
-			err := compare(&buf, oldP, newP, tc.hot, 10)
+			err := compare(&buf, oldP, newP, tc.hot, "", 10, 0)
 			if tc.wantSub == "" {
 				if err != nil {
 					t.Fatalf("gate failed: %v\n%s", err, buf.String())
@@ -127,17 +131,101 @@ func TestCompareRejectsBadInputs(t *testing.T) {
 	dir := t.TempDir()
 	good := writeRecord(t, dir, "good.json", map[string]float64{"Hot": 1})
 	var buf strings.Builder
-	if err := compare(&buf, "", good, "", 10); err == nil {
+	if err := compare(&buf, "", good, "", "", 10, 0); err == nil {
 		t.Error("missing -old accepted")
 	}
-	if err := compare(&buf, good, filepath.Join(dir, "missing.json"), "", 10); err == nil {
+	if err := compare(&buf, good, filepath.Join(dir, "missing.json"), "", "", 10, 0); err == nil {
 		t.Error("missing -new file accepted")
 	}
 	empty := filepath.Join(dir, "empty.json")
 	if err := os.WriteFile(empty, []byte(`{"benchmarks":[]}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := compare(&buf, good, empty, "", 10); err == nil {
+	if err := compare(&buf, good, empty, "", "", 10, 0); err == nil {
 		t.Error("record with no benchmarks accepted")
+	}
+}
+
+// TestCompareNewHot covers the on-ramp for hot paths introduced by the
+// current PR: -new-hot names must exist in the new record, may be
+// absent from the old one, and regression-gate normally once both
+// records carry them.
+func TestCompareNewHot(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeRecord(t, dir, "old.json", map[string]float64{"Hot": 1000})
+	for _, tc := range []struct {
+		name    string
+		newNs   map[string]float64
+		newHot  string
+		wantSub string
+	}{
+		{"absent from old passes", map[string]float64{"Hot": 1000, "Fresh": 5}, "Fresh", ""},
+		{"absent from new fails", map[string]float64{"Hot": 1000}, "Fresh", "absent from"},
+		{"regression still gates", map[string]float64{"Hot": 1500}, "Hot", "Hot regressed 50.0%"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			newP := writeRecord(t, dir, "new.json", tc.newNs)
+			var buf strings.Builder
+			err := compare(&buf, oldP, newP, "", tc.newHot, 10, 0)
+			if tc.wantSub == "" {
+				if err != nil {
+					t.Fatalf("gate failed: %v\n%s", err, buf.String())
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("gate error = %v, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// writeRecordDerived is writeRecord plus a derived-metrics map.
+func writeRecordDerived(t *testing.T, dir, name string, ns, derived map[string]float64) string {
+	t.Helper()
+	rec := record{GeneratedBy: "test", Derived: derived}
+	for bench, v := range ns {
+		rec.Benchmarks = append(rec.Benchmarks, benchResult{Name: bench, Iterations: 1, NsPerOp: v})
+	}
+	raw, err := json.Marshal(&rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareAdmissionSpeedupGate(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeRecord(t, dir, "old.json", map[string]float64{"Hot": 1000})
+	ns := map[string]float64{"Hot": 1000}
+	for _, tc := range []struct {
+		name    string
+		derived map[string]float64
+		min     float64
+		wantSub string
+	}{
+		{"above gate passes", map[string]float64{"admissionSpeedupVsSync": 3.1}, 2, ""},
+		{"below gate fails", map[string]float64{"admissionSpeedupVsSync": 1.4}, 2, "below the 2x gate"},
+		{"absent fails", nil, 2, "absent from"},
+		{"gate disabled ignores", nil, 0, ""},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			newP := writeRecordDerived(t, dir, "new.json", ns, tc.derived)
+			var buf strings.Builder
+			err := compare(&buf, oldP, newP, "", "", 10, tc.min)
+			if tc.wantSub == "" {
+				if err != nil {
+					t.Fatalf("gate failed: %v\n%s", err, buf.String())
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("gate error = %v, want substring %q", err, tc.wantSub)
+			}
+		})
 	}
 }

@@ -123,6 +123,8 @@ func run(args []string) error {
 		funds      = fs.Int64("funds", 1_000_000, "initial real-penny account per compliant ISP")
 		auditEvery = fs.Duration("audit-every", 0, "run credit audits on this interval (0 = manual only)")
 		insecure   = fs.Bool("insecure", false, "use plaintext sealers (local experiments only)")
+		settle     = fs.Bool("settle", false, "move real money between ISP accounts after each verified audit round")
+		groupNet   = fs.Bool("group-settle", false, "net each round's settlement multilaterally (implies -settle)")
 		stateFile  = fs.String("state", "", "durable ledger file; loaded at start, saved after audits and on shutdown")
 		walDir     = fs.String("wal", "", "write-ahead-log directory; every mutation is logged and boot replays the log (excludes -state)")
 		metricsAd  = fs.String("metrics", "", "admin telemetry listen address (loopback only!), e.g. 127.0.0.1:7071")
@@ -166,6 +168,9 @@ func run(args []string) error {
 		}
 		if *walDir != "" || *stateFile != "" || *auditEvery != 0 {
 			return usagef("-wal/-state/-audit-every do not apply to -role root (the root holds no ledger and audits when the leaves report)")
+		}
+		if *settle || *groupNet {
+			return usagef("-settle/-group-settle do not apply to -role root (the root holds no accounts)")
 		}
 	default:
 		return usagef("unknown -role %q (want central, leaf, or root)", *role)
@@ -212,6 +217,8 @@ func run(args []string) error {
 		Compliant:      compliantMask,
 		InitialAccount: money.Penny(*funds),
 		OwnSealer:      ownSealer,
+		SettleOnVerify: *settle || *groupNet,
+		GroupSettle:    *groupNet,
 		Tracer:         trace.New("bank", -1, clock.System(), ring),
 	}, *listen, logf)
 	if err != nil {

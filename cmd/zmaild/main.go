@@ -180,6 +180,9 @@ func boot(args []string) (*daemon, error) {
 		metricsAd = fs.String("metrics", "", "admin telemetry listen address (loopback only!), e.g. 127.0.0.1:7070")
 		stateFile = fs.String("state", "", "durable ledger file; loaded at start, saved on shutdown and every 5m")
 		walDir    = fs.String("wal", "", "write-ahead-log directory; every mutation is logged and boot replays the log (excludes -state)")
+		batchOrd  = fs.Bool("batch-orders", false, "coalesce bank buy/sell into one batch order per tick")
+		queueDep  = fs.Int("queue-depth", 0, "admission queue depth; >0 decouples SMTP accept latency from ledger commit")
+		queueWrk  = fs.Int("queue-workers", 0, "admission queue drain workers (0 = default, with -queue-depth)")
 	)
 	fs.Var(&users, "user", "local:accountPennies:balanceEPennies:dailyLimit; repeatable")
 	fs.Var(&peers, "peer", "index=host:port of a peer ISP; repeatable")
@@ -320,19 +323,29 @@ func boot(args []string) (*daemon, error) {
 			OwnSealer:      ownSealer,
 			Clock:          clk,
 			Tracer:         tracer,
+			BatchOrders:    *batchOrd,
 		},
-		ListenAddr: *listen,
-		BankAddr:   *bankAddr,
-		Peers:      peerMap,
-		AdminAddr:  *admin,
-		Mailbox:    mailbox,
-		Logf:       d.logf,
+		ListenAddr:   *listen,
+		BankAddr:     *bankAddr,
+		Peers:        peerMap,
+		AdminAddr:    *admin,
+		Mailbox:      mailbox,
+		Logf:         d.logf,
+		Queue:        *queueDep > 0,
+		QueueDepth:   *queueDep,
+		QueueWorkers: *queueWrk,
 	})
 	if err != nil {
 		return nil, err
 	}
 	d.node = node
 	d.reg.Register(node.Engine())
+	if *queueDep > 0 {
+		d.logf("admission queue enabled (depth %d, workers %d)", *queueDep, *queueWrk)
+	}
+	if *batchOrd {
+		d.logf("coalesced bank orders enabled")
+	}
 
 	if *walDir != "" {
 		eng := node.Engine()

@@ -36,7 +36,7 @@ func main() {
 	dist, err := zmail.NewDistributor(zmail.DistributorConfig{
 		Address: listAddr,
 		Submit: func(msg *zmail.Message) error {
-			_, err := w.Engine(0).Submit(msg)
+			_, err := w.Engine(0).SubmitSync(msg)
 			return err
 		},
 		PruneAfter: 2,

@@ -45,6 +45,12 @@ type Config struct {
 	// verified audit round, backing the period's e-penny flows (see
 	// settlement.go).
 	SettleOnVerify bool
+	// GroupSettle switches settlement from pairwise transfers to
+	// multilateral netting: each ISP's positions against every verified
+	// counterparty collapse into one net balance, and debtors pay
+	// creditors in a deterministic sweep (see settleNetLocked). Fewer,
+	// larger transfers per audit round; conservation is identical.
+	GroupSettle bool
 	// SettleRate is real pennies per e-penny for settlement; zero
 	// selects the nominal 1:1 rate.
 	SettleRate money.Penny
@@ -78,16 +84,21 @@ func (v Violation) String() string {
 
 // Stats is a snapshot of bank counters.
 type Stats struct {
-	BuysAccepted  int64
-	BuysDenied    int64
-	Sells         int64
-	Minted        int64
-	Burned        int64
-	Replays       int64
-	Rounds        int64
-	RoundsAborted int64
-	ControlMsgs   int64 // total control messages processed (E5 metric)
-	ViolationsAll int64
+	BuysAccepted int64
+	BuysDenied   int64
+	Sells        int64
+	// Batch-order counters: one BatchOrders tick per coalesced
+	// buy+sell processed; BatchPartialFills counts orders whose buy
+	// side was only partly covered by the ISP's account.
+	BatchOrders       int64
+	BatchPartialFills int64
+	Minted            int64
+	Burned            int64
+	Replays           int64
+	Rounds            int64
+	RoundsAborted     int64
+	ControlMsgs       int64 // total control messages processed (E5 metric)
+	ViolationsAll     int64
 
 	// Settlement counters (see settlement.go).
 	SettledPennies       int64
@@ -346,6 +357,57 @@ func (b *Bank) handleLocked(env *wire.Envelope) error {
 		b.emitq = append(b.emitq, func() { b.cfg.Transport.SendISP(g, reply) })
 		return nil
 
+	case wire.KindBatchOrder:
+		var m wire.BatchOrder
+		if err := m.UnmarshalBinary(plain); err != nil {
+			return err
+		}
+		if b.seenNonces[m.Nonce] {
+			b.stats.Replays++
+			return ErrReplay
+		}
+		b.seenNonces[m.Nonce] = true
+		if m.Buy < 0 || m.Sell < 0 || (m.Buy == 0 && m.Sell == 0) {
+			// Durable replay protection even for a malformed order.
+			b.walNonce(m.Nonce)
+			return errors.New("bank: batch order with no positive side")
+		}
+		// Buy side fills up to the ISP's account — a partial fill, not
+		// the Buy message's all-or-nothing denial, so a thin account
+		// still restocks what it can afford in the same round trip.
+		fill := m.Buy
+		if avail := int64(b.account[g]); fill > avail {
+			fill = avail
+		}
+		if fill > 0 {
+			b.account[g] -= money.Penny(fill)
+			b.stats.Minted += fill
+			b.stats.BuysAccepted++
+			if fill < m.Buy {
+				b.stats.BatchPartialFills++
+			}
+			b.cfg.Tracer.Record(tid, "mint", fill, "accepted")
+		} else if m.Buy > 0 {
+			b.stats.BuysDenied++
+			b.cfg.Tracer.Record(tid, "mint", 0, "denied")
+		}
+		if m.Sell > 0 {
+			b.account[g] += money.Penny(m.Sell)
+			b.stats.Burned += m.Sell
+			b.stats.Sells++
+			b.cfg.Tracer.Record(tid, "burn", -m.Sell, "accepted")
+		}
+		b.stats.BatchOrders++
+		b.walBatch(m.Nonce, g, fill, m.Sell)
+		reply, err := b.sealTo(g, wire.KindBatchReply,
+			(&wire.BatchReply{Nonce: m.Nonce, BuyFilled: fill, SellBurned: m.Sell}).MarshalBinary())
+		if err != nil {
+			return err
+		}
+		reply.Trace = env.Trace
+		b.emitq = append(b.emitq, func() { b.cfg.Transport.SendISP(g, reply) })
+		return nil
+
 	case wire.KindReply:
 		var m wire.CreditReport
 		if err := m.UnmarshalBinary(plain); err != nil {
@@ -486,7 +548,11 @@ func (b *Bank) verifyLocked() {
 		}
 	}
 	if b.cfg.SettleOnVerify {
-		b.settleLocked(flagged)
+		if b.cfg.GroupSettle {
+			b.settleNetLocked(flagged)
+		} else {
+			b.settleLocked(flagged)
+		}
 	}
 	for i := range b.verify {
 		for j := range b.verify[i] {

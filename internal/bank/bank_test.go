@@ -53,6 +53,11 @@ func sellEnv(from int32, value int64, nonce uint64) *wire.Envelope {
 		Payload: (&wire.Sell{Value: value, Nonce: nonce}).MarshalBinary()}
 }
 
+func batchEnv(from int32, buy, sell int64, nonce uint64) *wire.Envelope {
+	return &wire.Envelope{Kind: wire.KindBatchOrder, From: from,
+		Payload: (&wire.BatchOrder{Buy: buy, Sell: sell, Nonce: nonce}).MarshalBinary()}
+}
+
 func reportEnv(from int32, seq uint64, credits []int64) *wire.Envelope {
 	return &wire.Envelope{Kind: wire.KindReply, From: from,
 		Payload: (&wire.CreditReport{Seq: seq, Credits: credits}).MarshalBinary()}
@@ -151,6 +156,130 @@ func TestSellCredited(t *testing.T) {
 	_ = sr.UnmarshalBinary(ft.out[0][0].Payload)
 	if sr.Nonce != 7 {
 		t.Fatalf("reply nonce = %d", sr.Nonce)
+	}
+}
+
+func TestBatchOrderMintAndBurn(t *testing.T) {
+	b, ft := newBank(t, 1, nil)
+	if err := b.Handle(batchEnv(0, 300, 100, 5)); err != nil {
+		t.Fatal(err)
+	}
+	acct, _ := b.Account(0)
+	if acct != 1000-300+100 {
+		t.Fatalf("account = %v, want 800", acct)
+	}
+	st := b.Stats()
+	if st.Minted != 300 || st.Burned != 100 || st.BatchOrders != 1 ||
+		st.BuysAccepted != 1 || st.Sells != 1 || st.BatchPartialFills != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	replies := ft.out[0]
+	if len(replies) != 1 || replies[0].Kind != wire.KindBatchReply {
+		t.Fatalf("replies = %+v", replies)
+	}
+	var br wire.BatchReply
+	if err := br.UnmarshalBinary(replies[0].Payload); err != nil {
+		t.Fatal(err)
+	}
+	if br.Nonce != 5 || br.BuyFilled != 300 || br.SellBurned != 100 {
+		t.Fatalf("reply = %+v", br)
+	}
+}
+
+func TestBatchOrderPartialFill(t *testing.T) {
+	b, ft := newBank(t, 1, nil)
+	// The buy side exceeds the account: a Buy message would be denied
+	// outright, a batch order fills what the account covers.
+	if err := b.Handle(batchEnv(0, 5000, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	acct, _ := b.Account(0)
+	if acct != 0 {
+		t.Fatalf("account = %v, want 0", acct)
+	}
+	st := b.Stats()
+	if st.Minted != 1000 || st.BatchPartialFills != 1 || st.BuysAccepted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	var br wire.BatchReply
+	_ = br.UnmarshalBinary(ft.out[0][0].Payload)
+	if br.BuyFilled != 1000 || br.SellBurned != 0 {
+		t.Fatalf("reply = %+v", br)
+	}
+	// Account now empty: a further buy-only order fills zero (denied),
+	// but a sell side still burns.
+	if err := b.Handle(batchEnv(0, 10, 25, 2)); err != nil {
+		t.Fatal(err)
+	}
+	st = b.Stats()
+	if st.BuysDenied != 1 || st.Burned != 25 {
+		t.Fatalf("after empty-account order: %+v", st)
+	}
+}
+
+func TestBatchOrderReplay(t *testing.T) {
+	b, ft := newBank(t, 1, nil)
+	env := batchEnv(0, 100, 50, 9)
+	if err := b.Handle(env); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Handle(batchEnv(0, 100, 50, 9)); !errors.Is(err, ErrReplay) {
+		t.Fatalf("replayed batch: %v", err)
+	}
+	acct, _ := b.Account(0)
+	if acct != 1000-100+50 {
+		t.Fatal("replay applied twice")
+	}
+	if len(ft.out[0]) != 1 {
+		t.Fatal("replay generated a reply")
+	}
+	// Nonces are global across message types: a plain buy reusing a
+	// batch nonce is a replay too.
+	if err := b.Handle(buyEnv(0, 10, 9)); !errors.Is(err, ErrReplay) {
+		t.Fatalf("cross-type nonce reuse: %v", err)
+	}
+}
+
+func TestBatchOrderRejectsDegenerate(t *testing.T) {
+	b, ft := newBank(t, 1, nil)
+	if err := b.Handle(batchEnv(0, 0, 0, 1)); err == nil {
+		t.Fatal("empty order accepted")
+	}
+	if err := b.Handle(batchEnv(0, -5, 10, 2)); err == nil {
+		t.Fatal("negative buy accepted")
+	}
+	if err := b.Handle(batchEnv(0, 10, -5, 3)); err == nil {
+		t.Fatal("negative sell accepted")
+	}
+	acct, _ := b.Account(0)
+	if acct != 1000 || b.Stats().BatchOrders != 0 {
+		t.Fatal("degenerate order changed state")
+	}
+	if len(ft.out[0]) != 0 {
+		t.Fatal("degenerate order got a reply")
+	}
+	// The rejection still retired the nonce.
+	if err := b.Handle(batchEnv(0, 10, 10, 1)); !errors.Is(err, ErrReplay) {
+		t.Fatalf("nonce of rejected order reusable: %v", err)
+	}
+}
+
+func TestBatchOrderConservation(t *testing.T) {
+	b, _ := newBank(t, 2, nil)
+	initial := money.Penny(2 * 1000)
+	nonce := uint64(0)
+	next := func() uint64 { nonce++; return nonce }
+	for i := 0; i < 50; i++ {
+		_ = b.Handle(batchEnv(int32(i%2), int64(10+i), int64(5+i), next()))
+	}
+	var accounts money.Penny
+	for i := 0; i < 2; i++ {
+		a, _ := b.Account(i)
+		accounts += a
+	}
+	if accounts+money.Penny(b.Outstanding()) != initial {
+		t.Fatalf("conservation: accounts %v + outstanding %d != %v",
+			accounts, b.Outstanding(), initial)
 	}
 }
 

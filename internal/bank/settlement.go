@@ -77,6 +77,73 @@ func (b *Bank) settleLocked(flagged map[[2]int]bool) []Transfer {
 	return transfers
 }
 
+// settleNetLocked is the multilateral variant of settleLocked
+// (Config.GroupSettle): instead of one transfer per verified pair, each
+// ISP's pairwise nets collapse into a single signed position, and
+// debtors pay creditors in one deterministic sweep — both sides walked
+// in ascending index order, so the transfer list is a pure function of
+// the verify matrix. Flagged and non-compliant pairs are excluded from
+// the netting exactly as they are from pairwise settlement. Because a
+// pair contributes +net to one side and -net to the other, positions
+// sum to zero and account conservation is structural.
+//
+// Call with b.mu held, under the same contract as settleLocked.
+func (b *Bank) settleNetLocked(flagged map[[2]int]bool) []Transfer {
+	n := b.cfg.NumISPs
+	owes := make([]money.Penny, n) // >0: pays; <0: is owed
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !b.compliant[i] || !b.compliant[j] || flagged[[2]int{i, j}] {
+				continue
+			}
+			net := b.verify[j][i] // credit_i[j] as reported by isp[i]
+			if net == 0 {
+				continue
+			}
+			p := money.EPenny(net).ToPennies(b.cfg.SettleRate)
+			owes[i] += p
+			owes[j] -= p
+		}
+	}
+	// A debtor in arrears pays what its account holds: clamp its
+	// position up front (one shortfall event per broke debtor) so the
+	// sweep below never writes an account negative. The dropped excess
+	// simply leaves the matching creditors under-paid.
+	for i := 0; i < n; i++ {
+		if owes[i] > b.account[i] {
+			owes[i] = b.account[i]
+			b.stats.SettlementShortfalls++
+		}
+	}
+	var transfers []Transfer
+	payer, payee := 0, 0
+	for {
+		for payer < n && owes[payer] <= 0 {
+			payer++
+		}
+		for payee < n && owes[payee] >= 0 {
+			payee++
+		}
+		if payer >= n || payee >= n {
+			break
+		}
+		amount := owes[payer]
+		if due := -owes[payee]; due < amount {
+			amount = due
+		}
+		owes[payer] -= amount
+		owes[payee] += amount
+		b.account[payer] -= amount
+		b.account[payee] += amount
+		b.stats.SettledPennies += int64(amount)
+		b.stats.SettlementTransfers++
+		transfers = append(transfers, Transfer{From: payer, To: payee, Amount: amount})
+	}
+	b.lastTransfers = transfers
+	b.walSettle(transfers)
+	return transfers
+}
+
 // LastTransfers returns the settlement payments of the most recent
 // verified round (empty when settlement is disabled or nothing
 // netted).

@@ -9,6 +9,10 @@ import (
 )
 
 func newSettlingBank(t *testing.T, n int, funds money.Penny) (*Bank, *fakeTransport) {
+	return newSettlingBankMode(t, n, funds, false)
+}
+
+func newSettlingBankMode(t *testing.T, n int, funds money.Penny, group bool) (*Bank, *fakeTransport) {
 	t.Helper()
 	ft := newFake()
 	b, err := New(Config{
@@ -17,6 +21,7 @@ func newSettlingBank(t *testing.T, n int, funds money.Penny) (*Bank, *fakeTransp
 		Transport:      ft,
 		OwnSealer:      crypto.Null{},
 		SettleOnVerify: true,
+		GroupSettle:    group,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -143,6 +148,115 @@ func TestSettlementDisabledByDefault(t *testing.T) {
 	a0, _ := b.Account(0)
 	if a0 != 1000 {
 		t.Fatal("settlement ran while disabled")
+	}
+}
+
+func TestGroupSettleNetsTransfers(t *testing.T) {
+	b, _ := newSettlingBankMode(t, 3, 1000, true)
+	if err := b.StartSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Same honest round as TestSettlementMovesMoneyToNetReceivers:
+	// pairwise positions are 0→1: 5, 1→2: 7, 2→0: 2, netting to
+	// owes = [+3, +2, -5]. The multilateral sweep settles the round in
+	// two transfers (0→2: 3, 1→2: 2) instead of three, moving 5 pennies
+	// instead of 14, with identical final accounts.
+	_ = b.Handle(reportEnv(0, 0, []int64{0, 5, -2}))
+	_ = b.Handle(reportEnv(1, 0, []int64{-5, 0, 7}))
+	_ = b.Handle(reportEnv(2, 0, []int64{2, -7, 0}))
+	if !b.RoundComplete() {
+		t.Fatal("round incomplete")
+	}
+	wantAccounts := []money.Penny{997, 998, 1005}
+	for i, want := range wantAccounts {
+		got, _ := b.Account(i)
+		if got != want {
+			t.Errorf("account[%d] = %v, want %v", i, got, want)
+		}
+	}
+	transfers := b.LastTransfers()
+	want := []Transfer{{From: 0, To: 2, Amount: 3}, {From: 1, To: 2, Amount: 2}}
+	if len(transfers) != len(want) || transfers[0] != want[0] || transfers[1] != want[1] {
+		t.Fatalf("transfers = %v, want %v", transfers, want)
+	}
+	st := b.Stats()
+	if st.SettledPennies != 5 || st.SettlementTransfers != 2 || st.SettlementShortfalls != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGroupSettleConservesTotalMoney(t *testing.T) {
+	f := func(a, bb, c int16) bool {
+		bk, _ := newSettlingBankMode(t, 3, 100_000, true)
+		before := bk.TotalAccounts()
+		if err := bk.StartSnapshot(); err != nil {
+			return false
+		}
+		x, y, z := int64(a%1000), int64(bb%1000), int64(c%1000)
+		_ = bk.Handle(reportEnv(0, 0, []int64{0, x, -z}))
+		_ = bk.Handle(reportEnv(1, 0, []int64{-x, 0, y}))
+		_ = bk.Handle(reportEnv(2, 0, []int64{z, -y, 0}))
+		return bk.RoundComplete() && bk.TotalAccounts() == before && len(bk.Violations()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupSettleMatchesPairwiseAccounts(t *testing.T) {
+	// Netting changes the transfer list, never the final accounts: both
+	// modes must land every ISP on the same balance for honest rounds.
+	f := func(a, bb, c int16) bool {
+		x, y, z := int64(a%1000), int64(bb%1000), int64(c%1000)
+		run := func(group bool) []money.Penny {
+			bk, _ := newSettlingBankMode(t, 3, 100_000, group)
+			if err := bk.StartSnapshot(); err != nil {
+				return nil
+			}
+			_ = bk.Handle(reportEnv(0, 0, []int64{0, x, -z}))
+			_ = bk.Handle(reportEnv(1, 0, []int64{-x, 0, y}))
+			_ = bk.Handle(reportEnv(2, 0, []int64{z, -y, 0}))
+			out := make([]money.Penny, 3)
+			for i := range out {
+				out[i], _ = bk.Account(i)
+			}
+			return out
+		}
+		pair, net := run(false), run(true)
+		return pair != nil && net != nil && pair[0] == net[0] && pair[1] == net[1] && pair[2] == net[2]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupSettleShortfall(t *testing.T) {
+	b, _ := newSettlingBankMode(t, 2, 3, true) // isp0 can only cover 3 of 10
+	_ = b.StartSnapshot()
+	_ = b.Handle(reportEnv(0, 0, []int64{0, 10}))
+	_ = b.Handle(reportEnv(1, 0, []int64{-10, 0}))
+	a0, _ := b.Account(0)
+	a1, _ := b.Account(1)
+	if a0 != 0 || a1 != 6 {
+		t.Fatalf("shortfall accounts = %v/%v, want 0/6", a0, a1)
+	}
+	if b.Stats().SettlementShortfalls != 1 {
+		t.Fatal("shortfall not counted")
+	}
+}
+
+func TestGroupSettleSkipsFlaggedPairs(t *testing.T) {
+	b, _ := newSettlingBankMode(t, 2, 1000, true)
+	_ = b.StartSnapshot()
+	_ = b.Handle(reportEnv(0, 0, []int64{0, 10}))
+	_ = b.Handle(reportEnv(1, 0, []int64{-3, 0}))
+	if len(b.Violations()) != 1 {
+		t.Fatal("pair not flagged")
+	}
+	a0, _ := b.Account(0)
+	a1, _ := b.Account(1)
+	if a0 != 1000 || a1 != 1000 {
+		t.Fatalf("flagged pair netted anyway: %v/%v", a0, a1)
 	}
 }
 

@@ -40,6 +40,15 @@ func driveBankWorkload(t *testing.T, b *Bank) {
 	if err := b.Deposit(1, 25); err != nil {
 		t.Fatal(err)
 	}
+	if err := b.Handle(batchEnv(0, 100, 40, 5)); err != nil { // coalesced mint+burn
+		t.Fatal(err)
+	}
+	if err := b.Handle(batchEnv(1, 5000, 0, 6)); err != nil { // partial fill
+		t.Fatal(err)
+	}
+	if err := b.Handle(batchEnv(0, 0, 0, 7)); err == nil { // rejected, nonce retired
+		t.Fatal("empty batch order accepted")
+	}
 	// Round 1 verifies with a violation: isp0 claims +3 against isp1,
 	// isp1 claims only -2 back.
 	if err := b.StartSnapshot(); err != nil {

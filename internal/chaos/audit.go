@@ -151,3 +151,16 @@ func (a *Auditor) CheckNonceCounter(label string, before, after uint32) {
 func (a *Auditor) CheckSnapshotExact(label string, sum, want int64) {
 	a.Checkf(sum == want, "snapshot-exact@"+label, "round credit sum=%d want=%d", sum, want)
 }
+
+// CheckDrainCrash reconciles a crash that landed while admission-queue
+// drain workers were mid-commit. Two bounds pin the loss window: every
+// commit acknowledged before the crash is write-through in the WAL and
+// must survive replay (acked <= recovered), and replay can never invent
+// a commit that was not admitted (recovered <= admitted). Everything in
+// between — admitted-but-uncommitted messages plus at most one
+// in-flight commit per worker — is volatile by design and charged
+// nobody, which CheckConservation verifies alongside this check.
+func (a *Auditor) CheckDrainCrash(label string, acked, admitted, recovered int64) {
+	a.Checkf(acked <= recovered && recovered <= admitted, "drain-crash@"+label,
+		"recovered=%d commits, want within [acked=%d, admitted=%d]", recovered, acked, admitted)
+}

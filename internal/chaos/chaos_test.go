@@ -76,6 +76,7 @@ func TestAuditorReportDeterministicAndComplete(t *testing.T) {
 		a.CheckReplayRejected("bank buy", errors.New("wrapped: no"), errors.New("no"))
 		a.CheckNonceCounter("isp[1]", 10, 12)
 		a.CheckSnapshotExact("final", 0, 0)
+		a.CheckDrainCrash("isp[0]", 3, 8, 5)
 		a.Notef("2 mail drops during partition window")
 		return a
 	}
@@ -90,7 +91,7 @@ func TestAuditorReportDeterministicAndComplete(t *testing.T) {
 		t.Fatalf("violations = %+v", v)
 	}
 	rep := a.Report()
-	if !strings.Contains(rep, "6 checks, 1 violations") ||
+	if !strings.Contains(rep, "7 checks, 1 violations") ||
 		!strings.Contains(rep, "note 2 mail drops") {
 		t.Fatalf("report rendering:\n%s", rep)
 	}
@@ -104,6 +105,20 @@ func TestCheckAntisymmetryFlagsUnexplainedPairs(t *testing.T) {
 	a.CheckAntisymmetry("r", nil, map[[2]int]int64{{1, 2}: 1})
 	if len(a.Violations()) != 2 {
 		t.Fatalf("violations = %+v", a.Violations())
+	}
+}
+
+func TestCheckDrainCrashBounds(t *testing.T) {
+	a := NewAuditor()
+	a.CheckDrainCrash("ok", 3, 8, 5)
+	a.CheckDrainCrash("exact", 4, 4, 4)
+	a.CheckDrainCrash("lost-ack", 4, 8, 3) // an acked commit vanished in replay
+	a.CheckDrainCrash("invented", 0, 2, 3) // replay produced a commit never admitted
+	v := a.Violations()
+	if len(v) != 2 ||
+		!strings.Contains(v[0].Name, "lost-ack") ||
+		!strings.Contains(v[1].Name, "invented") {
+		t.Fatalf("violations = %+v", v)
 	}
 }
 

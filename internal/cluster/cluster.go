@@ -74,6 +74,17 @@ type Config struct {
 	// TickInterval is the pool-maintenance cadence (default 50ms).
 	TickInterval time.Duration
 
+	// BatchOrders has every ISP coalesce its bank buy/sell traffic into
+	// sealed wire.BatchOrder round trips (partial-fill replies).
+	BatchOrders bool
+	// Queue starts each ISP's admission queue so SMTP DATA returns at
+	// admission; QueueDepth/QueueWorkers tune it (zero = defaults).
+	Queue                    bool
+	QueueDepth, QueueWorkers int
+	// GroupSettle enables settlement at every (leaf) bank with
+	// multilateral netting per verified audit round.
+	GroupSettle bool
+
 	// WALDir, when set, gives every daemon a write-ahead log under
 	// WALDir/ispN and WALDir/bankR; RestartISP then proves recovery.
 	WALDir string
@@ -353,6 +364,8 @@ func (c *Cluster) bootBank(r int) (*BankDaemon, error) {
 		Compliant:      compliant,
 		InitialAccount: cfg.Funds,
 		OwnSealer:      crypto.Null{},
+		SettleOnVerify: cfg.GroupSettle,
+		GroupSettle:    cfg.GroupSettle,
 	}, "127.0.0.1:0", cfg.Logf)
 	if err != nil {
 		return bd, err
@@ -436,10 +449,14 @@ func (c *Cluster) startISP(d *ISP) error {
 			OwnSealer:      crypto.Null{},
 			Clock:          clk,
 			Tracer:         tracer,
+			BatchOrders:    cfg.BatchOrders,
 		},
 		ListenAddr:   "127.0.0.1:0",
 		BankAddr:     c.banks[c.assign[d.Index]].Addr(),
 		TickInterval: cfg.TickInterval,
+		Queue:        cfg.Queue,
+		QueueDepth:   cfg.QueueDepth,
+		QueueWorkers: cfg.QueueWorkers,
 		Mailbox: func(user string, msg *mail.Message) {
 			d.delivered.Add(1)
 		},

@@ -126,6 +126,68 @@ func TestClusterFederationEndToEnd(t *testing.T) {
 	waitOr(t, "conservation after audit", c.Conserved)
 }
 
+// TestClusterBatchedFederation boots the batch-first federation: every
+// ISP runs the admission queue (SMTP DATA returns at admission) and
+// coalesced bank orders, and the bank settles verified rounds with
+// multilateral netting. Paid mail flows, pools restock through
+// BatchOrder round trips, audits verify, settlement moves real money,
+// and conservation holds throughout.
+func TestClusterBatchedFederation(t *testing.T) {
+	c := newTestCluster(t, Config{
+		ISPs: 2, Regions: 1,
+		BatchOrders: true,
+		Queue:       true, QueueDepth: 64, QueueWorkers: 2,
+		GroupSettle: true,
+		// Registration funds user balances from the pool (4 × 200), so a
+		// 1500-e-penny pool lands at 700 — below the default MinAvail of
+		// 1000 — and the very first tick issues a batch restock order.
+		InitialAvail: 1500,
+	})
+
+	const perDirection = 5
+	for i := 0; i < perDirection; i++ {
+		if err := submit(c, 0, 0, 1, 1, fmt.Sprintf("fwd %d", i)); err != nil {
+			t.Fatalf("submit isp0→isp1 #%d: %v", i, err)
+		}
+		if err := submit(c, 1, 0, 0, 1, fmt.Sprintf("rev %d", i)); err != nil {
+			t.Fatalf("submit isp1→isp0 #%d: %v", i, err)
+		}
+	}
+	waitOr(t, "queued cross-ISP delivery", func() bool {
+		return c.ISP(0).Delivered() >= perDirection && c.ISP(1).Delivered() >= perDirection
+	})
+	// The submissions really went through the admission queue.
+	for i := 0; i < 2; i++ {
+		if qs := c.ISP(i).Engine().QueueStats(); qs.Enqueued < perDirection || qs.Committed < perDirection {
+			t.Fatalf("isp[%d] queue stats = %+v, want ≥%d enqueued+committed", i, qs, perDirection)
+		}
+	}
+	// Pool maintenance went over the batch path: both ISPs boot below
+	// MinAvail, so the bank must see coalesced BatchOrder envelopes.
+	waitOr(t, "batch restock traffic", func() bool {
+		return c.Banks()[0].Bank.Stats().BatchOrders >= 2
+	})
+	waitOr(t, "conservation with batch restocks", c.Conserved)
+
+	// An audit round settles the period's net flow with group netting.
+	if err := c.TriggerAudit(); err != nil {
+		t.Fatal(err)
+	}
+	waitOr(t, "audit round completion", c.AuditComplete)
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("honest federation flagged: %v", v)
+	}
+	waitOr(t, "conservation after settled audit", c.Conserved)
+	// Real-money conservation: mints move pennies out of ISP accounts
+	// into circulation (Outstanding) and netted settlement only shuffles
+	// between accounts, so accounts + circulation stays at the seed.
+	bk := c.Banks()[0].Bank
+	if got := int64(bk.TotalAccounts()) + bk.Outstanding(); got != int64(2*c.cfg.Funds) {
+		t.Fatalf("real-money conservation: accounts+outstanding = %d, want %d",
+			got, 2*c.cfg.Funds)
+	}
+}
+
 // TestClusterZombieLimit drives one sender through its daily limit
 // over real SMTP: the first `limit` messages go through, the next draws
 // a 554 at DATA time, and the postmaster zombie warning lands in the

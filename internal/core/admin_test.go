@@ -86,7 +86,7 @@ func TestAdminConsole(t *testing.T) {
 		t.Fatal(err)
 	}
 	a := mail.MustParseAddress("alice@adm.example")
-	if _, err := eng.Submit(mail.NewMessage(a, a, "self note", "b")); err != nil {
+	if _, err := eng.SubmitSync(mail.NewMessage(a, a, "self note", "b")); err != nil {
 		t.Fatal(err)
 	}
 

@@ -240,7 +240,7 @@ func TestMailboxCallback(t *testing.T) {
 	_ = node.Engine().RegisterUser("b", 0, 10, 10)
 	a := mail.MustParseAddress("a@delta.example")
 	b := mail.MustParseAddress("b@delta.example")
-	if _, err := node.Engine().Submit(mail.NewMessage(a, b, "s", "payload")); err != nil {
+	if _, err := node.Engine().SubmitSync(mail.NewMessage(a, b, "s", "payload")); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -321,7 +321,7 @@ func TestAckSinkOnNode(t *testing.T) {
 		mail.MustParseAddress("bob@beta2.example"),
 		"issue 1", "news")
 	listMsg.SetClass(mail.ClassList)
-	if _, err := n0.Engine().Submit(listMsg); err != nil {
+	if _, err := n0.Engine().SubmitSync(listMsg); err != nil {
 		t.Fatal(err)
 	}
 	select {

@@ -53,6 +53,13 @@ type NodeConfig struct {
 	AckSink func(user string, msg *mail.Message)
 	// TickInterval is the pool-maintenance cadence; zero selects 5s.
 	TickInterval time.Duration
+	// Queue starts the engine's admission queue, decoupling SMTP DATA
+	// latency from ledger commit: submissions are admitted (policy
+	// checks, reservation) inline and committed by drain workers.
+	Queue bool
+	// QueueDepth/QueueWorkers/QueueBatch tune the admission queue when
+	// Queue is set; zero values select the mempool defaults.
+	QueueDepth, QueueWorkers, QueueBatch int
 	// Logf logs diagnostics; nil uses log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -105,6 +112,13 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		return nil, err
 	}
 	n.engine = eng
+	if cfg.Queue {
+		eng.StartQueue(isp.QueueConfig{
+			Depth:   cfg.QueueDepth,
+			Workers: cfg.QueueWorkers,
+			Batch:   cfg.QueueBatch,
+		})
+	}
 
 	n.server = &smtp.Server{
 		Domain:  eng.Domain(),
@@ -171,8 +185,11 @@ func (n *Node) LoadState(path string) error { return n.engine.LoadState(path) }
 // Addr returns the bound SMTP address.
 func (n *Node) Addr() net.Addr { return n.addr }
 
-// Close stops the SMTP server, the tick loop, and the bank link.
+// Close stops the SMTP server, the tick loop, and the bank link. The
+// admission queue (if configured) drains first, while the outbound
+// transports are still up, so accepted mail is not dropped on shutdown.
 func (n *Node) Close() error {
+	n.engine.StopQueue()
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -396,8 +413,13 @@ func (s *nodeSession) Rcpt(to mail.Address) error {
 func (s *nodeSession) Data(to mail.Address, msg *mail.Message) error {
 	msg.To = to
 	if s.from.Domain == s.node.engine.Domain() {
-		// Local submission.
+		// Local submission. Admission backpressure is temporary by
+		// definition — the queue drains — so it surfaces as a 451 the
+		// client retries, not a 550 rejection.
 		if _, err := s.node.engine.Submit(msg); err != nil {
+			if errors.Is(err, isp.ErrQueueFull) {
+				return smtp.Transient{Err: err}
+			}
 			return err
 		}
 		return nil

@@ -35,7 +35,7 @@ func E6(seed int64) (*Result, error) {
 	dist, err := maillist.New(maillist.Config{
 		Address: listAddr,
 		Submit: func(msg *mail.Message) error {
-			_, err := w.Engine(0).Submit(msg)
+			_, err := w.Engine(0).SubmitSync(msg)
 			return err
 		},
 		PruneAfter: 3,

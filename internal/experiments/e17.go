@@ -122,7 +122,7 @@ func driveTraffic(rig *fedRig, seed int64, cheater int) (map[[2]int]bool, error)
 			mail.Address{Local: fmt.Sprintf("u%d", rng.Intn(3)), Domain: rig.engines[from].Domain()},
 			mail.Address{Local: fmt.Sprintf("u%d", rng.Intn(3)), Domain: rig.engines[to].Domain()},
 			"m", "b")
-		if _, err := rig.engines[from].Submit(msg); err != nil {
+		if _, err := rig.engines[from].SubmitSync(msg); err != nil {
 			return nil, err
 		}
 		rig.settle()

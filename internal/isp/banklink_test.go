@@ -221,6 +221,225 @@ func TestTickSellsWhenHigh(t *testing.T) {
 	}
 }
 
+// TestSellReplyLostReArms is the regression test for the one-sided
+// retry bug: RestockRetry re-armed only lost buys, so a single dropped
+// SellReply wedged the sell side forever and the pool band could never
+// come back down.
+func TestSellReplyLostReArms(t *testing.T) {
+	e, ft, clk := newEngine(t, 0, nil, func(c *Config) {
+		c.InitialAvail = 2000
+		c.RestockRetry = time.Minute
+	})
+	mustRegister(t, e, "whale", 0, 900)
+	if err := e.Tick(); err != nil { // sells 1450, escrow to the midpoint 550
+		t.Fatal(err)
+	}
+	if len(ft.bank) != 1 || ft.bank[0].Kind != wire.KindSell {
+		t.Fatalf("bank traffic = %+v", ft.bank)
+	}
+	// The SellReply is lost. The pool climbs back above MaxAvail, but
+	// within the retry window no second sell may go out.
+	if err := e.SellEPennies("whale", 900); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ft.bank) != 1 {
+		t.Fatal("sold again while the first exchange was still pending")
+	}
+	// After RestockRetry the sell side re-arms and the band recovers.
+	clk.Advance(time.Minute)
+	if err := e.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ft.bank) != 2 || ft.bank[1].Kind != wire.KindSell {
+		t.Fatalf("sell not re-armed after lost reply: %+v", ft.bank)
+	}
+	if e.Stats().RestockRetries != 1 {
+		t.Fatalf("RestockRetries = %d, want 1", e.Stats().RestockRetries)
+	}
+	// Escrow semantics survive the retry: both sells' amounts left the
+	// pool at send time (no refund of the stranded first escrow), so the
+	// pool sits at the midpoint again.
+	if e.Avail() != 550 {
+		t.Fatalf("pool = %v, want 550", e.Avail())
+	}
+	// The original reply arriving late is stale: its nonce was replaced.
+	var firstSell wire.Sell
+	_ = firstSell.UnmarshalBinary(ft.bank[0].Payload)
+	late := &wire.Envelope{Kind: wire.KindSellReply, From: -1,
+		Payload: (&wire.SellReply{Nonce: firstSell.Nonce}).MarshalBinary()}
+	if err := e.HandleBank(late); !errors.Is(err, ErrStaleReply) {
+		t.Fatalf("late first reply: %v", err)
+	}
+}
+
+func batchReply(nonce uint64, fill, burned int64) *wire.Envelope {
+	return &wire.Envelope{Kind: wire.KindBatchReply, From: -1,
+		Payload: (&wire.BatchReply{Nonce: nonce, BuyFilled: fill, SellBurned: burned}).MarshalBinary()}
+}
+
+func TestBatchTickBuysWhenLow(t *testing.T) {
+	e, ft, _ := newEngine(t, 0, nil, func(c *Config) {
+		c.BatchOrders = true
+		c.InitialAvail = 50
+		c.RestockAmount = 200
+	})
+	if err := e.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ft.bank) != 1 || ft.bank[0].Kind != wire.KindBatchOrder {
+		t.Fatalf("bank traffic = %+v", ft.bank)
+	}
+	// No double order while one is outstanding.
+	if err := e.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ft.bank) != 1 {
+		t.Fatalf("double order: %d requests", len(ft.bank))
+	}
+	var ord wire.BatchOrder
+	if err := ord.UnmarshalBinary(ft.bank[0].Payload); err != nil {
+		t.Fatal(err)
+	}
+	// Refills to the band midpoint (550 - 50 = 500 > RestockAmount).
+	if ord.Buy != 500 || ord.Sell != 0 {
+		t.Fatalf("order = %+v", ord)
+	}
+	if err := e.HandleBank(batchReply(ord.Nonce, 500, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if e.Avail() != 550 {
+		t.Fatalf("pool after fill = %v, want 550", e.Avail())
+	}
+	// Nonce replay of the reply is stale.
+	if err := e.HandleBank(batchReply(ord.Nonce, 500, 0)); !errors.Is(err, ErrStaleReply) {
+		t.Fatalf("replayed batch reply: %v", err)
+	}
+	if e.Avail() != 550 {
+		t.Fatal("replayed reply changed the pool")
+	}
+}
+
+func TestBatchTickSellsWhenHigh(t *testing.T) {
+	e, ft, _ := newEngine(t, 0, nil, func(c *Config) {
+		c.BatchOrders = true
+		c.InitialAvail = 2000
+	})
+	if err := e.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	var ord wire.BatchOrder
+	if err := ord.UnmarshalBinary(ft.bank[0].Payload); err != nil {
+		t.Fatal(err)
+	}
+	if ord.Buy != 0 || ord.Sell != 1450 {
+		t.Fatalf("order = %+v", ord)
+	}
+	// Escrow at send, exactly like the legacy sell path.
+	if e.Avail() != 550 {
+		t.Fatalf("pool after escrow = %v, want 550", e.Avail())
+	}
+	if err := e.HandleBank(batchReply(ord.Nonce, 0, 1450)); err != nil {
+		t.Fatal(err)
+	}
+	if e.Avail() != 550 {
+		t.Fatalf("pool after reply = %v, want 550", e.Avail())
+	}
+}
+
+func TestBatchPartialFillCredited(t *testing.T) {
+	e, ft, _ := newEngine(t, 0, nil, func(c *Config) {
+		c.BatchOrders = true
+		c.InitialAvail = 50
+	})
+	if err := e.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	var ord wire.BatchOrder
+	_ = ord.UnmarshalBinary(ft.bank[0].Payload)
+	// The bank could only cover 30 of the 500 asked.
+	if err := e.HandleBank(batchReply(ord.Nonce, 30, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if e.Avail() != 80 {
+		t.Fatalf("pool after partial fill = %v, want 80", e.Avail())
+	}
+	// Still below MinAvail: the next tick orders up to the midpoint again.
+	if err := e.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ft.bank) != 2 {
+		t.Fatal("no follow-up order after partial fill")
+	}
+	var ord2 wire.BatchOrder
+	_ = ord2.UnmarshalBinary(ft.bank[1].Payload)
+	if ord2.Buy != 470 {
+		t.Fatalf("follow-up buy = %d, want 470", ord2.Buy)
+	}
+}
+
+func TestBatchReplyOverfillRejected(t *testing.T) {
+	e, ft, _ := newEngine(t, 0, nil, func(c *Config) {
+		c.BatchOrders = true
+		c.InitialAvail = 50
+	})
+	if err := e.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	var ord wire.BatchOrder
+	_ = ord.UnmarshalBinary(ft.bank[0].Payload)
+	// A malicious bank granting more than asked must not mint into the
+	// pool.
+	if err := e.HandleBank(batchReply(ord.Nonce, ord.Buy+1, 0)); err == nil {
+		t.Fatal("overfill accepted")
+	}
+	if e.Avail() != 50 {
+		t.Fatalf("pool after overfill = %v, want 50", e.Avail())
+	}
+	if err := e.HandleBank(batchReply(ord.Nonce, -1, 0)); !errors.Is(err, ErrStaleReply) {
+		// The overfill re-armed the order slot, so the nonce is stale now.
+		t.Fatalf("negative fill after re-arm: %v", err)
+	}
+}
+
+func TestBatchOrderLostReplyReArms(t *testing.T) {
+	e, ft, clk := newEngine(t, 0, nil, func(c *Config) {
+		c.BatchOrders = true
+		c.InitialAvail = 2000
+		c.RestockRetry = time.Minute
+	})
+	mustRegister(t, e, "whale", 0, 900) // funded from the pool: 1100 left
+	if err := e.Tick(); err != nil {    // order: sell down to 550, escrowed
+		t.Fatal(err)
+	}
+	if err := e.Tick(); err != nil { // reply lost; within the window: no retry
+		t.Fatal(err)
+	}
+	if len(ft.bank) != 1 {
+		t.Fatal("ordered again while the first was pending")
+	}
+	clk.Advance(time.Minute)
+	// Pool sits at the midpoint after escrow: nothing to trade, but the
+	// order slot re-arms so the band can recover later.
+	if err := e.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().RestockRetries != 1 {
+		t.Fatalf("RestockRetries = %d, want 1", e.Stats().RestockRetries)
+	}
+	if err := e.SellEPennies("whale", 900); err != nil { // pool 1450 again
+		t.Fatal(err)
+	}
+	if err := e.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ft.bank) != 2 || ft.bank[1].Kind != wire.KindBatchOrder {
+		t.Fatalf("order not re-armed after lost reply: %+v", ft.bank)
+	}
+}
+
 // TestSellEscrowPreventsOverdraw is the regression test for the §4.3
 // bug found by the model checker: user buys during the bank round-trip
 // must not overdraw the pool.
@@ -252,7 +471,7 @@ func TestSnapshotFreezeLifecycle(t *testing.T) {
 
 	// Build up some credit first.
 	msg := mail.NewMessage(addr("alice@a.example"), addr("x@b.example"), "s", "b")
-	if _, err := e.Submit(msg); err != nil {
+	if _, err := e.SubmitSync(msg); err != nil {
 		t.Fatal(err)
 	}
 
@@ -268,7 +487,7 @@ func TestSnapshotFreezeLifecycle(t *testing.T) {
 
 	// Mail during the freeze is buffered, not rejected.
 	m2 := mail.NewMessage(addr("alice@a.example"), addr("y@b.example"), "s2", "b")
-	out, err := e.Submit(m2)
+	out, err := e.SubmitSync(m2)
 	if err != nil || out != SentBuffered {
 		t.Fatalf("frozen submit = %v, %v", out, err)
 	}
@@ -337,7 +556,7 @@ func TestBufferedMailChargedAtThaw(t *testing.T) {
 	// Two sends buffered; alice can only fund one.
 	for i := 0; i < 2; i++ {
 		m := mail.NewMessage(addr("alice@a.example"), addr("x@b.example"), "s", "b")
-		if out, err := e.Submit(m); err != nil || out != SentBuffered {
+		if out, err := e.SubmitSync(m); err != nil || out != SentBuffered {
 			t.Fatalf("buffered submit %d = %v, %v", i, out, err)
 		}
 	}
@@ -487,7 +706,7 @@ func TestTotalEPennies(t *testing.T) {
 		t.Fatalf("TotalEPennies = %d, want 500", got)
 	}
 	msg := mail.NewMessage(addr("a@a.example"), addr("x@b.example"), "s", "b")
-	if _, err := e.Submit(msg); err != nil {
+	if _, err := e.SubmitSync(msg); err != nil {
 		t.Fatal(err)
 	}
 	// Paid remote send: balance -1, credit +1 → total unchanged.
@@ -503,13 +722,13 @@ func TestZombieWarningDelivered(t *testing.T) {
 		return mail.NewMessage(addr("victim@a.example"), addr("x@b.example"), "worm", "payload")
 	}
 	for i := 0; i < 2; i++ {
-		if _, err := e.Submit(msg()); err != nil {
+		if _, err := e.SubmitSync(msg()); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Limit rejections: the first triggers exactly one warning.
 	for i := 0; i < 5; i++ {
-		if _, err := e.Submit(msg()); !errors.Is(err, ErrLimitExceeded) {
+		if _, err := e.SubmitSync(msg()); !errors.Is(err, ErrLimitExceeded) {
 			t.Fatalf("attempt %d: %v", i, err)
 		}
 	}
@@ -531,7 +750,7 @@ func TestZombieWarningDelivered(t *testing.T) {
 	// Next day: limit resets, and so does the warning.
 	e.EndOfDay()
 	for i := 0; i < 3; i++ {
-		_, _ = e.Submit(msg())
+		_, _ = e.SubmitSync(msg())
 	}
 	if e.Stats().ZombieWarnings != 2 {
 		t.Fatalf("ZombieWarnings after second day = %d, want 2", e.Stats().ZombieWarnings)

@@ -47,6 +47,7 @@ import (
 	"zmail/internal/clock"
 	"zmail/internal/crypto"
 	"zmail/internal/mail"
+	"zmail/internal/mempool"
 	"zmail/internal/metrics"
 	"zmail/internal/money"
 	"zmail/internal/persist"
@@ -177,6 +178,14 @@ type Config struct {
 	// auditor (internal/chaos) accounts explicitly.
 	RestockRetry time.Duration
 
+	// BatchOrders coalesces pool maintenance into single sealed
+	// wire.BatchOrder messages (one RTT + one nonce + one seal covering
+	// both the buy and the sell side, with partial-fill replies) instead
+	// of the paper's separate buy/sell exchanges. Requires a bank that
+	// understands KindBatchOrder. Off by default so seeded simulations
+	// keep the legacy per-side handshake byte-identical.
+	BatchOrders bool
+
 	// DefaultLimit is the per-user daily send cap applied when a user
 	// registers without an explicit limit (§5, zombie containment).
 	DefaultLimit int64
@@ -273,6 +282,12 @@ type user struct {
 	// warnedToday marks that the §5 zombie warning has been delivered
 	// for the current day; reset at EndOfDay.
 	warnedToday bool
+	// pending counts messages admitted into the async queue but not yet
+	// committed; admission enforces the daily limit against sent+pending
+	// so a burst cannot overshoot the cap while queued. Deliberately
+	// volatile (not in the WAL or snapshots): queued mail charges nobody
+	// until commit, so a crash loses only unacknowledged work.
+	pending int64
 	// journal is the user's recent statement ring (see journal.go).
 	journal []Entry
 }
@@ -303,6 +318,8 @@ type Stats struct {
 	SnapshotRounds int64
 	ZombieWarnings int64
 	RestockRetries int64
+	QueueRejected  int64
+	QueueDropped   int64
 }
 
 // engineStats is the live, lock-free counter set behind Stats.
@@ -322,6 +339,8 @@ type engineStats struct {
 	snapshotRounds atomic.Int64
 	zombieWarnings atomic.Int64
 	restockRetries atomic.Int64
+	queueRejected  atomic.Int64
+	queueDropped   atomic.Int64
 }
 
 // engineLatencies are the engine-owned hot-path latency histograms.
@@ -329,7 +348,8 @@ type engineStats struct {
 // pointers with the scrape registry, so repeated scrapes never
 // double-count.
 type engineLatencies struct {
-	submit     *metrics.LatencyHist // Submit, end to end
+	submit     *metrics.LatencyHist // SubmitSync, end to end
+	admit      *metrics.LatencyHist // Submit admission (policy + enqueue)
 	receive    *metrics.LatencyHist // ReceiveRemote, end to end
 	bankRTT    *metrics.LatencyHist // buy/sell issue → reply
 	stripeWait *metrics.LatencyHist // contended stripe-lock waits
@@ -338,6 +358,7 @@ type engineLatencies struct {
 func newEngineLatencies() engineLatencies {
 	return engineLatencies{
 		submit:     metrics.NewLatencyHist(),
+		admit:      metrics.NewLatencyHist(),
 		receive:    metrics.NewLatencyHist(),
 		bankRTT:    metrics.NewLatencyHist(),
 		stripeWait: metrics.NewLatencyHist(),
@@ -360,6 +381,11 @@ type Engine struct {
 	stats      engineStats
 	contention contentionCounters
 	lat        engineLatencies
+
+	// queue, when non-nil, is the async admission queue drained into
+	// commitQueued (see admit.go). An atomic pointer: Submit pays one
+	// load, and StopQueue can detach it while traffic flows.
+	queue atomic.Pointer[mempool.Queue]
 
 	// wal, when non-nil, receives a mutation record for every durable
 	// ledger change (see wal.go). An atomic pointer so hot-path hooks
@@ -390,6 +416,16 @@ type Engine struct {
 	sellAt    time.Time // when the pending sell was issued (RTT metric)
 	buyTrace  trace.ID  // flow ID of the pending buy exchange
 	sellTrace trace.ID  // flow ID of the pending sell exchange
+
+	// Coalesced-order handshake state (Config.BatchOrders; see
+	// tickBatch). One outstanding order at a time, mirroring the
+	// one-outstanding-buy/one-outstanding-sell discipline above.
+	canOrder bool
+	ordNonce crypto.Nonce // pending order nonce
+	ordBuy   money.EPenny // buy side of the pending order
+	ordSell  money.EPenny // escrowed sell side of the pending order
+	ordAt    time.Time    // when the pending order was issued
+	ordTrace trace.ID     // flow ID of the pending order exchange
 }
 
 // New validates cfg and builds an engine.
@@ -439,16 +475,17 @@ func New(cfg Config) (*Engine, error) {
 		nonces = crypto.NewSource(nil)
 	}
 	e := &Engine{
-		cfg:     cfg,
-		nonces:  nonces,
-		tracer:  cfg.Tracer,
-		stripes: make([]accountStripe, cfg.Stripes),
-		credit:  make([]atomic.Int64, cfg.Directory.Len()),
-		avail:   cfg.InitialAvail,
-		canBuy:  true,
-		canSell: true,
-		msgIDs:  mail.NewMessageIDCounter(cfg.Domain),
-		lat:     newEngineLatencies(),
+		cfg:      cfg,
+		nonces:   nonces,
+		tracer:   cfg.Tracer,
+		stripes:  make([]accountStripe, cfg.Stripes),
+		credit:   make([]atomic.Int64, cfg.Directory.Len()),
+		avail:    cfg.InitialAvail,
+		canBuy:   true,
+		canSell:  true,
+		canOrder: true,
+		msgIDs:   mail.NewMessageIDCounter(cfg.Domain),
+		lat:      newEngineLatencies(),
 	}
 	e.stripeMask = uint32(cfg.Stripes - 1)
 	for i := range e.stripes {
@@ -609,6 +646,8 @@ func (e *Engine) Stats() Stats {
 		SnapshotRounds: e.stats.snapshotRounds.Load(),
 		ZombieWarnings: e.stats.zombieWarnings.Load(),
 		RestockRetries: e.stats.restockRetries.Load(),
+		QueueRejected:  e.stats.queueRejected.Load(),
+		QueueDropped:   e.stats.queueDropped.Load(),
 	}
 }
 

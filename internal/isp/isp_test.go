@@ -176,7 +176,7 @@ func TestSubmitLocalDelivery(t *testing.T) {
 	mustRegister(t, e, "alice", 0, 5)
 	mustRegister(t, e, "bob", 0, 5)
 	msg := mail.NewMessage(addr("alice@a.example"), addr("bob@a.example"), "s", "b")
-	out, err := e.Submit(msg)
+	out, err := e.SubmitSync(msg)
 	if err != nil || out != SentLocal {
 		t.Fatalf("Submit = %v, %v", out, err)
 	}
@@ -200,7 +200,7 @@ func TestSubmitPaidRemote(t *testing.T) {
 	e, ft, _ := newEngine(t, 0, nil, nil)
 	mustRegister(t, e, "alice", 0, 5)
 	msg := mail.NewMessage(addr("alice@a.example"), addr("bob@b.example"), "s", "b")
-	out, err := e.Submit(msg)
+	out, err := e.SubmitSync(msg)
 	if err != nil || out != SentPaid {
 		t.Fatalf("Submit = %v, %v", out, err)
 	}
@@ -216,7 +216,7 @@ func TestSubmitUnpaidToNonCompliant(t *testing.T) {
 	e, ft, _ := newEngine(t, 0, []bool{true, false, true}, nil)
 	mustRegister(t, e, "alice", 0, 5)
 	msg := mail.NewMessage(addr("alice@a.example"), addr("bob@b.example"), "s", "b")
-	out, err := e.Submit(msg)
+	out, err := e.SubmitSync(msg)
 	if err != nil || out != SentUnpaid {
 		t.Fatalf("Submit = %v, %v", out, err)
 	}
@@ -236,7 +236,7 @@ func TestSubmitForeignDomain(t *testing.T) {
 	e, ft, _ := newEngine(t, 0, nil, nil)
 	mustRegister(t, e, "alice", 0, 5)
 	msg := mail.NewMessage(addr("alice@a.example"), addr("x@outside.example"), "s", "b")
-	out, err := e.Submit(msg)
+	out, err := e.SubmitSync(msg)
 	if err != nil || out != SentUnpaid {
 		t.Fatalf("Submit = %v, %v", out, err)
 	}
@@ -250,19 +250,19 @@ func TestSubmitRejections(t *testing.T) {
 	mustRegister(t, e, "poor", 0, 0)
 	mustRegister(t, e, "bob", 0, 5)
 	msg := mail.NewMessage(addr("poor@a.example"), addr("bob@a.example"), "s", "b")
-	if _, err := e.Submit(msg); !errors.Is(err, ErrInsufficientBalance) {
+	if _, err := e.SubmitSync(msg); !errors.Is(err, ErrInsufficientBalance) {
 		t.Fatalf("broke sender: %v", err)
 	}
 	msg = mail.NewMessage(addr("ghost@a.example"), addr("bob@a.example"), "s", "b")
-	if _, err := e.Submit(msg); !errors.Is(err, ErrUnknownUser) {
+	if _, err := e.SubmitSync(msg); !errors.Is(err, ErrUnknownUser) {
 		t.Fatalf("unknown sender: %v", err)
 	}
 	msg = mail.NewMessage(addr("alien@b.example"), addr("bob@a.example"), "s", "b")
-	if _, err := e.Submit(msg); err == nil {
+	if _, err := e.SubmitSync(msg); err == nil {
 		t.Fatal("foreign sender accepted on submission path")
 	}
 	msg = mail.NewMessage(addr("bob@a.example"), addr("ghost@a.example"), "s", "b")
-	if _, err := e.Submit(msg); !errors.Is(err, ErrUnknownUser) {
+	if _, err := e.SubmitSync(msg); !errors.Is(err, ErrUnknownUser) {
 		t.Fatalf("unknown local recipient: %v", err)
 	}
 }
@@ -273,19 +273,19 @@ func TestDailyLimit(t *testing.T) {
 	mustRegister(t, e, "bob", 0, 1)
 	for i := 0; i < 3; i++ {
 		msg := mail.NewMessage(addr("alice@a.example"), addr("bob@a.example"), "s", "b")
-		if _, err := e.Submit(msg); err != nil {
+		if _, err := e.SubmitSync(msg); err != nil {
 			t.Fatalf("send %d: %v", i, err)
 		}
 	}
 	msg := mail.NewMessage(addr("alice@a.example"), addr("bob@a.example"), "s", "b")
-	if _, err := e.Submit(msg); !errors.Is(err, ErrLimitExceeded) {
+	if _, err := e.SubmitSync(msg); !errors.Is(err, ErrLimitExceeded) {
 		t.Fatalf("over limit: %v", err)
 	}
 	if got := e.Stats().LimitRejects; got != 1 {
 		t.Fatalf("limit rejects = %d", got)
 	}
 	e.EndOfDay()
-	if _, err := e.Submit(msg); err != nil {
+	if _, err := e.SubmitSync(msg); err != nil {
 		t.Fatalf("after EndOfDay: %v", err)
 	}
 }
@@ -303,10 +303,10 @@ func TestSetLimit(t *testing.T) {
 		t.Fatalf("unknown user: %v", err)
 	}
 	msg := mail.NewMessage(addr("alice@a.example"), addr("x@b.example"), "s", "b")
-	if _, err := e.Submit(msg); err != nil {
+	if _, err := e.SubmitSync(msg); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Submit(msg.Clone()); !errors.Is(err, ErrLimitExceeded) {
+	if _, err := e.SubmitSync(msg.Clone()); !errors.Is(err, ErrLimitExceeded) {
 		t.Fatalf("tightened limit not enforced: %v", err)
 	}
 }
@@ -418,7 +418,7 @@ func TestCheatMode(t *testing.T) {
 	mustRegister(t, e, "alice", 0, 10)
 	e.SetCheat(true)
 	msg := mail.NewMessage(addr("alice@a.example"), addr("x@b.example"), "s", "b")
-	if _, err := e.Submit(msg); err != nil {
+	if _, err := e.SubmitSync(msg); err != nil {
 		t.Fatal(err)
 	}
 	a, _ := e.User("alice")

@@ -13,11 +13,11 @@ func TestStatementRecordsAllKinds(t *testing.T) {
 	mustRegister(t, e, "bob", 0, 5)
 
 	// sent(local) + received for bob
-	if _, err := e.Submit(mail.NewMessage(addr("alice@a.example"), addr("bob@a.example"), "s", "b")); err != nil {
+	if _, err := e.SubmitSync(mail.NewMessage(addr("alice@a.example"), addr("bob@a.example"), "s", "b")); err != nil {
 		t.Fatal(err)
 	}
 	// sent(paid remote)
-	if _, err := e.Submit(mail.NewMessage(addr("alice@a.example"), addr("x@b.example"), "s", "b")); err != nil {
+	if _, err := e.SubmitSync(mail.NewMessage(addr("alice@a.example"), addr("x@b.example"), "s", "b")); err != nil {
 		t.Fatal(err)
 	}
 	// received(remote)
@@ -110,7 +110,7 @@ func TestStatementRingCap(t *testing.T) {
 		return mail.NewMessage(addr("alice@a.example"), addr("x@b.example"), "s", "b")
 	}
 	for i := 0; i < journalDepth+50; i++ {
-		if _, err := e.Submit(msg()); err != nil {
+		if _, err := e.SubmitSync(msg()); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -147,7 +147,7 @@ func TestParallelConservationAntisymmetry(t *testing.T) {
 					_ = engines[src].SellEPennies(fmt.Sprintf("u%d", rng.Intn(usersPer)), rng.Int63n(20)+1)
 				default:
 					msg := mail.NewMessage(addr(from), addr(to), "s", "b")
-					_, _ = engines[src].Submit(msg)
+					_, _ = engines[src].SubmitSync(msg)
 				}
 			}
 		}(int64(k + 1))
@@ -182,7 +182,7 @@ func TestContentionObservability(t *testing.T) {
 	for n := 0; n < 50; n++ {
 		from := fmt.Sprintf("u%d@%s", n%4, testDomains[0])
 		to := fmt.Sprintf("u%d@%s", (n+1)%4, testDomains[0])
-		if _, err := e.Submit(mail.NewMessage(addr(from), addr(to), "s", "b")); err != nil {
+		if _, err := e.SubmitSync(mail.NewMessage(addr(from), addr(to), "s", "b")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -249,7 +249,7 @@ func TestParallelFreezeStress(t *testing.T) {
 				from := fmt.Sprintf("u%d@%s", rng.Intn(usersPer), testDomains[src])
 				to := fmt.Sprintf("u%d@%s", rng.Intn(usersPer), testDomains[rng.Intn(len(engines))])
 				msg := mail.NewMessage(addr(from), addr(to), "s", "b")
-				_, _ = engines[src].Submit(msg)
+				_, _ = engines[src].SubmitSync(msg)
 			}
 		}(int64(k + 100))
 	}

@@ -64,10 +64,10 @@ func TestEngineConservationProperty(t *testing.T) {
 			switch o.Kind % 8 {
 			case 0: // local mail
 				msg := mail.NewMessage(addr(u+"@a.example"), addr(v+"@a.example"), "s", "b")
-				_, _ = e.Submit(msg)
+				_, _ = e.SubmitSync(msg)
 			case 1: // paid remote mail (credit +1 stays on the books)
 				msg := mail.NewMessage(addr(u+"@a.example"), addr("x@b.example"), "s", "b")
-				_, _ = e.Submit(msg)
+				_, _ = e.SubmitSync(msg)
 			case 2: // inbound paid mail
 				msg := mail.NewMessage(addr("x@c.example"), addr(v+"@a.example"), "s", "b")
 				_ = e.ReceiveRemote("c.example", msg)
@@ -82,7 +82,7 @@ func TestEngineConservationProperty(t *testing.T) {
 				pre := e.Credit() // the claims the reset will wipe
 				e.ForceSnapshot()
 				msg := mail.NewMessage(addr(u+"@a.example"), addr("x@b.example"), "s", "b")
-				if out, err := e.Submit(msg); err == nil && out != SentBuffered {
+				if out, err := e.SubmitSync(msg); err == nil && out != SentBuffered {
 					return false // frozen engine must buffer
 				}
 				clk.Advance(time.Minute)
@@ -133,7 +133,7 @@ func TestEngineNeverNegativeProperty(t *testing.T) {
 			switch o.Kind % 6 {
 			case 0:
 				msg := mail.NewMessage(addr(u+"@a.example"), addr("x@b.example"), "s", "b")
-				_, _ = e.Submit(msg)
+				_, _ = e.SubmitSync(msg)
 			case 1:
 				_ = e.BuyEPennies(u, int64(o.B)+1)
 			case 2:

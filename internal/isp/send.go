@@ -8,16 +8,23 @@ import (
 	"zmail/internal/trace"
 )
 
-// Submit accepts a message from a local user (the SMTP submission path)
-// and routes it per §4.1. The From address must belong to this ISP. For
-// paid paths the sender is charged one e-penny and, unless the message
-// is an acknowledgment, the daily limit is enforced. During a snapshot
-// freeze the message is buffered and charged at thaw.
+// SubmitSync accepts a message from a local user and commits it to the
+// ledger before returning, routing per §4.1. The From address must
+// belong to this ISP. For paid paths the sender is charged one e-penny
+// and, unless the message is an acknowledgment, the daily limit is
+// enforced. During a snapshot freeze the message is buffered and
+// charged at thaw.
 //
-// Submit is safe for concurrent use: senders in different account
+// SubmitSync is the synchronous half of the submit surface: the
+// deterministic simulator, tests, and golden paths call it directly so
+// seeded output is reproducible. Latency-sensitive front ends (SMTP
+// DATA) call Submit instead, which runs the admission policy inline
+// and defers this commit to the drain workers (see admit.go).
+//
+// SubmitSync is safe for concurrent use: senders in different account
 // stripes proceed fully in parallel, and the per-peer credit update is
 // a lock-free atomic add.
-func (e *Engine) Submit(msg *mail.Message) (SendOutcome, error) {
+func (e *Engine) SubmitSync(msg *mail.Message) (SendOutcome, error) {
 	start := e.cfg.Clock.Now()
 	var em emitQueue
 	outcome, err := e.submit(&em, msg, false)
@@ -268,9 +275,10 @@ func (e *Engine) generateAck(local string, listMsg *mail.Message) {
 		ack.SetHeader(mail.HeaderTrace, t)
 	}
 	e.stats.acksGenerated.Add(1)
-	// Submit via the normal path: the ack pays one e-penny (the one the
-	// list message just delivered) back toward the distributor.
-	if _, err := e.Submit(ack); err != nil {
+	// Submit via the synchronous path: the ack pays one e-penny (the one
+	// the list message just delivered) back toward the distributor, and
+	// must not re-enter the admission queue it may be draining from.
+	if _, err := e.SubmitSync(ack); err != nil {
 		// An unfunded ack means the recipient's balance was already
 		// drained between delivery and ack; drop it. The distributor's
 		// pruning logic treats a missing ack as a dead subscriber.

@@ -13,10 +13,10 @@ func TestStateRoundTrip(t *testing.T) {
 	mustRegister(t, e1, "alice", 100, 40)
 	mustRegister(t, e1, "bob", 50, 10)
 	// Produce ledger activity so the snapshot is nontrivial.
-	if _, err := e1.Submit(mail.NewMessage(addr("alice@a.example"), addr("x@b.example"), "s", "b")); err != nil {
+	if _, err := e1.SubmitSync(mail.NewMessage(addr("alice@a.example"), addr("x@b.example"), "s", "b")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e1.Submit(mail.NewMessage(addr("alice@a.example"), addr("bob@a.example"), "s", "b")); err != nil {
+	if _, err := e1.SubmitSync(mail.NewMessage(addr("alice@a.example"), addr("bob@a.example"), "s", "b")); err != nil {
 		t.Fatal(err)
 	}
 	if err := e1.BuyEPennies("bob", 5); err != nil {
@@ -79,7 +79,7 @@ func TestStateRoundTrip(t *testing.T) {
 
 	// The restored engine keeps working: send and check the sequence
 	// continuity of journals.
-	if _, err := e2.Submit(mail.NewMessage(addr("alice@a.example"), addr("bob@a.example"), "after", "b")); err != nil {
+	if _, err := e2.SubmitSync(mail.NewMessage(addr("alice@a.example"), addr("bob@a.example"), "after", "b")); err != nil {
 		t.Fatal(err)
 	}
 	s2b, _ := e2.Statement("alice")

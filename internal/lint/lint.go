@@ -259,8 +259,10 @@ func DefaultConfig() Config {
 		MintFuncs: []string{
 			// ISP side of the bank exchange: buyreply mints pool
 			// e-pennies against the bank account, the sell tick burns
-			// them into escrow.
+			// them into escrow. tickBatch is the coalesced-order twin:
+			// one sealed BatchOrder escrows the sell side at send.
 			"zmail/internal/isp:tick",
+			"zmail/internal/isp:tickBatch",
 			"zmail/internal/isp:handleBank",
 			// The AP model's equivalents, registered as closures.
 			"zmail/internal/ap/zmailspec:rcv-buyreply",
@@ -282,6 +284,7 @@ func DefaultConfig() Config {
 		NonceRequestTypes: []string{
 			"zmail/internal/wire.Buy",
 			"zmail/internal/wire.Sell",
+			"zmail/internal/wire.BatchOrder",
 			"zmail/internal/ap/zmailspec.buyMsg",
 			"zmail/internal/ap/zmailspec.sellMsg",
 		},
@@ -293,8 +296,11 @@ func DefaultConfig() Config {
 			// email travels the SMTP data plane, resume is documented
 			// deviation 3 (freeze recovery) — neither has a bank-link
 			// codec. hello is the transport bootstrap below the AP model.
+			// batchorder/batchreply coalesce the spec's buy and sell
+			// exchanges into one round trip (DESIGN decision 15); the AP
+			// model keeps the split messages it was verified with.
 			SpecOnly: []string{"email", "resume"},
-			WireOnly: []string{"hello"},
+			WireOnly: []string{"hello", "batchorder", "batchreply"},
 		},
 		WalflowPkgs: []string{
 			"zmail/internal/isp",
@@ -320,7 +326,7 @@ func DefaultConfig() Config {
 			"zmail/internal/bank:walBuy", "zmail/internal/bank:walSell",
 			"zmail/internal/bank:walNonce", "zmail/internal/bank:walDeposit",
 			"zmail/internal/bank:walRound", "zmail/internal/bank:walSeq",
-			"zmail/internal/bank:walSettle",
+			"zmail/internal/bank:walSettle", "zmail/internal/bank:walBatch",
 		},
 		WALExemptFuncs: []string{
 			// Constructors build initial state the first snapshot covers;
@@ -333,6 +339,7 @@ func DefaultConfig() Config {
 			"zmail/internal/bank",
 			"zmail/internal/core",
 			"zmail/internal/cluster",
+			"zmail/internal/mempool",
 		},
 		LockScopeBlockingFuncs: []string{
 			"zmail/internal/wire.ReadEnvelope",
@@ -359,6 +366,7 @@ func DefaultConfig() Config {
 			"zmail/internal/bank",
 			"zmail/internal/core",
 			"zmail/internal/cluster",
+			"zmail/internal/mempool",
 		},
 		GuardedFields: map[string][]string{
 			// ISP hot state: stripe maps and user rows live under the
@@ -371,6 +379,7 @@ func DefaultConfig() Config {
 			"zmail/internal/isp.user.limit":          {"zmail/internal/isp.accountStripe.mu", "zmail/internal/isp.Engine.freezeMu:W"},
 			"zmail/internal/isp.user.warnedToday":    {"zmail/internal/isp.accountStripe.mu", "zmail/internal/isp.Engine.freezeMu:W"},
 			"zmail/internal/isp.user.journal":        {"zmail/internal/isp.accountStripe.mu", "zmail/internal/isp.Engine.freezeMu:W"},
+			"zmail/internal/isp.user.pending":        {"zmail/internal/isp.accountStripe.mu", "zmail/internal/isp.Engine.freezeMu:W"},
 			// ISP cold state under Engine.mu.
 			"zmail/internal/isp.Engine.avail":     {"zmail/internal/isp.Engine.mu", "zmail/internal/isp.Engine.freezeMu:W"},
 			"zmail/internal/isp.Engine.outbox":    {"zmail/internal/isp.Engine.mu", "zmail/internal/isp.Engine.freezeMu:W"},
@@ -385,9 +394,24 @@ func DefaultConfig() Config {
 			"zmail/internal/isp.Engine.sellAt":    {"zmail/internal/isp.Engine.mu", "zmail/internal/isp.Engine.freezeMu:W"},
 			"zmail/internal/isp.Engine.buyTrace":  {"zmail/internal/isp.Engine.mu", "zmail/internal/isp.Engine.freezeMu:W"},
 			"zmail/internal/isp.Engine.sellTrace": {"zmail/internal/isp.Engine.mu", "zmail/internal/isp.Engine.freezeMu:W"},
+			// Coalesced-order cold state (DESIGN decision 15): one
+			// outstanding BatchOrder slot per engine, under Engine.mu like
+			// the split-order state it replaces.
+			"zmail/internal/isp.Engine.canOrder": {"zmail/internal/isp.Engine.mu", "zmail/internal/isp.Engine.freezeMu:W"},
+			"zmail/internal/isp.Engine.ordNonce": {"zmail/internal/isp.Engine.mu", "zmail/internal/isp.Engine.freezeMu:W"},
+			"zmail/internal/isp.Engine.ordBuy":   {"zmail/internal/isp.Engine.mu", "zmail/internal/isp.Engine.freezeMu:W"},
+			"zmail/internal/isp.Engine.ordSell":  {"zmail/internal/isp.Engine.mu", "zmail/internal/isp.Engine.freezeMu:W"},
+			"zmail/internal/isp.Engine.ordAt":    {"zmail/internal/isp.Engine.mu", "zmail/internal/isp.Engine.freezeMu:W"},
+			"zmail/internal/isp.Engine.ordTrace": {"zmail/internal/isp.Engine.mu", "zmail/internal/isp.Engine.freezeMu:W"},
 			// The freeze flag itself: the write side flips it, the read
 			// side observes it.
 			"zmail/internal/isp.Engine.frozen": {"zmail/internal/isp.Engine.freezeMu"},
+			// Admission queue internals: the FIFO, the in-flight commit
+			// count, and the stop flag all live under the queue mutex; the
+			// counters are atomics and stay out of the lockset discipline.
+			"zmail/internal/mempool.Queue.buf":      {"zmail/internal/mempool.Queue.mu"},
+			"zmail/internal/mempool.Queue.inflight": {"zmail/internal/mempool.Queue.mu"},
+			"zmail/internal/mempool.Queue.stopped":  {"zmail/internal/mempool.Queue.mu"},
 			// Bank: everything mutable lives under Bank.mu.
 			"zmail/internal/bank.Bank.account":       {"zmail/internal/bank.Bank.mu"},
 			"zmail/internal/bank.Bank.compliant":     {"zmail/internal/bank.Bank.mu"},
@@ -457,6 +481,7 @@ func DefaultConfig() Config {
 			"zmail/internal/core",
 			"zmail/internal/load",
 			"zmail/internal/obsv",
+			"zmail/internal/mempool",
 		},
 		LifecycleAcquireFuncs: []string{
 			"net.Listen", "net.Dial", "net.DialTimeout",

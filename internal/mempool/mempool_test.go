@@ -1,0 +1,152 @@
+package mempool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"zmail/internal/mail"
+)
+
+func msg(n byte) *mail.Message {
+	m := &mail.Message{Body: "x"}
+	m.SetHeader(mail.HeaderMsgID, string([]byte{'m', n}))
+	return m
+}
+
+func TestQueueCommitsEverything(t *testing.T) {
+	var mu sync.Mutex
+	got := make(map[string]bool)
+	q := Start(Config{
+		Depth:   64,
+		Workers: 3,
+		Batch:   4,
+		Commit: func(m *mail.Message) {
+			mu.Lock()
+			got[m.ID()] = true
+			mu.Unlock()
+		},
+	})
+	for i := 0; i < 50; i++ {
+		if !q.Offer(msg(byte(i))) {
+			t.Fatalf("offer %d rejected with capacity to spare", i)
+		}
+	}
+	q.Flush()
+	mu.Lock()
+	n := len(got)
+	mu.Unlock()
+	if n != 50 {
+		t.Fatalf("committed %d messages, want 50", n)
+	}
+	st := q.Stats()
+	if st.Enqueued != 50 || st.Committed != 50 || st.Rejected != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Batches == 0 {
+		t.Fatal("no drain batches recorded")
+	}
+	q.Stop()
+}
+
+func TestQueueFullRejects(t *testing.T) {
+	release := make(chan struct{})
+	q := Start(Config{
+		Depth:   2,
+		Workers: 1,
+		Batch:   1,
+		Commit:  func(*mail.Message) { <-release },
+	})
+	defer func() { close(release); q.Stop() }()
+	// With the single worker blocked on the first commit, the buffer
+	// holds at most Depth more; further offers must reject.
+	rejected := 0
+	for i := 0; i < 10; i++ {
+		if !q.Offer(msg(byte(i))) {
+			rejected++
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no offer rejected with a full depth-2 queue")
+	}
+	if st := q.Stats(); st.Rejected != int64(rejected) {
+		t.Fatalf("stats.Rejected = %d, want %d", st.Rejected, rejected)
+	}
+}
+
+func TestStopDrainsThenRejects(t *testing.T) {
+	var committed atomic.Int64
+	q := Start(Config{
+		Depth:   32,
+		Workers: 2,
+		Batch:   8,
+		Commit:  func(*mail.Message) { committed.Add(1) },
+	})
+	for i := 0; i < 20; i++ {
+		if !q.Offer(msg(byte(i))) {
+			t.Fatalf("offer %d rejected", i)
+		}
+	}
+	q.Stop()
+	if got := committed.Load(); got != 20 {
+		t.Fatalf("Stop drained %d messages, want 20", got)
+	}
+	if q.Offer(msg(99)) {
+		t.Fatal("Offer accepted after Stop")
+	}
+	q.Stop() // idempotent
+}
+
+func TestBatchStripeGrouping(t *testing.T) {
+	// One worker, batch as large as the backlog: the drained batch must
+	// arrive at Commit grouped by stripe (ascending), stable within a
+	// stripe.
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	var mu sync.Mutex
+	var order []string
+	q := Start(Config{
+		Depth:   16,
+		Workers: 1,
+		Batch:   16,
+		StripeOf: func(m *mail.Message) int {
+			return int(m.ID()[1]) % 2
+		},
+		Commit: func(m *mail.Message) {
+			if m.ID() == "m\x00" {
+				close(started)
+				<-gate
+			}
+			mu.Lock()
+			order = append(order, m.ID())
+			mu.Unlock()
+		},
+	})
+	defer q.Stop()
+	// The first message parks the single worker inside Commit so the
+	// rest accumulate and drain as one stripe-grouped batch.
+	if !q.Offer(msg(0)) {
+		t.Fatal("offer rejected")
+	}
+	<-started
+	for i := 1; i <= 6; i++ {
+		if !q.Offer(msg(byte(i))) {
+			t.Fatalf("offer %d rejected", i)
+		}
+	}
+	close(gate)
+	q.Flush()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 7 {
+		t.Fatalf("committed %d, want 7", len(order))
+	}
+	// After the parked singleton, evens (stripe 0) then odds (stripe 1),
+	// each in offer order.
+	want := []string{"m\x00", "m\x02", "m\x04", "m\x06", "m\x01", "m\x03", "m\x05"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("commit order %q, want %q", order, want)
+		}
+	}
+}

@@ -498,7 +498,8 @@ func (w *World) ForeignCount() int64 {
 func (w *World) Engine(i int) *isp.Engine { return w.Engines[i] }
 
 // Send submits a message from a user of a compliant ISP through the
-// normal submission path.
+// synchronous submission path, so seeded serial runs stay
+// bit-identical regardless of any attached admission queue.
 func (w *World) Send(from, to, subject, body string) (isp.SendOutcome, error) {
 	fa, err := mail.ParseAddress(from)
 	if err != nil {
@@ -517,7 +518,7 @@ func (w *World) Send(from, to, subject, body string) (isp.SendOutcome, error) {
 	if eng == nil {
 		return 0, fmt.Errorf("sim: %s is down (crashed)", fa.Domain)
 	}
-	return eng.Submit(msg)
+	return eng.SubmitSync(msg)
 }
 
 // SendSpec describes one submission for SendAll.

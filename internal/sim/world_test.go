@@ -322,7 +322,7 @@ func TestAckSinkRouting(t *testing.T) {
 		mail.MustParseAddress("u1@isp1.example"),
 		"issue", "news")
 	listMsg.SetClass(mail.ClassList)
-	if _, err := w.Engine(0).Submit(listMsg); err != nil {
+	if _, err := w.Engine(0).SubmitSync(listMsg); err != nil {
 		t.Fatal(err)
 	}
 	w.Run()

@@ -38,9 +38,28 @@ type Backend interface {
 	NewSession(heloDomain string, remoteAddr net.Addr) (Session, error)
 }
 
+// Transient wraps a delivery error that should surface as an SMTP 4xx
+// (temporary, the client should retry) instead of a 5xx rejection of
+// the message itself — admission-queue backpressure being the one
+// producer today (the daemon wraps isp.ErrQueueFull).
+type Transient struct{ Err error }
+
+// Error returns the wrapped error's text.
+func (t Transient) Error() string { return t.Err.Error() }
+
+// Unwrap exposes the wrapped error to errors.Is/As.
+func (t Transient) Unwrap() error { return t.Err }
+
+// IsTransient reports whether any error in err's chain is Transient.
+func IsTransient(err error) bool {
+	var t Transient
+	return errors.As(err, &t)
+}
+
 // Session handles one mail transaction. Returning an error from any
-// method rejects the corresponding SMTP command with a 550; the error
-// text is sent to the peer.
+// method rejects the corresponding SMTP command with a 550 — or, when
+// Data's error chain carries Transient, a 451 the client may retry;
+// the error text is sent to the peer.
 type Session interface {
 	// Mail begins a transaction with the envelope sender.
 	Mail(from mail.Address) error
@@ -330,10 +349,16 @@ func (s *Server) serveConn(conn net.Conn) {
 				continue
 			}
 			msg.From = st.from
-			failures := deliverAll(st.session, st.rcpts, msg)
+			failures, transient := deliverAll(st.session, st.rcpts, msg)
 			st.from, st.rcpts, st.gotMail = mail.Address{}, nil, false
 			if failures > 0 {
-				if !reply(550, fmt.Sprintf("delivery failed for %d recipient(s)", failures)) {
+				// Backpressure (every failure transient) is a 451 the
+				// client retries; anything else is a hard 550.
+				code, verdict := 550, "failed"
+				if transient {
+					code, verdict = 451, "deferred"
+				}
+				if !reply(code, fmt.Sprintf("delivery %s for %d recipient(s)", verdict, failures)) {
 					return
 				}
 				continue
@@ -378,22 +403,23 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 // deliverAll hands the message to the session once per recipient and
-// returns the number of failed deliveries. A single-recipient
-// transaction (the overwhelmingly common case) runs inline; larger
-// recipient lists fan out one goroutine per recipient so deliveries
-// land on the engine's account stripes in parallel instead of
-// serializing behind this connection.
-func deliverAll(session Session, rcpts []mail.Address, msg *mail.Message) int {
+// returns the number of failed deliveries, plus whether every failure
+// was Transient (so the whole transaction may answer 4xx). A
+// single-recipient transaction (the overwhelmingly common case) runs
+// inline; larger recipient lists fan out one goroutine per recipient
+// so deliveries land on the engine's account stripes in parallel
+// instead of serializing behind this connection.
+func deliverAll(session Session, rcpts []mail.Address, msg *mail.Message) (int, bool) {
 	if len(rcpts) == 1 {
 		m := msg
 		m.To = rcpts[0]
 		if err := session.Data(rcpts[0], m); err != nil {
-			return 1
+			return 1, IsTransient(err)
 		}
-		return 0
+		return 0, false
 	}
 	var wg sync.WaitGroup
-	var failures atomic.Int64
+	var failures, transients atomic.Int64
 	for _, rcpt := range rcpts {
 		m := msg.Clone()
 		m.To = rcpt
@@ -402,11 +428,15 @@ func deliverAll(session Session, rcpts []mail.Address, msg *mail.Message) int {
 			defer wg.Done()
 			if err := session.Data(rcpt, m); err != nil {
 				failures.Add(1)
+				if IsTransient(err) {
+					transients.Add(1)
+				}
 			}
 		}(rcpt, m)
 	}
 	wg.Wait()
-	return int(failures.Load())
+	n := failures.Load()
+	return int(n), n > 0 && transients.Load() == n
 }
 
 func errText(err error) string {

@@ -22,6 +22,10 @@ type recordingBackend struct {
 	rejectRcpt string
 	// rejectFrom makes Mail fail for this sender domain.
 	rejectFrom string
+	// transientData makes Data fail with a Transient error for this
+	// recipient local part; rejectData fails it hard.
+	transientData string
+	rejectData    string
 }
 
 type received struct {
@@ -67,6 +71,12 @@ func (s *recordingSession) Rcpt(to mail.Address) error {
 }
 
 func (s *recordingSession) Data(to mail.Address, msg *mail.Message) error {
+	if to.Local == s.backend.transientData {
+		return Transient{Err: errors.New("admission queue full")}
+	}
+	if to.Local == s.backend.rejectData {
+		return errors.New("mailbox gone")
+	}
 	s.backend.mu.Lock()
 	defer s.backend.mu.Unlock()
 	s.backend.msgs = append(s.backend.msgs, received{helo: s.helo, from: s.from, to: to, msg: msg})
@@ -109,6 +119,39 @@ func TestSendMailEndToEnd(t *testing.T) {
 	}
 	if r.msg.Subject() != "Greetings" || r.msg.Body != "line one\nline two" {
 		t.Fatalf("content = %q / %q", r.msg.Subject(), r.msg.Body)
+	}
+}
+
+// TestDataTransientBackpressure: a Transient delivery error (queue
+// backpressure) answers DATA with a retryable 451; any hard failure in
+// the same transaction keeps the permanent 550.
+func TestDataTransientBackpressure(t *testing.T) {
+	from := mail.MustParseAddress("a@a.example")
+	busy := mail.MustParseAddress("busy@test.example")
+	gone := mail.MustParseAddress("gone@test.example")
+
+	code := func(err error) int {
+		t.Helper()
+		var pe *ProtocolError
+		if !errors.As(err, &pe) {
+			t.Fatalf("delivery error = %v, want *ProtocolError", err)
+		}
+		return pe.Code
+	}
+
+	addr := startServer(t, &recordingBackend{transientData: "busy", rejectData: "gone"})
+	msg := mail.NewMessage(from, busy, "s", "b")
+	err := SendMail(addr, "a.example", from, []mail.Address{busy}, msg, 5*time.Second)
+	if got := code(err); got != 451 {
+		t.Fatalf("transient failure replied %d, want 451", got)
+	}
+	// Mixed transient + hard failures must not soften to a 451.
+	err = SendMail(addr, "a.example", from, []mail.Address{busy, gone}, msg, 5*time.Second)
+	if got := code(err); got != 550 {
+		t.Fatalf("mixed failure replied %d, want 550", got)
+	}
+	if !IsTransient(Transient{Err: errors.New("x")}) || IsTransient(errors.New("x")) {
+		t.Fatal("IsTransient misclassifies")
 	}
 }
 

@@ -131,6 +131,8 @@ func FuzzDecodeBodies(f *testing.F) {
 	f.Add([]byte{})
 	f.Add((&Buy{Value: 500, Nonce: 42}).MarshalBinary())
 	f.Add((&CreditReport{Seq: 9, Credits: []int64{-3, 0, 3}}).MarshalBinary())
+	f.Add((&BatchOrder{Buy: 400, Sell: 120, Nonce: 77}).MarshalBinary())
+	f.Add((&BatchReply{Nonce: 77, BuyFilled: 250, SellBurned: 120}).MarshalBinary())
 	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Every decoder sees every input: none may panic, and claimed
@@ -145,6 +147,20 @@ func FuzzDecodeBodies(f *testing.F) {
 		_ = sr.UnmarshalBinary(data)
 		var rq Request
 		_ = rq.UnmarshalBinary(data)
+		var bo BatchOrder
+		if err := bo.UnmarshalBinary(data); err == nil {
+			// Accepted fixed-size bodies re-encode to the prefix they were
+			// decoded from, through the append path.
+			if got := bo.AppendBinary(nil); !bytes.Equal(got, data[:len(got)]) {
+				t.Fatalf("BatchOrder re-encode differs from accepted prefix")
+			}
+		}
+		var brep BatchReply
+		if err := brep.UnmarshalBinary(data); err == nil {
+			if got := brep.AppendBinary(nil); !bytes.Equal(got, data[:len(got)]) {
+				t.Fatalf("BatchReply re-encode differs from accepted prefix")
+			}
+		}
 		var cr CreditReport
 		if err := cr.UnmarshalBinary(data); err == nil {
 			if got := cr.MarshalBinary(); !bytes.Equal(got, data[:len(got)]) {
@@ -160,8 +176,13 @@ func FuzzReadEnvelope(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(framed.Bytes())
+	var batchFramed bytes.Buffer
+	if err := WriteEnvelope(&batchFramed, &Envelope{Kind: KindBatchOrder, From: 2, Trace: 5, Payload: []byte{9, 9}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(batchFramed.Bytes())
 	f.Add([]byte{})
-	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})      // length > MaxEnvelopeSize
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})     // length > MaxEnvelopeSize
 	f.Add([]byte{10, 0, 0, 0, 0x5A, 0x4D, 1}) // truncated body
 	f.Fuzz(func(t *testing.T, data []byte) {
 		e, err := ReadEnvelope(bytes.NewReader(data))

@@ -1,7 +1,7 @@
 // Package wire defines the bank↔ISP control-plane messages of the
 // Zmail protocol (§4.3–§4.4 of the paper) and their binary encoding.
 //
-// Six message bodies exist, mirroring the paper's channel messages:
+// The message bodies mirror the paper's channel messages:
 //
 //	buy(x)        ISP → bank   request to buy e-pennies (sealed, nonced)
 //	buyreply(x)   bank → ISP   grant/deny (echoes nonce)
@@ -10,11 +10,25 @@
 //	request(x)    bank → ISP   credit-array snapshot request (seq)
 //	reply(x)      ISP → bank   the ISP's credit array
 //
+// plus the batch-order extension (one coalesced buy+sell per sealed
+// message, amortizing a round trip, a nonce, and a seal across many
+// e-pennies):
+//
+//	batchorder(x) ISP → bank   coalesced buy/sell order (sealed, nonced)
+//	batchreply(x) bank → ISP   partial-fill grant (echoes nonce)
+//
 // Bodies are fixed little-endian binary; each travels inside an
 // Envelope that carries the message kind, the sender's ISP index, an
 // optional trace ID (internal/trace), and the (usually sealed)
 // payload. Envelopes are length-prefix framed so they can be streamed
 // over TCP.
+//
+// Encoding is append-style: every message implements
+// AppendBinary(buf) []byte, growing the caller's buffer in place so
+// hot paths encode with zero allocations (WriteEnvelope frames whole
+// envelopes through a sync.Pool-backed buffer and a single Write
+// call). MarshalBinary remains as the one-line AppendBinary(nil) shim
+// for callers that want a fresh slice.
 package wire
 
 import (
@@ -22,12 +36,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Kind discriminates envelope payloads.
 type Kind uint8
 
-// Message kinds, one per paper message.
+// Message kinds, one per paper message. The batch kinds extend the
+// paper's vocabulary and are appended after KindHello so existing
+// on-the-wire byte values never change.
 const (
 	KindBuy Kind = iota + 1
 	KindBuyReply
@@ -40,6 +57,12 @@ const (
 	// ISP's index before any substantive traffic flows (needed for
 	// bank-initiated snapshot requests).
 	KindHello
+	// KindBatchOrder coalesces one buy and one sell into a single
+	// sealed, nonced order (see BatchOrder).
+	KindBatchOrder
+	// KindBatchReply answers a batch order with the partially-fillable
+	// grant (see BatchReply).
+	KindBatchReply
 )
 
 // String names the kind.
@@ -59,6 +82,10 @@ func (k Kind) String() string {
 		return "reply"
 	case KindHello:
 		return "hello"
+	case KindBatchOrder:
+		return "batchorder"
+	case KindBatchReply:
+		return "batchreply"
 	default:
 		return fmt.Sprintf("wire.Kind(%d)", uint8(k))
 	}
@@ -69,7 +96,7 @@ func (k Kind) String() string {
 // against String(), and the specbind runtime twin compares this
 // enumeration against the AP spec's receive vocabulary.
 func Kinds() []Kind {
-	return []Kind{KindBuy, KindBuyReply, KindSell, KindSellReply, KindRequest, KindReply, KindHello}
+	return []Kind{KindBuy, KindBuyReply, KindSell, KindSellReply, KindRequest, KindReply, KindHello, KindBatchOrder, KindBatchReply}
 }
 
 // Errors returned by decoders.
@@ -101,17 +128,19 @@ type Envelope struct {
 	Trace uint64
 }
 
+// AppendBinary appends the encoded envelope (without the stream length
+// prefix) to buf and returns the extended slice.
+func (e *Envelope) AppendBinary(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, envelopeMagic)
+	buf = append(buf, byte(e.Kind))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.From))
+	buf = binary.LittleEndian.AppendUint64(buf, e.Trace)
+	return append(buf, e.Payload...)
+}
+
 // MarshalBinary encodes the envelope (without the stream length
 // prefix).
-func (e *Envelope) MarshalBinary() []byte {
-	out := make([]byte, EnvelopeHeaderSize+len(e.Payload))
-	binary.LittleEndian.PutUint16(out[0:2], envelopeMagic)
-	out[2] = byte(e.Kind)
-	binary.LittleEndian.PutUint32(out[3:7], uint32(e.From))
-	binary.LittleEndian.PutUint64(out[7:15], e.Trace)
-	copy(out[EnvelopeHeaderSize:], e.Payload)
-	return out
-}
+func (e *Envelope) MarshalBinary() []byte { return e.AppendBinary(nil) }
 
 // UnmarshalBinary decodes an envelope produced by MarshalBinary.
 func (e *Envelope) UnmarshalBinary(data []byte) error {
@@ -128,20 +157,36 @@ func (e *Envelope) UnmarshalBinary(data []byte) error {
 	return nil
 }
 
+// envBufPool recycles framing buffers for WriteEnvelope so the steady
+// state of a busy bank link allocates nothing per message. Buffers are
+// returned length-zero; capacity grows to the largest envelope a
+// connection has carried.
+var envBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
 // WriteEnvelope frames and writes one envelope: 4-byte little-endian
-// length, then the marshaled envelope.
+// length, then the marshaled envelope. The frame is assembled in a
+// pooled buffer and written with a single Write call, so the encode
+// path is allocation-free and the frame reaches the stream in one
+// piece.
 func WriteEnvelope(w io.Writer, e *Envelope) error {
-	body := e.MarshalBinary()
-	if len(body) > MaxEnvelopeSize {
+	size := EnvelopeHeaderSize + len(e.Payload)
+	if size > MaxEnvelopeSize {
 		return ErrTooLarge
 	}
-	var lenBuf [4]byte
-	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(body)))
-	if _, err := w.Write(lenBuf[:]); err != nil {
-		return fmt.Errorf("wire: write length: %w", err)
-	}
-	if _, err := w.Write(body); err != nil {
-		return fmt.Errorf("wire: write body: %w", err)
+	bp := envBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(size))
+	buf = e.AppendBinary(buf)
+	_, err := w.Write(buf)
+	*bp = buf[:0]
+	envBufPool.Put(bp)
+	if err != nil {
+		return fmt.Errorf("wire: write envelope: %w", err)
 	}
 	return nil
 }
@@ -174,13 +219,14 @@ type Buy struct {
 	Nonce uint64
 }
 
-// MarshalBinary encodes the body.
-func (m *Buy) MarshalBinary() []byte {
-	out := make([]byte, 16)
-	binary.LittleEndian.PutUint64(out[0:8], uint64(m.Value))
-	binary.LittleEndian.PutUint64(out[8:16], m.Nonce)
-	return out
+// AppendBinary appends the encoded body to buf.
+func (m *Buy) AppendBinary(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.Value))
+	return binary.LittleEndian.AppendUint64(buf, m.Nonce)
 }
+
+// MarshalBinary encodes the body.
+func (m *Buy) MarshalBinary() []byte { return m.AppendBinary(nil) }
 
 // UnmarshalBinary decodes the body.
 func (m *Buy) UnmarshalBinary(data []byte) error {
@@ -198,15 +244,18 @@ type BuyReply struct {
 	Accepted bool
 }
 
-// MarshalBinary encodes the body.
-func (m *BuyReply) MarshalBinary() []byte {
-	out := make([]byte, 9)
-	binary.LittleEndian.PutUint64(out[0:8], m.Nonce)
+// AppendBinary appends the encoded body to buf.
+func (m *BuyReply) AppendBinary(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, m.Nonce)
+	accepted := byte(0)
 	if m.Accepted {
-		out[8] = 1
+		accepted = 1
 	}
-	return out
+	return append(buf, accepted)
 }
+
+// MarshalBinary encodes the body.
+func (m *BuyReply) MarshalBinary() []byte { return m.AppendBinary(nil) }
 
 // UnmarshalBinary decodes the body.
 func (m *BuyReply) UnmarshalBinary(data []byte) error {
@@ -224,13 +273,14 @@ type Sell struct {
 	Nonce uint64
 }
 
-// MarshalBinary encodes the body.
-func (m *Sell) MarshalBinary() []byte {
-	out := make([]byte, 16)
-	binary.LittleEndian.PutUint64(out[0:8], uint64(m.Value))
-	binary.LittleEndian.PutUint64(out[8:16], m.Nonce)
-	return out
+// AppendBinary appends the encoded body to buf.
+func (m *Sell) AppendBinary(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.Value))
+	return binary.LittleEndian.AppendUint64(buf, m.Nonce)
 }
+
+// MarshalBinary encodes the body.
+func (m *Sell) MarshalBinary() []byte { return m.AppendBinary(nil) }
 
 // UnmarshalBinary decodes the body.
 func (m *Sell) UnmarshalBinary(data []byte) error {
@@ -247,12 +297,13 @@ type SellReply struct {
 	Nonce uint64
 }
 
-// MarshalBinary encodes the body.
-func (m *SellReply) MarshalBinary() []byte {
-	out := make([]byte, 8)
-	binary.LittleEndian.PutUint64(out, m.Nonce)
-	return out
+// AppendBinary appends the encoded body to buf.
+func (m *SellReply) AppendBinary(buf []byte) []byte {
+	return binary.LittleEndian.AppendUint64(buf, m.Nonce)
 }
+
+// MarshalBinary encodes the body.
+func (m *SellReply) MarshalBinary() []byte { return m.AppendBinary(nil) }
 
 // UnmarshalBinary decodes the body.
 func (m *SellReply) UnmarshalBinary(data []byte) error {
@@ -269,12 +320,13 @@ type Request struct {
 	Seq uint64
 }
 
-// MarshalBinary encodes the body.
-func (m *Request) MarshalBinary() []byte {
-	out := make([]byte, 8)
-	binary.LittleEndian.PutUint64(out, m.Seq)
-	return out
+// AppendBinary appends the encoded body to buf.
+func (m *Request) AppendBinary(buf []byte) []byte {
+	return binary.LittleEndian.AppendUint64(buf, m.Seq)
 }
+
+// MarshalBinary encodes the body.
+func (m *Request) MarshalBinary() []byte { return m.AppendBinary(nil) }
 
 // UnmarshalBinary decodes the body.
 func (m *Request) UnmarshalBinary(data []byte) error {
@@ -293,16 +345,18 @@ type CreditReport struct {
 	Credits []int64
 }
 
-// MarshalBinary encodes the body.
-func (m *CreditReport) MarshalBinary() []byte {
-	out := make([]byte, 12+8*len(m.Credits))
-	binary.LittleEndian.PutUint64(out[0:8], m.Seq)
-	binary.LittleEndian.PutUint32(out[8:12], uint32(len(m.Credits)))
-	for i, c := range m.Credits {
-		binary.LittleEndian.PutUint64(out[12+8*i:], uint64(c))
+// AppendBinary appends the encoded body to buf.
+func (m *CreditReport) AppendBinary(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, m.Seq)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Credits)))
+	for _, c := range m.Credits {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(c))
 	}
-	return out
+	return buf
 }
+
+// MarshalBinary encodes the body.
+func (m *CreditReport) MarshalBinary() []byte { return m.AppendBinary(nil) }
 
 // UnmarshalBinary decodes the body.
 func (m *CreditReport) UnmarshalBinary(data []byte) error {
@@ -318,5 +372,71 @@ func (m *CreditReport) UnmarshalBinary(data []byte) error {
 	for i := range m.Credits {
 		m.Credits[i] = int64(binary.LittleEndian.Uint64(data[12+8*i:]))
 	}
+	return nil
+}
+
+// BatchOrder is the coalesced §4.3 exchange: one sealed, nonced order
+// carrying both sides of the pool-maintenance trade. Buy is the
+// e-penny amount requested from the bank (0 when the pool is not
+// short); Sell is the escrowed amount sold back (0 when the pool is
+// not over its band). A single nonce and a single seal cover the whole
+// order, so one bank round trip amortizes over however many e-pennies
+// the order moves.
+type BatchOrder struct {
+	Buy   int64
+	Sell  int64
+	Nonce uint64
+}
+
+// AppendBinary appends the encoded body to buf.
+func (m *BatchOrder) AppendBinary(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.Buy))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.Sell))
+	return binary.LittleEndian.AppendUint64(buf, m.Nonce)
+}
+
+// MarshalBinary encodes the body.
+func (m *BatchOrder) MarshalBinary() []byte { return m.AppendBinary(nil) }
+
+// UnmarshalBinary decodes the body.
+func (m *BatchOrder) UnmarshalBinary(data []byte) error {
+	if len(data) < 24 {
+		return ErrShortMessage
+	}
+	m.Buy = int64(binary.LittleEndian.Uint64(data[0:8]))
+	m.Sell = int64(binary.LittleEndian.Uint64(data[8:16]))
+	m.Nonce = binary.LittleEndian.Uint64(data[16:24])
+	return nil
+}
+
+// BatchReply answers a BatchOrder. BuyFilled is the granted buy amount
+// — the bank fills as much of the requested buy as the ISP's account
+// covers, so it ranges from 0 to the order's Buy (a partial fill).
+// SellBurned echoes the burned sell amount for the order's audit
+// trail.
+type BatchReply struct {
+	Nonce      uint64
+	BuyFilled  int64
+	SellBurned int64
+}
+
+// AppendBinary appends the encoded body to buf.
+func (m *BatchReply) AppendBinary(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, m.Nonce)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.BuyFilled))
+	return binary.LittleEndian.AppendUint64(buf, uint64(m.SellBurned))
+}
+
+// MarshalBinary encodes the body.
+func (m *BatchReply) MarshalBinary() []byte { return m.AppendBinary(nil) }
+
+// UnmarshalBinary decodes the body.
+func (m *BatchReply) UnmarshalBinary(data []byte) error {
+	if len(data) < 24 {
+		return ErrShortMessage
+	}
+	m.Nonce = binary.LittleEndian.Uint64(data[0:8])
+	m.BuyFilled = int64(binary.LittleEndian.Uint64(data[8:16]))
+	m.SellBurned = int64(binary.LittleEndian.Uint64(data[16:24]))
 	return nil
 }

@@ -98,6 +98,7 @@ func TestTruncatedBodies(t *testing.T) {
 		UnmarshalBinary([]byte) error
 	}{
 		&Buy{}, &BuyReply{}, &Sell{}, &SellReply{}, &Request{}, &CreditReport{},
+		&BatchOrder{}, &BatchReply{},
 	}
 	for _, m := range cases {
 		if err := m.UnmarshalBinary([]byte{1, 2, 3}); !errors.Is(err, ErrShortMessage) {
@@ -115,6 +116,79 @@ func TestCreditReportLengthLie(t *testing.T) {
 	var out CreditReport
 	if err := out.UnmarshalBinary(raw); !errors.Is(err, ErrShortMessage) {
 		t.Fatalf("length lie: err = %v, want ErrShortMessage", err)
+	}
+}
+
+func TestBatchOrderRoundTrip(t *testing.T) {
+	f := func(buy, sell int64, nonce uint64) bool {
+		in := BatchOrder{Buy: buy, Sell: sell, Nonce: nonce}
+		var out BatchOrder
+		return out.UnmarshalBinary(in.MarshalBinary()) == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBatchReplyRoundTrip(t *testing.T) {
+	f := func(nonce uint64, filled, burned int64) bool {
+		in := BatchReply{Nonce: nonce, BuyFilled: filled, SellBurned: burned}
+		var out BatchReply
+		return out.UnmarshalBinary(in.MarshalBinary()) == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAppendBinaryPrefix pins the append-style contract: AppendBinary
+// extends the caller's buffer in place without disturbing existing
+// bytes, and the appended suffix equals MarshalBinary's output.
+func TestAppendBinaryPrefix(t *testing.T) {
+	prefix := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	msgs := []interface {
+		AppendBinary([]byte) []byte
+		MarshalBinary() []byte
+	}{
+		&Buy{Value: -7, Nonce: 99},
+		&BuyReply{Nonce: 3, Accepted: true},
+		&Sell{Value: 12, Nonce: 4},
+		&SellReply{Nonce: 5},
+		&Request{Seq: 6},
+		&CreditReport{Seq: 7, Credits: []int64{-1, 0, 8}},
+		&BatchOrder{Buy: 300, Sell: 0, Nonce: 11},
+		&BatchReply{Nonce: 11, BuyFilled: 120, SellBurned: 0},
+		&Envelope{Kind: KindBatchOrder, From: 2, Trace: 42, Payload: []byte("sealed")},
+	}
+	for _, m := range msgs {
+		buf := append([]byte(nil), prefix...)
+		got := m.AppendBinary(buf)
+		if !bytes.Equal(got[:len(prefix)], prefix) {
+			t.Errorf("%T: AppendBinary clobbered the prefix", m)
+		}
+		if !bytes.Equal(got[len(prefix):], m.MarshalBinary()) {
+			t.Errorf("%T: AppendBinary suffix differs from MarshalBinary", m)
+		}
+	}
+}
+
+// TestWriteEnvelopeZeroAlloc pins the pooled encode path: once the
+// pool is warm, framing an envelope into a pre-grown writer allocates
+// nothing.
+func TestWriteEnvelopeZeroAlloc(t *testing.T) {
+	e := &Envelope{Kind: KindBatchOrder, From: 1, Trace: 9, Payload: make([]byte, 64)}
+	w := io.Discard
+	// Warm the pool.
+	if err := WriteEnvelope(w, e); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := WriteEnvelope(w, e); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("WriteEnvelope allocates %.1f times per call, want 0", allocs)
 	}
 }
 
@@ -198,7 +272,7 @@ func TestKindString(t *testing.T) {
 	names := map[Kind]string{
 		KindBuy: "buy", KindBuyReply: "buyreply", KindSell: "sell",
 		KindSellReply: "sellreply", KindRequest: "request", KindReply: "reply",
-		KindHello: "hello",
+		KindHello: "hello", KindBatchOrder: "batchorder", KindBatchReply: "batchreply",
 	}
 	for k, want := range names {
 		if k.String() != want {
@@ -232,6 +306,8 @@ func TestUnmarshalNeverPanics(t *testing.T) {
 		func() interface{ UnmarshalBinary([]byte) error } { return &SellReply{} },
 		func() interface{ UnmarshalBinary([]byte) error } { return &Request{} },
 		func() interface{ UnmarshalBinary([]byte) error } { return &CreditReport{} },
+		func() interface{ UnmarshalBinary([]byte) error } { return &BatchOrder{} },
+		func() interface{ UnmarshalBinary([]byte) error } { return &BatchReply{} },
 		func() interface{ UnmarshalBinary([]byte) error } { return &Envelope{} },
 	}
 	f := func(data []byte) bool {

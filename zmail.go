@@ -112,8 +112,12 @@ type (
 	StatementEntry = isp.Entry
 	// StatementEntryKind labels a StatementEntry.
 	StatementEntryKind = isp.EntryKind
-	// SendOutcome reports what Submit did with a message.
+	// SendOutcome reports what SubmitSync did with a message.
 	SendOutcome = isp.SendOutcome
+	// QueueConfig sizes an engine's admission queue (StartQueue).
+	QueueConfig = isp.QueueConfig
+	// Admission reports what the async Submit did with a message.
+	Admission = isp.Admission
 	// Bank is the central e-penny authority.
 	Bank = bank.Bank
 	// BankConfig configures the bank.
@@ -151,6 +155,8 @@ var (
 	ErrUnknownUser = isp.ErrUnknownUser
 	// ErrPoolExhausted: the ISP's e-penny pool cannot cover the trade.
 	ErrPoolExhausted = isp.ErrPoolExhausted
+	// ErrQueueFull: admission backpressure from the bounded queue.
+	ErrQueueFull = isp.ErrQueueFull
 	// ErrBankReplay: the bank saw a replayed nonce.
 	ErrBankReplay = bank.ErrReplay
 )
@@ -161,6 +167,12 @@ const (
 	SentPaid     = isp.SentPaid
 	SentUnpaid   = isp.SentUnpaid
 	SentBuffered = isp.SentBuffered
+)
+
+// Admission outcomes (the async Submit path).
+const (
+	AdmitQueued    = isp.AdmitQueued
+	AdmitCommitted = isp.AdmitCommitted
 )
 
 // Statement entry kinds.
